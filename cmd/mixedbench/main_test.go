@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuickSingleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// Every experiment must run to completion in quick mode. E2/E5 are the
+	// slowest; the rest are cheap even under test.
+	for _, exp := range []string{"e1", "e3", "e9", "a1"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run([]string{"-exp", exp, "-quick"}); err != nil {
+				t.Fatalf("run(%s): %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"-exp", "e99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v, want unknown experiment", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}
+
+func TestRunRejectsDegenerateProcs(t *testing.T) {
+	err := run([]string{"-procs", "1", "-exp", "e2", "-quick"})
+	if err == nil || !strings.Contains(err.Error(), "at least 2 processes") {
+		t.Fatalf("err = %v, want procs guard", err)
+	}
+}

@@ -1,0 +1,192 @@
+// Command mixedcheck stress-tests the runtime against the formal model: it
+// runs randomly generated programs on the recording mixed-consistency
+// system, replays every recorded history through the Section 3 checker, and
+// reports violations of mixed consistency (Definition 4), the program-class
+// conditions (Corollaries 1–2), and sequential consistency.
+//
+// Usage:
+//
+//	mixedcheck -runs 50 -seed 7
+//	mixedcheck -kind entry      # only entry-consistent programs
+//	mixedcheck -kind phased     # only PRAM-consistent phased programs
+//	mixedcheck -v               # print every run's verdict
+//
+// A nonzero exit status means the runtime produced a history the model
+// forbids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mixedmem/internal/check"
+	"mixedmem/internal/core"
+	"mixedmem/internal/history"
+	"mixedmem/internal/litmus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mixedcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mixedcheck", flag.ContinueOnError)
+	runs := fs.Int("runs", 20, "random programs per kind")
+	seed := fs.Int64("seed", 1, "base seed")
+	kind := fs.String("kind", "both", "program kind: entry, phased, or both")
+	verbose := fs.Bool("v", false, "print every run")
+	procs := fs.Int("procs", 3, "processes per program")
+	ops := fs.Int("ops", 3, "critical sections per process (entry kind)")
+	phases := fs.Int("phases", 2, "phases (phased kind)")
+	runLitmus := fs.Bool("litmus", false, "run the litmus suite and print the verdict table")
+	advise := fs.Bool("advise", false, "run the compiler label advisor on sample programs")
+	dot := fs.Bool("dot", false, "emit a Graphviz causality graph of one sample run to stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dot {
+		h, _, err := core.RunRandomEntryConsistent(core.RandomEntryConsistentConfig{
+			Procs: *procs, OpsPerProc: *ops, Seed: *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("dot sample: %w", err)
+		}
+		a, err := h.Analyze()
+		if err != nil {
+			return fmt.Errorf("dot sample: %w", err)
+		}
+		return a.WriteDOT(os.Stdout)
+	}
+	if *runLitmus {
+		return litmusTable()
+	}
+	if *advise {
+		return adviseSamples(*seed)
+	}
+	if *kind != "entry" && *kind != "phased" && *kind != "both" {
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+
+	failures := 0
+	if *kind == "entry" || *kind == "both" {
+		for i := 0; i < *runs; i++ {
+			s := *seed + int64(i)
+			h, locks, err := core.RunRandomEntryConsistent(core.RandomEntryConsistentConfig{
+				Procs: *procs, OpsPerProc: *ops, Seed: s,
+			})
+			if err != nil {
+				return fmt.Errorf("entry run %d: %w", i, err)
+			}
+			ok, detail := verdict(h, func(a *history.Analysis) []check.Violation {
+				v := check.Mixed(a)
+				v = append(v, check.EntryConsistent(h, locks)...)
+				return v
+			})
+			report(*verbose, &failures, "entry", s, ok, detail)
+		}
+	}
+	if *kind == "phased" || *kind == "both" {
+		for i := 0; i < *runs; i++ {
+			s := *seed + int64(i)
+			h, err := core.RunRandomPhased(core.RandomPhasedConfig{
+				Procs: *procs, Phases: *phases, Seed: s,
+			})
+			if err != nil {
+				return fmt.Errorf("phased run %d: %w", i, err)
+			}
+			ok, detail := verdict(h, func(a *history.Analysis) []check.Violation {
+				v := check.Mixed(a)
+				v = append(v, check.PRAMConsistent(h)...)
+				return v
+			})
+			report(*verbose, &failures, "phased", s, ok, detail)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d runs violated the model", failures)
+	}
+	fmt.Println("all runs consistent: mixed consistency and sequential consistency hold")
+	return nil
+}
+
+// adviseSamples runs the Section 4 compiler check on one recorded program
+// of each class and prints the recommended read labels.
+func adviseSamples(seed int64) error {
+	h, err := core.RunRandomPhased(core.RandomPhasedConfig{Seed: seed})
+	if err != nil {
+		return fmt.Errorf("phased sample: %w", err)
+	}
+	adv := check.Advise(h, nil)
+	fmt.Printf("phased program (%d ops): recommend %s reads — %s\n",
+		len(h.Ops), adv.Label, adv.Rationale)
+
+	h2, locks, err := core.RunRandomEntryConsistent(core.RandomEntryConsistentConfig{Seed: seed})
+	if err != nil {
+		return fmt.Errorf("entry sample: %w", err)
+	}
+	adv2 := check.Advise(h2, locks)
+	fmt.Printf("locked program (%d ops): recommend %s reads — %s\n",
+		len(h2.Ops), adv2.Label, adv2.Rationale)
+	return nil
+}
+
+// litmusTable evaluates the full litmus suite under PRAM, causal, and
+// sequential consistency and prints the verdict table, failing if any
+// observed verdict disagrees with the suite's annotation.
+func litmusTable() error {
+	fmt.Printf("%-14s %-10s %-10s %-10s  %s\n", "test", "PRAM", "causal", "SC", "behavior")
+	mismatches := 0
+	for _, tt := range litmus.Suite() {
+		pram, causal, sc, err := tt.Evaluate()
+		if err != nil {
+			return fmt.Errorf("litmus %s: %w", tt.Name, err)
+		}
+		marker := ""
+		if pram != tt.PRAM || causal != tt.Causal || sc != tt.SC {
+			marker = "  <-- MISMATCH"
+			mismatches++
+		}
+		fmt.Printf("%-14s %-10s %-10s %-10s  %s%s\n",
+			tt.Name, pram, causal, sc, tt.Description, marker)
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d litmus verdicts disagree with annotations", mismatches)
+	}
+	fmt.Println("\nall litmus verdicts match their annotations (SC ⊆ causal ⊆ PRAM)")
+	return nil
+}
+
+// verdict analyzes a history, runs the supplied checkers, and verifies
+// sequential consistency.
+func verdict(h *history.History, checks func(*history.Analysis) []check.Violation) (bool, string) {
+	a, err := h.Analyze()
+	if err != nil {
+		return false, fmt.Sprintf("analyze: %v", err)
+	}
+	if v := checks(a); len(v) > 0 {
+		return false, fmt.Sprintf("%d violations, first: %v", len(v), v[0])
+	}
+	ok, _, err := check.SequentiallyConsistent(a)
+	if err != nil {
+		return false, fmt.Sprintf("SC search: %v", err)
+	}
+	if !ok {
+		return false, "history is not sequentially consistent"
+	}
+	return true, fmt.Sprintf("%d ops, SC", len(h.Ops))
+}
+
+func report(verbose bool, failures *int, kind string, seed int64, ok bool, detail string) {
+	if !ok {
+		*failures++
+		fmt.Printf("FAIL %s seed=%d: %s\n", kind, seed, detail)
+		return
+	}
+	if verbose {
+		fmt.Printf("ok   %s seed=%d: %s\n", kind, seed, detail)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mixedmem/internal/check"
+	"mixedmem/internal/core"
+	"mixedmem/internal/history"
+)
+
+func TestRunBothKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	if err := run([]string{"-runs", "3", "-seed", "11"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunEntryOnly(t *testing.T) {
+	if err := run([]string{"-runs", "2", "-kind", "entry", "-v"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunPhasedOnly(t *testing.T) {
+	if err := run([]string{"-runs", "2", "-kind", "phased"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	err := run([]string{"-kind", "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("err = %v, want unknown kind", err)
+	}
+}
+
+func TestRunLitmus(t *testing.T) {
+	if err := run([]string{"-litmus"}); err != nil {
+		t.Fatalf("litmus: %v", err)
+	}
+}
+
+func TestVerdictDetectsViolation(t *testing.T) {
+	// Feed a history that violates mixed consistency (stale FIFO re-read)
+	// and check verdict reports it.
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Write(0, "x", 2)
+	b.Read(1, "x", 2, history.LabelPRAM)
+	b.Read(1, "x", 1, history.LabelPRAM)
+	ok, detail := verdict(b.History(), check.Mixed)
+	if ok {
+		t.Fatalf("verdict accepted a PRAM violation: %s", detail)
+	}
+	if !strings.Contains(detail, "violation") {
+		t.Fatalf("detail = %q, want violation report", detail)
+	}
+}
+
+func TestVerdictAcceptsConsistentRun(t *testing.T) {
+	h, _, err := core.RunRandomEntryConsistent(core.RandomEntryConsistentConfig{Seed: 5})
+	if err != nil {
+		t.Fatalf("RunRandomEntryConsistent: %v", err)
+	}
+	ok, detail := verdict(h, check.Mixed)
+	if !ok {
+		t.Fatalf("verdict rejected a consistent run: %s", detail)
+	}
+}

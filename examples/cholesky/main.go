@@ -1,0 +1,65 @@
+// Cholesky runs the Figure 5 sparse Cholesky factorization in both of the
+// paper's forms on the same seeded sparse SPD matrix:
+//
+//   - the lock-based algorithm: the owner of column j awaits count[j] = 0,
+//     then updates every dependent column inside a write-lock critical
+//     section (causal reads, per Theorem 1);
+//   - the counter-object variant (Section 5.3): matrix entries and
+//     dependency counts become commutative counters and the critical
+//     sections disappear.
+//
+// Both are validated against the sequential factorization; the run then
+// times them under a simulated network latency, reproducing the Section 7
+// claim that the counter-object algorithm wins significantly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mixedmem/internal/apps"
+	"mixedmem/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 32, "matrix size")
+	procs := flag.Int("procs", 4, "processes")
+	density := flag.Float64("density", 0.3, "structural density of the generator")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+	if err := run(*n, *procs, *density, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n, procs int, density float64, seed int64) error {
+	m := apps.GenSparseSPD(n, density, seed)
+	nnz, deps := 0, 0
+	for i := 0; i < m.N; i++ {
+		for j := 0; j <= i; j++ {
+			if m.Fill[i][j] {
+				nnz++
+			}
+		}
+	}
+	for _, c := range m.Count {
+		deps += c
+	}
+	fmt.Printf("matrix: n=%d, %d structural nonzeros after symbolic factorization, %d column dependencies\n\n",
+		n, nnz, deps)
+
+	r, err := bench.RunCholeskyComparison(n, procs, density, bench.DefaultLatency, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 5 (write locks, causal reads):")
+	fmt.Printf("  time %v, messages %d, lock acquires %d, factor error %.2e\n",
+		r.LockTime, r.LockMsgs, r.LockAcquires, r.LockError)
+	fmt.Println("Counter objects (commutative decrements, no critical sections):")
+	fmt.Printf("  time %v, messages %d, factor error %.2e\n",
+		r.CounterTime, r.CounterMsgs, r.CounterError)
+	fmt.Printf("\ncounter/lock speedup: %.2fx (paper: counter variant wins significantly)\n",
+		float64(r.LockTime)/float64(r.CounterTime))
+	return nil
+}

@@ -1,0 +1,3 @@
+module mixedmem
+
+go 1.22

@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"testing"
+
+	"mixedmem/internal/seqmem"
+)
+
+// The applications are written against core.Process, so they must run
+// unchanged on the sequentially consistent baseline and produce the same
+// answers. These tests are both a portability check on the apps and an
+// integration workout for seqmem's locks, barriers, and awaits.
+
+func runSC(t *testing.T, procs int, body func(p *seqmem.Proc)) *seqmem.System {
+	t.Helper()
+	sys, err := seqmem.NewSystem(seqmem.Config{Procs: procs})
+	if err != nil {
+		t.Fatalf("seqmem.NewSystem: %v", err)
+	}
+	t.Cleanup(sys.Close)
+	sys.Run(body)
+	return sys
+}
+
+func TestSolveBarrierOnSequentialMemory(t *testing.T) {
+	ls := GenDiagDominant(10, 31)
+	direct, err := ls.SolveDirect()
+	if err != nil {
+		t.Fatalf("SolveDirect: %v", err)
+	}
+	var res SolveResult
+	runSC(t, 3, func(p *seqmem.Proc) {
+		r := SolveBarrier(p, ls, SolveOptions{Tol: 1e-9})
+		if p.ID() == 0 {
+			res = r
+		}
+	})
+	if !res.Converged {
+		t.Fatal("did not converge on SC memory")
+	}
+	if d := MaxAbsDiff(res.X, direct); d > 1e-7 {
+		t.Fatalf("SC run off by %v", d)
+	}
+}
+
+func TestSolveHandshakeOnSequentialMemory(t *testing.T) {
+	ls := GenDiagDominant(8, 33)
+	direct, _ := ls.SolveDirect()
+	var res SolveResult
+	runSC(t, 3, func(p *seqmem.Proc) {
+		r := SolveHandshake(p, ls, SolveOptions{Tol: 1e-9})
+		if p.ID() == 0 {
+			res = r
+		}
+	})
+	if d := MaxAbsDiff(res.X, direct); d > 1e-7 {
+		t.Fatalf("SC handshake off by %v", d)
+	}
+}
+
+func TestCholeskyLocksOnSequentialMemory(t *testing.T) {
+	m := GenSparseSPD(10, 0.3, 35)
+	ref, err := m.CholeskySequential()
+	if err != nil {
+		t.Fatalf("CholeskySequential: %v", err)
+	}
+	var res CholeskyResult
+	runSC(t, 3, func(p *seqmem.Proc) {
+		r := CholeskyLocks(p, m, SolveOptions{})
+		if p.ID() == 0 {
+			res = r
+		}
+	})
+	if d := m.FactorError(res.L, ref); d > 1e-9 {
+		t.Fatalf("SC factor off by %v", d)
+	}
+}
+
+func TestCholeskyCountersOnSequentialMemory(t *testing.T) {
+	m := GenSparseSPD(10, 0.3, 37)
+	ref, _ := m.CholeskySequential()
+	var res CholeskyResult
+	runSC(t, 3, func(p *seqmem.Proc) {
+		r := CholeskyCounters(p, m, SolveOptions{})
+		if p.ID() == 0 {
+			res = r
+		}
+	})
+	if d := m.FactorError(res.L, ref); d > 1e-6 {
+		t.Fatalf("SC counter factor off by %v", d)
+	}
+}
+
+func TestEMFieldOnSequentialMemory(t *testing.T) {
+	prob := GenEMProblem(24, 8, 39)
+	refE, _ := prob.SolveSequential()
+	results := make([]EMResult, 3)
+	runSC(t, 3, func(p *seqmem.Proc) {
+		results[p.ID()] = SolveEMField(p, prob, SolveOptions{})
+	})
+	for _, r := range results {
+		for i := r.Lo; i < r.Hi; i++ {
+			if r.E[i-r.Lo] != refE[i] {
+				t.Fatalf("SC EM field differs at cell %d", i)
+			}
+		}
+	}
+}
+
+func TestPipelineAwaitOnSequentialMemory(t *testing.T) {
+	cfg := PipelineConfig{Items: 10, Seed: 41}
+	ref := PipelineSequential(cfg, 2)
+	var got []int64
+	runSC(t, 3, func(p *seqmem.Proc) {
+		if out := PipelineAwait(p, cfg); out != nil {
+			got = out
+		}
+	})
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("SC pipeline item %d = %d, want %d", i, got[i], ref[i])
+		}
+	}
+}

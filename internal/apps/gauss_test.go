@@ -1,0 +1,83 @@
+package apps
+
+import (
+	"testing"
+
+	"mixedmem/internal/core"
+)
+
+// TestGaussSeidelPRAM is experiment E7: asynchronous relaxation converges
+// under plain PRAM with no synchronization during the sweeps (Section 7's
+// closing observation).
+func TestGaussSeidelPRAM(t *testing.T) {
+	ls := GenDiagDominant(16, 19)
+	direct, err := ls.SolveDirect()
+	if err != nil {
+		t.Fatalf("SolveDirect: %v", err)
+	}
+	var res SolveResult
+	runMixed(t, 4, func(p *core.Proc) {
+		r := SolveAsyncPRAM(p, ls, 120)
+		if p.ID() == 0 {
+			res = r
+		}
+	})
+	if d := MaxAbsDiff(res.X, direct); d > 1e-6 {
+		t.Fatalf("asynchronous PRAM relaxation off by %v", d)
+	}
+}
+
+func TestGaussSeidelPRAMUsesNoSyncDuringSweeps(t *testing.T) {
+	ls := GenDiagDominant(8, 29)
+	sys := runMixed(t, 2, func(p *core.Proc) {
+		SolveAsyncPRAM(p, ls, 30)
+	})
+	for i := 0; i < 2; i++ {
+		p := sys.Proc(i)
+		if s := p.LockStats(); s.Acquires != 0 {
+			t.Fatalf("proc %d acquired locks", i)
+		}
+		if s := p.BarrierStats(); s.Barriers != 1 {
+			t.Fatalf("proc %d crossed %d barriers, want only the final one",
+				i, s.Barriers)
+		}
+		if s := p.MemStats(); s.CausalReads != 0 {
+			t.Fatalf("proc %d used causal reads", i)
+		}
+	}
+}
+
+func TestGaussSeidelSingleProcEqualsGaussSeidel(t *testing.T) {
+	ls := GenDiagDominant(10, 37)
+	direct, _ := ls.SolveDirect()
+	var res SolveResult
+	runMixed(t, 1, func(p *core.Proc) {
+		res = SolveAsyncPRAM(p, ls, 100)
+	})
+	if d := MaxAbsDiff(res.X, direct); d > 1e-8 {
+		t.Fatalf("single-proc relaxation off by %v", d)
+	}
+}
+
+func TestGaussSeidelMoreRoundsCloser(t *testing.T) {
+	ls := GenDiagDominant(12, 41)
+	direct, _ := ls.SolveDirect()
+	residualAfter := func(rounds int) float64 {
+		var res SolveResult
+		runMixed(t, 3, func(p *core.Proc) {
+			r := SolveAsyncPRAM(p, ls, rounds)
+			if p.ID() == 0 {
+				res = r
+			}
+		})
+		return MaxAbsDiff(res.X, direct)
+	}
+	short := residualAfter(5)
+	long := residualAfter(80)
+	if long > 1e-6 {
+		t.Fatalf("long run did not converge: %v", long)
+	}
+	if long >= short && short > 1e-9 {
+		t.Fatalf("more rounds did not improve: short=%v long=%v", short, long)
+	}
+}

@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"strconv"
+
+	"mixedmem/internal/core"
+)
+
+// This file implements the producer/consumer paradigm the paper singles out
+// for await statements (Section 2: "await statements that can be used to
+// capture the producer/consumer paradigm in an efficient manner"), in two
+// forms:
+//
+//   - PipelineAwait: a bounded ring buffer where the producer writes items
+//     and bumps a head counter; each consumer stage awaits the counter with
+//     a PRAM await and reads the item with a PRAM read. Handoff needs no
+//     round trips: one broadcast per item and per counter bump.
+//   - PipelineLocks: the same dataflow with the buffer protected by a write
+//     lock and the consumer polling under read locks — the style the
+//     lock-only consistency models force, paying manager round trips per
+//     poll.
+//
+// Both compute the same result (a per-stage transformation of every item),
+// validated against a sequential reference.
+
+// PipelineConfig shapes a pipeline run.
+type PipelineConfig struct {
+	// Items is the number of values pushed through the pipeline.
+	Items int
+	// Seed generates the input items.
+	Seed int64
+}
+
+// PipelineSequential computes the reference output: each stage s of n-1
+// stages applies x -> 2x + s+1 in order.
+func PipelineSequential(cfg PipelineConfig, stages int) []int64 {
+	out := make([]int64, cfg.Items)
+	for i := range out {
+		v := pipelineItem(cfg.Seed, i)
+		for s := 0; s < stages; s++ {
+			v = 2*v + int64(s) + 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// pipelineItem generates input item i deterministically.
+func pipelineItem(seed int64, i int) int64 {
+	return seed*1_000_003 + int64(i)*97 + 1
+}
+
+func itemVar(stage, i int) string {
+	return "s" + strconv.Itoa(stage) + "_i" + strconv.Itoa(i)
+}
+
+func headVar(stage int) string { return "head" + strconv.Itoa(stage) }
+func tailVar(stage int) string { return "tail" + strconv.Itoa(stage) }
+
+// PipelineAwait runs the dataflow with awaits: process 0 produces, process
+// p consumes stage p-1's stream and produces stage p's. The handoff is
+// credit-based, because the paper's await(x = v) matches an exact value: the
+// producer writes the item and bumps head, then awaits the consumer's tail
+// acknowledgement before producing the next item, so neither counter ever
+// races past the value its peer awaits — the same discipline as the
+// Figure 3 handshake. Every process must call PipelineAwait; the last stage
+// returns the outputs (others return nil).
+func PipelineAwait(p core.Process, cfg PipelineConfig) []int64 {
+	stage := p.ID()
+	produces := stage < p.N()-1
+	consumes := stage > 0
+	var out []int64
+	if consumes {
+		out = make([]int64, cfg.Items)
+	}
+	for i := 0; i < cfg.Items; i++ {
+		var v int64
+		if consumes {
+			// The head counter is written after the item by the same
+			// producer, so a PRAM await plus a PRAM read suffices (FIFO
+			// pipelining).
+			p.AwaitPRAM(headVar(stage-1), int64(i+1))
+			v = p.ReadPRAM(itemVar(stage-1, i))
+			p.Write(tailVar(stage-1), int64(i+1))
+			v = 2*v + int64(stage)
+			out[i] = v
+		} else {
+			v = pipelineItem(cfg.Seed, i)
+		}
+		if produces {
+			p.Write(itemVar(stage, i), v)
+			p.Write(headVar(stage), int64(i+1))
+			p.AwaitPRAM(tailVar(stage), int64(i+1))
+		}
+	}
+	if stage == p.N()-1 {
+		return out
+	}
+	return nil
+}
+
+// PipelineLocks runs the same dataflow with lock-protected handoff: the
+// producer appends under a write lock; consumers poll the shared head under
+// read locks until a new item appears, then read it under the same lock.
+// Every process must call it; the last stage returns the outputs.
+func PipelineLocks(p core.Process, cfg PipelineConfig) []int64 {
+	stage := p.ID()
+	lock := func(s int) string { return "plock" + strconv.Itoa(s) }
+	if stage == 0 {
+		for i := 0; i < cfg.Items; i++ {
+			p.WLock(lock(0))
+			p.Write(itemVar(0, i), pipelineItem(cfg.Seed, i))
+			p.Write(headVar(0), int64(i+1))
+			p.WUnlock(lock(0))
+		}
+		return nil
+	}
+	out := make([]int64, cfg.Items)
+	for i := 0; i < cfg.Items; i++ {
+		// Poll under read locks until the producer's head passes i.
+		for {
+			p.RLock(lock(stage - 1))
+			head := p.ReadCausal(headVar(stage - 1))
+			if head >= int64(i+1) {
+				break
+			}
+			p.RUnlock(lock(stage - 1))
+		}
+		v := p.ReadCausal(itemVar(stage-1, i))
+		p.RUnlock(lock(stage - 1))
+		v = 2*v + int64(stage)
+		p.WLock(lock(stage))
+		p.Write(itemVar(stage, i), v)
+		p.Write(headVar(stage), int64(i+1))
+		p.WUnlock(lock(stage))
+		out[i] = v
+	}
+	if stage == p.N()-1 {
+		return out
+	}
+	return nil
+}

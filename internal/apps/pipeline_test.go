@@ -1,0 +1,120 @@
+package apps
+
+import (
+	"testing"
+
+	"mixedmem/internal/core"
+)
+
+func TestPipelineSequentialDeterministic(t *testing.T) {
+	a := PipelineSequential(PipelineConfig{Items: 8, Seed: 3}, 2)
+	b := PipelineSequential(PipelineConfig{Items: 8, Seed: 3}, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("reference not deterministic")
+		}
+	}
+	c := PipelineSequential(PipelineConfig{Items: 8, Seed: 4}, 2)
+	if a[0] == c[0] {
+		t.Error("different seeds gave identical items")
+	}
+}
+
+func TestPipelineAwaitMatchesReference(t *testing.T) {
+	cfg := PipelineConfig{Items: 20, Seed: 5}
+	const procs = 4
+	ref := PipelineSequential(cfg, procs-1)
+	var got []int64
+	runMixed(t, procs, func(p *core.Proc) {
+		if out := PipelineAwait(p, cfg); out != nil {
+			got = out
+		}
+	})
+	if len(got) != cfg.Items {
+		t.Fatalf("got %d outputs, want %d", len(got), cfg.Items)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("item %d = %d, want %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestPipelineLocksMatchesReference(t *testing.T) {
+	cfg := PipelineConfig{Items: 12, Seed: 7}
+	const procs = 3
+	ref := PipelineSequential(cfg, procs-1)
+	var got []int64
+	runMixed(t, procs, func(p *core.Proc) {
+		if out := PipelineLocks(p, cfg); out != nil {
+			got = out
+		}
+	})
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("item %d = %d, want %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestPipelineVariantsAgree(t *testing.T) {
+	cfg := PipelineConfig{Items: 10, Seed: 11}
+	var await, locks []int64
+	runMixed(t, 3, func(p *core.Proc) {
+		if out := PipelineAwait(p, cfg); out != nil {
+			await = out
+		}
+	})
+	runMixed(t, 3, func(p *core.Proc) {
+		if out := PipelineLocks(p, cfg); out != nil {
+			locks = out
+		}
+	})
+	for i := range await {
+		if await[i] != locks[i] {
+			t.Fatalf("item %d differs: await=%d locks=%d", i, await[i], locks[i])
+		}
+	}
+}
+
+func TestPipelineAwaitUsesNoLocks(t *testing.T) {
+	cfg := PipelineConfig{Items: 8, Seed: 13}
+	sys := runMixed(t, 3, func(p *core.Proc) {
+		PipelineAwait(p, cfg)
+	})
+	for i := 0; i < 3; i++ {
+		if s := sys.Proc(i).LockStats(); s.Acquires != 0 {
+			t.Fatalf("await pipeline acquired %d locks", s.Acquires)
+		}
+	}
+	if sys.NetStats().PerKind["lock-req"] != 0 {
+		t.Fatal("await pipeline sent lock traffic")
+	}
+}
+
+func TestPipelineLockVariantSendsMoreMessages(t *testing.T) {
+	cfg := PipelineConfig{Items: 10, Seed: 17}
+	awaitSys := runMixed(t, 3, func(p *core.Proc) { PipelineAwait(p, cfg) })
+	lockSys := runMixed(t, 3, func(p *core.Proc) { PipelineLocks(p, cfg) })
+	am := awaitSys.NetStats().MessagesSent
+	lm := lockSys.NetStats().MessagesSent
+	if lm <= am {
+		t.Fatalf("lock pipeline (%d msgs) should out-message await pipeline (%d msgs)", lm, am)
+	}
+}
+
+func TestPipelineSingleConsumer(t *testing.T) {
+	cfg := PipelineConfig{Items: 5, Seed: 19}
+	ref := PipelineSequential(cfg, 1)
+	var got []int64
+	runMixed(t, 2, func(p *core.Proc) {
+		if out := PipelineAwait(p, cfg); out != nil {
+			got = out
+		}
+	})
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("item %d = %d, want %d", i, got[i], ref[i])
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package check
+
+import (
+	"mixedmem/internal/history"
+)
+
+// Advice is the outcome of the paper's compiler check (Section 4: "The
+// definitions of entry-consistency and PRAM-consistency can be easily
+// checked by a compiler. Consequently, the above corollaries can be used to
+// speed up computations without the programmer being made aware of the
+// existence of the weaker memories.").
+type Advice struct {
+	// Label is the weakest read label the corollaries justify:
+	// LabelPRAM when the program is PRAM-consistent (Corollary 2),
+	// LabelCausal when it is entry-consistent (Corollary 1), and
+	// LabelNone when neither applies and no label alone guarantees
+	// sequentially consistent behavior.
+	Label history.Label
+	// Rationale names the corollary applied (or why none was).
+	Rationale string
+	// PRAMViolations and EntryViolations record why the stronger
+	// recommendations were rejected, for diagnostics.
+	PRAMViolations  []Violation
+	EntryViolations []Violation
+}
+
+// Advise inspects a program's recorded structure and recommends the weakest
+// read label that still yields sequentially consistent behavior, per
+// Corollaries 1 and 2. locks maps each shared location to its lock for the
+// entry-consistency check; pass nil when the program uses no locks (the
+// entry-consistency condition then fails for any shared location).
+//
+// The check is syntactic, exactly as the paper intends for a compiler: it
+// examines the access structure (phases, lock coverage), not the read
+// values, so it can run on a profiling execution before choosing labels for
+// production runs.
+func Advise(h *history.History, locks map[string]string) Advice {
+	pramViol := PRAMConsistent(h)
+	if len(pramViol) == 0 {
+		return Advice{
+			Label:     history.LabelPRAM,
+			Rationale: "program is PRAM-consistent: Corollary 2 permits PRAM reads",
+		}
+	}
+	if locks == nil {
+		locks = map[string]string{}
+	}
+	entryViol := EntryConsistent(h, locks)
+	if len(entryViol) == 0 {
+		return Advice{
+			Label:          history.LabelCausal,
+			Rationale:      "program is entry-consistent: Corollary 1 permits causal reads",
+			PRAMViolations: pramViol,
+		}
+	}
+	return Advice{
+		Label:           history.LabelNone,
+		Rationale:       "neither corollary applies: no read label alone guarantees sequentially consistent behavior",
+		PRAMViolations:  pramViol,
+		EntryViolations: entryViol,
+	}
+}

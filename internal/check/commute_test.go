@@ -1,0 +1,127 @@
+package check
+
+import (
+	"testing"
+
+	"mixedmem/internal/history"
+)
+
+func TestCommutesTable(t *testing.T) {
+	w := func(loc string, v int64) history.Op {
+		return history.Op{Kind: history.Write, Loc: loc, Value: v}
+	}
+	r := func(loc string, v int64) history.Op {
+		return history.Op{Kind: history.Read, Loc: loc, Value: v}
+	}
+	aw := func(loc string, v int64) history.Op {
+		return history.Op{Kind: history.Await, Loc: loc, Value: v}
+	}
+	lk := func(k history.OpKind, lock string) history.Op {
+		return history.Op{Kind: k, Lock: lock}
+	}
+	bar := func(k int) history.Op {
+		return history.Op{Kind: history.Barrier, BarrierID: k}
+	}
+
+	tests := []struct {
+		name string
+		a, b history.Op
+		want bool
+	}{
+		{"different locations", w("x", 1), w("y", 2), true},
+		{"read read same loc", r("x", 1), r("x", 2), true},
+		{"read await same loc", r("x", 1), aw("x", 2), true},
+		{"write write same loc", w("x", 1), w("x", 2), false},
+		{"write read same loc diff value", w("x", 1), r("x", 2), false},
+		{"write read same loc same value", w("x", 1), r("x", 1), true},
+		{"write await same loc diff value", w("x", 1), aw("x", 2), false},
+		{"wl wl same lock", lk(history.WLock, "l"), lk(history.WLock, "l"), false},
+		{"wl rl same lock", lk(history.WLock, "l"), lk(history.RLock, "l"), false},
+		{"rl wl same lock", lk(history.RLock, "l"), lk(history.WLock, "l"), false},
+		{"rl rl same lock", lk(history.RLock, "l"), lk(history.RLock, "l"), true},
+		{"rl ru same lock", lk(history.RLock, "l"), lk(history.RUnlock, "l"), true},
+		{"wl wu same lock", lk(history.WLock, "l"), lk(history.WUnlock, "l"), true},
+		{"wu wu same lock", lk(history.WUnlock, "l"), lk(history.WUnlock, "l"), true},
+		{"locks on different objects", lk(history.WLock, "l1"), lk(history.WLock, "l2"), true},
+		{"lock vs memory op", lk(history.WLock, "x"), w("x", 1), true},
+		{"same barrier", bar(1), bar(1), true},
+		{"different barrier", bar(1), bar(2), true},
+		{"barrier vs write", bar(1), w("x", 1), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Commutes(tt.a, tt.b); got != tt.want {
+				t.Errorf("Commutes = %v, want %v", got, tt.want)
+			}
+			if got := Commutes(tt.b, tt.a); got != tt.want {
+				t.Errorf("Commutes (swapped) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTheorem1Holds(t *testing.T) {
+	// Disjoint working sets with a barrier: all unrelated pairs commute and
+	// reads are causal, so Theorem 1 applies and SC must hold.
+	b := history.NewBuilder(2)
+	b.Write(0, "x0", 1)
+	b.Write(1, "x1", 2)
+	b.Barrier(0, 1)
+	b.Barrier(1, 1)
+	b.Read(0, "x1", 2, history.LabelCausal)
+	b.Read(1, "x0", 1, history.LabelCausal)
+	a := analyze(t, b)
+	if v := Theorem1(a); len(v) != 0 {
+		t.Fatalf("Theorem 1 violations: %v", v)
+	}
+	ok, _, err := SequentiallyConsistent(a)
+	if err != nil || !ok {
+		t.Fatalf("theorem guarantees SC; got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTheorem1ConcurrentWritesFail(t *testing.T) {
+	// Concurrent writes to one location do not commute.
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Write(1, "x", 2)
+	a := analyze(t, b)
+	if v := Theorem1(a); len(v) == 0 {
+		t.Fatal("expected commutativity violation")
+	}
+}
+
+func TestTheorem1RequiresCausalReads(t *testing.T) {
+	// A history whose unrelated pairs commute but whose read is not causal.
+	b := history.NewBuilder(3)
+	b.Write(0, "x", 1)
+	b.Read(1, "x", 1, history.LabelPRAM)
+	b.Write(1, "y", 2)
+	b.Read(2, "y", 2, history.LabelPRAM)
+	b.Read(2, "x", 0, history.LabelPRAM)
+	a := analyze(t, b)
+	v := Theorem1(a)
+	found := false
+	for _, viol := range v {
+		if viol.Op == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Theorem1 must flag the non-causal read; got %v", v)
+	}
+}
+
+func TestTheorem1OrderedWritesOK(t *testing.T) {
+	// Writes to the same location that are causally ordered (through an
+	// await) need not commute; Theorem 1 still holds.
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Write(0, "flag", 1)
+	b.Await(1, "flag", 1)
+	b.Write(1, "x", 2)
+	a := analyze(t, b)
+	if v := Theorem1(a); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}

@@ -1,0 +1,129 @@
+package check
+
+import (
+	"testing"
+
+	"mixedmem/internal/history"
+)
+
+// buildChain constructs the k-hop relay: p0 writes x, each middle process
+// reads the previous token and writes the next, and the last process reads
+// the final token and then reads x's initial value (stale). Returns the
+// history and the stale read's ID.
+func buildChain(procs int) (*history.Builder, int) {
+	b := history.NewBuilder(procs)
+	b.Write(0, "x", 1)
+	b.Write(0, "t0", 10)
+	for p := 1; p < procs-1; p++ {
+		b.Read(p, "t"+string(rune('0'+p-1)), int64(p*10), history.LabelPRAM)
+		b.Write(p, "t"+string(rune('0'+p)), int64((p+1)*10))
+	}
+	last := procs - 1
+	b.Read(last, "t"+string(rune('0'+last-1)), int64(last*10), history.LabelPRAM)
+	stale := b.Read(last, "x", 0, history.LabelPRAM)
+	return b, stale
+}
+
+func TestGroupCausalSpectrumEndpoints(t *testing.T) {
+	// The WRC shape: with group = {reader} the stale read is legal (PRAM
+	// endpoint); with group = all processes it is illegal (causal
+	// endpoint).
+	b, stale := buildChain(3)
+	a := analyze(t, b)
+
+	if _, ok := GroupCausalRead(a, stale, []int{2}); !ok {
+		t.Error("group {reader} must behave like PRAM and allow the stale read")
+	}
+	if _, ok := GroupCausalRead(a, stale, []int{0, 1, 2}); ok {
+		t.Error("group {all} must behave like causal and forbid the stale read")
+	}
+}
+
+func TestGroupCausalIntermediatePoints(t *testing.T) {
+	// A 4-process relay: the dependency chain is
+	// w0(x) -> r1 -> w1 -> r2 -> w2 -> r3. A group covering any
+	// consecutive link of the chain closes it; a group leaving a gap does
+	// not.
+	b, stale := buildChain(4)
+	a := analyze(t, b)
+
+	// An edge survives when either endpoint's process is in the group, so
+	// the chain w0 -> r1 -> w1 -> r2 -> w2 -> r3 stays connected iff every
+	// reads-from link touches a group member: link 0->1 touches {0,1},
+	// link 1->2 touches {1,2}, link 2->3 touches {2,3}. Process 1 touches
+	// the first two links, so {3,1} closes the chain while {3,2} and
+	// {3,0} each leave a link uncovered.
+	tests := []struct {
+		name  string
+		group []int
+		legal bool
+	}{
+		{"reader only (PRAM)", []int{3}, true},
+		{"reader + p2: first link uncovered", []int{3, 2}, true},
+		{"reader + p0: middle link uncovered", []int{3, 0}, true},
+		{"reader + p1: chain closed", []int{3, 1}, false},
+		{"full group (causal)", []int{0, 1, 2, 3}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, ok := GroupCausalRead(a, stale, tt.group)
+			if ok != tt.legal {
+				t.Errorf("group %v: legal=%v, want %v", tt.group, ok, tt.legal)
+			}
+		})
+	}
+}
+
+func TestGroupOrderMatchesPRAMOrder(t *testing.T) {
+	// GroupOrder(p, {p}) must coincide with PRAMOrder(p) exactly.
+	b, _ := buildChain(4)
+	a := analyze(t, b)
+	n := len(b.History().Ops)
+	for p := 0; p < 4; p++ {
+		g := a.GroupOrder(p, []int{p})
+		pr := a.PRAMOrder(p)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if g.Has(i, j) != pr.Has(i, j) {
+					t.Fatalf("proc %d: GroupOrder({p}) and PRAMOrder differ at (%d,%d)", p, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupOrderFullGroupMatchesCausalOnCheckedPairs(t *testing.T) {
+	// With the full group, GroupOrder agrees with the causal view on every
+	// pair the read checker queries (pairs whose endpoints are not reads
+	// of other processes).
+	b, _ := buildChain(4)
+	a := analyze(t, b)
+	h := b.History()
+	all := []int{0, 1, 2, 3}
+	for p := 0; p < 4; p++ {
+		g := a.GroupOrder(p, all)
+		cv := a.CausalView(p)
+		for i := 0; i < len(h.Ops); i++ {
+			for j := 0; j < len(h.Ops); j++ {
+				iForeignRead := h.Ops[i].Kind == history.Read && h.Ops[i].Proc != p
+				jForeignRead := h.Ops[j].Kind == history.Read && h.Ops[j].Proc != p
+				if iForeignRead || jForeignRead {
+					continue
+				}
+				if g.Has(i, j) != cv.Has(i, j) {
+					t.Fatalf("proc %d: full-group and causal view differ at (%s, %s)",
+						p, h.Ops[i], h.Ops[j])
+				}
+			}
+		}
+	}
+}
+
+func TestGroupCausalReadRejectsNonRead(t *testing.T) {
+	b := history.NewBuilder(1)
+	w := b.Write(0, "x", 1)
+	a := analyze(t, b)
+	if _, ok := GroupCausalRead(a, w, []int{0}); ok {
+		t.Error("non-read op must be rejected")
+	}
+}

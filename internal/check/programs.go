@@ -1,0 +1,193 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"mixedmem/internal/history"
+)
+
+// EntryConsistent checks the four conditions of the paper's entry-consistent
+// program class (Section 4, before Corollary 1) on a recorded history:
+//
+//  1. the shared variables are partitioned into disjoint sets — expressed by
+//     the locks map, which assigns each shared location its lock;
+//  2. a unique lock is associated with each set — implied by the map shape;
+//  3. every read of a shared variable occurs while the issuing strand holds
+//     a read or write lock on the corresponding lock;
+//  4. every write of a shared variable occurs while the issuing strand holds
+//     a write lock on the corresponding lock.
+//
+// Locations absent from the map are treated as private and unchecked, but a
+// location accessed by more than one process must be mapped. By Corollary 1,
+// a history of an entry-consistent program whose reads are causal is
+// sequentially consistent.
+func EntryConsistent(h *history.History, locks map[string]string) []Violation {
+	var out []Violation
+
+	// A location touched by two or more processes is shared and must have a
+	// lock assignment.
+	procsPerLoc := make(map[string]map[int]struct{})
+	for _, op := range h.Ops {
+		if op.Loc == "" {
+			continue
+		}
+		if procsPerLoc[op.Loc] == nil {
+			procsPerLoc[op.Loc] = make(map[int]struct{})
+		}
+		procsPerLoc[op.Loc][op.Proc] = struct{}{}
+	}
+	for loc, procs := range procsPerLoc {
+		if len(procs) > 1 {
+			if _, ok := locks[loc]; !ok {
+				out = append(out, Violation{
+					Op:     -1,
+					Reason: fmt.Sprintf("shared location %q has no lock assignment", loc),
+				})
+			}
+		}
+	}
+
+	// Walk each strand in program order tracking held locks.
+	type strandKey struct{ proc, thread int }
+	strands := make(map[strandKey][]history.Op)
+	for _, op := range h.Ops {
+		k := strandKey{op.Proc, op.Thread}
+		strands[k] = append(strands[k], op)
+	}
+	keys := make([]strandKey, 0, len(strands))
+	for k := range strands {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].proc != keys[j].proc {
+			return keys[i].proc < keys[j].proc
+		}
+		return keys[i].thread < keys[j].thread
+	})
+	for _, k := range keys {
+		ops := strands[k]
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Seq < ops[j].Seq })
+		held := make(map[string]history.OpKind)
+		for _, op := range ops {
+			switch op.Kind {
+			case history.RLock, history.WLock:
+				held[op.Lock] = op.Kind
+			case history.RUnlock, history.WUnlock:
+				delete(held, op.Lock)
+			case history.Read, history.Await:
+				lock, shared := locks[op.Loc]
+				if !shared {
+					continue
+				}
+				if _, ok := held[lock]; !ok {
+					out = append(out, Violation{
+						Op:     op.ID,
+						Reason: fmt.Sprintf("%s reads %q without holding lock %q", op, op.Loc, lock),
+					})
+				}
+			case history.Write:
+				lock, shared := locks[op.Loc]
+				if !shared {
+					continue
+				}
+				if held[lock] != history.WLock {
+					out = append(out, Violation{
+						Op:     op.ID,
+						Reason: fmt.Sprintf("%s writes %q without holding write lock %q", op, op.Loc, lock),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PRAMConsistent checks the sufficient syntactic condition the paper uses
+// for Corollary 2 (illustrated on Figure 2: "since no variable is both read
+// and written in the same phase, the program is PRAM-consistent"): with the
+// computation split into phases by barriers,
+//
+//   - each location is written at most once per phase across all processes,
+//     and
+//   - no location is both read and written in the same phase.
+//
+// By Corollary 2, a history of such a program whose reads are PRAM reads is
+// sequentially consistent. Histories with per-process barrier counts that
+// disagree are reported as violations because the phase structure is then
+// undefined.
+func PRAMConsistent(h *history.History) []Violation {
+	var out []Violation
+
+	// Phase of an op = number of its process's barrier ops before it in
+	// program order. With one strand per process this is the count of
+	// earlier barrier ops in the strand.
+	type strandKey struct{ proc, thread int }
+	strands := make(map[strandKey][]history.Op)
+	for _, op := range h.Ops {
+		k := strandKey{op.Proc, op.Thread}
+		strands[k] = append(strands[k], op)
+	}
+
+	type phaseLoc struct {
+		phase int
+		loc   string
+	}
+	writes := make(map[phaseLoc][]int)
+	reads := make(map[phaseLoc][]int)
+	barrierCount := make(map[int]int)
+
+	for k, ops := range strands {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Seq < ops[j].Seq })
+		phase := 0
+		for _, op := range ops {
+			switch op.Kind {
+			case history.Barrier:
+				phase++
+				if phase > barrierCount[k.proc] {
+					barrierCount[k.proc] = phase
+				}
+			case history.Write:
+				pl := phaseLoc{phase, op.Loc}
+				writes[pl] = append(writes[pl], op.ID)
+			case history.Read, history.Await:
+				pl := phaseLoc{phase, op.Loc}
+				reads[pl] = append(reads[pl], op.ID)
+			}
+		}
+	}
+
+	// All processes must pass the same number of barriers.
+	want := -1
+	for _, c := range barrierCount {
+		if want == -1 {
+			want = c
+		} else if c != want {
+			out = append(out, Violation{
+				Op:     -1,
+				Reason: "processes pass different numbers of barriers",
+			})
+			break
+		}
+	}
+
+	for pl, ws := range writes {
+		if len(ws) > 1 {
+			out = append(out, Violation{
+				Op: ws[1],
+				Reason: fmt.Sprintf("location %q written %d times in phase %d",
+					pl.loc, len(ws), pl.phase),
+				Related: ws,
+			})
+		}
+		if rs, ok := reads[pl]; ok {
+			out = append(out, Violation{
+				Op: rs[0],
+				Reason: fmt.Sprintf("location %q both read and written in phase %d",
+					pl.loc, pl.phase),
+				Related: ws,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"mixedmem/internal/history"
+)
+
+func TestEntryConsistentPass(t *testing.T) {
+	b := history.NewBuilder(2)
+	e0 := b.WLockEpoch(0, "lx")
+	b.Write(0, "x", 1)
+	b.WUnlockEpoch(0, "lx", e0)
+	e1 := b.NextEpoch("lx")
+	b.RLockEpoch(1, "lx", e1)
+	b.Read(1, "x", 1, history.LabelCausal)
+	b.RUnlockEpoch(1, "lx", e1)
+	locks := map[string]string{"x": "lx"}
+	if v := EntryConsistent(b.History(), locks); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestEntryConsistentReadUnderWriteLock(t *testing.T) {
+	// Reads under a write lock of the right lock are allowed (condition 3).
+	b := history.NewBuilder(1)
+	e0 := b.WLockEpoch(0, "lx")
+	b.Read(0, "x", 0, history.LabelCausal)
+	b.Write(0, "x", 1)
+	b.WUnlockEpoch(0, "lx", e0)
+	if v := EntryConsistent(b.History(), map[string]string{"x": "lx"}); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestEntryConsistentUnlockedRead(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(1, "x", 5) // also unlocked, also a violation
+	r := b.Read(0, "x", 5, history.LabelCausal)
+	v := EntryConsistent(b.History(), map[string]string{"x": "lx"})
+	foundRead, foundWrite := false, false
+	for _, viol := range v {
+		if viol.Op == r {
+			foundRead = true
+		}
+		if strings.Contains(viol.Reason, "write lock") {
+			foundWrite = true
+		}
+	}
+	if !foundRead || !foundWrite {
+		t.Fatalf("violations = %v, want unlocked read and write flagged", v)
+	}
+}
+
+func TestEntryConsistentWriteUnderReadLockFails(t *testing.T) {
+	b := history.NewBuilder(1)
+	e := b.NextEpoch("lx")
+	b.RLockEpoch(0, "lx", e)
+	w := b.Write(0, "x", 1)
+	b.RUnlockEpoch(0, "lx", e)
+	v := EntryConsistent(b.History(), map[string]string{"x": "lx"})
+	if len(v) != 1 || v[0].Op != w {
+		t.Fatalf("violations = %v, want one on op %d", v, w)
+	}
+}
+
+func TestEntryConsistentWrongLock(t *testing.T) {
+	b := history.NewBuilder(1)
+	e := b.WLockEpoch(0, "ly")
+	b.Write(0, "x", 1)
+	b.WUnlockEpoch(0, "ly", e)
+	v := EntryConsistent(b.History(), map[string]string{"x": "lx"})
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want wrong-lock write flagged", v)
+	}
+}
+
+func TestEntryConsistentUnmappedSharedLocation(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Read(1, "x", 1, history.LabelCausal)
+	v := EntryConsistent(b.History(), map[string]string{})
+	found := false
+	for _, viol := range v {
+		if strings.Contains(viol.Reason, "no lock assignment") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v, want unmapped shared location", v)
+	}
+}
+
+func TestEntryConsistentPrivateLocationUnchecked(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(0, "priv0", 1)
+	b.Read(0, "priv0", 1, history.LabelCausal)
+	if v := EntryConsistent(b.History(), map[string]string{}); len(v) != 0 {
+		t.Errorf("private location flagged: %v", v)
+	}
+}
+
+func TestPRAMConsistentFigure2Shape(t *testing.T) {
+	// The Figure 2 structure: phase 0 reads x[*] and writes temp[i];
+	// barrier; phase 1 writes x[i] from temp[i]; barrier. No location is
+	// both read and written in one phase.
+	b := history.NewBuilder(2)
+	for p := 0; p < 2; p++ {
+		b.Read(p, "x0", 0, history.LabelPRAM)
+		b.Read(p, "x1", 0, history.LabelPRAM)
+		b.Write(p, "temp"+string(rune('0'+p)), int64(p+1))
+		b.Barrier(p, 1)
+		b.Read(p, "temp"+string(rune('0'+p)), int64(p+1), history.LabelPRAM)
+		b.Write(p, "x"+string(rune('0'+p)), int64(10+p))
+		b.Barrier(p, 2)
+	}
+	if v := PRAMConsistent(b.History()); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestPRAMConsistentReadWriteSamePhase(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Read(1, "x", 1, history.LabelPRAM)
+	b.Barrier(0, 1)
+	b.Barrier(1, 1)
+	v := PRAMConsistent(b.History())
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "both read and written") {
+		t.Fatalf("violations = %v, want read+write same phase", v)
+	}
+}
+
+func TestPRAMConsistentDoubleWrite(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Write(1, "x", 2)
+	b.Barrier(0, 1)
+	b.Barrier(1, 1)
+	v := PRAMConsistent(b.History())
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "written 2 times") {
+		t.Fatalf("violations = %v, want double write", v)
+	}
+}
+
+func TestPRAMConsistentBarrierMismatch(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Barrier(0, 1)
+	b.Barrier(0, 2)
+	b.Barrier(1, 1)
+	v := PRAMConsistent(b.History())
+	found := false
+	for _, viol := range v {
+		if strings.Contains(viol.Reason, "different numbers of barriers") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v, want barrier-count mismatch", v)
+	}
+}
+
+func TestCorollary2OnHandBuiltHistory(t *testing.T) {
+	// A PRAM-consistent program's history with PRAM reads is SC
+	// (Corollary 2). Build the Figure 2 shape with actual data flow and
+	// verify all three checkers agree.
+	b := history.NewBuilder(2)
+	// Phase 0: both read initial x's, write temps.
+	b.Read(0, "x0", 0, history.LabelPRAM)
+	b.Read(0, "x1", 0, history.LabelPRAM)
+	b.Write(0, "t0", 5)
+	b.Read(1, "x0", 0, history.LabelPRAM)
+	b.Read(1, "x1", 0, history.LabelPRAM)
+	b.Write(1, "t1", 6)
+	b.Barrier(0, 1)
+	b.Barrier(1, 1)
+	// Phase 1: install new estimates.
+	b.Read(0, "t0", 5, history.LabelPRAM)
+	b.Write(0, "x0", 50)
+	b.Read(1, "t1", 6, history.LabelPRAM)
+	b.Write(1, "x1", 60)
+	b.Barrier(0, 2)
+	b.Barrier(1, 2)
+	// Phase 2: read each other's new values.
+	b.Read(0, "x1", 60, history.LabelPRAM)
+	b.Read(1, "x0", 50, history.LabelPRAM)
+
+	h := b.History()
+	if v := PRAMConsistent(h); len(v) != 0 {
+		t.Fatalf("program not PRAM-consistent: %v", v)
+	}
+	a := analyze(t, b)
+	if v := Mixed(a); len(v) != 0 {
+		t.Fatalf("history not mixed consistent: %v", v)
+	}
+	ok, _, err := SequentiallyConsistent(a)
+	if err != nil || !ok {
+		t.Fatalf("Corollary 2 guarantees SC; got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCorollary1OnHandBuiltHistory(t *testing.T) {
+	// An entry-consistent program's history with causal reads is SC
+	// (Corollary 1).
+	b := history.NewBuilder(2)
+	e0 := b.WLockEpoch(0, "lx")
+	b.Read(0, "x", 0, history.LabelCausal)
+	b.Write(0, "x", 10)
+	b.WUnlockEpoch(0, "lx", e0)
+	e1 := b.WLockEpoch(1, "lx")
+	b.Read(1, "x", 10, history.LabelCausal)
+	b.Write(1, "x", 20)
+	b.WUnlockEpoch(1, "lx", e1)
+
+	h := b.History()
+	if v := EntryConsistent(h, map[string]string{"x": "lx"}); len(v) != 0 {
+		t.Fatalf("program not entry-consistent: %v", v)
+	}
+	a := analyze(t, b)
+	if v := CausalReads(a); len(v) != 0 {
+		t.Fatalf("reads not causal: %v", v)
+	}
+	ok, _, err := SequentiallyConsistent(a)
+	if err != nil || !ok {
+		t.Fatalf("Corollary 1 guarantees SC; got ok=%v err=%v", ok, err)
+	}
+}

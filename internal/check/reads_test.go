@@ -1,0 +1,262 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"mixedmem/internal/history"
+)
+
+func analyze(t *testing.T, b *history.Builder) *history.Analysis {
+	t.Helper()
+	a, err := b.History().Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return a
+}
+
+func TestCausalReadSimplePass(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Read(1, "x", 1, history.LabelCausal)
+	if v := CausalReads(analyze(t, b)); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestCausalReadOwnWrite(t *testing.T) {
+	b := history.NewBuilder(1)
+	b.Write(0, "x", 1)
+	b.Read(0, "x", 1, history.LabelCausal)
+	if v := CausalReads(analyze(t, b)); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestCausalReadStaleAfterNewer(t *testing.T) {
+	// p0 writes x=1 then x=2; p1 reads 2 then 1. The second read violates
+	// Definition 2: w(x)1 ~> w(x)2 ~> r(x)1 in p1's view.
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Write(0, "x", 2)
+	b.Read(1, "x", 2, history.LabelCausal)
+	r := b.Read(1, "x", 1, history.LabelCausal)
+	v := CausalReads(analyze(t, b))
+	if len(v) != 1 || v[0].Op != r {
+		t.Fatalf("violations = %v, want one on op %d", v, r)
+	}
+}
+
+func TestCausalReadTransitiveViolation(t *testing.T) {
+	// The canonical chain: p0 writes x, p1 reads it and writes y, p2 reads
+	// y and then reads x's initial value. Causal memory forbids it; PRAM
+	// allows it.
+	b := history.NewBuilder(3)
+	b.Write(0, "x", 1)
+	b.Read(1, "x", 1, history.LabelCausal)
+	b.Write(1, "y", 2)
+	b.Read(2, "y", 2, history.LabelCausal)
+	rStale := b.Read(2, "x", 0, history.LabelCausal)
+	v := CausalReads(analyze(t, b))
+	if len(v) != 1 || v[0].Op != rStale {
+		t.Fatalf("violations = %v, want one on op %d", v, rStale)
+	}
+}
+
+func TestPRAMAllowsTransitiveStaleness(t *testing.T) {
+	// Same history as above, labeled PRAM: no violation, because the
+	// dependence passes through p1's read, which is excluded from ~>2,P.
+	b := history.NewBuilder(3)
+	b.Write(0, "x", 1)
+	b.Read(1, "x", 1, history.LabelPRAM)
+	b.Write(1, "y", 2)
+	b.Read(2, "y", 2, history.LabelPRAM)
+	b.Read(2, "x", 0, history.LabelPRAM)
+	if v := PRAMReads(analyze(t, b)); len(v) != 0 {
+		t.Errorf("unexpected PRAM violations: %v", v)
+	}
+}
+
+func TestPRAMRejectsFIFOViolation(t *testing.T) {
+	// Two writes by one process observed out of order by another violate
+	// PRAM (pipelined delivery is FIFO).
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Write(0, "x", 2)
+	b.Read(1, "x", 2, history.LabelPRAM)
+	r := b.Read(1, "x", 1, history.LabelPRAM)
+	v := PRAMReads(analyze(t, b))
+	if len(v) != 1 || v[0].Op != r {
+		t.Fatalf("violations = %v, want one on op %d", v, r)
+	}
+}
+
+func TestPRAMAllowsCrossWriterReordering(t *testing.T) {
+	// Concurrent writes by different processes may be observed in different
+	// orders by different readers under PRAM (Section 2).
+	b := history.NewBuilder(4)
+	b.Write(0, "x", 1)
+	b.Write(1, "x", 2)
+	b.Read(2, "x", 1, history.LabelPRAM)
+	b.Read(2, "x", 2, history.LabelPRAM)
+	b.Read(3, "x", 2, history.LabelPRAM)
+	b.Read(3, "x", 1, history.LabelPRAM)
+	if v := PRAMReads(analyze(t, b)); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestCausalAllowsConcurrentWriteReordering(t *testing.T) {
+	// Causal memory also permits different observation orders for causally
+	// concurrent writes.
+	b := history.NewBuilder(4)
+	b.Write(0, "x", 1)
+	b.Write(1, "x", 2)
+	b.Read(2, "x", 1, history.LabelCausal)
+	b.Read(2, "x", 2, history.LabelCausal)
+	b.Read(3, "x", 2, history.LabelCausal)
+	b.Read(3, "x", 1, history.LabelCausal)
+	if v := CausalReads(analyze(t, b)); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestReadOfUnwrittenValue(t *testing.T) {
+	b := history.NewBuilder(1)
+	b.Read(0, "x", 42, history.LabelCausal)
+	v := CausalReads(analyze(t, b))
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "never written") {
+		t.Fatalf("violations = %v, want never-written", v)
+	}
+}
+
+func TestInitialReadBeforeAnyWrite(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Read(0, "x", 0, history.LabelCausal)
+	b.Write(1, "x", 1)
+	if v := CausalReads(analyze(t, b)); len(v) != 0 {
+		t.Errorf("concurrent initial read flagged: %v", v)
+	}
+}
+
+func TestInitialReadAfterVisibleWrite(t *testing.T) {
+	// p0 writes x then signals p1 through an await; p1's subsequent read of
+	// the initial value violates causality.
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Write(0, "flag", 1)
+	b.Await(1, "flag", 1)
+	r := b.Read(1, "x", 0, history.LabelCausal)
+	v := CausalReads(analyze(t, b))
+	if len(v) != 1 || v[0].Op != r {
+		t.Fatalf("violations = %v, want one on op %d", v, r)
+	}
+}
+
+func TestAwaitCreatesVisibility(t *testing.T) {
+	// The producer/consumer idiom: write data, write flag, consumer awaits
+	// flag then reads data. PRAM reads suffice because the await edge is
+	// incident on the consumer.
+	b := history.NewBuilder(2)
+	b.Write(0, "data", 7)
+	b.Write(0, "flag", 1)
+	b.Await(1, "flag", 1)
+	b.Read(1, "data", 7, history.LabelPRAM)
+	a := analyze(t, b)
+	if v := Mixed(a); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+	// And reading stale data after the await is a PRAM violation.
+	b2 := history.NewBuilder(2)
+	b2.Write(0, "data", 7)
+	b2.Write(0, "flag", 1)
+	b2.Await(1, "flag", 1)
+	r := b2.Read(1, "data", 0, history.LabelPRAM)
+	v := PRAMReads(analyze(t, b2))
+	if len(v) != 1 || v[0].Op != r {
+		t.Fatalf("violations = %v, want one on op %d", v, r)
+	}
+}
+
+func TestBarrierCreatesVisibilityForPRAM(t *testing.T) {
+	// Figure 2's structure: writes in phase 1 are visible to PRAM reads in
+	// phase 2 across processes.
+	b := history.NewBuilder(2)
+	b.Write(0, "x0", 1)
+	b.Write(1, "x1", 2)
+	b.Barrier(0, 1)
+	b.Barrier(1, 1)
+	b.Read(0, "x1", 2, history.LabelPRAM)
+	b.Read(1, "x0", 1, history.LabelPRAM)
+	if v := Mixed(analyze(t, b)); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+	// Reading the pre-barrier initial value after the barrier violates PRAM.
+	b2 := history.NewBuilder(2)
+	b2.Write(0, "x0", 1)
+	b2.Barrier(0, 1)
+	b2.Barrier(1, 1)
+	r := b2.Read(1, "x0", 0, history.LabelPRAM)
+	v := PRAMReads(analyze(t, b2))
+	if len(v) != 1 || v[0].Op != r {
+		t.Fatalf("violations = %v, want one on op %d", v, r)
+	}
+}
+
+func TestLockOrderCreatesVisibility(t *testing.T) {
+	// Critical-section handoff: p0 writes x under a write lock; p1 later
+	// acquires the lock and must observe the write under causal reads.
+	b := history.NewBuilder(2)
+	e0 := b.WLockEpoch(0, "l")
+	b.Write(0, "x", 1)
+	b.WUnlockEpoch(0, "l", e0)
+	e1 := b.WLockEpoch(1, "l")
+	r := b.Read(1, "x", 0, history.LabelCausal)
+	b.WUnlockEpoch(1, "l", e1)
+	v := CausalReads(analyze(t, b))
+	if len(v) != 1 || v[0].Op != r {
+		t.Fatalf("violations = %v, want one on op %d", v, r)
+	}
+	// The consistent run has no violations.
+	b2 := history.NewBuilder(2)
+	e0 = b2.WLockEpoch(0, "l")
+	b2.Write(0, "x", 1)
+	b2.WUnlockEpoch(0, "l", e0)
+	e1 = b2.WLockEpoch(1, "l")
+	b2.Read(1, "x", 1, history.LabelCausal)
+	b2.WUnlockEpoch(1, "l", e1)
+	if v := CausalReads(analyze(t, b2)); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestMixedLabelsIndependent(t *testing.T) {
+	// One history where the causal-labeled read is fine and a PRAM-labeled
+	// read elsewhere is fine, despite a pattern that would violate causal.
+	b := history.NewBuilder(3)
+	b.Write(0, "x", 1)
+	b.Read(1, "x", 1, history.LabelCausal)
+	b.Write(1, "y", 2)
+	b.Read(2, "y", 2, history.LabelCausal)
+	b.Read(2, "x", 0, history.LabelPRAM) // fine as PRAM, would fail as causal
+	if v := Mixed(analyze(t, b)); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestAwaitOfUnwrittenValue(t *testing.T) {
+	b := history.NewBuilder(1)
+	b.Await(0, "x", 3)
+	v := Mixed(analyze(t, b))
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "never written") {
+		t.Fatalf("violations = %v, want await-never-written", v)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Op: 3, Reason: "boom", Related: []int{1, 2}}
+	if got := v.String(); !strings.Contains(got, "boom") || !strings.Contains(got, "3") {
+		t.Errorf("String = %q", got)
+	}
+}

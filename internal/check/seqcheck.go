@@ -1,0 +1,182 @@
+package check
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mixedmem/internal/history"
+)
+
+// ErrSearchLimit is returned when the serialization search exceeds its state
+// budget without a verdict.
+var ErrSearchLimit = errors.New("check: serialization search exceeded state limit")
+
+// DefaultStateLimit bounds the number of distinct search states explored by
+// SequentiallyConsistent before giving up.
+const DefaultStateLimit = 2_000_000
+
+// SequentiallyConsistent reports whether the history has a serialization
+// that is a sequential history (Definition 1): a total order respecting the
+// causality relation in which every read and await returns the value of the
+// most recent write to its location (or InitialValue). On success it returns
+// a witness serialization as a sequence of operation IDs.
+//
+// The search walks per-strand frontiers with memoization on the pair
+// (frontier, memory contents); it is exhaustive, so a false result is a
+// proof that no serialization exists. Histories large enough to exhaust the
+// state budget yield ErrSearchLimit.
+func SequentiallyConsistent(a *history.Analysis) (bool, []int, error) {
+	return sequentiallyConsistentLimit(a, DefaultStateLimit)
+}
+
+func sequentiallyConsistentLimit(a *history.Analysis, limit int) (bool, []int, error) {
+	n := len(a.H.Ops)
+	if n == 0 {
+		return true, nil, nil
+	}
+
+	// Group operations into strands (proc, thread), ordered by Seq.
+	type strandKey struct{ proc, thread int }
+	strandIdx := make(map[strandKey]int)
+	var strands [][]int
+	for id, op := range a.H.Ops {
+		k := strandKey{op.Proc, op.Thread}
+		si, ok := strandIdx[k]
+		if !ok {
+			si = len(strands)
+			strandIdx[k] = si
+			strands = append(strands, nil)
+		}
+		strands[si] = append(strands[si], id)
+	}
+	for _, s := range strands {
+		ids := s
+		sort.Slice(ids, func(x, y int) bool {
+			return a.H.Ops[ids[x]].Seq < a.H.Ops[ids[y]].Seq
+		})
+	}
+
+	// preds[o] lists the causality predecessors that gate scheduling o.
+	preds := make([][]int, n)
+	for o := 0; o < n; o++ {
+		for p := 0; p < n; p++ {
+			if p != o && a.Causality.Has(p, o) {
+				preds[o] = append(preds[o], p)
+			}
+		}
+	}
+
+	frontier := make([]int, len(strands))
+	scheduled := make([]bool, n)
+	mem := make(map[string]int64)
+	witness := make([]int, 0, n)
+	visited := make(map[string]struct{})
+	states := 0
+
+	key := func() string {
+		var b strings.Builder
+		for _, f := range frontier {
+			b.WriteString(strconv.Itoa(f))
+			b.WriteByte(',')
+		}
+		locs := make([]string, 0, len(mem))
+		for l := range mem {
+			locs = append(locs, l)
+		}
+		sort.Strings(locs)
+		for _, l := range locs {
+			b.WriteString(l)
+			b.WriteByte('=')
+			b.WriteString(strconv.FormatInt(mem[l], 10))
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+
+	memValue := func(loc string) int64 {
+		if v, ok := mem[loc]; ok {
+			return v
+		}
+		return InitialValue
+	}
+
+	var search func(done int) (bool, error)
+	search = func(done int) (bool, error) {
+		if done == n {
+			return true, nil
+		}
+		k := key()
+		if _, seen := visited[k]; seen {
+			return false, nil
+		}
+		visited[k] = struct{}{}
+		states++
+		if states > limit {
+			return false, ErrSearchLimit
+		}
+		for si, f := range frontier {
+			if f >= len(strands[si]) {
+				continue
+			}
+			id := strands[si][f]
+			op := a.H.Ops[id]
+			ready := true
+			for _, p := range preds[id] {
+				if !scheduled[p] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if op.Kind == history.Read || op.Kind == history.Await {
+				if memValue(op.Loc) != op.Value {
+					continue
+				}
+			}
+			// Schedule op.
+			frontier[si]++
+			scheduled[id] = true
+			witness = append(witness, id)
+			var prev int64
+			var hadPrev bool
+			if op.Kind == history.Write {
+				prev, hadPrev = mem[op.Loc]
+				mem[op.Loc] = op.Value
+			}
+			ok, err := search(done + 1)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			// Undo.
+			if op.Kind == history.Write {
+				if hadPrev {
+					mem[op.Loc] = prev
+				} else {
+					delete(mem, op.Loc)
+				}
+			}
+			witness = witness[:len(witness)-1]
+			scheduled[id] = false
+			frontier[si]--
+		}
+		return false, nil
+	}
+
+	ok, err := search(0)
+	if err != nil {
+		return false, nil, err
+	}
+	if !ok {
+		return false, nil, nil
+	}
+	out := make([]int, len(witness))
+	copy(out, witness)
+	return true, out, nil
+}

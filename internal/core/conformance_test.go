@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mixedmem/internal/check"
+	"mixedmem/internal/history"
+)
+
+// TestRuntimeAlwaysMixedConsistent is the runtime conformance fuzzer: random
+// *unsynchronized* programs — racing writers and readers with mixed labels —
+// executed under a random network adversary (channels held and released
+// mid-run) must still record mixed-consistent histories. Unlike the E9
+// corollary tests, these programs promise nothing about sequential
+// consistency; Definition 4 is the only obligation, and the runtime must
+// meet it no matter how hostile the delivery schedule.
+func TestRuntimeAlwaysMixedConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing test")
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		seed := seed
+		t.Run("seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			h := runRacyProgram(t, seed)
+			a, err := h.Analyze()
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if v := check.Mixed(a); len(v) != 0 {
+				t.Fatalf("runtime violated mixed consistency: %v", v[0])
+			}
+		})
+	}
+}
+
+// runRacyProgram runs a random program of racing reads and writes over a few
+// locations with an adversary toggling channel holds, and returns the
+// recorded history.
+func runRacyProgram(t *testing.T, seed int64) *history.History {
+	t.Helper()
+	const (
+		procs      = 3
+		opsPerProc = 12
+		locs       = 3
+	)
+	sys, err := NewSystem(Config{Procs: procs, Record: true})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+
+	// Adversary: toggle holds on random channels while the program runs.
+	stop := make(chan struct{})
+	advDone := make(chan struct{})
+	go func() {
+		defer close(advDone)
+		r := rand.New(rand.NewSource(seed * 7919))
+		type pair struct{ from, to int }
+		var held []pair
+		defer func() {
+			for _, p := range held {
+				_ = sys.Fabric().Release(p.from, p.to)
+			}
+		}()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Duration(100+r.Intn(400)) * time.Microsecond):
+			}
+			if len(held) > 0 && r.Intn(2) == 0 {
+				idx := r.Intn(len(held))
+				p := held[idx]
+				_ = sys.Fabric().Release(p.from, p.to)
+				held = append(held[:idx], held[idx+1:]...)
+				continue
+			}
+			from, to := r.Intn(procs), r.Intn(procs)
+			if from == to {
+				continue
+			}
+			p := pair{from, to}
+			_ = sys.Fabric().Hold(from, to)
+			held = append(held, p)
+		}
+	}()
+
+	var unique atomic.Int64
+	sys.Run(func(p *Proc) {
+		r := rand.New(rand.NewSource(seed + int64(p.ID())*1001))
+		for i := 0; i < opsPerProc; i++ {
+			loc := "v" + strconv.Itoa(r.Intn(locs))
+			switch r.Intn(4) {
+			case 0:
+				p.Write(loc, unique.Add(1))
+			case 1:
+				p.ReadPRAM(loc)
+			case 2:
+				p.ReadCausal(loc)
+			default:
+				// A short pause lets the adversary interleave.
+				time.Sleep(time.Duration(r.Intn(200)) * time.Microsecond)
+				p.ReadCausal(loc)
+			}
+		}
+	})
+	close(stop)
+	<-advDone
+	return sys.History()
+}
+
+// TestRuntimeCausalReadsNeverViolateUnderAdversary focuses the fuzzer on the
+// WRC shape: a relay chain with the direct channel held. The runtime's
+// causal view must never let the stale read through as a causal read.
+func TestRuntimeCausalReadsNeverViolateUnderAdversary(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		sys, err := NewSystem(Config{Procs: 3, Record: true})
+		if err != nil {
+			t.Fatalf("NewSystem: %v", err)
+		}
+		_ = sys.Fabric().Hold(0, 2)
+		timer := time.AfterFunc(10*time.Millisecond, func() {
+			_ = sys.Fabric().Release(0, 2)
+		})
+
+		sys.Run(func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				p.Write("x", int64(trial*10+1))
+				p.Write("f", int64(trial*10+2))
+			case 1:
+				p.Await("f", int64(trial*10+2))
+				p.Write("g", int64(trial*10+3))
+			case 2:
+				p.Await("g", int64(trial*10+3))
+				p.ReadCausal("x") // must be the fresh value
+				p.ReadPRAM("x")   // may be stale; still PRAM-legal
+			}
+		})
+		timer.Stop()
+		h := sys.History()
+		sys.Close()
+
+		a, err := h.Analyze()
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		if v := check.Mixed(a); len(v) != 0 {
+			t.Fatalf("trial %d: %v", trial, v[0])
+		}
+		// The causal read must have returned the fresh value.
+		for _, op := range h.Ops {
+			if op.Kind == history.Read && op.Label == history.LabelCausal && op.Loc == "x" {
+				if op.Value != int64(trial*10+1) {
+					t.Fatalf("trial %d: causal read returned %d", trial, op.Value)
+				}
+			}
+		}
+	}
+}
+
+// TestRuntimeSyncSoupMixedConsistent fuzzes the full primitive set: every
+// round each process runs a random mix of writes, PRAM reads, causal reads,
+// and lock-protected read-modify-writes, then all processes cross a global
+// barrier. The recorded histories must always satisfy Definition 4 and be
+// well formed (balanced locks, consistent barrier counts).
+func TestRuntimeSyncSoupMixedConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing test")
+	}
+	for seed := int64(100); seed < 108; seed++ {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			sys, err := NewSystem(Config{Procs: 3, Record: true})
+			if err != nil {
+				t.Fatalf("NewSystem: %v", err)
+			}
+			defer sys.Close()
+			var unique atomic.Int64
+			sys.Run(func(p *Proc) {
+				r := rand.New(rand.NewSource(seed + int64(p.ID())*31))
+				for round := 0; round < 3; round++ {
+					for i := 0; i < 4; i++ {
+						loc := "s" + strconv.Itoa(r.Intn(3))
+						switch r.Intn(4) {
+						case 0:
+							p.Write(loc, unique.Add(1))
+						case 1:
+							p.ReadPRAM(loc)
+						case 2:
+							p.ReadCausal(loc)
+						default:
+							lock := "lk" + strconv.Itoa(r.Intn(2))
+							p.WLock(lock)
+							v := p.ReadCausal("guarded" + lock)
+							_ = v
+							p.Write("guarded"+lock, unique.Add(1))
+							p.WUnlock(lock)
+						}
+					}
+					p.Barrier()
+				}
+			})
+			h := sys.History()
+			a, err := h.Analyze()
+			if err != nil {
+				t.Fatalf("Analyze (well-formedness): %v", err)
+			}
+			if v := check.Mixed(a); len(v) != 0 {
+				t.Fatalf("mixed consistency violated: %v", v[0])
+			}
+		})
+	}
+}

@@ -1,0 +1,344 @@
+// Package core is the paper's primary contribution as a programming model:
+// mixed-consistency distributed shared memory with PRAM and causal reads,
+// writes, read/write locks, barriers, await statements, and commutative
+// counter objects.
+//
+// A System bundles the substrates — the simulated message-passing fabric
+// (internal/network), one replicated-memory node per process (internal/dsm),
+// and the lock/barrier managers (internal/syncmgr) — behind one handle per
+// process (Proc). Programs are written against the Process interface, so the
+// same program also runs on the sequentially consistent baseline
+// (internal/seqmem) for the paper's comparisons.
+//
+// A minimal program:
+//
+//	sys, _ := core.NewSystem(core.Config{Procs: 2})
+//	defer sys.Close()
+//	sys.Run(func(p *core.Proc) {
+//	    if p.ID() == 0 {
+//	        p.Write("data", 42)
+//	        p.Write("ready", 1)
+//	    } else {
+//	        p.Await("ready", 1)
+//	        _ = p.ReadPRAM("data") // 42: await orders the producer's writes
+//	    }
+//	})
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
+	"mixedmem/internal/network"
+	"mixedmem/internal/syncmgr"
+)
+
+// Process is the programming interface of the mixed consistency model. Both
+// the mixed-consistency Proc and the sequentially consistent baseline
+// implement it, so applications and benchmarks can swap memories.
+type Process interface {
+	// ID returns the process identity, 0..N-1.
+	ID() int
+	// N returns the number of processes.
+	N() int
+	// Write stores value at loc (non-blocking; propagates asynchronously).
+	Write(loc string, value int64)
+	// ReadPRAM performs a PRAM-labeled read of loc (Definition 3).
+	ReadPRAM(loc string) int64
+	// ReadCausal performs a Causal-labeled read of loc (Definition 2).
+	ReadCausal(loc string) int64
+	// Await blocks until loc holds value (Section 3.1.3), gated on the
+	// causal view: when it returns, every update the matched write
+	// transitively depends on has been applied locally, so causal reads
+	// that follow satisfy Definition 2.
+	Await(loc string, value int64)
+	// AwaitPRAM blocks until loc holds value in the PRAM view only — the
+	// plain busy-wait loop of PRAM reads of Section 6. Reads after it see
+	// the matched write and its sender's FIFO prefix but not transitive
+	// dependencies; pair it with PRAM reads.
+	AwaitPRAM(loc string, value int64)
+	// RLock/RUnlock/WLock/WUnlock are the lock operations of
+	// Section 3.1.1.
+	RLock(name string)
+	RUnlock(name string)
+	WLock(name string)
+	WUnlock(name string)
+	// Barrier blocks until all processes arrive (Section 3.1.2). The i-th
+	// call on every process is barrier i.
+	Barrier()
+	// Add applies a commutative increment (negative to decrement) to a
+	// counter object (Section 5.3's abstract objects).
+	Add(loc string, delta int64)
+	// AddFloat applies a commutative float64 increment to a location
+	// holding a Float64bits-encoded value (the counter-object view of the
+	// Cholesky column updates, Section 5.3).
+	AddFloat(loc string, delta float64)
+	// Forall runs body once per index on concurrent strands of this
+	// process and waits for all — the fork/join parallel loop the paper's
+	// Figure 3 coordinator uses. Bodies receive the index and a restricted
+	// operation set; synchronization operations (locks, barriers) stay on
+	// the main strand.
+	Forall(count int, body func(i int, t ThreadOps))
+}
+
+// ThreadOps is the operation set available inside a Forall body: memory
+// operations and awaits, but no locks or barriers (well-formedness requires
+// barriers to be totally ordered with all operations of their process).
+type ThreadOps interface {
+	Write(loc string, value int64)
+	ReadPRAM(loc string) int64
+	ReadCausal(loc string) int64
+	Await(loc string, value int64)
+	AwaitPRAM(loc string, value int64)
+	Add(loc string, delta int64)
+	AddFloat(loc string, delta float64)
+}
+
+// Config configures a mixed-consistency System.
+type Config struct {
+	// Procs is the number of application processes. Required.
+	Procs int
+	// Latency models message delivery cost; the zero value is immediate
+	// delivery (deterministic test mode).
+	Latency network.LatencyModel
+	// Seed seeds latency jitter.
+	Seed int64
+	// Propagation selects how critical-section updates reach the next
+	// lock holder. Zero value means Lazy.
+	Propagation syncmgr.PropagationMode
+	// Record, when true, records all memory and synchronization operations
+	// into a history for the checker. Recorded programs must write
+	// distinct values per location.
+	Record bool
+	// ManagerProc hosts the lock and barrier managers (default process 0).
+	ManagerProc int
+	// PRAMOnly elides vector timestamps from update messages and keeps
+	// only the PRAM view — the Section 6 optimization for programs whose
+	// reads are all PRAM (Corollary 2's class). Causal reads degrade to
+	// PRAM reads; only use for programs certified PRAM-consistent.
+	PRAMOnly bool
+	// Placement, when non-nil, restricts each location's updates to the
+	// listed reader processes instead of broadcasting — Section 6's
+	// access-pattern optimization. Requires PRAMOnly; lock-based
+	// propagation is unsupported under a placement.
+	Placement func(loc string) []int
+}
+
+// System is a running mixed-consistency memory over Procs processes.
+type System struct {
+	fabric *network.Fabric
+	procs  []*Proc
+	trace  *history.Builder
+}
+
+// Proc is one process's handle on the system.
+type Proc struct {
+	node    *dsm.Node
+	locks   *syncmgr.Client
+	barrier *syncmgr.BarrierClient
+	n       int
+
+	threadMu   sync.Mutex
+	nextThread int
+}
+
+var _ Process = (*Proc)(nil)
+
+// NewSystem builds the fabric, nodes, managers, and clients, and starts all
+// receive loops. Callers must Close the system.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("core: %d procs", cfg.Procs)
+	}
+	if cfg.ManagerProc < 0 || cfg.ManagerProc >= cfg.Procs {
+		return nil, fmt.Errorf("core: manager proc %d out of range", cfg.ManagerProc)
+	}
+	mode := cfg.Propagation
+	if mode == 0 {
+		mode = syncmgr.Lazy
+	}
+	fabric, err := network.New(network.Config{
+		Nodes:   cfg.Procs,
+		Latency: cfg.Latency,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: fabric: %w", err)
+	}
+	var trace *history.Builder
+	if cfg.Record {
+		trace = history.NewBuilder(cfg.Procs)
+	}
+	sys := &System{fabric: fabric, trace: trace}
+
+	dispatchers := make([]*syncmgr.Dispatcher, cfg.Procs)
+	nodes := make([]*dsm.Node, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		d := syncmgr.NewDispatcher()
+		dispatchers[i] = d
+		node, err := dsm.NewNode(dsm.Config{
+			ID: i, N: cfg.Procs, Fabric: fabric, Trace: trace,
+			Handler: d.Handle, PRAMOnly: cfg.PRAMOnly, Scope: cfg.Placement,
+		})
+		if err != nil {
+			fabric.Close()
+			for _, nd := range nodes {
+				if nd != nil {
+					nd.Close()
+				}
+			}
+			return nil, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		nodes[i] = node
+	}
+	lockMgr := syncmgr.NewManager(cfg.ManagerProc, fabric, mode)
+	lockMgr.Bind(dispatchers[cfg.ManagerProc])
+	barMgr := syncmgr.NewBarrierManager(cfg.ManagerProc, fabric, cfg.Procs)
+	barMgr.Bind(dispatchers[cfg.ManagerProc])
+
+	for i := 0; i < cfg.Procs; i++ {
+		lc := syncmgr.NewClient(nodes[i], cfg.ManagerProc, mode)
+		lc.Bind(dispatchers[i])
+		bc := syncmgr.NewBarrierClient(nodes[i], cfg.ManagerProc)
+		bc.Bind(dispatchers[i])
+		sys.procs = append(sys.procs, &Proc{
+			node: nodes[i], locks: lc, barrier: bc, n: cfg.Procs,
+		})
+	}
+	return sys, nil
+}
+
+// Proc returns the handle for process i.
+func (s *System) Proc(i int) *Proc { return s.procs[i] }
+
+// Procs returns the number of processes.
+func (s *System) Procs() int { return len(s.procs) }
+
+// Run executes body once per process, each on its own goroutine, and waits
+// for all of them — the usual SPMD driver for the paper's applications.
+func (s *System) Run(body func(p *Proc)) {
+	var wg sync.WaitGroup
+	for _, p := range s.procs {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(p)
+		}()
+	}
+	wg.Wait()
+}
+
+// History returns the recorded history, or nil when Record was false. Take
+// it only after all processes have finished.
+func (s *System) History() *history.History {
+	if s.trace == nil {
+		return nil
+	}
+	return s.trace.History()
+}
+
+// NetStats returns the fabric's message accounting.
+func (s *System) NetStats() network.Stats { return s.fabric.Stats() }
+
+// Fabric exposes the underlying network fabric, mainly so tests and
+// experiments can build adversarial delivery schedules with Hold/Release.
+func (s *System) Fabric() *network.Fabric { return s.fabric }
+
+// Close shuts down the fabric and all nodes.
+func (s *System) Close() {
+	s.fabric.Close()
+	for _, p := range s.procs {
+		p.node.Close()
+	}
+}
+
+// ID returns the process identity.
+func (p *Proc) ID() int { return p.node.ID() }
+
+// N returns the number of processes.
+func (p *Proc) N() int { return p.n }
+
+// Write stores value at loc and broadcasts the update.
+func (p *Proc) Write(loc string, value int64) { p.node.Write(loc, value) }
+
+// ReadPRAM performs a PRAM read of loc.
+func (p *Proc) ReadPRAM(loc string) int64 { return p.node.ReadPRAM(loc) }
+
+// ReadCausal performs a causal read of loc.
+func (p *Proc) ReadCausal(loc string) int64 { return p.node.ReadCausal(loc) }
+
+// Read performs a read with the given label, for code that selects the
+// consistency level dynamically.
+func (p *Proc) Read(loc string, label history.Label) int64 {
+	if label == history.LabelCausal {
+		return p.ReadCausal(loc)
+	}
+	return p.ReadPRAM(loc)
+}
+
+// Await blocks until loc holds value in the causal view.
+func (p *Proc) Await(loc string, value int64) { p.node.AwaitCausal(loc, value) }
+
+// AwaitPRAM blocks until loc holds value in the PRAM view.
+func (p *Proc) AwaitPRAM(loc string, value int64) { p.node.AwaitPRAM(loc, value) }
+
+// RLock acquires a read lock on name.
+func (p *Proc) RLock(name string) { p.locks.RLock(name) }
+
+// RUnlock releases a read lock on name.
+func (p *Proc) RUnlock(name string) { p.locks.RUnlock(name) }
+
+// WLock acquires the write lock on name.
+func (p *Proc) WLock(name string) { p.locks.WLock(name) }
+
+// WUnlock releases the write lock on name.
+func (p *Proc) WUnlock(name string) { p.locks.WUnlock(name) }
+
+// Barrier blocks until all processes arrive and all prior-phase updates are
+// applied locally.
+func (p *Proc) Barrier() { p.barrier.Barrier() }
+
+// BarrierGroup blocks until every process in members arrives at the named
+// group's next barrier — the paper's subset barrier. All members must call
+// it with the same name and member set; only updates from members are
+// awaited.
+func (p *Proc) BarrierGroup(name string, members []int) {
+	p.barrier.BarrierGroup(name, members)
+}
+
+// Add applies a commutative increment to a counter object.
+func (p *Proc) Add(loc string, delta int64) { p.node.Add(loc, delta) }
+
+// AddFloat applies a commutative float64 increment to a counter object.
+func (p *Proc) AddFloat(loc string, delta float64) { p.node.AddFloat(loc, delta) }
+
+// MemStats returns the process's memory-operation counters.
+func (p *Proc) MemStats() dsm.Stats { return p.node.Stats() }
+
+// LockStats returns the process's lock-client counters.
+func (p *Proc) LockStats() syncmgr.ClientStats { return p.locks.Stats() }
+
+// BarrierStats returns the process's barrier-client counters.
+func (p *Proc) BarrierStats() syncmgr.BarrierStats { return p.barrier.Stats() }
+
+// WriteFloat stores a float64 at loc via its bit pattern. Programs recorded
+// for the checker should prefer integer values; float writes are for the
+// numeric applications.
+func WriteFloat(p Process, loc string, value float64) {
+	p.Write(loc, int64(math.Float64bits(value)))
+}
+
+// ReadPRAMFloat reads a float64 stored with WriteFloat using a PRAM read.
+func ReadPRAMFloat(p Process, loc string) float64 {
+	return math.Float64frombits(uint64(p.ReadPRAM(loc)))
+}
+
+// ReadCausalFloat reads a float64 stored with WriteFloat using a causal
+// read.
+func ReadCausalFloat(p Process, loc string) float64 {
+	return math.Float64frombits(uint64(p.ReadCausal(loc)))
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"mixedmem/internal/network"
+	"mixedmem/internal/syncmgr"
+)
+
+// TestStressMixedWorkload drives eight processes through a mixed workload —
+// locked counters, barrier phases, awaits, and counter objects — under a
+// jittery latency model, and checks every invariant that survives
+// nondeterminism: lock-protected counters lose no updates, barrier phases
+// see complete prior phases, and counter objects converge.
+func TestStressMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	sys, err := NewSystem(Config{
+		Procs: 8,
+		Latency: network.LatencyModel{
+			Fixed:  20 * time.Microsecond,
+			Jitter: 50 * time.Microsecond,
+		},
+		Seed:        42,
+		Propagation: syncmgr.Lazy,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+
+	const (
+		rounds     = 4
+		lockIncs   = 5
+		counterInc = 7
+	)
+	sums := make([]int64, 8)
+	sys.Run(func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			// Phase A: everyone writes its slot and bumps shared state.
+			p.Write("slot"+strconv.Itoa(p.ID()), int64(r*100+p.ID()+1))
+			for i := 0; i < lockIncs; i++ {
+				p.WLock("cnt")
+				v := p.ReadCausal("shared")
+				p.Write("shared", v+1)
+				p.WUnlock("cnt")
+			}
+			for i := 0; i < counterInc; i++ {
+				p.Add("free", 1)
+			}
+			p.Barrier()
+			// Phase B: read every slot; all phase-A writes must be there.
+			var sum int64
+			for q := 0; q < p.N(); q++ {
+				sum += p.ReadPRAM("slot" + strconv.Itoa(q))
+			}
+			want := int64(8*r*100 + (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8))
+			if sum != want {
+				t.Errorf("proc %d round %d: slot sum = %d, want %d", p.ID(), r, sum, want)
+			}
+			sums[p.ID()] = sum
+			p.Barrier()
+		}
+	})
+
+	p0 := sys.Proc(0)
+	p0.WLock("cnt")
+	if got := p0.ReadCausal("shared"); got != 8*rounds*lockIncs {
+		t.Fatalf("locked counter = %d, want %d", got, 8*rounds*lockIncs)
+	}
+	p0.WUnlock("cnt")
+	if got := p0.ReadPRAM("free"); got != 8*rounds*counterInc {
+		t.Fatalf("counter object = %d, want %d", got, 8*rounds*counterInc)
+	}
+}
+
+// TestStressEagerContention hammers one lock from six processes under eager
+// propagation: the slowest mode with the most protocol traffic, checked for
+// lost updates and deadlock.
+func TestStressEagerContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	sys, err := NewSystem(Config{Procs: 6, Propagation: syncmgr.Eager})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+	const iters = 25
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sys.Run(func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				p.WLock("hot")
+				v := p.ReadCausal("c")
+				p.Write("c", v+1)
+				p.WUnlock("hot")
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("eager contention workload deadlocked")
+	}
+	if got := sys.Proc(0).ReadCausal("c"); got != 6*iters {
+		t.Fatalf("counter = %d, want %d", got, 6*iters)
+	}
+}

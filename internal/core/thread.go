@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+
+	"mixedmem/internal/dsm"
+)
+
+// Thread is one concurrent strand of a multithreaded process, created by
+// Proc.Forall. The paper models local computations as partial orders
+// (Section 3), and the handshake solver's coordinator uses a forall
+// construct (Figure 3); Thread provides the memory operations for such
+// strands. Synchronization operations (locks, barriers) are not available
+// on threads: well-formedness requires every barrier to be totally ordered
+// with all operations of its process, which only the main strand can
+// guarantee.
+type Thread struct {
+	h dsm.ThreadHandle
+}
+
+var _ ThreadOps = (*Thread)(nil)
+
+// Write stores value at loc on this thread.
+func (t *Thread) Write(loc string, value int64) { t.h.Write(loc, value) }
+
+// ReadPRAM performs a PRAM read on this thread.
+func (t *Thread) ReadPRAM(loc string) int64 { return t.h.ReadPRAM(loc) }
+
+// ReadCausal performs a causal read on this thread.
+func (t *Thread) ReadCausal(loc string) int64 { return t.h.ReadCausal(loc) }
+
+// Await blocks until loc holds value in the causal view.
+func (t *Thread) Await(loc string, value int64) { t.h.AwaitCausal(loc, value) }
+
+// AwaitPRAM blocks until loc holds value in the PRAM view.
+func (t *Thread) AwaitPRAM(loc string, value int64) { t.h.AwaitPRAM(loc, value) }
+
+// Add applies a commutative increment to a counter object.
+func (t *Thread) Add(loc string, delta int64) { t.h.Add(loc, delta) }
+
+// AddFloat applies a commutative float64 increment to a counter object.
+func (t *Thread) AddFloat(loc string, delta float64) { t.h.AddFloat(loc, delta) }
+
+// Forall runs body once per index on concurrent threads of this process and
+// waits for all of them — the fork/join parallel loop of Figure 3. When the
+// system records a history, each strand's operations carry a fresh thread
+// ID, and fork/join program-order edges connect the parent strand to its
+// children, so the recorded local history is the partial order the paper's
+// model prescribes.
+//
+// Bodies run concurrently on one replica: their operations interleave
+// arbitrarily (they are unordered by program order), which is exactly the
+// intra-process concurrency the model permits.
+func (p *Proc) Forall(count int, body func(i int, t ThreadOps)) {
+	if count <= 0 {
+		return
+	}
+	p.threadMu.Lock()
+	if p.nextThread == 0 {
+		p.nextThread = 1 // thread 0 is the main strand
+	}
+	base := p.nextThread
+	p.nextThread += count
+	p.threadMu.Unlock()
+
+	tr := p.node.Trace()
+	ids := make([]int, count)
+	for i := range ids {
+		ids[i] = base + i
+	}
+	if tr != nil {
+		tr.Fork(p.ID(), 0, ids)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(i, &Thread{h: p.node.Thread(ids[i])})
+		}()
+	}
+	wg.Wait()
+	if tr != nil {
+		tr.Join(p.ID(), 0, ids)
+	}
+}

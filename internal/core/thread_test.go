@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"mixedmem/internal/check"
+	"mixedmem/internal/history"
+)
+
+func TestForallRunsAllBodies(t *testing.T) {
+	sys := newSys(t, Config{Procs: 1})
+	var count atomic.Int32
+	seen := make([]atomic.Bool, 5)
+	sys.Proc(0).Forall(5, func(i int, th ThreadOps) {
+		count.Add(1)
+		seen[i].Store(true)
+	})
+	if count.Load() != 5 {
+		t.Fatalf("ran %d bodies, want 5", count.Load())
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Errorf("index %d never ran", i)
+		}
+	}
+}
+
+func TestForallZeroCount(t *testing.T) {
+	sys := newSys(t, Config{Procs: 1})
+	sys.Proc(0).Forall(0, func(int, ThreadOps) { t.Fatal("body ran") })
+}
+
+func TestForallThreadsShareReplica(t *testing.T) {
+	sys := newSys(t, Config{Procs: 1})
+	p := sys.Proc(0)
+	p.Write("x", 9)
+	var got int64
+	p.Forall(1, func(i int, th ThreadOps) { got = th.ReadPRAM("x") })
+	if got != 9 {
+		t.Fatalf("thread read %d, want 9", got)
+	}
+	p.Forall(2, func(i int, th ThreadOps) {
+		th.Write("t"+strconv.Itoa(i), int64(i+1))
+	})
+	if p.ReadPRAM("t0") != 1 || p.ReadPRAM("t1") != 2 {
+		t.Fatal("parent does not see thread writes")
+	}
+}
+
+func TestForallRecordsThreadsAndForkJoinEdges(t *testing.T) {
+	sys := newSys(t, Config{Procs: 1, Record: true})
+	p := sys.Proc(0)
+	p.Write("before", 1)
+	p.Forall(2, func(i int, th ThreadOps) {
+		th.Write("w"+strconv.Itoa(i), int64(i+10))
+	})
+	p.Write("after", 2)
+
+	h := sys.History()
+	a, err := h.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	var before, after, w0, w1 int
+	for _, op := range h.Ops {
+		switch op.Loc {
+		case "before":
+			before = op.ID
+		case "after":
+			after = op.ID
+		case "w0":
+			w0 = op.ID
+		case "w1":
+			w1 = op.ID
+		}
+	}
+	// Threads carry distinct nonzero thread IDs.
+	if h.Ops[w0].Thread == 0 || h.Ops[w1].Thread == 0 || h.Ops[w0].Thread == h.Ops[w1].Thread {
+		t.Fatalf("thread ids: w0=%d w1=%d", h.Ops[w0].Thread, h.Ops[w1].Thread)
+	}
+	// Fork/join edges order the parent around the threads.
+	for _, w := range []int{w0, w1} {
+		if !a.PO.Has(before, w) {
+			t.Errorf("missing fork edge before -> op %d", w)
+		}
+		if !a.PO.Has(w, after) {
+			t.Errorf("missing join edge op %d -> after", w)
+		}
+	}
+	// The two threads are unordered with each other.
+	if a.PO.Has(w0, w1) || a.PO.Has(w1, w0) {
+		t.Error("sibling threads must be unordered")
+	}
+}
+
+func TestForallCoordinatorHandshakeRecorded(t *testing.T) {
+	// The Figure 3 coordinator shape: the coordinator foralls awaits over
+	// the workers' handshake variables, then writes replies. The recorded
+	// multithreaded history must be mixed consistent and SC.
+	sys := newSys(t, Config{Procs: 3, Record: true})
+	sys.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0: // coordinator
+			p.Forall(2, func(i int, th ThreadOps) {
+				th.Await("computed"+strconv.Itoa(i+1), 1)
+			})
+			for i := 1; i <= 2; i++ {
+				p.Write("reply"+strconv.Itoa(i), int64(-i))
+			}
+		default: // workers
+			p.Write("data"+strconv.Itoa(p.ID()), int64(100+p.ID()))
+			p.Write("computed"+strconv.Itoa(p.ID()), 1)
+			p.Await("reply"+strconv.Itoa(p.ID()), int64(-p.ID()))
+			// The coordinator's reply causally includes both workers'
+			// data (it awaited both computed flags before replying).
+			for q := 1; q <= 2; q++ {
+				if got := p.ReadCausal("data" + strconv.Itoa(q)); got != int64(100+q) {
+					t.Errorf("proc %d read data%d = %d", p.ID(), q, got)
+				}
+			}
+		}
+	})
+	h := sys.History()
+	a, err := h.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if v := check.Mixed(a); len(v) != 0 {
+		t.Fatalf("not mixed consistent: %v", v)
+	}
+	ok, _, err := check.SequentiallyConsistent(a)
+	if err != nil || !ok {
+		t.Fatalf("not SC: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestForallFreshThreadIDsAcrossCalls(t *testing.T) {
+	sys := newSys(t, Config{Procs: 1, Record: true})
+	p := sys.Proc(0)
+	p.Forall(2, func(i int, th ThreadOps) { th.Write("a"+strconv.Itoa(i), int64(i+1)) })
+	p.Forall(2, func(i int, th ThreadOps) { th.Write("b"+strconv.Itoa(i), int64(i+10)) })
+	h := sys.History()
+	threads := make(map[int]bool)
+	for _, op := range h.Ops {
+		if op.Kind == history.Write {
+			threads[op.Thread] = true
+		}
+	}
+	if len(threads) != 4 {
+		t.Fatalf("expected 4 distinct thread ids, got %d", len(threads))
+	}
+}
+
+func TestForallThreadCounterOps(t *testing.T) {
+	sys := newSys(t, Config{Procs: 1})
+	p := sys.Proc(0)
+	p.Forall(4, func(i int, th ThreadOps) {
+		th.Add("c", 1)
+		th.AddFloat("f", 0.5)
+	})
+	if got := p.ReadPRAM("c"); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if got := ReadPRAMFloat(p, "f"); got != 2.0 {
+		t.Fatalf("float counter = %v, want 2", got)
+	}
+}

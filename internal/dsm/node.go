@@ -1,0 +1,748 @@
+// Package dsm implements the replicated distributed-shared-memory runtime of
+// Section 6 of the paper. Every process keeps a full local copy of the
+// memory; writes update the local copy and broadcast an update message; both
+// kinds of reads are non-blocking and return local values.
+//
+// Each replica maintains two views of memory:
+//
+//   - the PRAM view applies updates in receive order. The fabric's channels
+//     are FIFO, so per-sender order is preserved and a read of this view is
+//     a PRAM read ("returns the most recent value", Section 6);
+//   - the causal view applies an update only when every causally preceding
+//     update (in vector-timestamp order) has been applied, so a read of this
+//     view is a causal read ("can return a value only if all preceding
+//     operations have been performed locally", Section 6).
+//
+// A write carries the writer's dependency clock: component j counts the
+// updates from process j the writer had applied when it wrote. Because both
+// PRAM and causal reads only ever return applied values, the clock bounds
+// every reads-from dependency of the write, which is exactly the condition
+// causal delivery needs.
+//
+// The node also exposes the counting primitives the synchronization layer
+// builds on: cumulative per-destination sent counts (for the barrier
+// message-count protocol), waits on received/causally-applied counts (for
+// barrier and lazy lock propagation), and per-location invalidation (for
+// demand-driven lock propagation). Counter objects with commutative add
+// operations (the Cholesky optimization of Section 5.3) are updates of kind
+// add.
+package dsm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"mixedmem/internal/history"
+	"mixedmem/internal/network"
+	"mixedmem/internal/vclock"
+)
+
+// KindUpdate is the fabric message kind used for memory updates.
+const KindUpdate = "update"
+
+// UpdateOp distinguishes plain writes from commutative counter operations.
+type UpdateOp int
+
+// Update operation kinds.
+const (
+	// OpSet is an ordinary write: the location takes the given value.
+	OpSet UpdateOp = iota + 1
+	// OpAdd is a commutative increment/decrement: the value is added to
+	// the location's current contents. Adds from different processes
+	// commute, which is what lets the counter-object Cholesky variant drop
+	// its critical sections (Section 5.3).
+	OpAdd
+	// OpAddFloat adds float64 values through their bit patterns: the
+	// location's contents and the update value are interpreted with
+	// math.Float64frombits, summed, and stored back with Float64bits.
+	// Floating-point addition commutes up to rounding, which is the
+	// paper's counter-object view of the Cholesky column updates.
+	OpAddFloat
+)
+
+// Update is the payload broadcast for every write or counter operation.
+type Update struct {
+	// From is the writing process.
+	From int
+	// Seq is the per-sender update sequence number, starting at 1.
+	Seq uint64
+	// Op selects set or add semantics.
+	Op UpdateOp
+	// Loc is the memory location.
+	Loc string
+	// Value is the written value or the addend.
+	Value int64
+	// TS is the writer's dependency clock after this update: TS[j] is the
+	// number of updates from process j the writer has applied, counting
+	// this one for j == From.
+	TS vclock.VC
+}
+
+// encodedSize models the wire size of an update for the latency model:
+// header, location, value, and vector timestamp.
+func (u Update) encodedSize() int {
+	return 16 + len(u.Loc) + 8 + u.TS.EncodedSize()
+}
+
+// Handler receives non-update messages delivered to a node. Handlers run on
+// the node's receive loop and must not block; hand work that can wait to a
+// channel or goroutine.
+type Handler func(network.Message)
+
+// Config configures a Node.
+type Config struct {
+	// ID is this process's identity, 0..N-1.
+	ID int
+	// N is the number of processes.
+	N int
+	// Fabric is the shared message-passing substrate.
+	Fabric *network.Fabric
+	// Trace, when non-nil, records memory operations for the checker.
+	// Programs recorded for checking must write distinct values per
+	// location (the paper's convention).
+	Trace *history.Builder
+	// Handler receives non-update messages (lock and barrier protocol
+	// traffic). May be nil when the node runs no synchronization protocol.
+	Handler Handler
+	// PRAMOnly elides vector timestamps from updates and maintains only
+	// the PRAM view — the Section 6 optimization: "the extra overhead of
+	// sending a timestamp in each message and performing the updates in
+	// the timestamp order can be avoided if ... all read operations of the
+	// program following a write operation are PRAM operations." Causal
+	// reads and causal awaits degrade to their PRAM counterparts, so the
+	// mode is only sound for programs certified PRAM-consistent (see
+	// check.PRAMConsistent).
+	PRAMOnly bool
+	// Scope, when non-nil, restricts each update's destinations to the
+	// listed processes instead of broadcasting — Section 6's closing
+	// remark on memory operations: "the overhead of broadcasting messages
+	// for each update ... may be avoided by making optimizations based on
+	// the patterns of accesses to shared variables." Only the returned
+	// processes (and the writer) observe the location. Requires PRAMOnly
+	// (causal delivery needs the full broadcast), and lock-based
+	// propagation is unsupported under a scope; the barrier count-vector
+	// protocol works unchanged because it counts per-destination sends.
+	Scope func(loc string) []int
+}
+
+// Stats counts a node's memory activity.
+type Stats struct {
+	Writes      uint64
+	PRAMReads   uint64
+	CausalReads uint64
+	Awaits      uint64
+	// Blocked is the total time spent waiting in Await, WaitReceived,
+	// WaitCausalApplied, and invalidation stalls.
+	Blocked time.Duration
+}
+
+// Node is one process's replica of the shared memory.
+type Node struct {
+	id     int
+	n      int
+	fabric *network.Fabric
+	trace  *history.Builder
+	handle Handler
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	pram   map[string]int64
+	causal map[string]int64
+
+	// deps[j] counts updates from j applied to the PRAM view (deps[id]
+	// counts own writes). Writes are stamped with a copy of deps.
+	deps vclock.VC
+	// causalApplied[j] counts updates from j applied to the causal view.
+	causalApplied vclock.VC
+	// pending buffers updates received but not yet causally applicable.
+	pending []Update
+	// sent[j] counts updates sent to process j (cumulative), feeding the
+	// barrier message-count protocol of Section 6.
+	sent []uint64
+	// recvd[j] counts updates from process j applied to the PRAM view. It
+	// equals deps[j] under full broadcast but diverges under scoped
+	// placement, where per-sender sequence numbers have holes; the
+	// count-based waits (barriers, lazy locks) use recvd.
+	recvd []uint64
+	// invalid maps a location to the update that must be applied before
+	// reads of it may proceed (demand-driven lock propagation).
+	invalid map[string]invalidation
+	// writeLog records this node's own updates in order, so a lock client
+	// can collect the write-set of a critical section for demand-driven
+	// propagation. logBase is the absolute index of writeLog[0]: marks are
+	// absolute positions, so the prefix no critical section still needs
+	// can be trimmed without invalidating outstanding marks.
+	writeLog []WriteRecord
+	logBase  int
+	// pramLast tracks, per location, the update most recently applied to
+	// the PRAM view. PRAM reads raise the observation fence with it.
+	pramLast map[string]invalidation
+	// fence[j] is the observation fence: the per-sender sequence numbers
+	// this process has *observed* through PRAM reads and PRAM awaits. A
+	// PRAM read creates a reads-from edge in the causality relation, so by
+	// Definition 2 every later causal read of this process must reflect
+	// the observed update's causal context; ReadCausal therefore waits
+	// until the causal view has applied at least fence[j] updates from
+	// every j.
+	fence vclock.VC
+
+	stats    Stats
+	pramOnly bool
+	scope    func(loc string) []int
+	closed   bool
+	done     chan struct{}
+}
+
+type invalidation struct {
+	from int
+	seq  uint64
+}
+
+// NewNode creates the replica and starts its receive loop. Close the node
+// before closing the fabric is not required: closing the fabric unblocks the
+// loop, but Close must still be called to wait for it.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Fabric == nil {
+		return nil, fmt.Errorf("dsm: nil fabric")
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.N || cfg.N != cfg.Fabric.Nodes() {
+		return nil, fmt.Errorf("dsm: bad id/n %d/%d for %d-node fabric",
+			cfg.ID, cfg.N, cfg.Fabric.Nodes())
+	}
+	if cfg.Scope != nil && !cfg.PRAMOnly {
+		return nil, fmt.Errorf("dsm: scoped placement requires PRAMOnly (causal delivery needs full broadcast)")
+	}
+	node := &Node{
+		id:            cfg.ID,
+		pramOnly:      cfg.PRAMOnly,
+		scope:         cfg.Scope,
+		n:             cfg.N,
+		fabric:        cfg.Fabric,
+		trace:         cfg.Trace,
+		handle:        cfg.Handler,
+		pram:          make(map[string]int64),
+		causal:        make(map[string]int64),
+		deps:          vclock.New(cfg.N),
+		causalApplied: vclock.New(cfg.N),
+		sent:          make([]uint64, cfg.N),
+		recvd:         make([]uint64, cfg.N),
+		invalid:       make(map[string]invalidation),
+		pramLast:      make(map[string]invalidation),
+		fence:         vclock.New(cfg.N),
+		done:          make(chan struct{}),
+	}
+	node.cond = sync.NewCond(&node.mu)
+	go node.recvLoop()
+	return node, nil
+}
+
+// ID returns the node's process identity.
+func (n *Node) ID() int { return n.id }
+
+// N returns the number of processes.
+func (n *Node) N() int { return n.n }
+
+// Fabric returns the underlying fabric (for synchronization protocols).
+func (n *Node) Fabric() *network.Fabric { return n.fabric }
+
+// Trace returns the history builder, or nil when not recording.
+func (n *Node) Trace() *history.Builder { return n.trace }
+
+// recvLoop dispatches fabric messages: updates into the memory views,
+// everything else to the protocol handler.
+func (n *Node) recvLoop() {
+	defer close(n.done)
+	for {
+		m, ok := n.fabric.Recv(n.id)
+		if !ok {
+			return
+		}
+		if m.Kind == KindUpdate {
+			u, ok := m.Payload.(Update)
+			if !ok {
+				continue
+			}
+			n.applyRemote(u)
+			continue
+		}
+		if n.handle != nil {
+			n.handle(m)
+		}
+	}
+}
+
+// applyRemote applies a received update: immediately to the PRAM view, and
+// to the causal view once its dependencies are satisfied.
+func (n *Node) applyRemote(u Update) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// PRAM view: apply in receive order.
+	n.applyTo(n.pram, u)
+	n.pramLast[u.Loc] = invalidation{from: u.From, seq: u.Seq}
+	n.deps.Set(u.From, u.Seq)
+	n.recvd[u.From]++
+	if !n.pramOnly {
+		// Causal view: buffer, then drain everything deliverable.
+		n.pending = append(n.pending, u)
+		n.drainCausalLocked()
+	}
+	n.cond.Broadcast()
+}
+
+// drainCausalLocked applies pending updates to the causal view in causal
+// order until no more are deliverable.
+func (n *Node) drainCausalLocked() {
+	for {
+		progressed := false
+		kept := n.pending[:0]
+		for _, u := range n.pending {
+			if vclock.DeliverableAfter(n.causalApplied, u.TS, u.From) {
+				n.applyTo(n.causal, u)
+				n.causalApplied.Merge(u.TS)
+				progressed = true
+			} else {
+				kept = append(kept, u)
+			}
+		}
+		n.pending = kept
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (n *Node) applyTo(view map[string]int64, u Update) {
+	switch u.Op {
+	case OpAdd:
+		view[u.Loc] += u.Value
+	case OpAddFloat:
+		sum := math.Float64frombits(uint64(view[u.Loc])) +
+			math.Float64frombits(uint64(u.Value))
+		view[u.Loc] = int64(math.Float64bits(sum))
+	default:
+		view[u.Loc] = u.Value
+	}
+}
+
+// Write stores value at loc in both local views and broadcasts the update.
+// It is non-blocking: the response is local and the update propagates
+// asynchronously, as the paper's interface permits (Section 3).
+func (n *Node) Write(loc string, value int64) {
+	n.broadcastUpdate(OpSet, loc, value)
+	if n.trace != nil {
+		n.trace.AppendOp(history.Op{
+			Proc: n.id, Kind: history.Write, Loc: loc, Value: value,
+		})
+	}
+}
+
+// Add applies a commutative increment (negative for decrement) to a counter
+// object (Section 5.3). Counter operations are not recorded in traces: they
+// are operations of an abstract data type, not reads/writes.
+func (n *Node) Add(loc string, delta int64) {
+	n.broadcastUpdate(OpAdd, loc, delta)
+}
+
+// AddFloat applies a commutative float64 increment to a location holding a
+// Float64bits-encoded value: the counter-object view of the Cholesky column
+// updates (Section 5.3).
+func (n *Node) AddFloat(loc string, delta float64) {
+	n.broadcastUpdate(OpAddFloat, loc, int64(math.Float64bits(delta)))
+}
+
+func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
+	n.mu.Lock()
+	n.deps.Tick(n.id)
+	u := Update{
+		From:  n.id,
+		Seq:   n.deps.Get(n.id),
+		Op:    op,
+		Loc:   loc,
+		Value: value,
+	}
+	n.applyTo(n.pram, u)
+	n.pramLast[u.Loc] = invalidation{from: n.id, seq: u.Seq}
+	n.recvd[n.id]++
+	if !n.pramOnly {
+		u.TS = n.deps.Clone()
+		n.applyTo(n.causal, u)
+		n.causalApplied.Set(n.id, u.Seq)
+	}
+	n.writeLog = append(n.writeLog, WriteRecord{Loc: loc, Seq: u.Seq})
+	// Send while holding the lock so per-sender sequence numbers hit the
+	// fabric in order even under concurrent writers; fabric sends never
+	// block.
+	if n.scope != nil {
+		// Deduplicate targets: a duplicate entry in a user-supplied scope
+		// must not deliver (and for adds, apply) the update twice.
+		seen := make(map[int]bool, n.n)
+		for _, j := range n.scope(loc) {
+			if j == n.id || j < 0 || j >= n.n || seen[j] {
+				continue
+			}
+			seen[j] = true
+			n.sent[j]++
+			_ = n.fabric.Send(network.Message{
+				From: n.id, To: j, Kind: KindUpdate,
+				Payload: u, Size: u.encodedSize(),
+			})
+		}
+	} else {
+		for j := 0; j < n.n; j++ {
+			if j != n.id {
+				n.sent[j]++
+			}
+		}
+		_ = n.fabric.Broadcast(n.id, KindUpdate, u, u.encodedSize())
+	}
+	n.stats.Writes++
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// ReadPRAM returns loc's value in the PRAM view: the most recent locally
+// applied value (Definition 3 at the implementation level). It blocks only
+// if the location is invalidated by demand-driven propagation.
+func (n *Node) ReadPRAM(loc string) int64 {
+	v := n.readPRAMValue(loc)
+	if n.trace != nil {
+		n.trace.AppendOp(history.Op{
+			Proc: n.id, Kind: history.Read, Loc: loc, Value: v, Label: history.LabelPRAM,
+		})
+	}
+	return v
+}
+
+// readPRAMValue is ReadPRAM without trace recording, shared with thread
+// handles.
+func (n *Node) readPRAMValue(loc string) int64 {
+	n.mu.Lock()
+	n.waitValidLocked(loc, false)
+	v := n.pram[loc]
+	n.raiseFenceLocked(loc)
+	n.stats.PRAMReads++
+	n.mu.Unlock()
+	return v
+}
+
+// ReadCausal returns loc's value in the causal view: the most recent value
+// all of whose causal predecessors have been applied locally (Definition 2
+// at the implementation level). It blocks if the location is invalidated by
+// demand-driven propagation, or until the causal view covers the process's
+// observation fence — everything earlier PRAM reads and PRAM awaits of this
+// process observed, whose reads-from edges Definition 2 counts as causal
+// context.
+func (n *Node) ReadCausal(loc string) int64 {
+	v := n.readCausalValue(loc)
+	if n.trace != nil {
+		label := history.LabelCausal
+		if n.pramOnly {
+			label = history.LabelPRAM
+		}
+		n.trace.AppendOp(history.Op{
+			Proc: n.id, Kind: history.Read, Loc: loc, Value: v, Label: label,
+		})
+	}
+	return v
+}
+
+// readCausalValue is ReadCausal without trace recording, shared with thread
+// handles.
+func (n *Node) readCausalValue(loc string) int64 {
+	if n.pramOnly {
+		// Degraded mode: only sound for PRAM-consistent programs.
+		return n.readPRAMValue(loc)
+	}
+	n.mu.Lock()
+	n.waitValidLocked(loc, true)
+	n.waitFenceLocked()
+	v := n.causal[loc]
+	n.stats.CausalReads++
+	n.mu.Unlock()
+	return v
+}
+
+// raiseFenceLocked records that this process observed, through the PRAM
+// view, the update last applied to loc. Later causal reads wait for the
+// causal view to catch up to the fence (Definition 2: the observation is a
+// reads-from edge in the causality relation).
+func (n *Node) raiseFenceLocked(loc string) {
+	lw, ok := n.pramLast[loc]
+	if !ok {
+		return
+	}
+	if lw.seq > n.fence.Get(lw.from) {
+		n.fence.Set(lw.from, lw.seq)
+	}
+}
+
+// waitFenceLocked blocks until the causal view has applied every update the
+// observation fence covers.
+func (n *Node) waitFenceLocked() {
+	start := time.Now()
+	waited := false
+	for !n.closed {
+		ok := true
+		for j := 0; j < n.n; j++ {
+			if n.causalApplied.Get(j) < n.fence.Get(j) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		waited = true
+		n.cond.Wait()
+	}
+	if waited {
+		n.stats.Blocked += time.Since(start)
+	}
+}
+
+// waitValidLocked blocks while loc is invalidated and the required update
+// has not yet reached the relevant view.
+func (n *Node) waitValidLocked(loc string, causalView bool) {
+	inv, ok := n.invalid[loc]
+	if !ok {
+		return
+	}
+	start := time.Now()
+	for {
+		var applied uint64
+		if causalView {
+			applied = n.causalApplied.Get(inv.from)
+		} else {
+			applied = n.deps.Get(inv.from)
+		}
+		if applied >= inv.seq || n.closed {
+			break
+		}
+		n.cond.Wait()
+	}
+	delete(n.invalid, loc)
+	n.stats.Blocked += time.Since(start)
+}
+
+// AwaitPRAM blocks until loc holds value in the PRAM view — the busy-wait
+// loop of PRAM reads the paper describes (Section 6), realized with a
+// condition variable instead of spinning. Reads that follow it see the
+// matched write and its sender's FIFO prefix, but not transitive
+// dependencies through third processes; programs that read with causal
+// labels after an await should use AwaitCausal.
+func (n *Node) AwaitPRAM(loc string, value int64) {
+	n.await(loc, value, false)
+}
+
+// AwaitCausal blocks until loc holds value in the causal view — a busy-wait
+// loop of causal reads. Because the causal view only applies an update after
+// all its causal predecessors, every update the matched write depends on
+// (transitively, through any chain of processes) is locally applied when
+// AwaitCausal returns; causal reads that follow it satisfy Definition 2.
+func (n *Node) AwaitCausal(loc string, value int64) {
+	n.await(loc, value, true)
+}
+
+func (n *Node) await(loc string, value int64, causalView bool) {
+	n.awaitValue(loc, value, causalView)
+	if n.trace != nil {
+		n.trace.AppendOp(history.Op{
+			Proc: n.id, Kind: history.Await, Loc: loc, Value: value,
+		})
+	}
+}
+
+// awaitValue is the await wait loop without trace recording, shared with
+// thread handles.
+func (n *Node) awaitValue(loc string, value int64, causalView bool) {
+	if n.pramOnly {
+		causalView = false
+	}
+	view := n.pram
+	if causalView {
+		view = n.causal
+	}
+	n.mu.Lock()
+	start := time.Now()
+	for view[loc] != value && !n.closed {
+		n.cond.Wait()
+	}
+	if !causalView {
+		// The matched write is a synchronization edge incident on this
+		// process; later causal reads must observe its causal context.
+		n.raiseFenceLocked(loc)
+	}
+	n.stats.Awaits++
+	n.stats.Blocked += time.Since(start)
+	n.mu.Unlock()
+}
+
+// SentCounts returns a copy of the cumulative per-destination update counts,
+// the vector each process reports to the barrier manager (Section 6).
+func (n *Node) SentCounts() []uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]uint64, n.n)
+	copy(out, n.sent)
+	return out
+}
+
+// ReceivedCounts returns, per sender, the cumulative number of updates
+// applied to the PRAM view (own writes for the node's own component).
+func (n *Node) ReceivedCounts() []uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]uint64, n.n)
+	copy(out, n.recvd)
+	return out
+}
+
+// WaitReceived blocks until at least min[j] updates from each process j have
+// been applied to the PRAM view. The barrier protocol uses it to ensure all
+// prior-phase updates are in place before the phase's reads (Section 6).
+func (n *Node) WaitReceived(min []uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	start := time.Now()
+	for !n.countsReachedLocked(min) && !n.closed {
+		n.cond.Wait()
+	}
+	n.stats.Blocked += time.Since(start)
+}
+
+func (n *Node) countsReachedLocked(min []uint64) bool {
+	for j := 0; j < n.n && j < len(min); j++ {
+		if n.recvd[j] < min[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitCausalApplied blocks until at least min[j] updates from each process j
+// have been applied to the causal view.
+func (n *Node) WaitCausalApplied(min []uint64) {
+	if n.pramOnly {
+		n.WaitReceived(min)
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	start := time.Now()
+	for !n.reachedLocked(n.causalApplied, min) && !n.closed {
+		n.cond.Wait()
+	}
+	n.stats.Blocked += time.Since(start)
+}
+
+func (n *Node) reachedLocked(have vclock.VC, min []uint64) bool {
+	for j := 0; j < n.n && j < len(min); j++ {
+		if have.Get(j) < min[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteRecord identifies one of the node's own updates: the location and the
+// per-sender sequence number it was broadcast with.
+type WriteRecord struct {
+	Loc string
+	Seq uint64
+}
+
+// WriteMark returns a marker into the node's write log. Combined with
+// WritesSince it delimits the write-set of a critical section. Marks are
+// absolute positions and stay valid across TrimWriteLog.
+func (n *Node) WriteMark() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.logBase + len(n.writeLog)
+}
+
+// WritesSince returns a copy of the node's own updates recorded at or after
+// the given marker. Entries already trimmed are gone; callers trim only
+// below their oldest outstanding mark.
+func (n *Node) WritesSince(mark int) []WriteRecord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	idx := mark - n.logBase
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > len(n.writeLog) {
+		idx = len(n.writeLog)
+	}
+	out := make([]WriteRecord, len(n.writeLog)-idx)
+	copy(out, n.writeLog[idx:])
+	return out
+}
+
+// TrimWriteLog discards write-log entries before the given absolute mark,
+// bounding the log's memory. The lock client calls it after each unlock with
+// its oldest still-outstanding mark.
+func (n *Node) TrimWriteLog(upTo int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	idx := upTo - n.logBase
+	if idx <= 0 {
+		return
+	}
+	if idx > len(n.writeLog) {
+		idx = len(n.writeLog)
+	}
+	kept := len(n.writeLog) - idx
+	copy(n.writeLog, n.writeLog[idx:])
+	n.writeLog = n.writeLog[:kept]
+	n.logBase += idx
+}
+
+// Invalidate marks loc stale until the update (from, seq) has been applied:
+// the demand-driven propagation mode of Section 6, where the write-set of a
+// critical section travels with the unlock and only reads of invalidated
+// locations block.
+func (n *Node) Invalidate(loc string, from int, seq uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cur, ok := n.invalid[loc]; ok && cur.seq >= seq && cur.from == from {
+		return
+	}
+	n.invalid[loc] = invalidation{from: from, seq: seq}
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Snapshot returns a copy of the requested view's contents, for debugging
+// and result extraction in examples. causalView selects the causal view.
+func (n *Node) Snapshot(causalView bool) map[string]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	src := n.pram
+	if causalView {
+		src = n.causal
+	}
+	out := make(map[string]int64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// Close unblocks all waiters and waits for the receive loop to exit. The
+// fabric must be closed (or still delivering) for the loop to finish;
+// closing the fabric first is the usual order.
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	<-n.done
+}

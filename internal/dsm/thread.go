@@ -1,0 +1,79 @@
+package dsm
+
+import "mixedmem/internal/history"
+
+// ThreadHandle issues memory operations on behalf of one thread of a
+// multithreaded process. The paper models local computations as partial
+// orders (Section 3): operations of different threads of one process are
+// unordered by program order unless fork/join edges relate them. Operations
+// through a handle are recorded with the handle's thread ID; the runtime
+// semantics are identical to the node's own methods (one replica per
+// process, shared by its threads).
+//
+// Synchronization operations (locks, barriers) stay on the main thread:
+// well-formedness requires each barrier to be totally ordered with all
+// operations of its process (Section 3's fourth condition).
+type ThreadHandle struct {
+	n *Node
+	t int
+}
+
+// Thread returns a handle issuing operations as thread t of this process.
+// Thread 0 is the main thread (the node's own methods).
+func (n *Node) Thread(t int) ThreadHandle {
+	return ThreadHandle{n: n, t: t}
+}
+
+// ID returns the process identity.
+func (h ThreadHandle) ID() int { return h.n.id }
+
+// ThreadID returns the handle's thread number.
+func (h ThreadHandle) ThreadID() int { return h.t }
+
+// Write stores value at loc, recorded on this thread.
+func (h ThreadHandle) Write(loc string, value int64) {
+	h.n.broadcastUpdate(OpSet, loc, value)
+	h.record(history.Op{Kind: history.Write, Loc: loc, Value: value})
+}
+
+// ReadPRAM performs a PRAM read, recorded on this thread.
+func (h ThreadHandle) ReadPRAM(loc string) int64 {
+	v := h.n.readPRAMValue(loc)
+	h.record(history.Op{Kind: history.Read, Loc: loc, Value: v, Label: history.LabelPRAM})
+	return v
+}
+
+// ReadCausal performs a causal read, recorded on this thread.
+func (h ThreadHandle) ReadCausal(loc string) int64 {
+	v := h.n.readCausalValue(loc)
+	h.record(history.Op{Kind: history.Read, Loc: loc, Value: v, Label: history.LabelCausal})
+	return v
+}
+
+// AwaitPRAM blocks until loc holds value in the PRAM view.
+func (h ThreadHandle) AwaitPRAM(loc string, value int64) {
+	h.n.awaitValue(loc, value, false)
+	h.record(history.Op{Kind: history.Await, Loc: loc, Value: value})
+}
+
+// AwaitCausal blocks until loc holds value in the causal view.
+func (h ThreadHandle) AwaitCausal(loc string, value int64) {
+	h.n.awaitValue(loc, value, true)
+	h.record(history.Op{Kind: history.Await, Loc: loc, Value: value})
+}
+
+// Add applies a commutative increment (not recorded; counter objects are
+// abstract-data-type operations).
+func (h ThreadHandle) Add(loc string, delta int64) { h.n.Add(loc, delta) }
+
+// AddFloat applies a commutative float64 increment.
+func (h ThreadHandle) AddFloat(loc string, delta float64) { h.n.AddFloat(loc, delta) }
+
+func (h ThreadHandle) record(op history.Op) {
+	if h.n.trace == nil {
+		return
+	}
+	op.Proc = h.n.id
+	op.Thread = h.t
+	h.n.trace.AppendOp(op)
+}

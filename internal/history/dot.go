@@ -1,0 +1,68 @@
+package history
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the analyzed history as a Graphviz digraph for
+// debugging: one node per operation (clustered by process, labeled in the
+// paper's notation) and one edge per pair of the causality relation's
+// transitive reduction, colored by origin — program order black, reads-from
+// blue, synchronization orders red. Feed the output to `dot -Tsvg`.
+func (a *Analysis) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph history {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [shape=box, fontsize=10];")
+
+	// Cluster operations per process in program order.
+	byProc := make(map[int][]Op)
+	for _, op := range a.H.Ops {
+		byProc[op.Proc] = append(byProc[op.Proc], op)
+	}
+	procs := make([]int, 0, len(byProc))
+	for p := range byProc {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		fmt.Fprintf(w, "  subgraph cluster_p%d {\n", p)
+		fmt.Fprintf(w, "    label=\"p%d\";\n", p)
+		ops := byProc[p]
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].Thread != ops[j].Thread {
+				return ops[i].Thread < ops[j].Thread
+			}
+			return ops[i].Seq < ops[j].Seq
+		})
+		for _, op := range ops {
+			fmt.Fprintf(w, "    n%d [label=%q];\n", op.ID, op.String())
+		}
+		fmt.Fprintln(w, "  }")
+	}
+
+	// Edge set: transitive reduction of the causality relation, colored by
+	// which component relation explains the pair.
+	reduced := a.Causality.TransitiveReduce()
+	n := len(a.H.Ops)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !reduced.Has(i, j) {
+				continue
+			}
+			color := "black" // program order
+			switch {
+			case a.Sync.Has(i, j) && !a.PO.Has(i, j):
+				color = "red"
+			case a.RF.Has(i, j):
+				color = "blue"
+			}
+			fmt.Fprintf(w, "  n%d -> n%d [color=%s];\n", i, j, color)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

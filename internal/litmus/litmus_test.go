@@ -1,0 +1,95 @@
+package litmus
+
+import (
+	"testing"
+
+	"mixedmem/internal/history"
+)
+
+// TestSuiteVerdicts evaluates every litmus test under all three conditions
+// and compares with its annotation.
+func TestSuiteVerdicts(t *testing.T) {
+	for _, tt := range Suite() {
+		tt := tt
+		t.Run(tt.Name, func(t *testing.T) {
+			pram, causal, sc, err := tt.Evaluate()
+			if err != nil {
+				t.Fatalf("Evaluate: %v", err)
+			}
+			if pram != tt.PRAM {
+				t.Errorf("PRAM verdict = %v, want %v (%s)", pram, tt.PRAM, tt.Description)
+			}
+			if causal != tt.Causal {
+				t.Errorf("causal verdict = %v, want %v (%s)", causal, tt.Causal, tt.Description)
+			}
+			if sc != tt.SC {
+				t.Errorf("SC verdict = %v, want %v (%s)", sc, tt.SC, tt.Description)
+			}
+		})
+	}
+}
+
+// TestHierarchy checks the inclusion SC ⊆ causal ⊆ PRAM on the annotations
+// themselves: anything SC-allowed must be causal-allowed, anything
+// causal-allowed must be PRAM-allowed.
+func TestHierarchy(t *testing.T) {
+	for _, tt := range Suite() {
+		if tt.SC == Allowed && tt.Causal == Forbidden {
+			t.Errorf("%s: SC-allowed but causal-forbidden breaks the hierarchy", tt.Name)
+		}
+		if tt.Causal == Allowed && tt.PRAM == Forbidden {
+			t.Errorf("%s: causal-allowed but PRAM-forbidden breaks the hierarchy", tt.Name)
+		}
+	}
+}
+
+// TestStrictSeparationWitnesses ensures the suite contains witnesses for
+// both strict inclusions: a history causal-forbidden but PRAM-allowed, and
+// one SC-forbidden but causal-allowed.
+func TestStrictSeparationWitnesses(t *testing.T) {
+	var pramOnly, causalOnly bool
+	for _, tt := range Suite() {
+		if tt.PRAM == Allowed && tt.Causal == Forbidden {
+			pramOnly = true
+		}
+		if tt.Causal == Allowed && tt.SC == Forbidden {
+			causalOnly = true
+		}
+	}
+	if !pramOnly {
+		t.Error("no witness separating PRAM from causal")
+	}
+	if !causalOnly {
+		t.Error("no witness separating causal from SC")
+	}
+}
+
+// TestVerdictString covers the String method.
+func TestVerdictString(t *testing.T) {
+	if Allowed.String() != "allowed" || Forbidden.String() != "forbidden" {
+		t.Error("bad verdict strings")
+	}
+}
+
+// TestSuiteHistoriesWellFormed double-checks every built history analyzes
+// cleanly under both labels.
+func TestSuiteHistoriesWellFormed(t *testing.T) {
+	for _, tt := range Suite() {
+		for _, l := range []history.Label{history.LabelPRAM, history.LabelCausal} {
+			if _, err := tt.Build(l).Analyze(); err != nil {
+				t.Errorf("%s (%v): %v", tt.Name, l, err)
+			}
+		}
+	}
+}
+
+// TestSuiteNamesUnique guards against copy-paste duplicates.
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, tt := range Suite() {
+		if seen[tt.Name] {
+			t.Errorf("duplicate test name %q", tt.Name)
+		}
+		seen[tt.Name] = true
+	}
+}

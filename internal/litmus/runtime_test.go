@@ -1,0 +1,123 @@
+package litmus
+
+import (
+	"testing"
+
+	"mixedmem/internal/check"
+	"mixedmem/internal/core"
+	"mixedmem/internal/history"
+	"mixedmem/internal/seqmem"
+)
+
+// The litmus suite pins the checker's verdicts; these tests pin the
+// *runtimes'* observable behaviors on the store-buffering shape: the mixed
+// memory can exhibit the weak outcome (both processes read 0), and the
+// sequentially consistent baseline never can.
+
+// runSBMixed runs the SB shape once on the mixed memory with both
+// cross-channels held during the reads, forcing the weak outcome.
+func runSBMixed(t *testing.T) (r0, r1 int64) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{Procs: 2})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+	// Hold both directions: each process's write cannot reach the other
+	// before the other's read — a legal (if extreme) delivery schedule.
+	_ = sys.Fabric().Hold(0, 1)
+	_ = sys.Fabric().Hold(1, 0)
+	sys.Run(func(p *core.Proc) {
+		if p.ID() == 0 {
+			p.Write("x", 1)
+			r0 = p.ReadPRAM("y")
+		} else {
+			p.Write("y", 1)
+			r1 = p.ReadPRAM("x")
+		}
+	})
+	_ = sys.Fabric().Release(0, 1)
+	_ = sys.Fabric().Release(1, 0)
+	return r0, r1
+}
+
+func TestMixedRuntimeExhibitsStoreBuffering(t *testing.T) {
+	r0, r1 := runSBMixed(t)
+	if r0 != 0 || r1 != 0 {
+		t.Fatalf("held channels must force the weak outcome: r0=%d r1=%d", r0, r1)
+	}
+}
+
+func TestMixedRuntimeSBHistoryIsMixedConsistent(t *testing.T) {
+	// The weak outcome is PRAM-legal: record it and let the checker agree.
+	sys, err := core.NewSystem(core.Config{Procs: 2, Record: true})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+	_ = sys.Fabric().Hold(0, 1)
+	_ = sys.Fabric().Hold(1, 0)
+	sys.Run(func(p *core.Proc) {
+		if p.ID() == 0 {
+			p.Write("x", 1)
+			p.ReadPRAM("y")
+		} else {
+			p.Write("y", 1)
+			p.ReadPRAM("x")
+		}
+	})
+	_ = sys.Fabric().Release(0, 1)
+	_ = sys.Fabric().Release(1, 0)
+
+	h := sys.History()
+	a, err := h.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if v := check.Mixed(a); len(v) != 0 {
+		t.Fatalf("weak SB outcome flagged as inconsistent: %v", v)
+	}
+	// And it must really be the weak outcome: both reads returned 0.
+	zeros := 0
+	for _, op := range h.Ops {
+		if op.Kind == history.Read && op.Value == 0 {
+			zeros++
+		}
+	}
+	if zeros != 2 {
+		t.Fatalf("expected both reads 0, history: %v", h.Ops)
+	}
+	// The same history must fail the SC check — the runtime exhibited a
+	// behavior only the weak models admit.
+	ok, _, err := check.SequentiallyConsistent(a)
+	if err != nil {
+		t.Fatalf("SC search: %v", err)
+	}
+	if ok {
+		t.Fatal("weak SB outcome should not be sequentially consistent")
+	}
+}
+
+func TestSequentialMemoryNeverStoreBuffers(t *testing.T) {
+	// Many trials on the SC baseline: the weak outcome must never appear.
+	for trial := 0; trial < 30; trial++ {
+		sys, err := seqmem.NewSystem(seqmem.Config{Procs: 2})
+		if err != nil {
+			t.Fatalf("NewSystem: %v", err)
+		}
+		var r0, r1 int64
+		sys.Run(func(p *seqmem.Proc) {
+			if p.ID() == 0 {
+				p.Write("x", 1)
+				r0 = p.ReadPRAM("y")
+			} else {
+				p.Write("y", 1)
+				r1 = p.ReadPRAM("x")
+			}
+		})
+		sys.Close()
+		if r0 == 0 && r1 == 0 {
+			t.Fatalf("trial %d: sequentially consistent memory exhibited store buffering", trial)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package network
+
+import "sync"
+
+// queue is an unbounded FIFO queue safe for concurrent use. Senders never
+// block; receivers block until an element arrives or the queue is closed.
+// The mixed-consistency memory model requires non-blocking writes (Section 3
+// of the paper), so per-channel buffering must be unbounded.
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// items[head:] are the queued messages. Pops advance head instead of
+	// shifting, so pop stays O(1) even when a producer floods the queue;
+	// the consumed prefix is compacted away once it dominates the slice.
+	items  []Message
+	head   int
+	closed bool
+	// held pauses delivery without affecting enqueues; used by the test
+	// fabric to build adversarial delivery schedules.
+	held bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends m. Pushing to a closed queue silently drops the message; the
+// fabric is shutting down and nobody will receive it.
+func (q *queue) push(m Message) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+}
+
+// pop removes and returns the oldest message. It blocks while the queue is
+// empty or held. The second result is false once the queue is closed and
+// drained.
+func (q *queue) pop() (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for (len(q.items) == q.head || q.held) && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == q.head || (q.held && q.closed) {
+		return Message{}, false
+	}
+	m := q.items[q.head]
+	q.items[q.head] = Message{} // release payload references
+	q.head++
+	// Compact once the consumed prefix dominates, amortizing to O(1) per
+	// pop while letting the backing array shrink after bursts.
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return m, true
+}
+
+// hold pauses delivery: pop blocks even when messages are queued.
+func (q *queue) hold() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.held = true
+}
+
+// release resumes delivery.
+func (q *queue) release() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.held = false
+	q.cond.Broadcast()
+}
+
+// close wakes all blocked receivers. Queued messages already pushed remain
+// poppable unless the queue is held.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// len reports the number of queued messages.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}

@@ -1,0 +1,436 @@
+// Package seqmem is the sequentially consistent baseline memory: a central
+// server process serializes every operation, and every read, write, and
+// synchronization operation is a blocking round trip to it.
+//
+// This is the standard software realization of sequential consistency on a
+// message-passing system and serves as the strong end of the paper's
+// consistency spectrum: the same programs run here and on the
+// mixed-consistency system (both implement core.Process), and the latency
+// benchmarks of EXPERIMENTS.md E8 quantify the paper's motivation that
+// weaker consistency buys lower access latency (Sections 1, 3.2).
+package seqmem
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mixedmem/internal/core"
+	"mixedmem/internal/network"
+)
+
+// Message kinds of the client/server protocol.
+const (
+	kindRead     = "sc-read"
+	kindWrite    = "sc-write"
+	kindAdd      = "sc-add"
+	kindAddFloat = "sc-addf"
+	kindAwait    = "sc-await"
+	kindRLock    = "sc-rlock"
+	kindRUnlock  = "sc-runlock"
+	kindWLock    = "sc-wlock"
+	kindWUnlock  = "sc-wunlock"
+	kindBarrier  = "sc-barrier"
+	kindReply    = "sc-reply"
+)
+
+// request is the payload of every client-to-server message.
+type request struct {
+	ReqID  uint64
+	Client int
+	Loc    string
+	Value  int64
+	K      int
+}
+
+// reply is the payload of every server-to-client message.
+type reply struct {
+	ReqID uint64
+	Value int64
+}
+
+// Config configures a sequentially consistent System.
+type Config struct {
+	// Procs is the number of application processes.
+	Procs int
+	// Latency models message delivery cost.
+	Latency network.LatencyModel
+	// Seed seeds latency jitter.
+	Seed int64
+}
+
+// System is a running sequentially consistent memory: Procs clients plus a
+// server on fabric node Procs.
+type System struct {
+	fabric *network.Fabric
+	procs  []*Proc
+	server *server
+}
+
+// NewSystem starts the server and the client receive loops.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("seqmem: %d procs", cfg.Procs)
+	}
+	fabric, err := network.New(network.Config{
+		Nodes:   cfg.Procs + 1,
+		Latency: cfg.Latency,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("seqmem: fabric: %w", err)
+	}
+	sys := &System{fabric: fabric}
+	sys.server = newServer(cfg.Procs, fabric)
+	for i := 0; i < cfg.Procs; i++ {
+		sys.procs = append(sys.procs, newProc(i, cfg.Procs, fabric))
+	}
+	return sys, nil
+}
+
+// Proc returns the handle for process i.
+func (s *System) Proc(i int) *Proc { return s.procs[i] }
+
+// Procs returns the number of client processes.
+func (s *System) Procs() int { return len(s.procs) }
+
+// Run executes body once per process concurrently and waits.
+func (s *System) Run(body func(p *Proc)) {
+	var wg sync.WaitGroup
+	for _, p := range s.procs {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(p)
+		}()
+	}
+	wg.Wait()
+}
+
+// NetStats returns the fabric's message accounting.
+func (s *System) NetStats() network.Stats { return s.fabric.Stats() }
+
+// Close shuts down the fabric, the server, and the client loops.
+func (s *System) Close() {
+	s.fabric.Close()
+	s.server.wait()
+	for _, p := range s.procs {
+		p.wait()
+	}
+}
+
+// server serializes all operations.
+type server struct {
+	id     int
+	n      int
+	fabric *network.Fabric
+	done   chan struct{}
+
+	mem map[string]int64
+	// locks[name] tracks holders and the wait queue.
+	locks map[string]*lockState
+	// barriers[k] counts arrivals and keeps the waiting clients.
+	barriers map[int]*barrierState
+	// awaits[loc] holds requests blocked until the location's value
+	// matches.
+	awaits map[string][]request
+}
+
+type lockState struct {
+	writer  int
+	readers map[int]bool
+	queue   []queuedLock
+}
+
+type queuedLock struct {
+	req   request
+	write bool
+}
+
+type barrierState struct {
+	waiting []request
+}
+
+func newServer(n int, fabric *network.Fabric) *server {
+	s := &server{
+		id:       n,
+		n:        n,
+		fabric:   fabric,
+		done:     make(chan struct{}),
+		mem:      make(map[string]int64),
+		locks:    make(map[string]*lockState),
+		barriers: make(map[int]*barrierState),
+		awaits:   make(map[string][]request),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *server) wait() { <-s.done }
+
+func (s *server) loop() {
+	defer close(s.done)
+	for {
+		m, ok := s.fabric.Recv(s.id)
+		if !ok {
+			return
+		}
+		req, ok := m.Payload.(request)
+		if !ok {
+			continue
+		}
+		switch m.Kind {
+		case kindRead:
+			s.reply(req, s.mem[req.Loc])
+		case kindWrite:
+			s.mem[req.Loc] = req.Value
+			s.reply(req, 0)
+			s.fireAwaits(req.Loc)
+		case kindAdd:
+			s.mem[req.Loc] += req.Value
+			s.reply(req, 0)
+			s.fireAwaits(req.Loc)
+		case kindAddFloat:
+			sum := math.Float64frombits(uint64(s.mem[req.Loc])) +
+				math.Float64frombits(uint64(req.Value))
+			s.mem[req.Loc] = int64(math.Float64bits(sum))
+			s.reply(req, 0)
+			s.fireAwaits(req.Loc)
+		case kindAwait:
+			if s.mem[req.Loc] == req.Value {
+				s.reply(req, req.Value)
+			} else {
+				s.awaits[req.Loc] = append(s.awaits[req.Loc], req)
+			}
+		case kindRLock:
+			st := s.lock(req.Loc)
+			st.queue = append(st.queue, queuedLock{req: req, write: false})
+			s.admit(st)
+		case kindWLock:
+			st := s.lock(req.Loc)
+			st.queue = append(st.queue, queuedLock{req: req, write: true})
+			s.admit(st)
+		case kindRUnlock:
+			st := s.lock(req.Loc)
+			delete(st.readers, req.Client)
+			s.reply(req, 0)
+			s.admit(st)
+		case kindWUnlock:
+			st := s.lock(req.Loc)
+			if st.writer == req.Client {
+				st.writer = -1
+			}
+			s.reply(req, 0)
+			s.admit(st)
+		case kindBarrier:
+			bs := s.barriers[req.K]
+			if bs == nil {
+				bs = &barrierState{}
+				s.barriers[req.K] = bs
+			}
+			bs.waiting = append(bs.waiting, req)
+			if len(bs.waiting) == s.n {
+				for _, w := range bs.waiting {
+					s.reply(w, 0)
+				}
+				delete(s.barriers, req.K)
+			}
+		}
+	}
+}
+
+func (s *server) lock(name string) *lockState {
+	st, ok := s.locks[name]
+	if !ok {
+		st = &lockState{writer: -1, readers: make(map[int]bool)}
+		s.locks[name] = st
+	}
+	return st
+}
+
+func (s *server) admit(st *lockState) {
+	for len(st.queue) > 0 {
+		head := st.queue[0]
+		if head.write {
+			if st.writer >= 0 || len(st.readers) > 0 {
+				return
+			}
+			st.writer = head.req.Client
+			s.reply(head.req, 0)
+			st.queue = st.queue[1:]
+			return
+		}
+		if st.writer >= 0 {
+			return
+		}
+		st.readers[head.req.Client] = true
+		s.reply(head.req, 0)
+		st.queue = st.queue[1:]
+	}
+}
+
+func (s *server) fireAwaits(loc string) {
+	pending := s.awaits[loc]
+	if len(pending) == 0 {
+		return
+	}
+	var kept []request
+	for _, req := range pending {
+		if s.mem[loc] == req.Value {
+			s.reply(req, req.Value)
+		} else {
+			kept = append(kept, req)
+		}
+	}
+	if len(kept) == 0 {
+		delete(s.awaits, loc)
+	} else {
+		s.awaits[loc] = kept
+	}
+}
+
+func (s *server) reply(req request, value int64) {
+	_ = s.fabric.Send(network.Message{
+		From: s.id, To: req.Client, Kind: kindReply,
+		Payload: reply{ReqID: req.ReqID, Value: value},
+		Size:    16,
+	})
+}
+
+// Proc is one client of the sequentially consistent memory.
+type Proc struct {
+	id     int
+	n      int
+	server int
+	fabric *network.Fabric
+	done   chan struct{}
+
+	mu      sync.Mutex
+	nextReq uint64
+	nextK   int
+	waiting map[uint64]chan int64
+}
+
+var _ core.Process = (*Proc)(nil)
+
+func newProc(id, n int, fabric *network.Fabric) *Proc {
+	p := &Proc{
+		id:      id,
+		n:       n,
+		server:  n,
+		fabric:  fabric,
+		done:    make(chan struct{}),
+		nextK:   1,
+		waiting: make(map[uint64]chan int64),
+	}
+	go p.loop()
+	return p
+}
+
+func (p *Proc) wait() { <-p.done }
+
+func (p *Proc) loop() {
+	defer close(p.done)
+	for {
+		m, ok := p.fabric.Recv(p.id)
+		if !ok {
+			return
+		}
+		rep, ok := m.Payload.(reply)
+		if !ok {
+			continue
+		}
+		p.mu.Lock()
+		ch := p.waiting[rep.ReqID]
+		delete(p.waiting, rep.ReqID)
+		p.mu.Unlock()
+		if ch != nil {
+			ch <- rep.Value
+		}
+	}
+}
+
+// rpc sends one request and blocks for the reply.
+func (p *Proc) rpc(kind, loc string, value int64, k int) int64 {
+	p.mu.Lock()
+	p.nextReq++
+	req := request{ReqID: p.nextReq, Client: p.id, Loc: loc, Value: value, K: k}
+	ch := make(chan int64, 1)
+	p.waiting[req.ReqID] = ch
+	p.mu.Unlock()
+	_ = p.fabric.Send(network.Message{
+		From: p.id, To: p.server, Kind: kind,
+		Payload: req, Size: 24 + len(loc),
+	})
+	return <-ch
+}
+
+// ID returns the process identity.
+func (p *Proc) ID() int { return p.id }
+
+// N returns the number of client processes.
+func (p *Proc) N() int { return p.n }
+
+// Write stores value at loc; it blocks for the server's acknowledgement,
+// which is what makes the memory sequentially consistent.
+func (p *Proc) Write(loc string, value int64) { p.rpc(kindWrite, loc, value, 0) }
+
+// ReadPRAM reads loc. All reads are server round trips here; the label is
+// accepted for interface compatibility.
+func (p *Proc) ReadPRAM(loc string) int64 { return p.rpc(kindRead, loc, 0, 0) }
+
+// ReadCausal reads loc (same round trip as ReadPRAM).
+func (p *Proc) ReadCausal(loc string) int64 { return p.rpc(kindRead, loc, 0, 0) }
+
+// Await blocks until loc holds value; the server parks the request.
+func (p *Proc) Await(loc string, value int64) { p.rpc(kindAwait, loc, value, 0) }
+
+// AwaitPRAM is identical to Await here: the central server has one view.
+func (p *Proc) AwaitPRAM(loc string, value int64) { p.rpc(kindAwait, loc, value, 0) }
+
+// RLock acquires a read lock on name.
+func (p *Proc) RLock(name string) { p.rpc(kindRLock, name, 0, 0) }
+
+// RUnlock releases a read lock on name.
+func (p *Proc) RUnlock(name string) { p.rpc(kindRUnlock, name, 0, 0) }
+
+// WLock acquires the write lock on name.
+func (p *Proc) WLock(name string) { p.rpc(kindWLock, name, 0, 0) }
+
+// WUnlock releases the write lock on name.
+func (p *Proc) WUnlock(name string) { p.rpc(kindWUnlock, name, 0, 0) }
+
+// Barrier blocks until all processes arrive at the same barrier index.
+func (p *Proc) Barrier() {
+	p.mu.Lock()
+	k := p.nextK
+	p.nextK++
+	p.mu.Unlock()
+	p.rpc(kindBarrier, "", 0, k)
+}
+
+// Add applies an increment to loc at the server.
+func (p *Proc) Add(loc string, delta int64) { p.rpc(kindAdd, loc, delta, 0) }
+
+// AddFloat applies a float64 increment to a Float64bits-encoded location.
+func (p *Proc) AddFloat(loc string, delta float64) {
+	p.rpc(kindAddFloat, loc, int64(math.Float64bits(delta)), 0)
+}
+
+// Forall runs body once per index concurrently and waits for all. The
+// sequentially consistent memory has no weaker intra-process structure to
+// model: every operation is a serialized server round trip, so the bodies
+// simply share the client handle.
+func (p *Proc) Forall(count int, body func(i int, t core.ThreadOps)) {
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(i, p)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,179 @@
+package seqmem
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+func newSys(t *testing.T, procs int) *System {
+	t.Helper()
+	sys, err := NewSystem(Config{Procs: procs})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{Procs: 0}); err == nil {
+		t.Error("zero procs must error")
+	}
+}
+
+func TestWriteIsImmediatelyGloballyVisible(t *testing.T) {
+	sys := newSys(t, 2)
+	sys.Proc(0).Write("x", 7)
+	// Sequential consistency through a central server: once the writer's
+	// Write returns, every read anywhere sees it.
+	if got := sys.Proc(1).ReadPRAM("x"); got != 7 {
+		t.Fatalf("read = %d, want 7", got)
+	}
+	if got := sys.Proc(1).ReadCausal("x"); got != 7 {
+		t.Fatalf("causal-labeled read = %d, want 7", got)
+	}
+}
+
+func TestUnwrittenLocationReadsZero(t *testing.T) {
+	sys := newSys(t, 1)
+	if got := sys.Proc(0).ReadPRAM("nothing"); got != 0 {
+		t.Fatalf("read = %d, want 0", got)
+	}
+}
+
+func TestLockMutualExclusionAndCounter(t *testing.T) {
+	sys := newSys(t, 3)
+	const iters = 20
+	sys.Run(func(p *Proc) {
+		for i := 0; i < iters; i++ {
+			p.WLock("l")
+			v := p.ReadPRAM("x")
+			p.Write("x", v+1)
+			p.WUnlock("l")
+		}
+	})
+	if got := sys.Proc(0).ReadPRAM("x"); got != 3*iters {
+		t.Fatalf("counter = %d, want %d", got, 3*iters)
+	}
+}
+
+func TestReadLocksShared(t *testing.T) {
+	sys := newSys(t, 2)
+	sys.Proc(0).RLock("l")
+	done := make(chan struct{})
+	go func() {
+		sys.Proc(1).RLock("l")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("shared read lock blocked")
+	}
+	sys.Proc(0).RUnlock("l")
+	sys.Proc(1).RUnlock("l")
+}
+
+func TestWriterWaitsForReaders(t *testing.T) {
+	sys := newSys(t, 2)
+	sys.Proc(0).RLock("l")
+	acquired := make(chan struct{})
+	go func() {
+		sys.Proc(1).WLock("l")
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("writer granted while reader holds")
+	case <-time.After(30 * time.Millisecond):
+	}
+	sys.Proc(0).RUnlock("l")
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer never granted")
+	}
+	sys.Proc(1).WUnlock("l")
+}
+
+func TestAwait(t *testing.T) {
+	sys := newSys(t, 2)
+	done := make(chan int64, 1)
+	go func() {
+		sys.Proc(1).Await("flag", 5)
+		done <- sys.Proc(1).ReadPRAM("data")
+	}()
+	sys.Proc(0).Write("data", 11)
+	sys.Proc(0).Write("flag", 5)
+	select {
+	case got := <-done:
+		if got != 11 {
+			t.Fatalf("data = %d, want 11", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("await never fired")
+	}
+}
+
+func TestAwaitAlreadyTrue(t *testing.T) {
+	sys := newSys(t, 1)
+	sys.Proc(0).Write("f", 1)
+	sys.Proc(0).Await("f", 1) // must return immediately
+}
+
+func TestAwaitFiresOnAdd(t *testing.T) {
+	sys := newSys(t, 2)
+	done := make(chan struct{})
+	go func() {
+		sys.Proc(1).Await("count", 0)
+		close(done)
+	}()
+	sys.Proc(0).Write("count", 2)
+	sys.Proc(0).Add("count", -1)
+	sys.Proc(0).Add("count", -1)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("await on decremented counter never fired")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	sys := newSys(t, 3)
+	sums := make([]int64, 3)
+	sys.Run(func(p *Proc) {
+		p.Write("w"+strconv.Itoa(p.ID()), int64(p.ID()+1))
+		p.Barrier()
+		var sum int64
+		for q := 0; q < p.N(); q++ {
+			sum += p.ReadPRAM("w" + strconv.Itoa(q))
+		}
+		sums[p.ID()] = sum
+	})
+	for i, s := range sums {
+		if s != 6 {
+			t.Errorf("proc %d sum = %d, want 6", i, s)
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	sys := newSys(t, 2)
+	sys.Run(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Add("c", 1)
+		}
+	})
+	if got := sys.Proc(0).ReadPRAM("c"); got != 20 {
+		t.Fatalf("c = %d, want 20", got)
+	}
+}
+
+func TestNetStats(t *testing.T) {
+	sys := newSys(t, 1)
+	sys.Proc(0).Write("x", 1)
+	if s := sys.NetStats(); s.MessagesSent < 2 {
+		t.Errorf("stats = %+v, want at least request+reply", s)
+	}
+}

@@ -1,0 +1,250 @@
+package syncmgr
+
+import (
+	"sync"
+	"time"
+
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
+	"mixedmem/internal/network"
+)
+
+// barArrive is the payload a process sends to the barrier manager on
+// reaching barrier k: its cumulative per-destination update counts, the
+// vector of Section 6's barrier implementation.
+type barArrive struct {
+	Client int
+	K      int
+	Sent   []uint64
+	// Group names the barrier object; "" is the global barrier over all
+	// processes. Members lists the participating processes for subset
+	// barriers (ignored for the global barrier).
+	Group   string
+	Members []int
+}
+
+// barRelease is the manager's reply: Expected[j] is the cumulative number of
+// updates process j has sent to the recipient, which the recipient must
+// receive before proceeding past the barrier.
+type barRelease struct {
+	K        int
+	Expected []uint64
+	Group    string
+}
+
+// BarrierManager is the barrier-manager state machine of Section 6: each
+// process sends its per-destination update-count vector on arrival; when all
+// have arrived the manager transposes the vectors and releases every process
+// with the counts it must wait for.
+type BarrierManager struct {
+	self    int
+	n       int
+	fabric  *network.Fabric
+	members int
+
+	mu      sync.Mutex
+	pending map[barKey]map[int][]uint64 // (group, k) -> client -> sent vector
+}
+
+type barKey struct {
+	group string
+	k     int
+}
+
+// NewBarrierManager creates a barrier manager hosted on node self. members
+// is the number of processes participating in each barrier (the paper notes
+// barriers can also be defined for subsets; participants must agree).
+func NewBarrierManager(self int, fabric *network.Fabric, members int) *BarrierManager {
+	return &BarrierManager{
+		self:    self,
+		n:       fabric.Nodes(),
+		fabric:  fabric,
+		members: members,
+		pending: make(map[barKey]map[int][]uint64),
+	}
+}
+
+// Bind registers the manager's handler on a dispatcher.
+func (m *BarrierManager) Bind(d *Dispatcher) {
+	d.Register(KindBarArrive, m.onArrive)
+}
+
+func (m *BarrierManager) onArrive(msg network.Message) {
+	arr, ok := msg.Payload.(barArrive)
+	if !ok {
+		return
+	}
+	need := m.members
+	if arr.Group != "" {
+		need = len(arr.Members)
+	}
+	key := barKey{arr.Group, arr.K}
+	m.mu.Lock()
+	if m.pending[key] == nil {
+		m.pending[key] = make(map[int][]uint64)
+	}
+	m.pending[key][arr.Client] = arr.Sent
+	if len(m.pending[key]) < need {
+		m.mu.Unlock()
+		return
+	}
+	vectors := m.pending[key]
+	delete(m.pending, key)
+	m.mu.Unlock()
+
+	// Transpose: client i must wait for vectors[j][i] updates from each j.
+	for client := range vectors {
+		expected := make([]uint64, m.n)
+		for j, vec := range vectors {
+			if client < len(vec) {
+				expected[j] = vec[client]
+			}
+		}
+		rel := barRelease{K: arr.K, Group: arr.Group, Expected: expected}
+		_ = m.fabric.Send(network.Message{
+			From: m.self, To: client, Kind: KindBarRelease,
+			Payload: rel, Size: 8 + 8*len(expected),
+		})
+	}
+}
+
+// BarrierStats counts a barrier client's activity.
+type BarrierStats struct {
+	Barriers uint64
+	// Wait is the total time blocked at barriers: waiting for the release
+	// message plus waiting for the counted updates to arrive.
+	Wait time.Duration
+}
+
+// BarrierClient is the per-process side of the barrier protocol.
+type BarrierClient struct {
+	node    *dsm.Node
+	manager int
+
+	mu       sync.Mutex
+	nextK    int
+	groupK   map[string]int
+	releases map[barKey]chan barRelease
+	stats    BarrierStats
+}
+
+// NewBarrierClient creates the client side for node, pointing at the
+// manager process.
+func NewBarrierClient(node *dsm.Node, manager int) *BarrierClient {
+	return &BarrierClient{
+		node:     node,
+		manager:  manager,
+		nextK:    1,
+		groupK:   make(map[string]int),
+		releases: make(map[barKey]chan barRelease),
+	}
+}
+
+// Bind registers the client's handler on a dispatcher.
+func (c *BarrierClient) Bind(d *Dispatcher) {
+	d.Register(KindBarRelease, c.onRelease)
+}
+
+func (c *BarrierClient) onRelease(msg network.Message) {
+	rel, ok := msg.Payload.(barRelease)
+	if !ok {
+		return
+	}
+	key := barKey{rel.Group, rel.K}
+	c.mu.Lock()
+	ch := c.releases[key]
+	delete(c.releases, key)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- rel
+	}
+}
+
+// Barrier blocks until every participating process has arrived at the k-th
+// barrier and all updates sent before the barrier have been applied locally
+// to both views. Barrier indices are implicit: the i-th call on every
+// process is barrier i.
+//
+// The paper notes writes after a barrier need not block; this implementation
+// blocks the whole process at the barrier, which is a stronger (still
+// correct) realization and matches how the Figure 2/4 programs use barriers.
+func (c *BarrierClient) Barrier() {
+	c.mu.Lock()
+	k := c.nextK
+	c.nextK++
+	c.mu.Unlock()
+	c.barrier("", k, nil)
+}
+
+// BarrierGroup blocks until every process in members arrives at the named
+// group's next barrier — the paper's subset barrier ("restricting the range
+// of the universal quantification to the subset"). All members must call
+// BarrierGroup with the same name and member set; the i-th call on each
+// member is the group's i-th barrier. The count-vector exchange covers only
+// the members: updates from non-members are not awaited.
+func (c *BarrierClient) BarrierGroup(name string, members []int) {
+	if name == "" {
+		c.Barrier()
+		return
+	}
+	c.mu.Lock()
+	c.groupK[name]++
+	k := c.groupK[name]
+	c.mu.Unlock()
+	c.barrier(name, k, members)
+}
+
+func (c *BarrierClient) barrier(group string, k int, members []int) {
+	key := barKey{group, k}
+	ch := make(chan barRelease, 1)
+	c.mu.Lock()
+	c.releases[key] = ch
+	c.mu.Unlock()
+
+	start := time.Now()
+	sent := c.node.SentCounts()
+	if group != "" {
+		// Subset barrier: only member counts participate.
+		masked := make([]uint64, len(sent))
+		for _, mbr := range members {
+			if mbr >= 0 && mbr < len(sent) {
+				masked[mbr] = sent[mbr]
+			}
+		}
+		sent = masked
+	}
+	_ = c.node.Fabric().Send(network.Message{
+		From: c.node.ID(), To: c.manager, Kind: KindBarArrive,
+		Payload: barArrive{
+			Client: c.node.ID(), K: k, Sent: sent,
+			Group: group, Members: members,
+		},
+		Size: 16 + 8*len(sent) + len(group) + 4*len(members),
+	})
+	rel := <-ch
+	// All prior-phase updates must be applied before this phase's reads:
+	// wait on the PRAM view, then on the causal view. Once every counted
+	// update has been received, the causal view can always drain fully
+	// (dependencies of pre-barrier updates are themselves pre-barrier).
+	c.node.WaitReceived(rel.Expected)
+	c.node.WaitCausalApplied(rel.Expected)
+
+	c.mu.Lock()
+	c.stats.Barriers++
+	c.stats.Wait += time.Since(start)
+	c.mu.Unlock()
+
+	if tr := c.node.Trace(); tr != nil {
+		tr.AppendOp(history.Op{
+			Proc: c.node.ID(), Kind: history.Barrier,
+			BarrierID: k, BarrierGroup: group,
+		})
+	}
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *BarrierClient) Stats() BarrierStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

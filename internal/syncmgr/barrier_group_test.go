@@ -1,0 +1,162 @@
+package syncmgr
+
+import (
+	"testing"
+	"time"
+
+	"mixedmem/internal/check"
+	"mixedmem/internal/history"
+)
+
+func TestBarrierGroupExchangesWithinGroup(t *testing.T) {
+	tc := newTestCluster(t, 4, Lazy, nil)
+	members := []int{1, 2}
+	done := make(chan int64, 2)
+	for _, id := range members {
+		id := id
+		go func() {
+			tc.nodes[id].Write("g"+string(rune('0'+id)), int64(id*10))
+			tc.barriers[id].BarrierGroup("pair", members)
+			other := 3 - id // 1 <-> 2
+			done <- tc.nodes[id].ReadPRAM("g" + string(rune('0'+other)))
+		}()
+	}
+	want := map[int64]bool{10: false, 20: false}
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-done:
+			want[v] = true
+		case <-time.After(2 * time.Second):
+			t.Fatal("group barrier never released")
+		}
+	}
+	if !want[10] || !want[20] {
+		t.Fatalf("cross reads missing: %v", want)
+	}
+}
+
+func TestBarrierGroupDoesNotBlockNonMembers(t *testing.T) {
+	tc := newTestCluster(t, 3, Lazy, nil)
+	released := make(chan struct{})
+	go func() {
+		tc.barriers[0].BarrierGroup("duo", []int{0, 1})
+		close(released)
+	}()
+	// Non-member 2 never arrives; only member 1 is needed.
+	select {
+	case <-released:
+		t.Fatal("released before the second member arrived")
+	case <-time.After(20 * time.Millisecond):
+	}
+	go tc.barriers[1].BarrierGroup("duo", []int{0, 1})
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("group barrier never released")
+	}
+}
+
+func TestBarrierGroupIndependentOfGlobal(t *testing.T) {
+	tc := newTestCluster(t, 2, Lazy, nil)
+	// Run a group barrier between the two, then a global one; indices must
+	// not collide.
+	done := make(chan struct{}, 2)
+	for id := 0; id < 2; id++ {
+		id := id
+		go func() {
+			tc.barriers[id].BarrierGroup("both", []int{0, 1})
+			tc.barriers[id].Barrier()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("mixed group/global barriers deadlocked")
+		}
+	}
+}
+
+func TestBarrierGroupSequence(t *testing.T) {
+	tc := newTestCluster(t, 3, Lazy, nil)
+	members := []int{0, 2}
+	const rounds = 4
+	done := make(chan bool, 2)
+	for _, id := range members {
+		id := id
+		go func() {
+			ok := true
+			loc := "seq" + string(rune('0'+id))
+			other := 2 - id
+			for r := 1; r <= rounds; r++ {
+				tc.nodes[id].Write(loc, int64(r))
+				tc.barriers[id].BarrierGroup("m", members)
+				if tc.nodes[id].ReadPRAM("seq"+string(rune('0'+other))) != int64(r) {
+					ok = false
+				}
+				tc.barriers[id].BarrierGroup("m", members)
+			}
+			done <- ok
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-done:
+			if !ok {
+				t.Fatal("stale read inside group phase")
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatal("group barrier sequence hung")
+		}
+	}
+}
+
+func TestBarrierGroupTraceOrdersOnlyMembers(t *testing.T) {
+	trace := history.NewBuilder(3)
+	tc := newTestCluster(t, 3, Lazy, trace)
+	members := []int{0, 1}
+	doneCh := make(chan struct{}, 2)
+	for _, id := range members {
+		id := id
+		go func() {
+			tc.nodes[id].Write("bg"+string(rune('0'+id)), int64(id+1))
+			tc.barriers[id].BarrierGroup("g", members)
+			tc.nodes[id].ReadPRAM("bg" + string(rune('0'+(1-id))))
+			doneCh <- struct{}{}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		<-doneCh
+	}
+	// The outsider writes concurrently; it must not be ordered by the
+	// group's barrier.
+	tc.nodes[2].Write("outside", 99)
+
+	h := trace.History()
+	a, err := h.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if v := check.Mixed(a); len(v) != 0 {
+		t.Fatalf("trace not mixed consistent: %v", v)
+	}
+	var outside, barrier0 = -1, -1
+	for _, op := range h.Ops {
+		if op.Loc == "outside" {
+			outside = op.ID
+		}
+		if op.Kind == history.Barrier && op.Proc == 0 {
+			barrier0 = op.ID
+		}
+	}
+	if outside < 0 || barrier0 < 0 {
+		t.Fatal("ops missing from trace")
+	}
+	if h.Ops[barrier0].BarrierGroup != "g" {
+		t.Fatalf("barrier group not recorded: %+v", h.Ops[barrier0])
+	}
+	if a.BarrierOrder.Has(outside, barrier0) || a.BarrierOrder.Has(barrier0, outside) {
+		t.Fatal("subset barrier must not order non-member operations")
+	}
+}

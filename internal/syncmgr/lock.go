@@ -1,0 +1,487 @@
+package syncmgr
+
+import (
+	"sync"
+	"time"
+
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
+	"mixedmem/internal/network"
+)
+
+// LockMode distinguishes read and write lock requests.
+type LockMode int
+
+// Lock request modes.
+const (
+	ReadMode LockMode = iota + 1
+	WriteMode
+)
+
+// lockRequest is the payload of a KindLockReq message.
+type lockRequest struct {
+	Lock   string
+	Mode   LockMode
+	Client int
+	ReqID  uint64
+}
+
+// lockGrant is the payload of a KindLockGrant message. Depending on the
+// propagation mode it carries the release vector (lazy) or the accumulated
+// write-set (demand-driven) the acquirer must honor before reading.
+type lockGrant struct {
+	Lock  string
+	ReqID uint64
+	Epoch int
+	// RelVC, in lazy mode, is the elementwise maximum of the received
+	// counts reported by previous unlockers: the acquirer waits until it
+	// has received at least this many updates from each process.
+	RelVC []uint64
+	// WriteSet, in demand-driven mode, maps locations written in previous
+	// critical sections to the update the acquirer must see before reading
+	// them.
+	WriteSet map[string]writeStamp
+}
+
+type writeStamp struct {
+	From int
+	Seq  uint64
+}
+
+// lockRelease is the payload of a KindLockRel message.
+type lockRelease struct {
+	Lock   string
+	Mode   LockMode
+	Client int
+	// Counts is the unlocker's received-counts vector (lazy mode).
+	Counts []uint64
+	// WriteSet lists locations written in the critical section
+	// (demand-driven mode, write unlocks only).
+	WriteSet map[string]writeStamp
+}
+
+// grantSize and friends model wire sizes for the latency model and the
+// message accounting, so the three modes show their real relative costs.
+func (g lockGrant) size() int {
+	s := 24 + len(g.Lock) + 8*len(g.RelVC)
+	for loc := range g.WriteSet {
+		s += len(loc) + 12
+	}
+	return s
+}
+
+func (r lockRelease) size() int {
+	s := 16 + len(r.Lock) + 8*len(r.Counts)
+	for loc := range r.WriteSet {
+		s += len(loc) + 12
+	}
+	return s
+}
+
+// Manager is the lock-manager state machine of Section 6. It runs on the
+// node whose dispatcher routes KindLockReq and KindLockRel to it; all its
+// work happens in those handlers and consists only of state updates and
+// non-blocking sends.
+type Manager struct {
+	self   int
+	fabric *network.Fabric
+	mode   PropagationMode
+
+	mu    sync.Mutex
+	locks map[string]*lockState
+}
+
+type lockState struct {
+	// epoch is the last assigned epoch; epochIsRead tells whether the
+	// current epoch is a shared read epoch.
+	epoch       int
+	epochIsRead bool
+	// started tracks whether any epoch has been assigned yet.
+	started bool
+	// writer holds the current write holder, or -1.
+	writer int
+	// readers holds the current read holders.
+	readers map[int]bool
+	queue   []lockRequest
+	// relVC accumulates unlockers' received counts (lazy mode).
+	relVC []uint64
+	// writeSet accumulates critical-section write-sets (demand mode).
+	writeSet map[string]writeStamp
+}
+
+// NewManager creates a lock manager hosted on node self.
+func NewManager(self int, fabric *network.Fabric, mode PropagationMode) *Manager {
+	return &Manager{
+		self:   self,
+		fabric: fabric,
+		mode:   mode,
+		locks:  make(map[string]*lockState),
+	}
+}
+
+// Bind registers the manager's handlers on a dispatcher.
+func (m *Manager) Bind(d *Dispatcher) {
+	d.Register(KindLockReq, m.onRequest)
+	d.Register(KindLockRel, m.onRelease)
+}
+
+func (m *Manager) state(name string) *lockState {
+	st, ok := m.locks[name]
+	if !ok {
+		st = &lockState{
+			writer:   -1,
+			readers:  make(map[int]bool),
+			relVC:    make([]uint64, m.fabric.Nodes()),
+			writeSet: make(map[string]writeStamp),
+		}
+		m.locks[name] = st
+	}
+	return st
+}
+
+func (m *Manager) onRequest(msg network.Message) {
+	req, ok := msg.Payload.(lockRequest)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	st := m.state(req.Lock)
+	st.queue = append(st.queue, req)
+	grants := m.admitLocked(st)
+	m.mu.Unlock()
+	m.sendGrants(grants)
+}
+
+func (m *Manager) onRelease(msg network.Message) {
+	rel, ok := msg.Payload.(lockRelease)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	st := m.state(rel.Lock)
+	switch rel.Mode {
+	case WriteMode:
+		if st.writer == rel.Client {
+			st.writer = -1
+		}
+	case ReadMode:
+		delete(st.readers, rel.Client)
+	}
+	if m.mode == Lazy {
+		for j, c := range rel.Counts {
+			if j < len(st.relVC) && c > st.relVC[j] {
+				st.relVC[j] = c
+			}
+		}
+	}
+	if m.mode == DemandDriven {
+		for loc, stamp := range rel.WriteSet {
+			if cur, ok := st.writeSet[loc]; !ok || stamp.Seq > cur.Seq || stamp.From != cur.From {
+				st.writeSet[loc] = stamp
+			}
+		}
+	}
+	grants := m.admitLocked(st)
+	m.mu.Unlock()
+	m.sendGrants(grants)
+}
+
+type pendingGrant struct {
+	to    int
+	grant lockGrant
+}
+
+// admitLocked grants queued requests FIFO: a write needs the lock free; a
+// read needs no writer and is granted together with consecutive reads, which
+// share one epoch (Section 3.1.1's read epochs).
+func (m *Manager) admitLocked(st *lockState) []pendingGrant {
+	var out []pendingGrant
+	for len(st.queue) > 0 {
+		head := st.queue[0]
+		switch head.Mode {
+		case WriteMode:
+			if st.writer >= 0 || len(st.readers) > 0 {
+				return out
+			}
+			st.writer = head.Client
+			st.epoch = m.nextEpochLocked(st, false)
+			out = append(out, m.buildGrantLocked(st, head))
+			st.queue = st.queue[1:]
+			return out
+		case ReadMode:
+			if st.writer >= 0 {
+				return out
+			}
+			if !st.epochIsRead || !st.started {
+				st.epoch = m.nextEpochLocked(st, true)
+			}
+			st.readers[head.Client] = true
+			out = append(out, m.buildGrantLocked(st, head))
+			st.queue = st.queue[1:]
+		default:
+			st.queue = st.queue[1:]
+		}
+	}
+	return out
+}
+
+func (m *Manager) nextEpochLocked(st *lockState, read bool) int {
+	if st.started {
+		st.epoch++
+	}
+	st.started = true
+	st.epochIsRead = read
+	return st.epoch
+}
+
+func (m *Manager) buildGrantLocked(st *lockState, req lockRequest) pendingGrant {
+	g := lockGrant{Lock: req.Lock, ReqID: req.ReqID, Epoch: st.epoch}
+	switch m.mode {
+	case Lazy:
+		g.RelVC = make([]uint64, len(st.relVC))
+		copy(g.RelVC, st.relVC)
+	case DemandDriven:
+		g.WriteSet = make(map[string]writeStamp, len(st.writeSet))
+		for loc, stamp := range st.writeSet {
+			g.WriteSet[loc] = stamp
+		}
+	}
+	return pendingGrant{to: req.Client, grant: g}
+}
+
+func (m *Manager) sendGrants(grants []pendingGrant) {
+	for _, pg := range grants {
+		_ = m.fabric.Send(network.Message{
+			From: m.self, To: pg.to, Kind: KindLockGrant,
+			Payload: pg.grant, Size: pg.grant.size(),
+		})
+	}
+}
+
+// ClientStats counts a lock client's activity.
+type ClientStats struct {
+	Acquires uint64
+	// AcquireWait is total time blocked waiting for grants plus, in lazy
+	// mode, waiting for the release vector's updates.
+	AcquireWait time.Duration
+	// ReleaseWait is total time blocked in eager flush rounds.
+	ReleaseWait time.Duration
+}
+
+// Client is the per-process side of the lock protocol. One Client serves all
+// locks managed by the manager it points at.
+type Client struct {
+	node    *dsm.Node
+	manager int
+	mode    PropagationMode
+
+	mu      sync.Mutex
+	nextReq uint64
+	grants  map[uint64]chan lockGrant
+	// flushWait collects flush acknowledgements for eager unlocks.
+	flushAcks chan struct{}
+	// marks tracks the write-log position at each write-lock acquire, per
+	// lock, to delimit the critical section's write-set.
+	marks  map[string]int
+	epochs map[string]int
+	stats  ClientStats
+}
+
+// NewClient creates the client side for node, pointing at the manager
+// process. Bind its handlers on the node's dispatcher.
+func NewClient(node *dsm.Node, manager int, mode PropagationMode) *Client {
+	ackBuf := node.N()
+	if ackBuf < 16 {
+		ackBuf = 16
+	}
+	return &Client{
+		node:      node,
+		manager:   manager,
+		mode:      mode,
+		grants:    make(map[uint64]chan lockGrant),
+		flushAcks: make(chan struct{}, ackBuf),
+		marks:     make(map[string]int),
+		epochs:    make(map[string]int),
+	}
+}
+
+// Bind registers the client's handlers on a dispatcher.
+func (c *Client) Bind(d *Dispatcher) {
+	d.Register(KindLockGrant, c.onGrant)
+	d.Register(KindFlush, c.onFlush)
+	d.Register(KindFlushAck, c.onFlushAck)
+}
+
+func (c *Client) onGrant(msg network.Message) {
+	g, ok := msg.Payload.(lockGrant)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	ch := c.grants[g.ReqID]
+	delete(c.grants, g.ReqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- g
+	}
+}
+
+// onFlush acknowledges a flush probe. The fabric's FIFO channels guarantee
+// that every update the flusher sent before the probe has already been
+// applied here, so the acknowledgement certifies receipt (Section 6's eager
+// implementation).
+func (c *Client) onFlush(msg network.Message) {
+	_ = c.node.Fabric().Send(network.Message{
+		From: c.node.ID(), To: msg.From, Kind: KindFlushAck, Size: 8,
+	})
+}
+
+func (c *Client) onFlushAck(network.Message) {
+	select {
+	case c.flushAcks <- struct{}{}:
+	default:
+	}
+}
+
+// acquire sends a request and blocks until the grant arrives, then applies
+// the mode's visibility work.
+func (c *Client) acquire(name string, mode LockMode) lockGrant {
+	c.mu.Lock()
+	c.nextReq++
+	req := lockRequest{Lock: name, Mode: mode, Client: c.node.ID(), ReqID: c.nextReq}
+	ch := make(chan lockGrant, 1)
+	c.grants[req.ReqID] = ch
+	c.mu.Unlock()
+
+	start := time.Now()
+	_ = c.node.Fabric().Send(network.Message{
+		From: c.node.ID(), To: c.manager, Kind: KindLockReq,
+		Payload: req, Size: 24 + len(name),
+	})
+	g := <-ch
+	switch c.mode {
+	case Lazy:
+		// Wait for every update counted in the release vector. Once they
+		// are received the causal view drains immediately (their
+		// dependencies are bounded by the same vector), so waiting on it
+		// as well is cheap and lets causal reads proceed safely.
+		c.node.WaitReceived(g.RelVC)
+		c.node.WaitCausalApplied(g.RelVC)
+	case DemandDriven:
+		// Invalidate locally; reads of these locations will block until
+		// the stamped updates arrive.
+		for loc, stamp := range g.WriteSet {
+			c.node.Invalidate(loc, stamp.From, stamp.Seq)
+		}
+	}
+	c.mu.Lock()
+	c.stats.Acquires++
+	c.stats.AcquireWait += time.Since(start)
+	c.epochs[name] = g.Epoch
+	c.mu.Unlock()
+	return g
+}
+
+// release performs the mode's unlock work and notifies the manager.
+func (c *Client) release(name string, mode LockMode, writeSet map[string]writeStamp) {
+	rel := lockRelease{Lock: name, Mode: mode, Client: c.node.ID()}
+	switch c.mode {
+	case Eager:
+		// Broadcast a flush probe and wait for all acknowledgements before
+		// releasing: every process has then applied the critical section's
+		// updates.
+		start := time.Now()
+		n := c.node.N()
+		_ = c.node.Fabric().Broadcast(c.node.ID(), KindFlush, nil, 8)
+		for i := 0; i < n-1; i++ {
+			<-c.flushAcks
+		}
+		c.mu.Lock()
+		c.stats.ReleaseWait += time.Since(start)
+		c.mu.Unlock()
+	case Lazy:
+		rel.Counts = c.node.ReceivedCounts()
+	case DemandDriven:
+		rel.WriteSet = writeSet
+	}
+	_ = c.node.Fabric().Send(network.Message{
+		From: c.node.ID(), To: c.manager, Kind: KindLockRel,
+		Payload: rel, Size: rel.size(),
+	})
+}
+
+// WLock acquires the write lock on name, blocking until granted and until
+// the propagation mode's visibility condition holds.
+func (c *Client) WLock(name string) {
+	g := c.acquire(name, WriteMode)
+	c.mu.Lock()
+	c.marks[name] = c.node.WriteMark()
+	c.mu.Unlock()
+	if tr := c.node.Trace(); tr != nil {
+		tr.AppendOp(history.Op{
+			Proc: c.node.ID(), Kind: history.WLock, Lock: name, LockEpoch: g.Epoch,
+		})
+	}
+}
+
+// WUnlock releases the write lock on name.
+func (c *Client) WUnlock(name string) {
+	c.mu.Lock()
+	mark := c.marks[name]
+	epoch := c.epochs[name]
+	delete(c.marks, name)
+	// Trim the node's write log below the oldest mark any still-held lock
+	// needs, bounding its memory.
+	oldest := c.node.WriteMark()
+	for _, m := range c.marks {
+		if m < oldest {
+			oldest = m
+		}
+	}
+	c.mu.Unlock()
+	var ws map[string]writeStamp
+	if c.mode == DemandDriven {
+		records := c.node.WritesSince(mark)
+		ws = make(map[string]writeStamp, len(records))
+		for _, rec := range records {
+			ws[rec.Loc] = writeStamp{From: c.node.ID(), Seq: rec.Seq}
+		}
+	}
+	c.node.TrimWriteLog(oldest)
+	if tr := c.node.Trace(); tr != nil {
+		tr.AppendOp(history.Op{
+			Proc: c.node.ID(), Kind: history.WUnlock, Lock: name, LockEpoch: epoch,
+		})
+	}
+	c.release(name, WriteMode, ws)
+}
+
+// RLock acquires a read lock on name.
+func (c *Client) RLock(name string) {
+	g := c.acquire(name, ReadMode)
+	if tr := c.node.Trace(); tr != nil {
+		tr.AppendOp(history.Op{
+			Proc: c.node.ID(), Kind: history.RLock, Lock: name, LockEpoch: g.Epoch,
+		})
+	}
+}
+
+// RUnlock releases a read lock on name.
+func (c *Client) RUnlock(name string) {
+	c.mu.Lock()
+	epoch := c.epochs[name]
+	c.mu.Unlock()
+	if tr := c.node.Trace(); tr != nil {
+		tr.AppendOp(history.Op{
+			Proc: c.node.ID(), Kind: history.RUnlock, Lock: name, LockEpoch: epoch,
+		})
+	}
+	c.release(name, ReadMode, nil)
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
