@@ -7,15 +7,21 @@
 //	mixedbench -exp e5         # run one experiment
 //	mixedbench -quick          # smaller problem sizes, zero network latency
 //	mixedbench -procs 8        # override the process count
+//	mixedbench -json           # one JSON line per measured row
+//	mixedbench -exp e8 -transport tcp   # latency spectrum over real TCP
 //
 // Output is one section per experiment with the measured rows and the
 // paper's corresponding claim, so EXPERIMENTS.md can be checked against a
-// fresh run.
+// fresh run. With -json each measured row becomes one line of the form
+// {"exp":..., "transport":..., "type":..., "data":{...}} and the claim prose
+// is suppressed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -32,27 +38,85 @@ func main() {
 }
 
 type config struct {
-	exp     string
-	quick   bool
-	sweep   bool
-	procs   int
-	seed    int64
-	latency network.LatencyModel
+	exp       string
+	quick     bool
+	sweep     bool
+	procs     int
+	seed      int64
+	jsonOut   bool
+	transport string
+	latency   network.LatencyModel
+
+	out io.Writer
+	// cur is the id of the experiment currently running, set by the
+	// dispatch loop so emit can label rows.
+	cur string
 }
 
-func run(args []string) error {
+// emit reports one measured row: an indented String() line in text mode, a
+// self-describing JSON line in -json mode.
+func (c *config) emit(row any) error {
+	if !c.jsonOut {
+		_, err := fmt.Fprintln(c.out, " ", row)
+		return err
+	}
+	rec := struct {
+		Exp       string `json:"exp"`
+		Transport string `json:"transport"`
+		Type      string `json:"type"`
+		Data      any    `json:"data"`
+	}{
+		Exp:       c.cur,
+		Transport: c.transport,
+		Type:      strings.TrimPrefix(fmt.Sprintf("%T", row), "bench."),
+		Data:      row,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("marshal %s row: %w", c.cur, err)
+	}
+	_, err = fmt.Fprintln(c.out, string(b))
+	return err
+}
+
+// claim prints the paper claim the experiment checks; suppressed in -json
+// mode, where only machine-readable rows appear.
+func (c *config) claim(lines ...string) {
+	if c.jsonOut {
+		return
+	}
+	for _, l := range lines {
+		fmt.Fprintln(c.out, " ", l)
+	}
+}
+
+func run(args []string) error { return runTo(args, os.Stdout) }
+
+func runTo(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mixedbench", flag.ContinueOnError)
-	var cfg config
-	fs.StringVar(&cfg.exp, "exp", "all", "experiment to run: e1..e9 or all")
+	cfg := config{out: out}
+	fs.StringVar(&cfg.exp, "exp", "all", "experiment to run: e1..e10, a1..a3, or all")
 	fs.BoolVar(&cfg.quick, "quick", false, "small sizes and zero latency")
 	fs.BoolVar(&cfg.sweep, "sweep", false, "sweep process counts (2, 4, 8) in e2 and e5")
 	fs.IntVar(&cfg.procs, "procs", 4, "number of processes")
 	fs.Int64Var(&cfg.seed, "seed", 1, "workload seed")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit one JSON line per measured row")
+	fs.StringVar(&cfg.transport, "transport", "sim",
+		"message transport: sim (simulated fabric) or tcp (real kernel sockets; e8 only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if cfg.procs < 2 {
 		return fmt.Errorf("-procs %d: the experiments need at least 2 processes (coordinator + worker)", cfg.procs)
+	}
+	switch cfg.transport {
+	case "sim":
+	case "tcp":
+		if strings.ToLower(cfg.exp) != "e8" {
+			return fmt.Errorf("-transport tcp supports only the latency spectrum: run with -exp e8")
+		}
+	default:
+		return fmt.Errorf("unknown transport %q (want sim or tcp)", cfg.transport)
 	}
 	cfg.latency = bench.DefaultLatency
 	if cfg.quick {
@@ -61,7 +125,7 @@ func run(args []string) error {
 
 	type experiment struct {
 		id, title string
-		run       func(config) error
+		run       func(*config) error
 	}
 	experiments := []experiment{
 		{"e1", "Figure 1: lock and barrier synchronization orders", runE1},
@@ -86,11 +150,16 @@ func run(args []string) error {
 			continue
 		}
 		matched = true
-		fmt.Printf("=== %s: %s ===\n", strings.ToUpper(e.id), e.title)
-		if err := e.run(cfg); err != nil {
+		cfg.cur = e.id
+		if !cfg.jsonOut {
+			fmt.Fprintf(cfg.out, "=== %s: %s ===\n", strings.ToUpper(e.id), e.title)
+		}
+		if err := e.run(&cfg); err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
-		fmt.Println()
+		if !cfg.jsonOut {
+			fmt.Fprintln(cfg.out)
+		}
 	}
 	if !matched {
 		return fmt.Errorf("unknown experiment %q (want e1..e10, a1..a3, or all)", cfg.exp)
@@ -98,7 +167,7 @@ func run(args []string) error {
 	return nil
 }
 
-func runE10(cfg config) error {
+func runE10(cfg *config) error {
 	items := 30
 	if cfg.quick {
 		items = 10
@@ -107,13 +176,15 @@ func runE10(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(" ", r)
-	fmt.Println("  claim (Section 2): await statements capture the producer/consumer paradigm")
-	fmt.Println("  in an efficient manner")
+	if err := cfg.emit(r); err != nil {
+		return err
+	}
+	cfg.claim("claim (Section 2): await statements capture the producer/consumer paradigm",
+		"in an efficient manner")
 	return nil
 }
 
-func runA1(cfg config) error {
+func runA1(cfg *config) error {
 	n := 24
 	if cfg.quick {
 		n = 12
@@ -122,13 +193,15 @@ func runA1(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(" ", r)
-	fmt.Println("  claim (Section 6): the timestamp overhead can be avoided when all reads")
-	fmt.Println("  following a write are PRAM operations (the Corollary 2 program class)")
+	if err := cfg.emit(r); err != nil {
+		return err
+	}
+	cfg.claim("claim (Section 6): the timestamp overhead can be avoided when all reads",
+		"following a write are PRAM operations (the Corollary 2 program class)")
 	return nil
 }
 
-func runA2(cfg config) error {
+func runA2(cfg *config) error {
 	noise, factor := 10, 100.0
 	lat := cfg.latency
 	if lat.Fixed == 0 {
@@ -142,14 +215,16 @@ func runA2(cfg config) error {
 		return err
 	}
 	for _, r := range rows {
-		fmt.Println(" ", r)
+		if err := cfg.emit(r); err != nil {
+			return err
+		}
 	}
-	fmt.Println("  claim (Section 6): eager pays at release, lazy at acquire, demand-driven")
-	fmt.Println("  only at the first read of invalidated data")
+	cfg.claim("claim (Section 6): eager pays at release, lazy at acquire, demand-driven",
+		"only at the first read of invalidated data")
 	return nil
 }
 
-func runA3(cfg config) error {
+func runA3(cfg *config) error {
 	size, steps := 96, 20
 	if cfg.quick {
 		size, steps = 32, 8
@@ -158,23 +233,27 @@ func runA3(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(" ", r)
-	fmt.Println("  claim (Section 6): broadcast overhead can be avoided with optimizations based")
-	fmt.Println("  on the access patterns of shared variables")
+	if err := cfg.emit(r); err != nil {
+		return err
+	}
+	cfg.claim("claim (Section 6): broadcast overhead can be avoided with optimizations based",
+		"on the access patterns of shared variables")
 	return nil
 }
 
-func runE1(config) error {
+func runE1(cfg *config) error {
 	r, err := bench.RunFigure1()
 	if err != nil {
 		return err
 	}
-	fmt.Println(" ", r)
-	fmt.Println("  claim: the derived |->lock order satisfies the three properties of Section 3.1.1")
+	if err := cfg.emit(r); err != nil {
+		return err
+	}
+	cfg.claim("claim: the derived |->lock order satisfies the three properties of Section 3.1.1")
 	return nil
 }
 
-func runE2(cfg config) error {
+func runE2(cfg *config) error {
 	sizes := []int{16, 32}
 	if cfg.quick {
 		sizes = []int{12}
@@ -189,31 +268,37 @@ func runE2(cfg config) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println(" ", r)
+			if err := cfg.emit(r); err != nil {
+				return err
+			}
 		}
 	}
 	rb, err := bench.RunRedBlack(16, cfg.procs, cfg.latency, cfg.seed)
 	if err != nil {
 		return err
 	}
-	fmt.Println(" ", rb)
-	fmt.Println("  claim (Section 7): the barrier solver (Fig. 2) outperforms the handshake solver (Fig. 3);")
-	fmt.Println("  red-black Gauss-Seidel is a second Corollary 2 program with faster convergence")
+	if err := cfg.emit(rb); err != nil {
+		return err
+	}
+	cfg.claim("claim (Section 7): the barrier solver (Fig. 2) outperforms the handshake solver (Fig. 3);",
+		"red-black Gauss-Seidel is a second Corollary 2 program with faster convergence")
 	return nil
 }
 
-func runE3(config) error {
+func runE3(cfg *config) error {
 	r, err := bench.RunPRAMInsufficiency()
 	if err != nil {
 		return err
 	}
-	fmt.Println(" ", r)
-	fmt.Println("  claim (Section 5.1): with PRAM reads, inconsistent (stale) estimate values can be read;")
-	fmt.Println("  causal reads cannot return them")
+	if err := cfg.emit(r); err != nil {
+		return err
+	}
+	cfg.claim("claim (Section 5.1): with PRAM reads, inconsistent (stale) estimate values can be read;",
+		"causal reads cannot return them")
 	return nil
 }
 
-func runE4(cfg config) error {
+func runE4(cfg *config) error {
 	size, steps := 96, 30
 	if cfg.quick {
 		size, steps = 32, 10
@@ -222,7 +307,9 @@ func runE4(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(" ", r)
+	if err := cfg.emit(r); err != nil {
+		return err
+	}
 	n2d := 32
 	if cfg.quick {
 		n2d = 16
@@ -231,13 +318,15 @@ func runE4(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(" ", r2)
-	fmt.Println("  claim (Figure 4): PRAM reads with barriers compute the fields exactly; the memory")
-	fmt.Println("  system provides the ghost copies")
+	if err := cfg.emit(r2); err != nil {
+		return err
+	}
+	cfg.claim("claim (Figure 4): PRAM reads with barriers compute the fields exactly; the memory",
+		"system provides the ghost copies")
 	return nil
 }
 
-func runE5(cfg config) error {
+func runE5(cfg *config) error {
 	sizes := []int{24, 40}
 	if cfg.quick {
 		sizes = []int{16}
@@ -252,14 +341,16 @@ func runE5(cfg config) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println(" ", r)
+			if err := cfg.emit(r); err != nil {
+				return err
+			}
 		}
 	}
-	fmt.Println("  claim (Section 7): the counter-object algorithm outperforms the lock-based one significantly")
+	cfg.claim("claim (Section 7): the counter-object algorithm outperforms the lock-based one significantly")
 	return nil
 }
 
-func runE6(cfg config) error {
+func runE6(cfg *config) error {
 	w := bench.PropagationWorkload{
 		Procs:       cfg.procs,
 		Handoffs:    10,
@@ -274,14 +365,16 @@ func runE6(cfg config) error {
 		return err
 	}
 	for _, r := range rs {
-		fmt.Println(" ", r)
+		if err := cfg.emit(r); err != nil {
+			return err
+		}
 	}
-	fmt.Println("  claim (Section 6): eager pays flush traffic at release; lazy waits at acquire;")
-	fmt.Println("  demand-driven blocks only reads of invalidated locations")
+	cfg.claim("claim (Section 6): eager pays flush traffic at release; lazy waits at acquire;",
+		"demand-driven blocks only reads of invalidated locations")
 	return nil
 }
 
-func runE7(cfg config) error {
+func runE7(cfg *config) error {
 	rounds := []int{5, 20, 80}
 	if cfg.quick {
 		rounds = []int{5, 40}
@@ -291,14 +384,28 @@ func runE7(cfg config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(" ", res)
+		if err := cfg.emit(res); err != nil {
+			return err
+		}
 	}
-	fmt.Println("  claim (Section 7): asynchronous relaxation converges even with PRAM")
+	cfg.claim("claim (Section 7): asynchronous relaxation converges even with PRAM")
 	return nil
 }
 
-func runE8(cfg config) error {
+func runE8(cfg *config) error {
 	ops := 50
+	if cfg.transport == "tcp" {
+		r, err := bench.RunLatencyMicroTCP(ops)
+		if err != nil {
+			return err
+		}
+		if err := cfg.emit(r); err != nil {
+			return err
+		}
+		cfg.claim("claim (Sections 1, 3.2): weak reads/writes stay local even when the update",
+			"broadcasts cross the kernel's TCP stack (SC columns are sim-only, reported 0)")
+		return nil
+	}
 	lat := cfg.latency
 	if lat.Fixed == 0 {
 		lat = bench.DefaultLatency // the spectrum needs a nonzero round trip
@@ -307,13 +414,15 @@ func runE8(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(" ", r)
-	fmt.Println("  claim (Sections 1, 3.2): weak reads/writes are local; sequential consistency pays")
-	fmt.Println("  a round trip per operation")
+	if err := cfg.emit(r); err != nil {
+		return err
+	}
+	cfg.claim("claim (Sections 1, 3.2): weak reads/writes are local; sequential consistency pays",
+		"a round trip per operation")
 	return nil
 }
 
-func runE9(cfg config) error {
+func runE9(cfg *config) error {
 	seeds := 10
 	if cfg.quick {
 		seeds = 4
@@ -322,8 +431,10 @@ func runE9(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(" ", r)
-	fmt.Println("  claim (Corollaries 1-2): entry-consistent programs with causal reads and")
-	fmt.Println("  PRAM-consistent programs with PRAM reads behave sequentially consistently")
+	if err := cfg.emit(r); err != nil {
+		return err
+	}
+	cfg.claim("claim (Corollaries 1-2): entry-consistent programs with causal reads and",
+		"PRAM-consistent programs with PRAM reads behave sequentially consistently")
 	return nil
 }

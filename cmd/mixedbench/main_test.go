@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -38,5 +40,66 @@ func TestRunRejectsDegenerateProcs(t *testing.T) {
 	err := run([]string{"-procs", "1", "-exp", "e2", "-quick"})
 	if err == nil || !strings.Contains(err.Error(), "at least 2 processes") {
 		t.Fatalf("err = %v, want procs guard", err)
+	}
+}
+
+func TestRunJSONEmitsParsableRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTo([]string{"-exp", "e1", "-json"}, &buf); err != nil {
+		t.Fatalf("runTo: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON rows emitted")
+	}
+	for _, line := range lines {
+		var rec struct {
+			Exp       string          `json:"exp"`
+			Transport string          `json:"transport"`
+			Type      string          `json:"type"`
+			Data      json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if rec.Exp != "e1" || rec.Transport != "sim" || rec.Type == "" || len(rec.Data) == 0 {
+			t.Fatalf("incomplete record: %q", line)
+		}
+	}
+	if strings.Contains(buf.String(), "claim") {
+		t.Fatal("claim prose leaked into -json output")
+	}
+}
+
+func TestRunTransportValidation(t *testing.T) {
+	if err := run([]string{"-transport", "bogus"}); err == nil {
+		t.Fatal("bogus transport accepted")
+	}
+	err := run([]string{"-transport", "tcp", "-exp", "e2"})
+	if err == nil || !strings.Contains(err.Error(), "e8") {
+		t.Fatalf("err = %v, want e8-only guard", err)
+	}
+}
+
+func TestRunE8OverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	var buf bytes.Buffer
+	if err := runTo([]string{"-exp", "e8", "-transport", "tcp", "-json"}, &buf); err != nil {
+		t.Fatalf("runTo: %v", err)
+	}
+	var rec struct {
+		Transport string `json:"transport"`
+		Data      struct {
+			Write    int64 `json:"Write"`
+			PRAMRead int64 `json:"PRAMRead"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &rec); err != nil {
+		t.Fatalf("parse: %v (output %q)", err, buf.String())
+	}
+	if rec.Transport != "tcp" || rec.Data.Write <= 0 || rec.Data.PRAMRead <= 0 {
+		t.Fatalf("suspicious tcp spectrum: %+v", rec)
 	}
 }

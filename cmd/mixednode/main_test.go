@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// freeAddrs reserves n distinct loopback ports and releases them for the
+// nodes to rebind. The window between release and rebind is racy in theory;
+// in practice the kernel does not reassign just-released listening ports to
+// other processes immediately, and the dial supervisors tolerate peers that
+// come up late.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// launch runs one mixednode process body per node id, as separate OS
+// processes would, and returns each node's error and output.
+func launch(t *testing.T, addrs []string, extra ...string) []string {
+	t.Helper()
+	peerList := strings.Join(addrs, ",")
+	outs := make([]string, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for id := range addrs {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			args := append([]string{
+				"-id", fmt.Sprint(id), "-peers", peerList,
+			}, extra...)
+			errs[id] = run(args, &buf)
+			outs[id] = buf.String()
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v (output %q)", id, err, outs[id])
+		}
+	}
+	return outs
+}
+
+func TestMixednodeSolveThreeProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	outs := launch(t, freeAddrs(t, 3), "-app", "solve", "-size", "16", "-seed", "11")
+	for id, out := range outs {
+		if !strings.Contains(out, "converged") || !strings.Contains(out, "done in") {
+			t.Fatalf("node %d output missing verification: %q", id, out)
+		}
+	}
+}
+
+func TestMixednodeCholeskyThreeProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	outs := launch(t, freeAddrs(t, 3), "-app", "cholesky", "-size", "12", "-seed", "3", "-propagation", "eager")
+	for id, out := range outs {
+		if !strings.Contains(out, "matches sequential") {
+			t.Fatalf("node %d output missing verification: %q", id, out)
+		}
+	}
+}
+
+func TestMixednodeFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-peers", "a:1,b:2"}, &buf); err == nil {
+		t.Fatal("missing -id accepted")
+	}
+	if err := run([]string{"-id", "0", "-peers", "only-one:1"}, &buf); err == nil {
+		t.Fatal("single-peer list accepted")
+	}
+	if err := run([]string{"-id", "0", "-peers", "a:1,b:2", "-propagation", "psychic"}, &buf); err == nil {
+		t.Fatal("bad propagation accepted")
+	}
+	if err := run([]string{"-id", "0", "-peers", "127.0.0.1:0,127.0.0.1:0", "-app", "nope"}, &buf); err == nil {
+		t.Fatal("bad app accepted")
+	}
+}

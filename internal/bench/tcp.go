@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mixedmem/internal/core"
+	"mixedmem/internal/transport/tcp"
+)
+
+// RunLatencyMicroTCP is RunLatencyMicro on a real kernel network: two OS-style
+// peers connected over loopback TCP instead of the simulated fabric. The
+// mixed-consistency columns measure the same thing — weak writes and reads
+// are local operations, so their latency must stay flat even when the
+// broadcast behind them crosses real sockets. The SC columns are zero: the
+// central-server sequentially consistent baseline is simulation-only (its
+// round trip is the modeled latency, which a kernel loopback does not
+// reproduce), so the TCP rerun reports only the mixed side of the spectrum.
+func RunLatencyMicroTCP(ops int) (LatencyResult, error) {
+	var out LatencyResult
+	trs, err := tcp.NewLoopback(2, nil)
+	if err != nil {
+		return out, fmt.Errorf("latency micro tcp: %w", err)
+	}
+	peers := make([]*core.Peer, len(trs))
+	defer func() {
+		for _, tr := range trs {
+			tr.Flush(2 * time.Second)
+		}
+		for _, p := range peers {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
+	for i := range peers {
+		p, err := core.NewPeer(core.PeerConfig{ID: i, Transport: trs[i]})
+		if err != nil {
+			return out, fmt.Errorf("latency micro tcp: peer %d: %w", i, err)
+		}
+		peers[i] = p
+	}
+	p := peers[0].Proc()
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		p.Write("w", int64(i+1))
+	}
+	out.Write = time.Since(start) / time.Duration(ops)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		p.ReadPRAM("w")
+	}
+	out.PRAMRead = time.Since(start) / time.Duration(ops)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		p.ReadCausal("w")
+	}
+	out.CausalRead = time.Since(start) / time.Duration(ops)
+	return out, nil
+}

@@ -34,6 +34,7 @@ import (
 	"mixedmem/internal/history"
 	"mixedmem/internal/network"
 	"mixedmem/internal/syncmgr"
+	"mixedmem/internal/transport"
 )
 
 // Process is the programming interface of the mixed consistency model. Both
@@ -101,10 +102,19 @@ type ThreadOps interface {
 type Config struct {
 	// Procs is the number of application processes. Required.
 	Procs int
-	// Latency models message delivery cost; the zero value is immediate
-	// delivery (deterministic test mode).
+	// Transport, when non-nil, is the message substrate to run on; it must
+	// connect exactly Procs nodes and serve Recv for all of them (the
+	// simulated fabric does; per-process wire transports like tcp serve
+	// only their local node and belong with NewPeer instead). When nil, a
+	// simulated fabric with the configured Latency/Seed is created and
+	// owned by the system. A caller-supplied transport is still closed by
+	// System.Close.
+	Transport transport.Transport
+	// Latency models message delivery cost on the default simulated
+	// fabric; the zero value is immediate delivery (deterministic test
+	// mode). Ignored when Transport is set.
 	Latency network.LatencyModel
-	// Seed seeds latency jitter.
+	// Seed seeds latency jitter. Ignored when Transport is set.
 	Seed int64
 	// Propagation selects how critical-section updates reach the next
 	// lock holder. Zero value means Lazy.
@@ -129,7 +139,7 @@ type Config struct {
 
 // System is a running mixed-consistency memory over Procs processes.
 type System struct {
-	fabric *network.Fabric
+	fabric transport.Transport
 	procs  []*Proc
 	trace  *history.Builder
 }
@@ -160,13 +170,20 @@ func NewSystem(cfg Config) (*System, error) {
 	if mode == 0 {
 		mode = syncmgr.Lazy
 	}
-	fabric, err := network.New(network.Config{
-		Nodes:   cfg.Procs,
-		Latency: cfg.Latency,
-		Seed:    cfg.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: fabric: %w", err)
+	fabric := cfg.Transport
+	if fabric == nil {
+		f, err := network.New(network.Config{
+			Nodes:   cfg.Procs,
+			Latency: cfg.Latency,
+			Seed:    cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: fabric: %w", err)
+		}
+		fabric = f
+	} else if fabric.Nodes() != cfg.Procs {
+		return nil, fmt.Errorf("core: transport connects %d nodes, config wants %d procs",
+			fabric.Nodes(), cfg.Procs)
 	}
 	var trace *history.Builder
 	if cfg.Record {
@@ -180,7 +197,7 @@ func NewSystem(cfg Config) (*System, error) {
 		d := syncmgr.NewDispatcher()
 		dispatchers[i] = d
 		node, err := dsm.NewNode(dsm.Config{
-			ID: i, N: cfg.Procs, Fabric: fabric, Trace: trace,
+			ID: i, N: cfg.Procs, Transport: fabric, Trace: trace,
 			Handler: d.Handle, PRAMOnly: cfg.PRAMOnly, Scope: cfg.Placement,
 		})
 		if err != nil {
@@ -241,12 +258,19 @@ func (s *System) History() *history.History {
 	return s.trace.History()
 }
 
-// NetStats returns the fabric's message accounting.
+// NetStats returns the transport's message accounting.
 func (s *System) NetStats() network.Stats { return s.fabric.Stats() }
 
-// Fabric exposes the underlying network fabric, mainly so tests and
+// Transport exposes the underlying message substrate.
+func (s *System) Transport() transport.Transport { return s.fabric }
+
+// Fabric returns the underlying simulated fabric, mainly so tests and
 // experiments can build adversarial delivery schedules with Hold/Release.
-func (s *System) Fabric() *network.Fabric { return s.fabric }
+// It returns nil when the system runs on a different transport backend.
+func (s *System) Fabric() *network.Fabric {
+	f, _ := s.fabric.(*network.Fabric)
+	return f
+}
 
 // Close shuts down the fabric and all nodes.
 func (s *System) Close() {

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/syncmgr"
+	"mixedmem/internal/transport"
+)
+
+// PeerConfig configures one process of a distributed deployment: a single
+// mixed-consistency node running over a wire transport (one OS process per
+// node, the paper's actual Maya-on-workstations setting). The peer whose ID
+// equals ManagerProc additionally hosts the lock and barrier managers, just
+// as NewSystem places them on one of the in-process nodes.
+type PeerConfig struct {
+	// ID is this process's identity, 0..N-1, where N is the transport's
+	// node count. Required.
+	ID int
+	// Transport is the message substrate connecting the peers; it must
+	// serve Recv for ID. Required. The peer owns it: Peer.Close closes it.
+	Transport transport.Transport
+	// Propagation selects how critical-section updates reach the next lock
+	// holder. Zero value means Lazy.
+	Propagation syncmgr.PropagationMode
+	// ManagerProc hosts the lock and barrier managers (default process 0).
+	ManagerProc int
+	// PRAMOnly elides vector timestamps and keeps only the PRAM view, as
+	// in Config.PRAMOnly.
+	PRAMOnly bool
+}
+
+// Peer is one process's slice of a distributed mixed-consistency system: a
+// Proc handle backed by a wire transport instead of the shared in-process
+// fabric. The same application code runs against either — only the
+// construction differs.
+type Peer struct {
+	proc *Proc
+	tr   transport.Transport
+}
+
+// NewPeer builds the node, clients, and (on the manager process) the
+// managers for one process of a distributed deployment, and starts the
+// receive loop. Callers must Close the peer.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("core: peer: nil transport")
+	}
+	n := cfg.Transport.Nodes()
+	if cfg.ID < 0 || cfg.ID >= n {
+		return nil, fmt.Errorf("core: peer id %d out of range for %d nodes", cfg.ID, n)
+	}
+	if cfg.ManagerProc < 0 || cfg.ManagerProc >= n {
+		return nil, fmt.Errorf("core: manager proc %d out of range", cfg.ManagerProc)
+	}
+	mode := cfg.Propagation
+	if mode == 0 {
+		mode = syncmgr.Lazy
+	}
+	d := syncmgr.NewDispatcher()
+	node, err := dsm.NewNode(dsm.Config{
+		ID: cfg.ID, N: n, Transport: cfg.Transport,
+		Handler: d.Handle, PRAMOnly: cfg.PRAMOnly,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: peer node: %w", err)
+	}
+	if cfg.ID == cfg.ManagerProc {
+		syncmgr.NewManager(cfg.ManagerProc, cfg.Transport, mode).Bind(d)
+		syncmgr.NewBarrierManager(cfg.ManagerProc, cfg.Transport, n).Bind(d)
+	}
+	lc := syncmgr.NewClient(node, cfg.ManagerProc, mode)
+	lc.Bind(d)
+	bc := syncmgr.NewBarrierClient(node, cfg.ManagerProc)
+	bc.Bind(d)
+	return &Peer{
+		proc: &Proc{node: node, locks: lc, barrier: bc, n: n},
+		tr:   cfg.Transport,
+	}, nil
+}
+
+// Proc returns the process handle. It implements the same Process interface
+// as the in-process system's handles.
+func (p *Peer) Proc() *Proc { return p.proc }
+
+// NetStats returns the transport's message accounting (local sends only on
+// distributed backends).
+func (p *Peer) NetStats() transport.Stats { return p.tr.Stats() }
+
+// Close shuts down the transport and the node.
+func (p *Peer) Close() {
+	p.tr.Close()
+	p.proc.node.Close()
+}

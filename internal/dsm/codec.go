@@ -1,0 +1,59 @@
+package dsm
+
+import (
+	"fmt"
+
+	"mixedmem/internal/transport"
+	"mixedmem/internal/vclock"
+)
+
+// updateCodec is the wire codec for KindUpdate payloads, registered so wire
+// transports (internal/transport/tcp) can carry memory updates between OS
+// processes. Layout, all big-endian:
+//
+//	u32 From | u64 Seq | u8 Op | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS
+//
+// A PRAMOnly update has tsLen 0 and decodes with a nil timestamp, exactly
+// like the in-process value it mirrors.
+type updateCodec struct{}
+
+func init() {
+	transport.RegisterPayload(KindUpdate, updateCodec{})
+}
+
+func (updateCodec) Encode(dst []byte, payload any) ([]byte, error) {
+	u, ok := payload.(Update)
+	if !ok {
+		return dst, fmt.Errorf("dsm: update codec: payload is %T", payload)
+	}
+	dst = transport.AppendUint32(dst, uint32(u.From))
+	dst = transport.AppendUint64(dst, u.Seq)
+	dst = append(dst, byte(u.Op))
+	dst = transport.AppendString(dst, u.Loc)
+	dst = transport.AppendUint64(dst, uint64(u.Value))
+	dst = transport.AppendUint32(dst, uint32(u.TS.Len()))
+	dst = u.TS.Encode(dst)
+	return dst, nil
+}
+
+func (updateCodec) Decode(data []byte) (any, error) {
+	d := transport.NewDecoder(data)
+	u := Update{
+		From: int(d.Uint32()),
+		Seq:  d.Uint64(),
+		Op:   UpdateOp(d.Byte()),
+		Loc:  d.String(),
+	}
+	u.Value = int64(d.Uint64())
+	if n := int(d.Uint32()); n > 0 && d.Err() == nil {
+		ts := vclock.New(n)
+		for i := range ts {
+			ts[i] = d.Uint64()
+		}
+		u.TS = ts
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("dsm: update codec: %w", err)
+	}
+	return u, nil
+}

@@ -1,0 +1,59 @@
+package dsm
+
+import (
+	"testing"
+
+	"mixedmem/internal/transport"
+	"mixedmem/internal/vclock"
+)
+
+func roundTripUpdate(t *testing.T, u Update) Update {
+	t.Helper()
+	enc, err := transport.EncodePayload(nil, KindUpdate, u)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := transport.DecodePayload(KindUpdate, enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got, ok := dec.(Update)
+	if !ok {
+		t.Fatalf("decoded %T, want Update", dec)
+	}
+	return got
+}
+
+func TestUpdateCodecRoundTrip(t *testing.T) {
+	ts := vclock.New(3)
+	ts[0], ts[1], ts[2] = 4, 0, 17
+	u := Update{From: 2, Seq: 99, Op: OpSet, Loc: "x[3]", Value: -12345, TS: ts}
+	got := roundTripUpdate(t, u)
+	if got.From != u.From || got.Seq != u.Seq || got.Op != u.Op ||
+		got.Loc != u.Loc || got.Value != u.Value {
+		t.Fatalf("round trip changed fields: %+v -> %+v", u, got)
+	}
+	if got.TS.Len() != 3 || got.TS[0] != 4 || got.TS[1] != 0 || got.TS[2] != 17 {
+		t.Fatalf("round trip changed timestamp: %v -> %v", u.TS, got.TS)
+	}
+}
+
+func TestUpdateCodecPRAMOnlyNilTimestamp(t *testing.T) {
+	u := Update{From: 0, Seq: 1, Op: OpSet, Loc: "y", Value: 7}
+	got := roundTripUpdate(t, u)
+	if got.TS != nil {
+		t.Fatalf("nil timestamp round-tripped to %v", got.TS)
+	}
+	if got.Value != 7 || got.Loc != "y" {
+		t.Fatalf("round trip changed fields: %+v", got)
+	}
+}
+
+func TestUpdateCodecRejectsWrongType(t *testing.T) {
+	if _, err := transport.EncodePayload(nil, KindUpdate, "not an update"); err == nil {
+		t.Fatal("encoding a non-Update payload succeeded")
+	}
+	if _, err := transport.DecodePayload(KindUpdate, []byte{1, 2}); err == nil {
+		t.Fatal("decoding a truncated update succeeded")
+	}
+}

@@ -36,6 +36,7 @@ import (
 
 	"mixedmem/internal/history"
 	"mixedmem/internal/network"
+	"mixedmem/internal/transport"
 	"mixedmem/internal/vclock"
 )
 
@@ -97,8 +98,10 @@ type Config struct {
 	ID int
 	// N is the number of processes.
 	N int
-	// Fabric is the shared message-passing substrate.
-	Fabric *network.Fabric
+	// Transport is the message-passing substrate: the shared simulated
+	// fabric (all nodes in one process) or a per-process wire transport
+	// such as internal/transport/tcp (one node per OS process).
+	Transport transport.Transport
 	// Trace, when non-nil, records memory operations for the checker.
 	// Programs recorded for checking must write distinct values per
 	// location (the paper's convention).
@@ -142,7 +145,7 @@ type Stats struct {
 type Node struct {
 	id     int
 	n      int
-	fabric *network.Fabric
+	fabric transport.Transport
 	trace  *history.Builder
 	handle Handler
 
@@ -205,12 +208,12 @@ type invalidation struct {
 // before closing the fabric is not required: closing the fabric unblocks the
 // loop, but Close must still be called to wait for it.
 func NewNode(cfg Config) (*Node, error) {
-	if cfg.Fabric == nil {
-		return nil, fmt.Errorf("dsm: nil fabric")
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("dsm: nil transport")
 	}
-	if cfg.ID < 0 || cfg.ID >= cfg.N || cfg.N != cfg.Fabric.Nodes() {
-		return nil, fmt.Errorf("dsm: bad id/n %d/%d for %d-node fabric",
-			cfg.ID, cfg.N, cfg.Fabric.Nodes())
+	if cfg.ID < 0 || cfg.ID >= cfg.N || cfg.N != cfg.Transport.Nodes() {
+		return nil, fmt.Errorf("dsm: bad id/n %d/%d for %d-node transport",
+			cfg.ID, cfg.N, cfg.Transport.Nodes())
 	}
 	if cfg.Scope != nil && !cfg.PRAMOnly {
 		return nil, fmt.Errorf("dsm: scoped placement requires PRAMOnly (causal delivery needs full broadcast)")
@@ -220,7 +223,7 @@ func NewNode(cfg Config) (*Node, error) {
 		pramOnly:      cfg.PRAMOnly,
 		scope:         cfg.Scope,
 		n:             cfg.N,
-		fabric:        cfg.Fabric,
+		fabric:        cfg.Transport,
 		trace:         cfg.Trace,
 		handle:        cfg.Handler,
 		pram:          make(map[string]int64),
@@ -245,8 +248,9 @@ func (n *Node) ID() int { return n.id }
 // N returns the number of processes.
 func (n *Node) N() int { return n.n }
 
-// Fabric returns the underlying fabric (for synchronization protocols).
-func (n *Node) Fabric() *network.Fabric { return n.fabric }
+// Transport returns the underlying message substrate (for synchronization
+// protocols).
+func (n *Node) Transport() transport.Transport { return n.fabric }
 
 // Trace returns the history builder, or nil when not recording.
 func (n *Node) Trace() *history.Builder { return n.trace }

@@ -19,7 +19,7 @@ func cluster(t *testing.T, n int, trace *history.Builder) []*Node {
 	}
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
-		nodes[i], err = NewNode(Config{ID: i, N: n, Fabric: f, Trace: trace})
+		nodes[i], err = NewNode(Config{ID: i, N: n, Transport: f, Trace: trace})
 		if err != nil {
 			t.Fatalf("NewNode(%d): %v", i, err)
 		}
@@ -52,10 +52,10 @@ func TestNewNodeValidation(t *testing.T) {
 	}
 	f, _ := network.New(network.Config{Nodes: 2})
 	defer f.Close()
-	if _, err := NewNode(Config{ID: 5, N: 2, Fabric: f}); err == nil {
+	if _, err := NewNode(Config{ID: 5, N: 2, Transport: f}); err == nil {
 		t.Error("out-of-range id must error")
 	}
-	if _, err := NewNode(Config{ID: 0, N: 3, Fabric: f}); err == nil {
+	if _, err := NewNode(Config{ID: 0, N: 3, Transport: f}); err == nil {
 		t.Error("n mismatch must error")
 	}
 }
@@ -90,7 +90,7 @@ func TestCausalViewGatesOnDependencies(t *testing.T) {
 	}
 	nodes := make([]*Node, 3)
 	for i := range nodes {
-		nodes[i], err = NewNode(Config{ID: i, N: 3, Fabric: f})
+		nodes[i], err = NewNode(Config{ID: i, N: 3, Transport: f})
 		if err != nil {
 			t.Fatalf("NewNode: %v", err)
 		}
@@ -142,7 +142,7 @@ func TestPRAMViewAppliesHeldUpdatesIndependently(t *testing.T) {
 	f, _ := network.New(network.Config{Nodes: 3})
 	nodes := make([]*Node, 3)
 	for i := range nodes {
-		nodes[i], _ = NewNode(Config{ID: i, N: 3, Fabric: f})
+		nodes[i], _ = NewNode(Config{ID: i, N: 3, Transport: f})
 	}
 	defer func() {
 		f.Close()
@@ -169,7 +169,7 @@ func TestObservationFenceBlocksCausalRead(t *testing.T) {
 	f, _ := network.New(network.Config{Nodes: 3})
 	nodes := make([]*Node, 3)
 	for i := range nodes {
-		nodes[i], _ = NewNode(Config{ID: i, N: 3, Fabric: f})
+		nodes[i], _ = NewNode(Config{ID: i, N: 3, Transport: f})
 	}
 	defer func() {
 		f.Close()
@@ -216,7 +216,7 @@ func TestAwaitPRAMRaisesFence(t *testing.T) {
 	f, _ := network.New(network.Config{Nodes: 3})
 	nodes := make([]*Node, 3)
 	for i := range nodes {
-		nodes[i], _ = NewNode(Config{ID: i, N: 3, Fabric: f})
+		nodes[i], _ = NewNode(Config{ID: i, N: 3, Transport: f})
 	}
 	defer func() {
 		f.Close()
@@ -360,8 +360,8 @@ func TestWaitCausalApplied(t *testing.T) {
 
 func TestInvalidateBlocksRead(t *testing.T) {
 	f, _ := network.New(network.Config{Nodes: 2})
-	n0, _ := NewNode(Config{ID: 0, N: 2, Fabric: f})
-	n1, _ := NewNode(Config{ID: 1, N: 2, Fabric: f})
+	n0, _ := NewNode(Config{ID: 0, N: 2, Transport: f})
+	n1, _ := NewNode(Config{ID: 1, N: 2, Transport: f})
 	defer func() { f.Close(); n0.Close(); n1.Close() }()
 
 	_ = f.Hold(0, 1)
@@ -428,8 +428,8 @@ func TestSnapshot(t *testing.T) {
 func TestHandlerReceivesProtocolMessages(t *testing.T) {
 	f, _ := network.New(network.Config{Nodes: 2})
 	got := make(chan network.Message, 1)
-	n0, _ := NewNode(Config{ID: 0, N: 2, Fabric: f})
-	n1, _ := NewNode(Config{ID: 1, N: 2, Fabric: f, Handler: func(m network.Message) {
+	n0, _ := NewNode(Config{ID: 0, N: 2, Transport: f})
+	n1, _ := NewNode(Config{ID: 1, N: 2, Transport: f, Handler: func(m network.Message) {
 		got <- m
 	}})
 	defer func() { f.Close(); n0.Close(); n1.Close() }()
@@ -500,7 +500,7 @@ func TestScopeRequiresPRAMOnly(t *testing.T) {
 	f, _ := network.New(network.Config{Nodes: 2})
 	defer f.Close()
 	_, err := NewNode(Config{
-		ID: 0, N: 2, Fabric: f,
+		ID: 0, N: 2, Transport: f,
 		Scope: func(string) []int { return nil },
 	})
 	if err == nil {
@@ -519,7 +519,7 @@ func TestScopedMulticastDelivery(t *testing.T) {
 	}
 	nodes := make([]*Node, 3)
 	for i := range nodes {
-		nodes[i], _ = NewNode(Config{ID: i, N: 3, Fabric: f, PRAMOnly: true, Scope: scope})
+		nodes[i], _ = NewNode(Config{ID: i, N: 3, Transport: f, PRAMOnly: true, Scope: scope})
 	}
 	defer func() {
 		f.Close()
@@ -556,7 +556,7 @@ func TestScopedWaitReceived(t *testing.T) {
 	}
 	nodes := make([]*Node, 3)
 	for i := range nodes {
-		nodes[i], _ = NewNode(Config{ID: i, N: 3, Fabric: f, PRAMOnly: true, Scope: scope})
+		nodes[i], _ = NewNode(Config{ID: i, N: 3, Transport: f, PRAMOnly: true, Scope: scope})
 	}
 	defer func() {
 		f.Close()
@@ -585,8 +585,8 @@ func TestScopedWaitReceived(t *testing.T) {
 
 func BenchmarkLocalWrite(b *testing.B) {
 	f, _ := network.New(network.Config{Nodes: 2})
-	n0, _ := NewNode(Config{ID: 0, N: 2, Fabric: f})
-	n1, _ := NewNode(Config{ID: 1, N: 2, Fabric: f})
+	n0, _ := NewNode(Config{ID: 0, N: 2, Transport: f})
+	n1, _ := NewNode(Config{ID: 1, N: 2, Transport: f})
 	defer func() { f.Close(); n0.Close(); n1.Close() }()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -597,8 +597,8 @@ func BenchmarkLocalWrite(b *testing.B) {
 
 func BenchmarkLocalPRAMRead(b *testing.B) {
 	f, _ := network.New(network.Config{Nodes: 2})
-	n0, _ := NewNode(Config{ID: 0, N: 2, Fabric: f})
-	n1, _ := NewNode(Config{ID: 1, N: 2, Fabric: f})
+	n0, _ := NewNode(Config{ID: 0, N: 2, Transport: f})
+	n1, _ := NewNode(Config{ID: 1, N: 2, Transport: f})
 	defer func() { f.Close(); n0.Close(); n1.Close() }()
 	n0.Write("bench", 1)
 	b.ReportAllocs()
@@ -610,8 +610,8 @@ func BenchmarkLocalPRAMRead(b *testing.B) {
 
 func BenchmarkLocalCausalRead(b *testing.B) {
 	f, _ := network.New(network.Config{Nodes: 2})
-	n0, _ := NewNode(Config{ID: 0, N: 2, Fabric: f})
-	n1, _ := NewNode(Config{ID: 1, N: 2, Fabric: f})
+	n0, _ := NewNode(Config{ID: 0, N: 2, Transport: f})
+	n1, _ := NewNode(Config{ID: 1, N: 2, Transport: f})
 	defer func() { f.Close(); n0.Close(); n1.Close() }()
 	n0.Write("bench", 1)
 	b.ReportAllocs()

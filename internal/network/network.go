@@ -128,8 +128,11 @@ type Fabric struct {
 	bytesSent atomic.Uint64
 	nodeSent  []atomic.Uint64
 
-	kindMu sync.Mutex
-	kinds  map[string]uint64
+	// kinds maps Kind label -> *atomic.Uint64. A lock-free map keeps the
+	// accounting off the send hot path: after the first message of a kind
+	// the counter bump is a Load plus an atomic Add, with no mutex shared
+	// across senders.
+	kinds sync.Map
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -155,7 +158,6 @@ func New(cfg Config) (*Fabric, error) {
 		delayFactor: make([]atomic.Int64, cfg.Nodes*cfg.Nodes),
 		inboxes:     make([]*queue, cfg.Nodes),
 		nodeSent:    make([]atomic.Uint64, cfg.Nodes),
-		kinds:       make(map[string]uint64),
 		done:        make(chan struct{}),
 	}
 	for i := range f.delayFactor {
@@ -245,9 +247,11 @@ func (f *Fabric) account(m Message) {
 	f.msgsSent.Add(1)
 	f.bytesSent.Add(uint64(m.Size))
 	f.nodeSent[m.From].Add(1)
-	f.kindMu.Lock()
-	f.kinds[m.Kind]++
-	f.kindMu.Unlock()
+	c, ok := f.kinds.Load(m.Kind)
+	if !ok {
+		c, _ = f.kinds.LoadOrStore(m.Kind, new(atomic.Uint64))
+	}
+	c.(*atomic.Uint64).Add(1)
 }
 
 // Recv blocks until a message for node is delivered. The second result is
@@ -346,11 +350,10 @@ func (f *Fabric) Stats() Stats {
 	for i := range s.PerNodeSent {
 		s.PerNodeSent[i] = f.nodeSent[i].Load()
 	}
-	f.kindMu.Lock()
-	for k, v := range f.kinds {
-		s.PerKind[k] = v
-	}
-	f.kindMu.Unlock()
+	f.kinds.Range(func(k, v any) bool {
+		s.PerKind[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
 	return s
 }
 

@@ -387,7 +387,7 @@ func TestSetDelayFactorPreservesFIFO(t *testing.T) {
 	}
 }
 
-func BenchmarkSendRecv(b *testing.B) {
+func BenchmarkFabricSendRecv(b *testing.B) {
 	f, err := New(Config{Nodes: 2})
 	if err != nil {
 		b.Fatal(err)

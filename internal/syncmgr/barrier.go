@@ -7,6 +7,7 @@ import (
 	"mixedmem/internal/dsm"
 	"mixedmem/internal/history"
 	"mixedmem/internal/network"
+	"mixedmem/internal/transport"
 )
 
 // barArrive is the payload a process sends to the barrier manager on
@@ -39,7 +40,7 @@ type barRelease struct {
 type BarrierManager struct {
 	self    int
 	n       int
-	fabric  *network.Fabric
+	fabric  transport.Transport
 	members int
 
 	mu      sync.Mutex
@@ -54,11 +55,11 @@ type barKey struct {
 // NewBarrierManager creates a barrier manager hosted on node self. members
 // is the number of processes participating in each barrier (the paper notes
 // barriers can also be defined for subsets; participants must agree).
-func NewBarrierManager(self int, fabric *network.Fabric, members int) *BarrierManager {
+func NewBarrierManager(self int, tr transport.Transport, members int) *BarrierManager {
 	return &BarrierManager{
 		self:    self,
-		n:       fabric.Nodes(),
-		fabric:  fabric,
+		n:       tr.Nodes(),
+		fabric:  tr,
 		members: members,
 		pending: make(map[barKey]map[int][]uint64),
 	}
@@ -213,7 +214,7 @@ func (c *BarrierClient) barrier(group string, k int, members []int) {
 		}
 		sent = masked
 	}
-	_ = c.node.Fabric().Send(network.Message{
+	_ = c.node.Transport().Send(network.Message{
 		From: c.node.ID(), To: c.manager, Kind: KindBarArrive,
 		Payload: barArrive{
 			Client: c.node.ID(), K: k, Sent: sent,

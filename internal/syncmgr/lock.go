@@ -7,6 +7,7 @@ import (
 	"mixedmem/internal/dsm"
 	"mixedmem/internal/history"
 	"mixedmem/internal/network"
+	"mixedmem/internal/transport"
 )
 
 // LockMode distinguishes read and write lock requests.
@@ -84,7 +85,7 @@ func (r lockRelease) size() int {
 // non-blocking sends.
 type Manager struct {
 	self   int
-	fabric *network.Fabric
+	fabric transport.Transport
 	mode   PropagationMode
 
 	mu    sync.Mutex
@@ -110,10 +111,10 @@ type lockState struct {
 }
 
 // NewManager creates a lock manager hosted on node self.
-func NewManager(self int, fabric *network.Fabric, mode PropagationMode) *Manager {
+func NewManager(self int, tr transport.Transport, mode PropagationMode) *Manager {
 	return &Manager{
 		self:   self,
-		fabric: fabric,
+		fabric: tr,
 		mode:   mode,
 		locks:  make(map[string]*lockState),
 	}
@@ -331,7 +332,7 @@ func (c *Client) onGrant(msg network.Message) {
 // applied here, so the acknowledgement certifies receipt (Section 6's eager
 // implementation).
 func (c *Client) onFlush(msg network.Message) {
-	_ = c.node.Fabric().Send(network.Message{
+	_ = c.node.Transport().Send(network.Message{
 		From: c.node.ID(), To: msg.From, Kind: KindFlushAck, Size: 8,
 	})
 }
@@ -354,7 +355,7 @@ func (c *Client) acquire(name string, mode LockMode) lockGrant {
 	c.mu.Unlock()
 
 	start := time.Now()
-	_ = c.node.Fabric().Send(network.Message{
+	_ = c.node.Transport().Send(network.Message{
 		From: c.node.ID(), To: c.manager, Kind: KindLockReq,
 		Payload: req, Size: 24 + len(name),
 	})
@@ -392,7 +393,7 @@ func (c *Client) release(name string, mode LockMode, writeSet map[string]writeSt
 		// updates.
 		start := time.Now()
 		n := c.node.N()
-		_ = c.node.Fabric().Broadcast(c.node.ID(), KindFlush, nil, 8)
+		_ = c.node.Transport().Broadcast(c.node.ID(), KindFlush, nil, 8)
 		for i := 0; i < n-1; i++ {
 			<-c.flushAcks
 		}
@@ -404,7 +405,7 @@ func (c *Client) release(name string, mode LockMode, writeSet map[string]writeSt
 	case DemandDriven:
 		rel.WriteSet = writeSet
 	}
-	_ = c.node.Fabric().Send(network.Message{
+	_ = c.node.Transport().Send(network.Message{
 		From: c.node.ID(), To: c.manager, Kind: KindLockRel,
 		Payload: rel, Size: rel.size(),
 	})

@@ -33,7 +33,7 @@ func newTestCluster(t *testing.T, n int, mode PropagationMode, trace *history.Bu
 		d := NewDispatcher()
 		dispatchers[i] = d
 		node, err := dsm.NewNode(dsm.Config{
-			ID: i, N: n, Fabric: f, Trace: trace, Handler: d.Handle,
+			ID: i, N: n, Transport: f, Trace: trace, Handler: d.Handle,
 		})
 		if err != nil {
 			t.Fatalf("NewNode(%d): %v", i, err)

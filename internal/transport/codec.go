@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PayloadCodec serializes one message kind's payload for wire backends. The
+// in-process fabric passes payloads by reference and never consults codecs;
+// wire transports (internal/transport/tcp) look the codec up by the
+// message's Kind.
+//
+// Encode appends the payload's binary form to dst and returns the extended
+// slice. Decode parses the payload back; it must return the same concrete
+// type senders pass in Message.Payload, because receivers type-assert on it.
+type PayloadCodec interface {
+	Encode(dst []byte, payload any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+var (
+	codecMu sync.RWMutex
+	codecs  = make(map[string]PayloadCodec)
+)
+
+// ErrNoCodec is returned when a non-nil payload has no registered codec for
+// its kind.
+var ErrNoCodec = errors.New("transport: no payload codec registered")
+
+// RegisterPayload installs the codec for a message kind. Protocol packages
+// call it from init; later registrations replace earlier ones.
+func RegisterPayload(kind string, c PayloadCodec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	codecs[kind] = c
+}
+
+// EncodePayload serializes payload for the given kind. A nil payload
+// encodes to an empty slice regardless of registration (several protocol
+// messages, like flush probes, are pure signals).
+func EncodePayload(dst []byte, kind string, payload any) ([]byte, error) {
+	if payload == nil {
+		return dst, nil
+	}
+	codecMu.RLock()
+	c := codecs[kind]
+	codecMu.RUnlock()
+	if c == nil {
+		return dst, fmt.Errorf("%w: kind %q", ErrNoCodec, kind)
+	}
+	return c.Encode(dst, payload)
+}
+
+// DecodePayload parses a payload of the given kind. Empty data decodes to
+// nil.
+func DecodePayload(kind string, data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	codecMu.RLock()
+	c := codecs[kind]
+	codecMu.RUnlock()
+	if c == nil {
+		return nil, fmt.Errorf("%w: kind %q", ErrNoCodec, kind)
+	}
+	return c.Decode(data)
+}
+
+// Wire-format helpers shared by the payload codecs and the TCP framing. All
+// integers are big-endian and fixed-width (encoding/binary); strings and
+// slices carry a uint32 count prefix.
+
+// AppendUint64 appends v big-endian.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// AppendUint32 appends v big-endian.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, v)
+}
+
+// AppendString appends a uint32 length prefix and the bytes of s.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// AppendUint64s appends a uint32 count prefix and the values big-endian.
+func AppendUint64s(dst []byte, vs []uint64) []byte {
+	dst = AppendUint32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// ErrTruncated is recorded by a Decoder that runs out of bytes.
+var ErrTruncated = errors.New("transport: truncated payload")
+
+// Decoder is a cursor over an encoded payload. Reads past the end set a
+// sticky error and return zero values, so codecs can decode a full struct
+// and check Err once.
+type Decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewDecoder returns a Decoder over data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.data) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.data) {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d of %d",
+			ErrTruncated, n, d.off, len(d.data))
+		return nil
+	}
+	out := d.data[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+// Uint64 reads one big-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Uint32 reads one big-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Byte reads one byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// String reads a uint32-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.Uint32())
+	if d.err != nil || n > d.Remaining() {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: string of %d bytes with %d remaining",
+				ErrTruncated, n, d.Remaining())
+		}
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// Uint64s reads a uint32-prefixed slice of big-endian uint64s. A zero count
+// decodes to nil.
+func (d *Decoder) Uint64s() []uint64 {
+	n := int(d.Uint32())
+	if n == 0 || d.err != nil {
+		return nil
+	}
+	if n*8 > d.Remaining() {
+		d.err = fmt.Errorf("%w: %d uint64s with %d bytes remaining",
+			ErrTruncated, n, d.Remaining())
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.Uint64()
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+type echoCodec struct{}
+
+func (echoCodec) Encode(dst []byte, payload any) ([]byte, error) {
+	return AppendString(dst, payload.(string)), nil
+}
+
+func (echoCodec) Decode(data []byte) (any, error) {
+	d := NewDecoder(data)
+	s := d.String()
+	return s, d.Err()
+}
+
+func TestPayloadRegistry(t *testing.T) {
+	RegisterPayload("echo-test", echoCodec{})
+	enc, err := EncodePayload(nil, "echo-test", "hello")
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodePayload("echo-test", enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != "hello" {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestNilPayloadNeedsNoCodec(t *testing.T) {
+	enc, err := EncodePayload(nil, "never-registered", nil)
+	if err != nil || len(enc) != 0 {
+		t.Fatalf("nil payload: enc=%v err=%v", enc, err)
+	}
+	got, err := DecodePayload("never-registered", nil)
+	if err != nil || got != nil {
+		t.Fatalf("empty data: got=%v err=%v", got, err)
+	}
+}
+
+func TestMissingCodecErrors(t *testing.T) {
+	if _, err := EncodePayload(nil, "never-registered", 7); !errors.Is(err, ErrNoCodec) {
+		t.Fatalf("encode err = %v, want ErrNoCodec", err)
+	}
+	if _, err := DecodePayload("never-registered", []byte{1}); !errors.Is(err, ErrNoCodec) {
+		t.Fatalf("decode err = %v, want ErrNoCodec", err)
+	}
+}
+
+func TestWireHelpersRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUint64(b, 1<<40)
+	b = AppendUint32(b, 77)
+	b = AppendString(b, "loc[3]")
+	b = AppendString(b, "") // empty string is legal
+	b = AppendUint64s(b, []uint64{5, 0, 9})
+	b = AppendUint64s(b, nil)
+	b = append(b, 0xAB)
+
+	d := NewDecoder(b)
+	if v := d.Uint64(); v != 1<<40 {
+		t.Fatalf("Uint64 = %d", v)
+	}
+	if v := d.Uint32(); v != 77 {
+		t.Fatalf("Uint32 = %d", v)
+	}
+	if s := d.String(); s != "loc[3]" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := d.String(); s != "" {
+		t.Fatalf("empty String = %q", s)
+	}
+	vs := d.Uint64s()
+	if len(vs) != 3 || vs[0] != 5 || vs[1] != 0 || vs[2] != 9 {
+		t.Fatalf("Uint64s = %v", vs)
+	}
+	if vs := d.Uint64s(); vs != nil {
+		t.Fatalf("nil Uint64s decoded to %v", vs)
+	}
+	if v := d.Byte(); v != 0xAB {
+		t.Fatalf("Byte = %x", v)
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestDecoderStickyTruncationError(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if v := d.Uint64(); v != 0 {
+		t.Fatalf("truncated Uint64 = %d, want 0", v)
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", d.Err())
+	}
+	// Error is sticky: further reads keep returning zero values.
+	if v := d.Uint32(); v != 0 {
+		t.Fatalf("read after error = %d", v)
+	}
+	if s := d.String(); s != "" {
+		t.Fatalf("string after error = %q", s)
+	}
+
+	// A length prefix larger than the remaining bytes must error, not
+	// allocate or panic.
+	huge := AppendUint32(nil, 1<<30)
+	d = NewDecoder(huge)
+	if s := d.String(); s != "" || !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("oversized string: %q, err %v", s, d.Err())
+	}
+	d = NewDecoder(huge)
+	if vs := d.Uint64s(); vs != nil || !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("oversized slice: %v, err %v", vs, d.Err())
+	}
+}

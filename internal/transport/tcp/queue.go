@@ -1,0 +1,66 @@
+package tcp
+
+import (
+	"sync"
+
+	"mixedmem/internal/transport"
+)
+
+// queue is the unbounded FIFO inbox of the local node: pushes never block
+// (non-blocking writes, Section 3 of the paper), pops block until a message
+// arrives or the queue closes. It mirrors the simulated fabric's inbox
+// semantics, including the amortized-O(1) consumed-prefix compaction.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []transport.Message
+	head   int
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends m; pushing to a closed queue drops the message.
+func (q *queue) push(m transport.Message) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+}
+
+// pop removes and returns the oldest message, blocking while empty. The
+// second result is false once the queue is closed and drained.
+func (q *queue) pop() (transport.Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == q.head && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == q.head {
+		return transport.Message{}, false
+	}
+	m := q.items[q.head]
+	q.items[q.head] = transport.Message{}
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return m, true
+}
+
+// close wakes all blocked receivers; already-pushed messages stay poppable.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,740 @@
+// Package tcp implements the transport.Transport interface over real TCP
+// connections, one mixed-consistency node per OS process.
+//
+// The paper's runtime assumes exactly one thing of its network: reliable
+// FIFO channels between every ordered pair of processes (Section 6). A TCP
+// connection gives FIFO bytes between two endpoints, so the backend opens
+// one connection per ordered pair: the channel i -> j is the connection
+// dialed by i to j's listener, carrying only i's messages to j, with j's
+// cumulative acknowledgements flowing back on the same socket. Deliveries
+// from different senders arrive on different connections and interleave
+// arbitrarily, exactly like the simulated fabric's per-pair queues.
+//
+// Reliability across connection failures comes from a sequence/ack layer on
+// top of TCP: every message on a channel carries a per-channel sequence
+// number, the sender keeps each message buffered until the receiver's
+// cumulative ack covers it, and after a reconnect the sender replays the
+// unacked suffix. The receiver delivers in sequence order and drops
+// duplicates, so the channel stays FIFO and exactly-once no matter how many
+// times the underlying socket is torn down and re-established. A connection
+// supervisor per peer redials with exponential backoff and jitter; sends
+// never block (they append to the unbounded per-peer buffer, as the
+// non-blocking writes of Section 3 require).
+//
+// Wire format (all integers big-endian, encoding/binary): every frame is a
+// uint32 body length followed by the body; the body's first byte is the
+// frame type.
+//
+//	hello  1 | u32 magic "MXDM" | u32 senderID     (dialer's first frame)
+//	msg    2 | u64 seq | u32 from | u32 to | str kind | u32 size
+//	         | u32 payloadLen | payload            (payload via codec registry)
+//	ack    3 | u64 cumSeq                          (acceptor -> dialer)
+//
+// Strings are uint32-length-prefixed. Payload encodings are the per-kind
+// codecs registered in transport's registry by internal/dsm and
+// internal/syncmgr.
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mixedmem/internal/transport"
+)
+
+// Frame types.
+const (
+	frameHello = 1
+	frameMsg   = 2
+	frameAck   = 3
+)
+
+// helloMagic guards against a stranger dialing the port.
+const helloMagic = 0x4d58444d // "MXDM"
+
+// maxFrame bounds a frame body; larger frames indicate a corrupt stream.
+const maxFrame = 1 << 26
+
+// Config configures a TCP transport for one node.
+type Config struct {
+	// ID is this process's node identity, 0..len(Peers)-1. Required.
+	ID int
+	// Peers lists every node's address, indexed by node ID; Peers[ID] is
+	// the local listen address. Required.
+	Peers []string
+	// Listener, when non-nil, is used instead of listening on Peers[ID] —
+	// for tests and port-0 deployments that bind first and exchange
+	// addresses afterwards.
+	Listener net.Listener
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write; a stalled peer counts as a
+	// failed connection and triggers a redial (default 10s).
+	WriteTimeout time.Duration
+	// BackoffBase and BackoffMax shape the dial supervisor's exponential
+	// backoff (defaults 25ms and 1s). Each retry sleeps a uniformly random
+	// duration in [b/2, b), with b doubling up to BackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the backoff jitter (deterministic per (Seed, ID, peer)).
+	Seed int64
+	// Logf, when non-nil, receives supervisor diagnostics (dial failures,
+	// decode errors). Silent by default.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Diag counts supervisor and decode events, for tests and operational
+// visibility.
+type Diag struct {
+	// Dials counts successful outbound connections (first connects and
+	// reconnects).
+	Dials uint64
+	// DialFailures counts failed connection attempts.
+	DialFailures uint64
+	// Replayed counts messages retransmitted after a reconnect.
+	Replayed uint64
+	// Duplicates counts received messages dropped by sequence dedup.
+	Duplicates uint64
+	// DecodeErrors counts inbound frames dropped as undecodable.
+	DecodeErrors uint64
+}
+
+// Transport is a TCP-backed transport.Transport serving one local node.
+type Transport struct {
+	id  int
+	n   int
+	cfg Config
+	ln  net.Listener
+
+	inbox *queue
+	peers []*peer // indexed by node ID; peers[id] is nil
+
+	// lastSeq[j] is the highest sequence delivered from sender j; it
+	// outlives individual connections so replays dedup correctly.
+	rmu     sync.Mutex
+	lastSeq []uint64
+
+	msgsSent  atomic.Uint64
+	bytesSent atomic.Uint64
+	nodeSent  []atomic.Uint64
+	kinds     sync.Map // string -> *atomic.Uint64
+
+	dials        atomic.Uint64
+	dialFailures atomic.Uint64
+	replayed     atomic.Uint64
+	duplicates   atomic.Uint64
+	decodeErrors atomic.Uint64
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// peer is the outbound channel state for one remote node.
+type peer struct {
+	to   int
+	addr string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// buf holds encoded msg frames not yet acked; buf[i] carries sequence
+	// base+i+1. next indexes the first frame not yet written to the
+	// current connection; a reconnect resets it to 0, replaying the
+	// unacked suffix.
+	buf    [][]byte
+	base   uint64
+	next   int
+	conn   net.Conn
+	closed bool
+}
+
+// ErrInvalidNode is returned for out-of-range node IDs.
+var ErrInvalidNode = errors.New("tcp: invalid node id")
+
+var errConnGone = errors.New("tcp: connection replaced or transport closed")
+
+// New creates the transport: it starts listening for its peers and starts
+// one connection supervisor per remote node. Dialing is lazy only in the
+// sense that failures are retried forever with backoff; peers may come up
+// in any order, minutes apart. Callers must Close the transport.
+func New(cfg Config) (*Transport, error) {
+	cfg.fill()
+	n := len(cfg.Peers)
+	if n == 0 {
+		return nil, fmt.Errorf("tcp: empty peer list")
+	}
+	if cfg.ID < 0 || cfg.ID >= n {
+		return nil, fmt.Errorf("tcp: id %d with %d peers: %w", cfg.ID, n, ErrInvalidNode)
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Peers[cfg.ID])
+		if err != nil {
+			return nil, fmt.Errorf("tcp: listen %s: %w", cfg.Peers[cfg.ID], err)
+		}
+	}
+	t := &Transport{
+		id:       cfg.ID,
+		n:        n,
+		cfg:      cfg,
+		ln:       ln,
+		inbox:    newQueue(),
+		peers:    make([]*peer, n),
+		lastSeq:  make([]uint64, n),
+		nodeSent: make([]atomic.Uint64, n),
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	for j := 0; j < n; j++ {
+		if j == cfg.ID {
+			continue
+		}
+		p := &peer{to: j, addr: cfg.Peers[j]}
+		p.cond = sync.NewCond(&p.mu)
+		t.peers[j] = p
+		t.wg.Add(1)
+		go t.runPeer(p)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener's address (useful with port-0 listeners).
+func (t *Transport) Addr() net.Addr { return t.ln.Addr() }
+
+// Nodes returns the number of nodes the transport connects.
+func (t *Transport) Nodes() int { return t.n }
+
+// Send enqueues m for FIFO delivery to m.To. It never blocks: remote sends
+// append to the peer's unbounded replay buffer, local sends go straight to
+// the inbox. The error is non-nil only for invalid node IDs or payloads the
+// codec registry cannot encode.
+func (t *Transport) Send(m transport.Message) error {
+	if m.From != t.id {
+		return fmt.Errorf("tcp: send from %d on node %d: %w", m.From, t.id, ErrInvalidNode)
+	}
+	if m.To < 0 || m.To >= t.n {
+		return fmt.Errorf("tcp: send %d->%d: %w", m.From, m.To, ErrInvalidNode)
+	}
+	if m.To == t.id {
+		t.account(m)
+		t.inbox.push(m)
+		return nil
+	}
+	payload, err := transport.EncodePayload(nil, m.Kind, m.Payload)
+	if err != nil {
+		return fmt.Errorf("tcp: send %d->%d kind %q: %w", m.From, m.To, m.Kind, err)
+	}
+	t.account(m)
+	t.peers[m.To].push(m, payload)
+	return nil
+}
+
+// Broadcast sends to every node except the sender.
+func (t *Transport) Broadcast(from int, kind string, payload any, size int) error {
+	if from != t.id {
+		return fmt.Errorf("tcp: broadcast from %d on node %d: %w", from, t.id, ErrInvalidNode)
+	}
+	enc, err := transport.EncodePayload(nil, kind, payload)
+	if err != nil {
+		return fmt.Errorf("tcp: broadcast kind %q: %w", kind, err)
+	}
+	for to := 0; to < t.n; to++ {
+		if to == from {
+			continue
+		}
+		m := transport.Message{From: from, To: to, Kind: kind, Payload: payload, Size: size}
+		t.account(m)
+		t.peers[to].push(m, enc)
+	}
+	return nil
+}
+
+// Recv blocks until a message for the local node is delivered. Recv for any
+// other node returns false immediately: a TCP transport instance serves
+// exactly one process.
+func (t *Transport) Recv(node int) (transport.Message, bool) {
+	if node != t.id {
+		return transport.Message{}, false
+	}
+	return t.inbox.pop()
+}
+
+// Pending reports the number of messages queued locally for the channel
+// from -> to and not yet handed to the kernel. Only outbound channels of
+// the local node are visible.
+func (t *Transport) Pending(from, to int) int {
+	if from != t.id || to < 0 || to >= t.n || to == t.id {
+		return 0
+	}
+	p := t.peers[to]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf) - p.next
+}
+
+func (t *Transport) account(m transport.Message) {
+	t.msgsSent.Add(1)
+	t.bytesSent.Add(uint64(m.Size))
+	t.nodeSent[m.From].Add(1)
+	c, ok := t.kinds.Load(m.Kind)
+	if !ok {
+		c, _ = t.kinds.LoadOrStore(m.Kind, new(atomic.Uint64))
+	}
+	c.(*atomic.Uint64).Add(1)
+}
+
+// Stats returns a snapshot of the accounting counters. On a distributed
+// transport only the local node's sends are visible; per-experiment totals
+// are the sum over all processes' snapshots.
+func (t *Transport) Stats() transport.Stats {
+	s := transport.Stats{
+		MessagesSent: t.msgsSent.Load(),
+		BytesSent:    t.bytesSent.Load(),
+		PerNodeSent:  make([]uint64, t.n),
+		PerKind:      make(map[string]uint64),
+	}
+	for i := range s.PerNodeSent {
+		s.PerNodeSent[i] = t.nodeSent[i].Load()
+	}
+	t.kinds.Range(func(k, v any) bool {
+		s.PerKind[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return s
+}
+
+// Diag returns a snapshot of the supervisor and decode counters.
+func (t *Transport) Diag() Diag {
+	return Diag{
+		Dials:        t.dials.Load(),
+		DialFailures: t.dialFailures.Load(),
+		Replayed:     t.replayed.Load(),
+		Duplicates:   t.duplicates.Load(),
+		DecodeErrors: t.decodeErrors.Load(),
+	}
+}
+
+// Flush blocks until every peer has acknowledged every message sent so far
+// or the timeout elapses, whichever is first. It reports whether all
+// channels drained. Distributed deployments call it before Close so the
+// tail of the conversation (final barrier releases, lock handoffs) reaches
+// peers that still need it; Close itself drops unacked messages.
+func (t *Transport) Flush(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	drained := true
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		for len(p.buf) > 0 && !p.closed && time.Now().Before(deadline) {
+			// Poll: acks broadcast the cond, but a dead peer never will,
+			// so bound each wait.
+			w := time.AfterFunc(10*time.Millisecond, p.cond.Broadcast)
+			p.cond.Wait()
+			w.Stop()
+		}
+		if len(p.buf) > 0 {
+			drained = false
+		}
+		p.mu.Unlock()
+	}
+	return drained
+}
+
+// DropConn force-closes the current connection to peer `to`, if any. It is
+// a test aid for exercising the reconnect path; the supervisor redials and
+// replays unacked messages, so no traffic is lost.
+func (t *Transport) DropConn(to int) {
+	if to < 0 || to >= t.n || to == t.id {
+		return
+	}
+	p := t.peers[to]
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the transport down: stops the supervisors, closes every
+// connection and the listener, and unblocks receivers. Messages not yet
+// acked by their destination are dropped, like the fabric's undelivered
+// queue contents at Close. Close is idempotent and waits for all internal
+// goroutines to exit.
+func (t *Transport) Close() {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		t.ln.Close()
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			p.closed = true
+			if p.conn != nil {
+				p.conn.Close()
+			}
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+		t.connMu.Lock()
+		for c := range t.conns {
+			c.Close()
+		}
+		t.connMu.Unlock()
+		t.wg.Wait()
+		t.inbox.close()
+	})
+}
+
+// push encodes m into a frame, assigns the channel's next sequence number,
+// and appends it to the replay buffer.
+func (p *peer) push(m transport.Message, payload []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	seq := p.base + uint64(len(p.buf)) + 1
+	p.buf = append(p.buf, appendMsgFrame(nil, seq, m, payload))
+	p.cond.Signal()
+}
+
+// advanceAck trims the replay buffer through the cumulative ack.
+func (p *peer) advanceAck(cum uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cum <= p.base {
+		return
+	}
+	defer p.cond.Broadcast() // wake Flush waiters
+	drop := int(cum - p.base)
+	if drop > len(p.buf) {
+		drop = len(p.buf)
+	}
+	for i := 0; i < drop; i++ {
+		p.buf[i] = nil
+	}
+	p.buf = p.buf[drop:]
+	p.base += uint64(drop)
+	p.next -= drop
+	if p.next < 0 {
+		p.next = 0
+	}
+}
+
+// runPeer is the connection supervisor for one outbound channel: dial with
+// exponential backoff and jitter, replay the unacked suffix, stream frames,
+// and start over whenever the connection dies.
+func (t *Transport) runPeer(p *peer) {
+	defer t.wg.Done()
+	backoff := t.cfg.BackoffBase
+	rng := rand.New(rand.NewSource(t.cfg.Seed ^ int64(t.id)*104729 ^ int64(p.to)*7919))
+	for {
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", p.addr, t.cfg.DialTimeout)
+		if err != nil {
+			t.dialFailures.Add(1)
+			t.cfg.Logf("tcp: node %d dial %d (%s): %v", t.id, p.to, p.addr, err)
+			half := backoff / 2
+			sleep := half + time.Duration(rng.Int63n(int64(half)+1))
+			select {
+			case <-time.After(sleep):
+			case <-t.done:
+				return
+			}
+			if backoff < t.cfg.BackoffMax {
+				backoff *= 2
+				if backoff > t.cfg.BackoffMax {
+					backoff = t.cfg.BackoffMax
+				}
+			}
+			continue
+		}
+		bw := bufio.NewWriter(conn)
+		if err := t.writeHello(conn, bw); err != nil {
+			t.dialFailures.Add(1)
+			conn.Close()
+			continue
+		}
+		t.dials.Add(1)
+		backoff = t.cfg.BackoffBase
+
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conn = conn
+		if p.next > 0 {
+			t.replayed.Add(uint64(p.next))
+		}
+		p.next = 0 // replay everything unacked on the fresh connection
+		p.cond.Broadcast()
+		p.mu.Unlock()
+
+		ackDone := make(chan struct{})
+		go t.readAcks(p, conn, ackDone)
+		err = t.writeFrames(p, conn, bw)
+		conn.Close()
+		<-ackDone
+		p.mu.Lock()
+		if p.conn == conn {
+			p.conn = nil
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		if err != nil && !errors.Is(err, errConnGone) {
+			t.cfg.Logf("tcp: node %d channel to %d: %v", t.id, p.to, err)
+		}
+	}
+}
+
+func (t *Transport) writeHello(conn net.Conn, bw *bufio.Writer) error {
+	body := make([]byte, 0, 9)
+	body = append(body, frameHello)
+	body = transport.AppendUint32(body, helloMagic)
+	body = transport.AppendUint32(body, uint32(t.id))
+	conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	if _, err := bw.Write(transport.AppendUint32(nil, uint32(len(body)))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeFrames streams the replay buffer to the connection until it fails,
+// is replaced, or the transport closes.
+func (t *Transport) writeFrames(p *peer, conn net.Conn, bw *bufio.Writer) error {
+	for {
+		p.mu.Lock()
+		for p.next >= len(p.buf) && p.conn == conn && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed || p.conn != conn {
+			p.mu.Unlock()
+			return errConnGone
+		}
+		batch := make([][]byte, len(p.buf)-p.next)
+		copy(batch, p.buf[p.next:])
+		p.next = len(p.buf)
+		p.mu.Unlock()
+
+		conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		for _, frame := range batch {
+			if _, err := bw.Write(frame); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// readAcks consumes cumulative acks on an outbound connection. On any read
+// error it tears the connection down so the writer redials.
+func (t *Transport) readAcks(p *peer, conn net.Conn, done chan struct{}) {
+	defer close(done)
+	br := bufio.NewReader(conn)
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			conn.Close()
+			p.mu.Lock()
+			if p.conn == conn {
+				p.conn = nil
+			}
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		if len(body) == 9 && body[0] == frameAck {
+			p.advanceAck(binary.BigEndian.Uint64(body[1:]))
+		}
+	}
+}
+
+// acceptLoop serves inbound connections until the listener closes.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.connMu.Lock()
+		select {
+		case <-t.done:
+			t.connMu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		t.conns[conn] = struct{}{}
+		t.connMu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn receives one peer's channel: validate the hello, then deliver
+// msg frames in sequence order, dropping duplicates from replays and acking
+// cumulatively on the same socket.
+func (t *Transport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.connMu.Lock()
+		delete(t.conns, conn)
+		t.connMu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	body, err := readFrame(br)
+	if err != nil || len(body) != 9 || body[0] != frameHello ||
+		binary.BigEndian.Uint32(body[1:]) != helloMagic {
+		return
+	}
+	from := int(binary.BigEndian.Uint32(body[5:]))
+	if from < 0 || from >= t.n || from == t.id {
+		return
+	}
+	ack := make([]byte, 0, 13)
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if len(body) == 0 || body[0] != frameMsg {
+			continue
+		}
+		m, seq, err := decodeMsgFrame(body)
+		if err != nil {
+			t.decodeErrors.Add(1)
+			t.cfg.Logf("tcp: node %d from %d: %v", t.id, from, err)
+			continue
+		}
+		t.rmu.Lock()
+		dup := seq <= t.lastSeq[from]
+		if !dup {
+			t.lastSeq[from] = seq
+		}
+		cum := t.lastSeq[from]
+		t.rmu.Unlock()
+		if dup {
+			t.duplicates.Add(1)
+		} else {
+			t.inbox.push(m)
+		}
+		ack = ack[:0]
+		ack = transport.AppendUint32(ack, 9)
+		ack = append(ack, frameAck)
+		ack = transport.AppendUint64(ack, cum)
+		conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		if _, err := conn.Write(ack); err != nil {
+			return
+		}
+	}
+}
+
+// appendMsgFrame encodes one message as a framed msg record.
+func appendMsgFrame(dst []byte, seq uint64, m transport.Message, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length, patched below
+	dst = append(dst, frameMsg)
+	dst = transport.AppendUint64(dst, seq)
+	dst = transport.AppendUint32(dst, uint32(m.From))
+	dst = transport.AppendUint32(dst, uint32(m.To))
+	dst = transport.AppendString(dst, m.Kind)
+	dst = transport.AppendUint32(dst, uint32(m.Size))
+	dst = transport.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// decodeMsgFrame parses a msg frame body back into a Message.
+func decodeMsgFrame(body []byte) (transport.Message, uint64, error) {
+	d := transport.NewDecoder(body[1:])
+	seq := d.Uint64()
+	m := transport.Message{
+		From: int(d.Uint32()),
+		To:   int(d.Uint32()),
+		Kind: d.String(),
+	}
+	m.Size = int(d.Uint32())
+	plen := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return m, seq, err
+	}
+	if plen != d.Remaining() {
+		return m, seq, fmt.Errorf("tcp: payload length %d with %d bytes remaining", plen, d.Remaining())
+	}
+	if plen > 0 {
+		payload, err := transport.DecodePayload(m.Kind, body[len(body)-plen:])
+		if err != nil {
+			return m, seq, err
+		}
+		m.Payload = payload
+	}
+	return m, seq, nil
+}
+
+// readFrame reads one length-prefixed frame body.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("tcp: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
