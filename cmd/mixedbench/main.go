@@ -27,7 +27,9 @@ import (
 	"time"
 
 	"mixedmem/internal/bench"
+	"mixedmem/internal/dsm"
 	"mixedmem/internal/network"
+	"mixedmem/internal/syncmgr"
 )
 
 func main() {
@@ -45,6 +47,7 @@ type config struct {
 	seed      int64
 	jsonOut   bool
 	transport string
+	batch     int
 	latency   network.LatencyModel
 
 	out io.Writer
@@ -103,8 +106,13 @@ func runTo(args []string, out io.Writer) error {
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit one JSON line per measured row")
 	fs.StringVar(&cfg.transport, "transport", "sim",
 		"message transport: sim (simulated fabric) or tcp (real kernel sockets; e8 only)")
+	fs.IntVar(&cfg.batch, "batch", 32,
+		"update-outbox batch size for e6's batched rows (MaxUpdates threshold)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cfg.batch < 1 {
+		return fmt.Errorf("-batch %d: batch size must be at least 1", cfg.batch)
 	}
 	if cfg.procs < 2 {
 		return fmt.Errorf("-procs %d: the experiments need at least 2 processes (coordinator + worker)", cfg.procs)
@@ -360,6 +368,7 @@ func runE6(cfg *config) error {
 	if cfg.quick {
 		w.Handoffs, w.WritesPerCS = 4, 4
 	}
+	// Before rows: the three modes unbatched, as the experiment always ran.
 	rs, err := bench.RunPropagationSweep(w, cfg.latency, cfg.seed)
 	if err != nil {
 		return err
@@ -369,8 +378,34 @@ func runE6(cfg *config) error {
 			return err
 		}
 	}
+	// After rows: the same three modes with the update outbox on at the
+	// -batch threshold; update frames collapse by roughly WritesPerCS.
+	wb := w
+	wb.Batch = dsm.BatchConfig{Enabled: true, MaxUpdates: cfg.batch}
+	rsb, err := bench.RunPropagationSweep(wb, cfg.latency, cfg.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rsb {
+		if err := cfg.emit(r); err != nil {
+			return err
+		}
+	}
+	// Batch-size sweep on the lazy mode (the default), from off upward.
+	sweep, err := bench.RunPropagationBatchSweep(
+		syncmgr.Lazy, w, []int{0, 1, 4, 16, 64}, cfg.latency, cfg.seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range sweep {
+		if err := cfg.emit(r); err != nil {
+			return err
+		}
+	}
 	cfg.claim("claim (Section 6): eager pays flush traffic at release; lazy waits at acquire;",
-		"demand-driven blocks only reads of invalidated locations")
+		"demand-driven blocks only reads of invalidated locations; batching updates",
+		"between synchronization points collapses per-write messages into one frame",
+		"per destination per critical section (Munin's delayed update queue)")
 	return nil
 }
 

@@ -22,12 +22,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"mixedmem/internal/apps"
 	"mixedmem/internal/core"
+	"mixedmem/internal/dsm"
 	"mixedmem/internal/syncmgr"
+	"mixedmem/internal/transport"
 	"mixedmem/internal/transport/tcp"
 )
 
@@ -48,6 +51,8 @@ func run(args []string, out io.Writer) error {
 		seed    = fs.Int64("seed", 7, "deterministic problem seed (same on every node)")
 		prop    = fs.String("propagation", "lazy", "critical-section propagation: eager, lazy, or demand")
 		manager = fs.Int("manager", 0, "node hosting the lock and barrier managers")
+		batch   = fs.Int("batch", 0, "update outbox width: coalesce up to this many writes per frame (0 = off)")
+		metrics = fs.Bool("metrics", false, "exchange per-node transport stats through the DSM and print merged fleet-wide totals at exit (must be set on every node)")
 		verbose = fs.Bool("v", false, "log transport supervisor events")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +69,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *batch < 0 {
+		return fmt.Errorf("-batch must be >= 0, got %d", *batch)
+	}
 
 	cfg := tcp.Config{ID: *id, Peers: peers, Seed: *seed}
 	if *verbose {
@@ -75,9 +83,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	peer, err := core.NewPeer(core.PeerConfig{
+	pcfg := core.PeerConfig{
 		ID: *id, Transport: tr, Propagation: mode, ManagerProc: *manager,
-	})
+	}
+	if *batch > 0 {
+		pcfg.Batch = dsm.BatchConfig{Enabled: true, MaxUpdates: *batch}
+	}
+	peer, err := core.NewPeer(pcfg)
 	if err != nil {
 		tr.Close()
 		return err
@@ -104,7 +116,62 @@ func run(args []string, out io.Writer) error {
 	s := peer.NetStats()
 	fmt.Fprintf(out, "node %d: done in %v; sent %d msgs / %d bytes\n",
 		*id, time.Since(start).Round(time.Millisecond), s.MessagesSent, s.BytesSent)
+	if *metrics {
+		printFleetMetrics(out, peer.Proc(), s)
+	}
 	return nil
+}
+
+// metricKinds is the closed set of protocol frame kinds the node publishes
+// when -metrics is set. New kinds still count in the per-node total row even
+// before they are added here.
+var metricKinds = []string{
+	dsm.KindUpdate,
+	dsm.KindUpdateBatch,
+	syncmgr.KindLockReq,
+	syncmgr.KindLockGrant,
+	syncmgr.KindLockRel,
+	syncmgr.KindFlush,
+	syncmgr.KindFlushAck,
+	syncmgr.KindBarArrive,
+	syncmgr.KindBarRelease,
+}
+
+// printFleetMetrics merges per-node transport stats through the memory
+// itself: each node writes its snapshot (taken before this exchange, so the
+// exchange's own traffic is excluded) under metrics/<id>/..., a barrier
+// guarantees every pre-arrival update is applied everywhere before release,
+// and then each node reads all nodes' rows and prints the fleet-wide sums.
+// Every node must run with -metrics or the extra barrier deadlocks the fleet.
+func printFleetMetrics(out io.Writer, p core.Process, s transport.Stats) {
+	me := strconv.Itoa(p.ID())
+	p.Write("metrics/"+me+"/msgs/total", int64(s.MessagesSent))
+	p.Write("metrics/"+me+"/bytes/total", int64(s.BytesSent))
+	for _, k := range metricKinds {
+		p.Write("metrics/"+me+"/msgs/"+k, int64(s.PerKind[k]))
+		p.Write("metrics/"+me+"/bytes/"+k, int64(s.PerKindBytes[k]))
+	}
+	p.Barrier()
+
+	var totalMsgs, totalBytes int64
+	kindMsgs := make([]int64, len(metricKinds))
+	kindBytes := make([]int64, len(metricKinds))
+	for id := 0; id < p.N(); id++ {
+		node := strconv.Itoa(id)
+		totalMsgs += p.ReadPRAM("metrics/" + node + "/msgs/total")
+		totalBytes += p.ReadPRAM("metrics/" + node + "/bytes/total")
+		for i, k := range metricKinds {
+			kindMsgs[i] += p.ReadPRAM("metrics/" + node + "/msgs/" + k)
+			kindBytes[i] += p.ReadPRAM("metrics/" + node + "/bytes/" + k)
+		}
+	}
+	fmt.Fprintf(out, "node %d: fleet totals: %d msgs / %d bytes\n", p.ID(), totalMsgs, totalBytes)
+	for i, k := range metricKinds {
+		if kindMsgs[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "node %d: fleet %-12s %6d msgs / %8d bytes\n", p.ID(), k, kindMsgs[i], kindBytes[i])
+	}
 }
 
 func parsePropagation(s string) (syncmgr.PropagationMode, error) {

@@ -85,6 +85,44 @@ func TestMixednodeCholeskyThreeProcesses(t *testing.T) {
 	}
 }
 
+// TestMixednodeMetricsMergedSnapshot runs a batched fleet with -metrics on
+// every node and checks that (a) each node prints the merged per-kind
+// snapshot, (b) all nodes agree on it (the exchange goes through the DSM, so
+// any disagreement is a consistency bug), and (c) the batched outbox actually
+// ran over TCP — update-batch frames appear in the fleet totals.
+func TestMixednodeMetricsMergedSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	outs := launch(t, freeAddrs(t, 3), "-app", "solve", "-size", "16", "-seed", "11",
+		"-batch", "32", "-metrics")
+	var want string
+	for id, out := range outs {
+		var fleet []string
+		prefix := fmt.Sprintf("node %d: fleet", id)
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				fleet = append(fleet, strings.TrimPrefix(line, prefix))
+			}
+		}
+		if len(fleet) == 0 {
+			t.Fatalf("node %d printed no fleet metrics: %q", id, out)
+		}
+		merged := strings.Join(fleet, "\n")
+		if !strings.Contains(merged, "totals:") {
+			t.Fatalf("node %d missing totals row: %q", id, merged)
+		}
+		if !strings.Contains(merged, "update-batch") {
+			t.Fatalf("node %d saw no update-batch frames despite -batch 32: %q", id, merged)
+		}
+		if id == 0 {
+			want = merged
+		} else if merged != want {
+			t.Fatalf("node %d merged snapshot disagrees with node 0:\n%q\nvs\n%q", id, merged, want)
+		}
+	}
+}
+
 func TestMixednodeFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-peers", "a:1,b:2"}, &buf); err == nil {
@@ -98,5 +136,8 @@ func TestMixednodeFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-id", "0", "-peers", "127.0.0.1:0,127.0.0.1:0", "-app", "nope"}, &buf); err == nil {
 		t.Fatal("bad app accepted")
+	}
+	if err := run([]string{"-id", "0", "-peers", "a:1,b:2", "-batch", "-3"}, &buf); err == nil {
+		t.Fatal("negative batch accepted")
 	}
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"testing"
 
+	"mixedmem/internal/dsm"
 	"mixedmem/internal/network"
 	"mixedmem/internal/syncmgr"
 )
@@ -118,6 +119,73 @@ func TestRunPropagationSweep(t *testing.T) {
 	if byMode[syncmgr.Eager].Msgs <= byMode[syncmgr.Lazy].Msgs {
 		t.Errorf("eager should out-message lazy: %+v vs %+v",
 			byMode[syncmgr.Eager], byMode[syncmgr.Lazy])
+	}
+}
+
+// TestBatchingHalvesE6Messages is the acceptance gate for the update outbox:
+// under the E6 lock-handoff workload, batching at the critical-section width
+// must cut total fabric messages (and update frames by close to WritesPerCS)
+// at least in half compared to the unbatched baseline, in every propagation
+// mode.
+func TestBatchingHalvesE6Messages(t *testing.T) {
+	w := PropagationWorkload{Procs: 4, Handoffs: 10, WritesPerCS: 8, ReadBack: false}
+	wb := w
+	wb.Batch = dsm.BatchConfig{Enabled: true, MaxUpdates: 32}
+
+	before, err := RunPropagationSweep(w, network.LatencyModel{}, 4)
+	if err != nil {
+		t.Fatalf("RunPropagationSweep (unbatched): %v", err)
+	}
+	after, err := RunPropagationSweep(wb, network.LatencyModel{}, 4)
+	if err != nil {
+		t.Fatalf("RunPropagationSweep (batched): %v", err)
+	}
+	byMode := map[syncmgr.PropagationMode]PropagationResult{}
+	for _, r := range after {
+		byMode[r.Mode] = r
+	}
+	for _, b := range before {
+		a := byMode[b.Mode]
+		if a.Msgs*2 > b.Msgs {
+			t.Errorf("%v: batching reduced messages only %d -> %d, want >= 2x",
+				b.Mode, b.Msgs, a.Msgs)
+		}
+		// With 8 writes per critical section and a 32-wide outbox, every
+		// critical section's updates should leave as one frame per
+		// destination: an ~8x collapse, so comfortably >= 4x.
+		if a.UpdateFrames*4 > b.UpdateFrames {
+			t.Errorf("%v: update frames reduced only %d -> %d, want >= 4x",
+				b.Mode, b.UpdateFrames, a.UpdateFrames)
+		}
+	}
+}
+
+// TestBatchSweepMonotoneFrames checks the sweep helper: update frames shrink
+// as the batch window widens, and size 0 reproduces the unbatched baseline.
+func TestBatchSweepMonotoneFrames(t *testing.T) {
+	w := PropagationWorkload{Procs: 3, Handoffs: 5, WritesPerCS: 4, ReadBack: false}
+	rows, err := RunPropagationBatchSweep(
+		syncmgr.Lazy, w, []int{0, 1, 4, 16}, network.LatencyModel{}, 4)
+	if err != nil {
+		t.Fatalf("RunPropagationBatchSweep: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Batch != 0 || rows[1].Batch != 1 || rows[3].Batch != 16 {
+		t.Fatalf("batch labels wrong: %+v", rows)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].UpdateFrames > rows[i-1].UpdateFrames {
+			t.Errorf("update frames grew from batch=%d (%d) to batch=%d (%d)",
+				rows[i-1].Batch, rows[i-1].UpdateFrames, rows[i].Batch, rows[i].UpdateFrames)
+		}
+	}
+	// All workload writes still happen regardless of batch size: the update
+	// frames with batch=1 equal the baseline (every batch is a singleton).
+	if rows[1].UpdateFrames != rows[0].UpdateFrames {
+		t.Errorf("batch=1 sent %d update frames, baseline %d — should match",
+			rows[1].UpdateFrames, rows[0].UpdateFrames)
 	}
 }
 

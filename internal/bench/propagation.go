@@ -7,6 +7,7 @@ import (
 
 	"mixedmem/internal/apps"
 	"mixedmem/internal/core"
+	"mixedmem/internal/dsm"
 	"mixedmem/internal/network"
 	"mixedmem/internal/seqmem"
 	"mixedmem/internal/syncmgr"
@@ -16,11 +17,17 @@ import (
 // propagation mode under a lock-handoff workload.
 type PropagationResult struct {
 	Mode syncmgr.PropagationMode
+	// Batch is the outbox MaxUpdates threshold the row ran with; 0 means
+	// batching off (one message per write per destination).
+	Batch int
 	// Time is wall clock for the whole workload.
 	Time time.Duration
 	// Msgs and Bytes are fabric totals.
 	Msgs  uint64
 	Bytes uint64
+	// UpdateFrames counts update-carrying fabric messages (plain updates
+	// plus batch frames) — the quantity batching exists to shrink.
+	UpdateFrames uint64
 	// FlushMsgs counts the eager flush round trips.
 	FlushMsgs uint64
 	// AcquireWait is summed lock-acquire blocking across processes.
@@ -31,8 +38,12 @@ type PropagationResult struct {
 
 // String renders one row.
 func (r PropagationResult) String() string {
-	return fmt.Sprintf("%-13s time=%-10v msgs=%-6d bytes=%-8d flush=%-5d acquire-wait=%-10v release-wait=%v",
-		r.Mode, r.Time.Round(time.Microsecond), r.Msgs, r.Bytes, r.FlushMsgs,
+	batch := "off"
+	if r.Batch > 0 {
+		batch = strconv.Itoa(r.Batch)
+	}
+	return fmt.Sprintf("%-13s batch=%-4s time=%-10v msgs=%-6d upd-frames=%-6d bytes=%-8d flush=%-5d acquire-wait=%-10v release-wait=%v",
+		r.Mode, batch, r.Time.Round(time.Microsecond), r.Msgs, r.UpdateFrames, r.Bytes, r.FlushMsgs,
 		r.AcquireWait.Round(time.Microsecond), r.ReleaseWait.Round(time.Microsecond))
 }
 
@@ -45,6 +56,9 @@ type PropagationWorkload struct {
 	Handoffs    int
 	WritesPerCS int
 	ReadBack    bool
+	// Batch configures the update outbox for the run; the zero value is
+	// the unbatched baseline.
+	Batch dsm.BatchConfig
 }
 
 // RunPropagation runs the workload under one propagation mode.
@@ -54,6 +68,7 @@ func RunPropagation(mode syncmgr.PropagationMode, w PropagationWorkload, latency
 		Latency:     latency,
 		Seed:        seed,
 		Propagation: mode,
+		Batch:       w.Batch,
 	})
 	if err != nil {
 		return PropagationResult{}, fmt.Errorf("propagation %v: %w", mode, err)
@@ -79,12 +94,18 @@ func RunPropagation(mode syncmgr.PropagationMode, w PropagationWorkload, latency
 	elapsed := time.Since(start)
 
 	stats := sys.NetStats()
+	batchSize := 0
+	if w.Batch.Enabled {
+		batchSize = w.Batch.WithDefaults().MaxUpdates
+	}
 	out := PropagationResult{
-		Mode:      mode,
-		Time:      elapsed,
-		Msgs:      stats.MessagesSent,
-		Bytes:     stats.BytesSent,
-		FlushMsgs: stats.PerKind[syncmgr.KindFlush] + stats.PerKind[syncmgr.KindFlushAck],
+		Mode:         mode,
+		Batch:        batchSize,
+		Time:         elapsed,
+		Msgs:         stats.MessagesSent,
+		Bytes:        stats.BytesSent,
+		UpdateFrames: stats.PerKind[dsm.KindUpdate] + stats.PerKind[dsm.KindUpdateBatch],
+		FlushMsgs:    stats.PerKind[syncmgr.KindFlush] + stats.PerKind[syncmgr.KindFlushAck],
 	}
 	for i := 0; i < w.Procs; i++ {
 		ls := sys.Proc(i).LockStats()
@@ -106,6 +127,33 @@ func RunPropagationSweep(w PropagationWorkload, latency network.LatencyModel, se
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// RunPropagationBatchSweep runs one mode across outbox batch sizes on the
+// same workload: size 0 is the unbatched baseline, each positive size sets
+// the outbox's MaxUpdates threshold. The rows quantify how many update
+// frames the outbox saves as the batch window widens.
+func RunPropagationBatchSweep(mode syncmgr.PropagationMode, w PropagationWorkload, sizes []int, latency network.LatencyModel, seed int64) ([]PropagationResult, error) {
+	out := make([]PropagationResult, 0, len(sizes))
+	for _, size := range sizes {
+		ww := w
+		ww.Batch = batchConfigForSize(size)
+		r, err := RunPropagation(mode, ww, latency, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// batchConfigForSize maps a sweep knob to an outbox config: 0 disables
+// batching, a positive size becomes the MaxUpdates threshold.
+func batchConfigForSize(size int) dsm.BatchConfig {
+	if size <= 0 {
+		return dsm.BatchConfig{}
+	}
+	return dsm.BatchConfig{Enabled: true, MaxUpdates: size}
 }
 
 // GaussSeidelResult is experiment E7: convergence of asynchronous relaxation

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mixedmem/internal/check"
+	"mixedmem/internal/dsm"
 	"mixedmem/internal/history"
 )
 
@@ -25,7 +26,7 @@ func TestRuntimeAlwaysMixedConsistent(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		seed := seed
 		t.Run("seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
-			h := runRacyProgram(t, seed)
+			h := runRacyProgram(t, seed, dsm.BatchConfig{})
 			a, err := h.Analyze()
 			if err != nil {
 				t.Fatalf("Analyze: %v", err)
@@ -37,17 +38,42 @@ func TestRuntimeAlwaysMixedConsistent(t *testing.T) {
 	}
 }
 
+// TestRuntimeAlwaysMixedConsistentBatched re-runs the conformance fuzzer
+// with the update outbox on and a narrow window, so flushes trigger through
+// every path (threshold, linger, sync boundaries) while the adversary holds
+// and releases channels. Coalescing may drop intermediate values from the
+// wire, but the recorded histories must still satisfy Definition 4.
+func TestRuntimeAlwaysMixedConsistentBatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing test")
+	}
+	batch := dsm.BatchConfig{Enabled: true, MaxUpdates: 4, Linger: 200 * time.Microsecond}
+	for seed := int64(50); seed < 60; seed++ {
+		seed := seed
+		t.Run("seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			h := runRacyProgram(t, seed, batch)
+			a, err := h.Analyze()
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if v := check.Mixed(a); len(v) != 0 {
+				t.Fatalf("batched runtime violated mixed consistency: %v", v[0])
+			}
+		})
+	}
+}
+
 // runRacyProgram runs a random program of racing reads and writes over a few
 // locations with an adversary toggling channel holds, and returns the
 // recorded history.
-func runRacyProgram(t *testing.T, seed int64) *history.History {
+func runRacyProgram(t *testing.T, seed int64, batch dsm.BatchConfig) *history.History {
 	t.Helper()
 	const (
 		procs      = 3
 		opsPerProc = 12
 		locs       = 3
 	)
-	sys, err := NewSystem(Config{Procs: procs, Record: true})
+	sys, err := NewSystem(Config{Procs: procs, Record: true, Batch: batch})
 	if err != nil {
 		t.Fatalf("NewSystem: %v", err)
 	}
@@ -175,44 +201,68 @@ func TestRuntimeSyncSoupMixedConsistent(t *testing.T) {
 	for seed := int64(100); seed < 108; seed++ {
 		seed := seed
 		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
-			sys, err := NewSystem(Config{Procs: 3, Record: true})
-			if err != nil {
-				t.Fatalf("NewSystem: %v", err)
-			}
-			defer sys.Close()
-			var unique atomic.Int64
-			sys.Run(func(p *Proc) {
-				r := rand.New(rand.NewSource(seed + int64(p.ID())*31))
-				for round := 0; round < 3; round++ {
-					for i := 0; i < 4; i++ {
-						loc := "s" + strconv.Itoa(r.Intn(3))
-						switch r.Intn(4) {
-						case 0:
-							p.Write(loc, unique.Add(1))
-						case 1:
-							p.ReadPRAM(loc)
-						case 2:
-							p.ReadCausal(loc)
-						default:
-							lock := "lk" + strconv.Itoa(r.Intn(2))
-							p.WLock(lock)
-							v := p.ReadCausal("guarded" + lock)
-							_ = v
-							p.Write("guarded"+lock, unique.Add(1))
-							p.WUnlock(lock)
-						}
-					}
-					p.Barrier()
-				}
-			})
-			h := sys.History()
-			a, err := h.Analyze()
-			if err != nil {
-				t.Fatalf("Analyze (well-formedness): %v", err)
-			}
-			if v := check.Mixed(a); len(v) != 0 {
-				t.Fatalf("mixed consistency violated: %v", v[0])
-			}
+			runSyncSoup(t, seed, dsm.BatchConfig{})
 		})
+	}
+}
+
+// TestRuntimeSyncSoupBatchedMixedConsistent re-runs the sync soup with the
+// outbox on: lock releases, barrier arrivals, and awaits must all flush the
+// pending batches, or the counted handshakes deadlock and the histories go
+// inconsistent.
+func TestRuntimeSyncSoupBatchedMixedConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing test")
+	}
+	batch := dsm.BatchConfig{Enabled: true, MaxUpdates: 4, Linger: 200 * time.Microsecond}
+	for seed := int64(200); seed < 206; seed++ {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			runSyncSoup(t, seed, batch)
+		})
+	}
+}
+
+// runSyncSoup runs one full-primitive-set fuzz round and checks the recorded
+// history against Definition 4.
+func runSyncSoup(t *testing.T, seed int64, batch dsm.BatchConfig) {
+	t.Helper()
+	sys, err := NewSystem(Config{Procs: 3, Record: true, Batch: batch})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+	var unique atomic.Int64
+	sys.Run(func(p *Proc) {
+		r := rand.New(rand.NewSource(seed + int64(p.ID())*31))
+		for round := 0; round < 3; round++ {
+			for i := 0; i < 4; i++ {
+				loc := "s" + strconv.Itoa(r.Intn(3))
+				switch r.Intn(4) {
+				case 0:
+					p.Write(loc, unique.Add(1))
+				case 1:
+					p.ReadPRAM(loc)
+				case 2:
+					p.ReadCausal(loc)
+				default:
+					lock := "lk" + strconv.Itoa(r.Intn(2))
+					p.WLock(lock)
+					v := p.ReadCausal("guarded" + lock)
+					_ = v
+					p.Write("guarded"+lock, unique.Add(1))
+					p.WUnlock(lock)
+				}
+			}
+			p.Barrier()
+		}
+	})
+	h := sys.History()
+	a, err := h.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze (well-formedness): %v", err)
+	}
+	if v := check.Mixed(a); len(v) != 0 {
+		t.Fatalf("mixed consistency violated: %v", v[0])
 	}
 }

@@ -135,6 +135,11 @@ type Config struct {
 	// access-pattern optimization. Requires PRAMOnly; lock-based
 	// propagation is unsupported under a placement.
 	Placement func(loc string) []int
+	// Batch configures the per-destination update outbox (dsm.BatchConfig):
+	// writes enqueue into per-peer batches that flush on thresholds, a
+	// linger timer, and every synchronization boundary. The zero value
+	// sends one message per write per destination, as before.
+	Batch dsm.BatchConfig
 }
 
 // System is a running mixed-consistency memory over Procs processes.
@@ -199,6 +204,7 @@ func NewSystem(cfg Config) (*System, error) {
 		node, err := dsm.NewNode(dsm.Config{
 			ID: i, N: cfg.Procs, Transport: fabric, Trace: trace,
 			Handler: d.Handle, PRAMOnly: cfg.PRAMOnly, Scope: cfg.Placement,
+			Batch: cfg.Batch,
 		})
 		if err != nil {
 			fabric.Close()
@@ -339,6 +345,13 @@ func (p *Proc) Add(loc string, delta int64) { p.node.Add(loc, delta) }
 
 // AddFloat applies a commutative float64 increment to a counter object.
 func (p *Proc) AddFloat(loc string, delta float64) { p.node.AddFloat(loc, delta) }
+
+// FlushUpdates sends every pending outbox batch immediately. A no-op unless
+// the system was built with Config.Batch enabled; programs that hand off
+// through channels or other out-of-band signals (rather than the model's
+// awaits, locks, and barriers, which all flush implicitly) call it before
+// signaling.
+func (p *Proc) FlushUpdates() { p.node.FlushUpdates() }
 
 // MemStats returns the process's memory-operation counters.
 func (p *Proc) MemStats() dsm.Stats { return p.node.Stats() }

@@ -28,6 +28,11 @@ type PeerConfig struct {
 	// PRAMOnly elides vector timestamps and keeps only the PRAM view, as
 	// in Config.PRAMOnly.
 	PRAMOnly bool
+	// Batch configures the per-destination update outbox, as in
+	// Config.Batch. All peers of a deployment should agree on whether
+	// batching is enabled only as a matter of symmetry — the receive path
+	// handles single updates and batches regardless.
+	Batch dsm.BatchConfig
 }
 
 // Peer is one process's slice of a distributed mixed-consistency system: a
@@ -61,6 +66,7 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	node, err := dsm.NewNode(dsm.Config{
 		ID: cfg.ID, N: n, Transport: cfg.Transport,
 		Handler: d.Handle, PRAMOnly: cfg.PRAMOnly,
+		Batch: cfg.Batch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: peer node: %w", err)

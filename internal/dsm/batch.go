@@ -1,0 +1,256 @@
+package dsm
+
+import (
+	"time"
+
+	"mixedmem/internal/network"
+	"mixedmem/internal/vclock"
+)
+
+// KindUpdateBatch is the fabric message kind that carries many updates from
+// one sender in a single frame. Batching amortizes the per-message cost the
+// E6/E8 experiments measure — fabric queue operations, TCP frames, receive
+// dispatches, and node-lock acquisitions — without changing what any read can
+// observe: mixed consistency (Definition 4) constrains order and visibility
+// at reads, not message granularity.
+const KindUpdateBatch = "update-batch"
+
+// BatchConfig configures the per-destination update outbox. The zero value
+// disables batching entirely: every write broadcasts immediately, exactly as
+// before the outbox existed.
+type BatchConfig struct {
+	// Enabled turns the outbox on. Writes then enqueue into per-destination
+	// batches that flush on the thresholds below and at every
+	// synchronization boundary (lock release, barrier arrival, await
+	// registration, explicit FlushUpdates).
+	Enabled bool
+	// MaxUpdates flushes a destination's batch once it holds this many
+	// live entries (default 64).
+	MaxUpdates int
+	// MaxBytes flushes a destination's batch once its modeled wire size
+	// reaches this many bytes (default 16384).
+	MaxBytes int
+	// Linger bounds how long an update may sit in the outbox with no
+	// synchronization boundary to flush it (default 1ms). The linger
+	// flusher guarantees progress for programs that poll with plain reads
+	// instead of awaits.
+	Linger time.Duration
+	// NoCoalesce disables last-writer-wins coalescing of same-location
+	// OpSet entries within a batch. Coalescing is on by default: a
+	// superseded plain write is dropped from the batch (its sequence number
+	// is still accounted through the batch's Count), so readers skip values
+	// the sender overwrote before the flush — a skip the condition-variable
+	// wakeup race already permits in unbatched executions.
+	NoCoalesce bool
+}
+
+// WithDefaults returns the config with unset thresholds filled in, exactly
+// as NewNode resolves them.
+func (c BatchConfig) WithDefaults() BatchConfig {
+	if c.MaxUpdates <= 0 {
+		c.MaxUpdates = 64
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 16 << 10
+	}
+	if c.Linger <= 0 {
+		c.Linger = time.Millisecond
+	}
+	return c
+}
+
+// UpdateBatch is the payload of a KindUpdateBatch message: a contiguous run
+// of one sender's updates for one destination, possibly with superseded
+// same-location OpSet entries coalesced away.
+//
+// FirstSeq and Count describe the covered run of per-destination enqueued
+// updates, including coalesced-away ones, so the receiver's counting
+// primitives (barrier count vectors, lazy-lock waits) account every original
+// update. Under full broadcast the covered per-sender sequence numbers are
+// exactly [FirstSeq, FirstSeq+Count-1]; under scoped placement (which
+// requires PRAMOnly) the run may have per-destination holes and only Count is
+// meaningful. The surviving entries each carry their own Seq/TS, and the
+// entry with the highest Seq is always the sender's latest covered write
+// (the latest write is never coalesced away), which is what the receiver's
+// PRAM clock advances to.
+type UpdateBatch struct {
+	From     int
+	FirstSeq uint64
+	Count    uint64
+	Updates  []Update
+}
+
+// encodedSize models the wire size of the batch: header plus entries. The
+// per-entry sender ID is hoisted into the header, which is the (small) wire
+// win of batching on top of the per-frame overhead it removes.
+func (b UpdateBatch) encodedSize() int {
+	s := 24
+	for _, u := range b.Updates {
+		s += u.encodedSize() - 4 // From encoded once in the header
+	}
+	return s
+}
+
+// outboxDest buffers the pending batch for one destination. All access is
+// under the node mutex.
+type outboxDest struct {
+	entries []Update
+	// setIdx maps a location to the index in entries of its latest live
+	// OpSet entry, the coalescing target. A non-OpSet write to the location
+	// deletes the mapping so commutative adds keep their position relative
+	// to the sets around them.
+	setIdx   map[string]int
+	firstSeq uint64
+	count    uint64
+	bytes    int
+}
+
+func newOutboxDest() *outboxDest {
+	return &outboxDest{setIdx: make(map[string]int)}
+}
+
+// enqueueLocked adds u to destination j's pending batch, coalescing into the
+// location's live OpSet entry when allowed. It reports whether a threshold
+// was crossed and the batch should flush.
+func (n *Node) enqueueLocked(j int, u Update) bool {
+	ob := n.outbox[j]
+	if ob.count == 0 {
+		ob.firstSeq = u.Seq
+	}
+	ob.count++
+	coalesced := false
+	if u.Op == OpSet && !n.batch.NoCoalesce {
+		if i, ok := ob.setIdx[u.Loc]; ok {
+			ob.bytes += u.encodedSize() - ob.entries[i].encodedSize()
+			ob.entries[i] = u
+			coalesced = true
+		} else {
+			ob.setIdx[u.Loc] = len(ob.entries)
+		}
+	} else {
+		// An add (or coalescing off) bars later sets from jumping over it:
+		// the location's next OpSet must append after this entry.
+		delete(n.outbox[j].setIdx, u.Loc)
+	}
+	if !coalesced {
+		ob.entries = append(ob.entries, u)
+		ob.bytes += u.encodedSize()
+	}
+	return len(ob.entries) >= n.batch.MaxUpdates || ob.bytes >= n.batch.MaxBytes
+}
+
+// flushDestLocked sends destination j's pending batch, if any. A batch that
+// covers a single update goes out as a plain KindUpdate frame — the receive
+// path and wire format are then identical to unbatched operation.
+func (n *Node) flushDestLocked(j int) {
+	ob := n.outbox[j]
+	if ob == nil || ob.count == 0 {
+		return
+	}
+	if ob.count == 1 && len(ob.entries) == 1 {
+		u := ob.entries[0]
+		_ = n.fabric.Send(network.Message{
+			From: n.id, To: j, Kind: KindUpdate,
+			Payload: u, Size: u.encodedSize(),
+		})
+	} else {
+		b := UpdateBatch{
+			From:     n.id,
+			FirstSeq: ob.firstSeq,
+			Count:    ob.count,
+			Updates:  ob.entries,
+		}
+		_ = n.fabric.Send(network.Message{
+			From: n.id, To: j, Kind: KindUpdateBatch,
+			Payload: b, Size: b.encodedSize(),
+		})
+	}
+	// The entries slice is owned by the in-flight message now; start fresh.
+	ob.entries = nil
+	clear(ob.setIdx)
+	ob.count = 0
+	ob.bytes = 0
+}
+
+// flushAllLocked flushes every destination's pending batch.
+func (n *Node) flushAllLocked() {
+	if n.outbox == nil {
+		return
+	}
+	for j := range n.outbox {
+		if j != n.id && n.outbox[j] != nil {
+			n.flushDestLocked(j)
+		}
+	}
+}
+
+// FlushUpdates sends every pending outbox batch immediately. It is the
+// synchronization-boundary hook: the lock client calls it before every
+// release, the barrier client before reporting its sent counts, and awaits
+// call it on registration, so no update a peer must observe to make progress
+// is ever parked in the outbox past a synchronization point. It is a no-op
+// when batching is disabled.
+func (n *Node) FlushUpdates() {
+	if !n.batch.Enabled {
+		return
+	}
+	n.mu.Lock()
+	n.flushAllLocked()
+	n.mu.Unlock()
+}
+
+// lingerLoop is the outbox's progress guarantee: every Linger interval it
+// flushes whatever the thresholds and synchronization boundaries have not,
+// bounding the staleness a polling reader can observe.
+func (n *Node) lingerLoop() {
+	t := time.NewTicker(n.batch.Linger)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.flushQuit:
+			return
+		case <-t.C:
+			n.FlushUpdates()
+		}
+	}
+}
+
+// deliveryGroup is one causal-delivery unit in the pending buffer: a single
+// update or a whole received batch. A batch is applied to the causal view
+// atomically once its first covered sequence number is next from its sender
+// and its latest entry's dependencies are satisfied — delivering a contiguous
+// per-sender run at the point its last element is deliverable is a legal
+// causal schedule (delivery may be delayed, never reordered), and it is what
+// lets coalesced batches keep the standard vector-clock condition.
+type deliveryGroup struct {
+	from     int
+	firstSeq uint64
+	lastSeq  uint64
+	// ts is the group's dependency clock: the timestamp of the latest
+	// entry, which dominates every other entry's timestamp (one sender's
+	// clocks are monotone).
+	ts vclock.VC
+	// one holds the update when batch is nil (the common singleton case,
+	// kept inline to avoid a per-update slice allocation).
+	one   Update
+	batch []Update
+}
+
+// groupDeliverableLocked is the causal-broadcast condition generalized to a
+// contiguous per-sender run: the run starts right after what we applied from
+// the sender, and every cross-sender dependency of its latest entry is
+// already applied.
+func (n *Node) groupDeliverableLocked(g deliveryGroup) bool {
+	if n.causalApplied.Get(g.from)+1 != g.firstSeq {
+		return false
+	}
+	if g.ts.Len() != n.causalApplied.Len() {
+		return false
+	}
+	for k := 0; k < n.causalApplied.Len(); k++ {
+		if k != g.from && g.ts.Get(k) > n.causalApplied.Get(k) {
+			return false
+		}
+	}
+	return true
+}

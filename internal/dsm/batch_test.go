@@ -1,0 +1,505 @@
+package dsm
+
+import (
+	"testing"
+	"time"
+
+	"mixedmem/internal/network"
+	"mixedmem/internal/transport"
+	"mixedmem/internal/vclock"
+)
+
+// batchedCluster builds a fabric and n nodes with the given batch config.
+func batchedCluster(t *testing.T, n int, batch BatchConfig) ([]*Node, *network.Fabric) {
+	t.Helper()
+	f, err := network.New(network.Config{Nodes: n})
+	if err != nil {
+		t.Fatalf("network.New: %v", err)
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i], err = NewNode(Config{ID: i, N: n, Transport: f, Batch: batch})
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		f.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	return nodes, f
+}
+
+func TestBatchedPropagationLinger(t *testing.T) {
+	// No explicit flush and thresholds far out of reach: only the linger
+	// timer can move the updates.
+	nodes, _ := batchedCluster(t, 3, BatchConfig{
+		Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30,
+		Linger: time.Millisecond,
+	})
+	nodes[0].Write("x", 42)
+	eventually(t, func() bool { return nodes[2].ReadPRAM("x") == 42 },
+		"linger flush never propagated the update")
+	eventually(t, func() bool { return nodes[2].ReadCausal("x") == 42 },
+		"causal view never applied the lingered update")
+}
+
+func TestBatchCoalescingLastWriterWins(t *testing.T) {
+	nodes, f := batchedCluster(t, 2, BatchConfig{
+		Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30,
+		Linger: time.Hour, // flush only explicitly
+	})
+	const writes = 10
+	for i := 1; i <= writes; i++ {
+		nodes[0].Write("x", int64(i))
+	}
+	nodes[0].FlushUpdates()
+	// Coalescing must not hide any update from the counting protocols.
+	nodes[1].WaitReceived([]uint64{writes, 0})
+	if got := nodes[1].ReadPRAM("x"); got != writes {
+		t.Fatalf("PRAM x = %d, want %d", got, writes)
+	}
+	nodes[1].WaitCausalApplied([]uint64{writes, 0})
+	if got := nodes[1].ReadCausal("x"); got != writes {
+		t.Fatalf("causal x = %d, want %d", got, writes)
+	}
+	// Ten same-location sets coalesce into one single-entry batch frame.
+	s := f.Stats()
+	if s.PerKind[KindUpdateBatch] != 1 {
+		t.Fatalf("batch frames = %d, want 1 (stats %v)", s.PerKind[KindUpdateBatch], s.PerKind)
+	}
+	if s.PerKind[KindUpdate] != 0 {
+		t.Fatalf("plain update frames = %d, want 0", s.PerKind[KindUpdate])
+	}
+	if s.PerKindBytes[KindUpdateBatch] == 0 {
+		t.Fatal("per-kind byte accounting missing for batches")
+	}
+}
+
+func TestBatchAddsDoNotCoalesce(t *testing.T) {
+	nodes, _ := batchedCluster(t, 2, BatchConfig{
+		Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30, Linger: time.Hour,
+	})
+	// set, add, set, add on one location: the adds must keep their position
+	// relative to the sets so the receiver's replay yields the same value.
+	nodes[0].Write("c", 100)
+	nodes[0].Add("c", 5)
+	nodes[0].Write("c", 200)
+	nodes[0].Add("c", 7)
+	nodes[0].FlushUpdates()
+	nodes[1].WaitReceived([]uint64{4, 0})
+	if got := nodes[1].ReadPRAM("c"); got != 207 {
+		t.Fatalf("c = %d, want 207", got)
+	}
+	if got := nodes[0].ReadPRAM("c"); got != 207 {
+		t.Fatalf("writer's own c = %d, want 207", got)
+	}
+}
+
+func TestBatchSingleUpdateUsesPlainFrame(t *testing.T) {
+	nodes, f := batchedCluster(t, 2, BatchConfig{
+		Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30, Linger: time.Hour,
+	})
+	nodes[0].Write("x", 1)
+	nodes[0].FlushUpdates()
+	nodes[1].WaitReceived([]uint64{1, 0})
+	s := f.Stats()
+	if s.PerKind[KindUpdate] != 1 || s.PerKind[KindUpdateBatch] != 0 {
+		t.Fatalf("frames = update:%d batch:%d, want 1/0",
+			s.PerKind[KindUpdate], s.PerKind[KindUpdateBatch])
+	}
+}
+
+func TestBatchMaxUpdatesThresholdFlush(t *testing.T) {
+	nodes, f := batchedCluster(t, 2, BatchConfig{
+		Enabled: true, MaxUpdates: 4, MaxBytes: 1 << 30, Linger: time.Hour,
+	})
+	locs := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, loc := range locs {
+		nodes[0].Write(loc, int64(i+1))
+	}
+	// Eight distinct locations with MaxUpdates 4 flush twice on their own.
+	nodes[1].WaitReceived([]uint64{8, 0})
+	s := f.Stats()
+	if s.PerKind[KindUpdateBatch] != 2 {
+		t.Fatalf("batch frames = %d, want 2", s.PerKind[KindUpdateBatch])
+	}
+	for i, loc := range locs {
+		if got := nodes[1].ReadPRAM(loc); got != int64(i+1) {
+			t.Fatalf("%s = %d, want %d", loc, got, i+1)
+		}
+	}
+}
+
+func TestBatchAwaitFlushesHandshake(t *testing.T) {
+	// Two processes hand values to each other and block in Await without
+	// ever touching a lock or barrier: the await-registration flush (plus
+	// the receiver side's apply) must complete the handshake even with the
+	// linger timer effectively off.
+	nodes, _ := batchedCluster(t, 2, BatchConfig{
+		Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30, Linger: time.Hour,
+	})
+	done := make(chan struct{})
+	go func() { // node 1: respond to the request, then finish the exchange
+		nodes[1].AwaitPRAM("req", 1)
+		nodes[1].Write("resp", 2)
+		nodes[1].AwaitPRAM("ack", 3) // registering flushes "resp"
+		nodes[1].Write("fin", 4)
+		nodes[1].FlushUpdates() // the chain's last write has no await after it
+	}()
+	go func() { // node 0: initiate, each await flushing the prior write
+		nodes[0].Write("req", 1)
+		nodes[0].AwaitPRAM("resp", 2) // registering flushes "req"
+		nodes[0].Write("ack", 3)
+		nodes[0].AwaitPRAM("fin", 4) // registering flushes "ack"
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handshake deadlocked: await registration did not flush the outbox")
+	}
+}
+
+func TestBatchCausalGroupAtomicity(t *testing.T) {
+	// Node 0 writes a batch; node 1 causally reads a late value and must
+	// then see every earlier value of the same batch (they were applied
+	// together), on both views.
+	nodes, _ := batchedCluster(t, 3, BatchConfig{
+		Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30, Linger: time.Hour,
+	})
+	nodes[0].Write("a", 1)
+	nodes[0].Write("b", 2)
+	nodes[0].Write("c", 3)
+	nodes[0].FlushUpdates()
+	nodes[1].WaitCausalApplied([]uint64{3, 0, 0})
+	if got := nodes[1].ReadCausal("a"); got != 1 {
+		t.Fatalf("a = %d, want 1", got)
+	}
+	if got := nodes[1].ReadCausal("c"); got != 3 {
+		t.Fatalf("c = %d, want 3", got)
+	}
+}
+
+func TestBatchCausalChainAcrossSenders(t *testing.T) {
+	// A classic causal chain with batches: node 0 publishes a batch, node 1
+	// observes it and publishes its own batch, node 2 must apply them in
+	// causal order even if node 1's batch arrives first.
+	f, err := network.New(network.Config{Nodes: 3})
+	if err != nil {
+		t.Fatalf("network.New: %v", err)
+	}
+	batch := BatchConfig{Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30, Linger: time.Hour}
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		nodes[i], err = NewNode(Config{ID: i, N: 3, Transport: f, Batch: batch})
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", i, err)
+		}
+	}
+	defer func() {
+		f.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	// Delay node 0's channel to node 2 so node 1's dependent batch gets
+	// there first.
+	if err := f.Hold(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].Write("x", 1)
+	nodes[0].Write("y", 2)
+	nodes[0].FlushUpdates()
+	nodes[1].WaitCausalApplied([]uint64{2, 0, 0})
+	nodes[1].Write("z", 3) // causally after node 0's batch
+	nodes[1].FlushUpdates()
+	// Node 2 has z pending but must not causally apply it before x,y.
+	eventually(t, func() bool { return f.Pending(1, 2) == 0 },
+		"node 1's batch never reached node 2")
+	time.Sleep(10 * time.Millisecond)
+	if got := nodes[2].causalSnapshotValue("z"); got != 0 {
+		t.Fatalf("z causally applied before its dependencies: %d", got)
+	}
+	if err := f.Release(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	nodes[2].WaitCausalApplied([]uint64{2, 1, 0})
+	if got := nodes[2].ReadCausal("z"); got != 3 {
+		t.Fatalf("z = %d, want 3", got)
+	}
+	if got := nodes[2].ReadCausal("x"); got != 1 {
+		t.Fatalf("x = %d, want 1", got)
+	}
+}
+
+// causalSnapshotValue reads the causal view without blocking on fences or
+// invalidations — a test probe for "has this been causally applied yet".
+func (n *Node) causalSnapshotValue(loc string) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.causal[loc]
+}
+
+func TestBatchNoCoalesceKeepsEveryEntry(t *testing.T) {
+	nodes, f := batchedCluster(t, 2, BatchConfig{
+		Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30, Linger: time.Hour,
+		NoCoalesce: true,
+	})
+	for i := 1; i <= 5; i++ {
+		nodes[0].Write("x", int64(i))
+	}
+	nodes[0].FlushUpdates()
+	nodes[1].WaitReceived([]uint64{5, 0})
+	if got := nodes[1].ReadPRAM("x"); got != 5 {
+		t.Fatalf("x = %d, want 5", got)
+	}
+	s := f.Stats()
+	// One frame still, but it carries all five entries: bytes reflect that.
+	if s.PerKind[KindUpdateBatch] != 1 {
+		t.Fatalf("batch frames = %d, want 1", s.PerKind[KindUpdateBatch])
+	}
+	one := Update{From: 0, Seq: 1, Op: OpSet, Loc: "x", Value: 1, TS: vclock.New(2)}
+	if s.BytesSent < uint64(4*one.encodedSize()) {
+		t.Fatalf("bytes = %d, too small for 5 uncoalesced entries", s.BytesSent)
+	}
+}
+
+func TestBatchScopedPlacement(t *testing.T) {
+	// Batching composes with scoped placement: per-destination outboxes see
+	// different update streams with per-sender sequence holes.
+	f, err := network.New(network.Config{Nodes: 3})
+	if err != nil {
+		t.Fatalf("network.New: %v", err)
+	}
+	scope := func(loc string) []int {
+		if loc == "pair" {
+			return []int{1}
+		}
+		return []int{1, 2}
+	}
+	batch := BatchConfig{Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30, Linger: time.Hour}
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		nodes[i], err = NewNode(Config{
+			ID: i, N: 3, Transport: f, PRAMOnly: true, Scope: scope, Batch: batch,
+		})
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", i, err)
+		}
+	}
+	defer func() {
+		f.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	nodes[0].Write("pair", 5) // seq 1 -> node 1 only
+	nodes[0].Write("all", 7)  // seq 2 -> both
+	nodes[0].Write("all", 8)  // seq 3 -> both, coalesces with seq 2
+	nodes[0].FlushUpdates()
+	nodes[1].WaitReceived([]uint64{3, 0, 0})
+	nodes[2].WaitReceived([]uint64{2, 0, 0})
+	if got := nodes[1].ReadPRAM("pair"); got != 5 {
+		t.Fatalf("n1 pair = %d, want 5", got)
+	}
+	if got := nodes[2].ReadPRAM("all"); got != 8 {
+		t.Fatalf("n2 all = %d, want 8", got)
+	}
+	if got := nodes[2].ReadPRAM("pair"); got != 0 {
+		t.Fatalf("scoped update leaked to node 2: %d", got)
+	}
+}
+
+func TestBatchConfigValidation(t *testing.T) {
+	c := BatchConfig{Enabled: true}.WithDefaults()
+	if c.MaxUpdates <= 0 || c.MaxBytes <= 0 || c.Linger <= 0 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+}
+
+// --- KindUpdateBatch codec ---
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	ts1 := vclock.New(3)
+	ts1[0], ts1[2] = 4, 17
+	ts2 := vclock.New(3)
+	ts2[0], ts2[2] = 6, 17
+	b := UpdateBatch{
+		From: 2, FirstSeq: 4, Count: 3,
+		Updates: []Update{
+			{From: 2, Seq: 4, Op: OpSet, Loc: "x[3]", Value: -12345, TS: ts1},
+			{From: 2, Seq: 6, Op: OpAdd, Loc: "", Value: 7, TS: ts2},
+		},
+	}
+	enc, err := transport.EncodePayload(nil, KindUpdateBatch, b)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := transport.DecodePayload(KindUpdateBatch, enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got, ok := dec.(UpdateBatch)
+	if !ok {
+		t.Fatalf("decoded %T, want UpdateBatch", dec)
+	}
+	if got.From != 2 || got.FirstSeq != 4 || got.Count != 3 || len(got.Updates) != 2 {
+		t.Fatalf("header changed: %+v", got)
+	}
+	for i, u := range got.Updates {
+		want := b.Updates[i]
+		if u.From != want.From || u.Seq != want.Seq || u.Op != want.Op ||
+			u.Loc != want.Loc || u.Value != want.Value {
+			t.Fatalf("entry %d changed: %+v -> %+v", i, want, u)
+		}
+	}
+	if got.Updates[1].TS.Len() != 3 || got.Updates[1].TS[0] != 6 {
+		t.Fatalf("entry timestamp changed: %v", got.Updates[1].TS)
+	}
+}
+
+func TestBatchCodecEmptyAndNilTimestamps(t *testing.T) {
+	b := UpdateBatch{From: 0, FirstSeq: 1, Count: 2, Updates: []Update{
+		{From: 0, Seq: 2, Op: OpSet, Loc: "y", Value: 9},
+	}}
+	enc, err := transport.EncodePayload(nil, KindUpdateBatch, b)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := transport.DecodePayload(KindUpdateBatch, enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got := dec.(UpdateBatch)
+	if got.Updates[0].TS != nil {
+		t.Fatalf("nil timestamp round-tripped to %v", got.Updates[0].TS)
+	}
+}
+
+func TestBatchCodecMalformed(t *testing.T) {
+	if _, err := transport.EncodePayload(nil, KindUpdateBatch, "nope"); err == nil {
+		t.Fatal("encoding a non-batch payload succeeded")
+	}
+	// Truncated header.
+	if _, err := transport.DecodePayload(KindUpdateBatch, []byte{1, 2, 3}); err == nil {
+		t.Fatal("decoding a truncated batch header succeeded")
+	}
+	// A huge claimed entry count must fail fast, not allocate.
+	var huge []byte
+	huge = transport.AppendUint32(huge, 0)          // From
+	huge = transport.AppendUint64(huge, 1)          // FirstSeq
+	huge = transport.AppendUint64(huge, 1<<40)      // Count
+	huge = transport.AppendUint32(huge, 0xFFFFFFFF) // nEntries
+	if _, err := transport.DecodePayload(KindUpdateBatch, huge); err == nil {
+		t.Fatal("decoding a batch with absurd entry count succeeded")
+	}
+	// A huge claimed timestamp length inside an entry must fail fast too.
+	var badTS []byte
+	badTS = transport.AppendUint32(badTS, 0) // From
+	badTS = transport.AppendUint64(badTS, 1) // FirstSeq
+	badTS = transport.AppendUint64(badTS, 1) // Count
+	badTS = transport.AppendUint32(badTS, 1) // nEntries
+	badTS = transport.AppendUint64(badTS, 1) // Seq
+	badTS = append(badTS, byte(OpSet))       // Op
+	badTS = transport.AppendString(badTS, "x")
+	badTS = transport.AppendUint64(badTS, 5)          // Value
+	badTS = transport.AppendUint32(badTS, 0x7FFFFFFF) // tsLen
+	if _, err := transport.DecodePayload(KindUpdateBatch, badTS); err == nil {
+		t.Fatal("decoding a batch with absurd timestamp length succeeded")
+	}
+	// An entry truncated mid-way.
+	var cut []byte
+	cut = transport.AppendUint32(cut, 0)
+	cut = transport.AppendUint64(cut, 1)
+	cut = transport.AppendUint64(cut, 1)
+	cut = transport.AppendUint32(cut, 1)
+	cut = transport.AppendUint64(cut, 1)
+	cut = append(cut, byte(OpSet))
+	if _, err := transport.DecodePayload(KindUpdateBatch, cut); err == nil {
+		t.Fatal("decoding a mid-entry truncation succeeded")
+	}
+}
+
+// --- scoped-write allocation satellite ---
+
+// TestScopedWriteAllocs pins the allocation cost of the scoped-write fast
+// path: deduplicating targets must reuse the node's epoch scratch buffer, not
+// allocate a map per write. The bound leaves room for the unavoidable per-op
+// allocations (payload boxing, fabric queue node, write-log growth) that a
+// per-write map would push well past.
+func TestScopedWriteAllocs(t *testing.T) {
+	f, err := network.New(network.Config{Nodes: 4})
+	if err != nil {
+		t.Fatalf("network.New: %v", err)
+	}
+	scope := func(loc string) []int { return []int{1, 2, 3} }
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i], err = NewNode(Config{ID: i, N: 4, Transport: f, PRAMOnly: true, Scope: scope})
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", i, err)
+		}
+	}
+	defer func() {
+		f.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	v := int64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		v++
+		nodes[0].Write("hot", v)
+	})
+	// Three sends, each boxing the payload into a Message and pushing a
+	// queue element, plus amortized write-log growth. The old per-write
+	// `make(map[int]bool)` added one map allocation on top of these — keep
+	// the bound tight enough to catch its return.
+	if allocs > 8 {
+		t.Fatalf("scoped write allocates %.1f objects/op, want <= 8", allocs)
+	}
+}
+
+func BenchmarkScopedWrite(b *testing.B) {
+	f, _ := network.New(network.Config{Nodes: 4})
+	scope := func(loc string) []int { return []int{1, 2, 3} }
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i], _ = NewNode(Config{ID: i, N: 4, Transport: f, PRAMOnly: true, Scope: scope})
+	}
+	defer func() {
+		f.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[0].Write("hot", int64(i+1))
+	}
+}
+
+func BenchmarkBatchedWrite(b *testing.B) {
+	f, _ := network.New(network.Config{Nodes: 4})
+	batch := BatchConfig{Enabled: true}
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i], _ = NewNode(Config{ID: i, N: 4, Transport: f, Batch: batch})
+	}
+	defer func() {
+		f.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[0].Write("hot", int64(i+1))
+	}
+}

@@ -19,6 +19,7 @@ type updateCodec struct{}
 
 func init() {
 	transport.RegisterPayload(KindUpdate, updateCodec{})
+	transport.RegisterPayload(KindUpdateBatch, batchCodec{})
 }
 
 func (updateCodec) Encode(dst []byte, payload any) ([]byte, error) {
@@ -56,4 +57,83 @@ func (updateCodec) Decode(data []byte) (any, error) {
 		return nil, fmt.Errorf("dsm: update codec: %w", err)
 	}
 	return u, nil
+}
+
+// batchCodec is the wire codec for KindUpdateBatch payloads. Layout, all
+// big-endian — the per-entry sender ID is hoisted into the header since every
+// entry of a batch comes from the same process:
+//
+//	u32 From | u64 FirstSeq | u64 Count | u32 nEntries |
+//	nEntries * ( u64 Seq | u8 Op | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS )
+//
+// Decode bounds nEntries and tsLen by the bytes actually remaining, so a
+// malformed length prefix fails with ErrTruncated instead of attempting a
+// huge allocation.
+type batchCodec struct{}
+
+func (batchCodec) Encode(dst []byte, payload any) ([]byte, error) {
+	b, ok := payload.(UpdateBatch)
+	if !ok {
+		return dst, fmt.Errorf("dsm: batch codec: payload is %T", payload)
+	}
+	dst = transport.AppendUint32(dst, uint32(b.From))
+	dst = transport.AppendUint64(dst, b.FirstSeq)
+	dst = transport.AppendUint64(dst, b.Count)
+	dst = transport.AppendUint32(dst, uint32(len(b.Updates)))
+	for _, u := range b.Updates {
+		dst = transport.AppendUint64(dst, u.Seq)
+		dst = append(dst, byte(u.Op))
+		dst = transport.AppendString(dst, u.Loc)
+		dst = transport.AppendUint64(dst, uint64(u.Value))
+		dst = transport.AppendUint32(dst, uint32(u.TS.Len()))
+		dst = u.TS.Encode(dst)
+	}
+	return dst, nil
+}
+
+// minBatchEntry is the smallest possible encoded entry: seq + op + empty
+// location + value + zero-length timestamp.
+const minBatchEntry = 8 + 1 + 4 + 8 + 4
+
+func (batchCodec) Decode(data []byte) (any, error) {
+	d := transport.NewDecoder(data)
+	b := UpdateBatch{
+		From:     int(d.Uint32()),
+		FirstSeq: d.Uint64(),
+		Count:    d.Uint64(),
+	}
+	nEntries := int(d.Uint32())
+	if d.Err() == nil && nEntries > d.Remaining()/minBatchEntry {
+		return nil, fmt.Errorf("dsm: batch codec: %d entries in %d bytes: %w",
+			nEntries, d.Remaining(), transport.ErrTruncated)
+	}
+	if nEntries > 0 && d.Err() == nil {
+		b.Updates = make([]Update, 0, nEntries)
+	}
+	for i := 0; i < nEntries && d.Err() == nil; i++ {
+		u := Update{
+			From: b.From,
+			Seq:  d.Uint64(),
+			Op:   UpdateOp(d.Byte()),
+			Loc:  d.String(),
+		}
+		u.Value = int64(d.Uint64())
+		tsLen := int(d.Uint32())
+		if d.Err() == nil && tsLen > d.Remaining()/8 {
+			return nil, fmt.Errorf("dsm: batch codec: timestamp length %d in %d bytes: %w",
+				tsLen, d.Remaining(), transport.ErrTruncated)
+		}
+		if tsLen > 0 && d.Err() == nil {
+			ts := vclock.New(tsLen)
+			for k := range ts {
+				ts[k] = d.Uint64()
+			}
+			u.TS = ts
+		}
+		b.Updates = append(b.Updates, u)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("dsm: batch codec: %w", err)
+	}
+	return b, nil
 }

@@ -128,6 +128,9 @@ type Config struct {
 	// propagation is unsupported under a scope; the barrier count-vector
 	// protocol works unchanged because it counts per-destination sends.
 	Scope func(loc string) []int
+	// Batch configures the per-destination update outbox. The zero value
+	// keeps the original behavior: one message per write per destination.
+	Batch BatchConfig
 }
 
 // Stats counts a node's memory activity.
@@ -160,8 +163,9 @@ type Node struct {
 	deps vclock.VC
 	// causalApplied[j] counts updates from j applied to the causal view.
 	causalApplied vclock.VC
-	// pending buffers updates received but not yet causally applicable.
-	pending []Update
+	// pending buffers delivery groups (single updates or whole batches)
+	// received but not yet causally applicable.
+	pending []deliveryGroup
 	// sent[j] counts updates sent to process j (cumulative), feeding the
 	// barrier message-count protocol of Section 6.
 	sent []uint64
@@ -195,8 +199,18 @@ type Node struct {
 	stats    Stats
 	pramOnly bool
 	scope    func(loc string) []int
-	closed   bool
-	done     chan struct{}
+	// seenBuf/seenEpoch deduplicate scoped-write targets without a
+	// per-write map allocation: a slot equals the current epoch iff the
+	// destination was already sent this write's update.
+	seenBuf   []uint64
+	seenEpoch uint64
+	// batch/outbox implement the per-destination update outbox; flushQuit
+	// stops the linger flusher.
+	batch     BatchConfig
+	outbox    []*outboxDest
+	flushQuit chan struct{}
+	closed    bool
+	done      chan struct{}
 }
 
 type invalidation struct {
@@ -237,6 +251,20 @@ func NewNode(cfg Config) (*Node, error) {
 		fence:         vclock.New(cfg.N),
 		done:          make(chan struct{}),
 	}
+	if cfg.Scope != nil {
+		node.seenBuf = make([]uint64, cfg.N)
+	}
+	if cfg.Batch.Enabled {
+		node.batch = cfg.Batch.WithDefaults()
+		node.outbox = make([]*outboxDest, cfg.N)
+		for j := range node.outbox {
+			if j != node.id {
+				node.outbox[j] = newOutboxDest()
+			}
+		}
+		node.flushQuit = make(chan struct{})
+		go node.lingerLoop()
+	}
 	node.cond = sync.NewCond(&node.mu)
 	go node.recvLoop()
 	return node, nil
@@ -272,6 +300,14 @@ func (n *Node) recvLoop() {
 			n.applyRemote(u)
 			continue
 		}
+		if m.Kind == KindUpdateBatch {
+			b, ok := m.Payload.(UpdateBatch)
+			if !ok {
+				continue
+			}
+			n.applyBatch(b)
+			continue
+		}
 		if n.handle != nil {
 			n.handle(m)
 		}
@@ -289,26 +325,76 @@ func (n *Node) applyRemote(u Update) {
 	n.deps.Set(u.From, u.Seq)
 	n.recvd[u.From]++
 	if !n.pramOnly {
-		// Causal view: buffer, then drain everything deliverable.
-		n.pending = append(n.pending, u)
+		// Causal view: buffer as a singleton group, then drain everything
+		// deliverable.
+		n.pending = append(n.pending, deliveryGroup{
+			from: u.From, firstSeq: u.Seq, lastSeq: u.Seq, ts: u.TS, one: u,
+		})
 		n.drainCausalLocked()
 	}
 	n.cond.Broadcast()
 }
 
-// drainCausalLocked applies pending updates to the causal view in causal
-// order until no more are deliverable.
+// applyBatch applies a received update batch atomically under the node lock:
+// every entry goes into the PRAM view in one critical section (receive-side
+// amortization of lock traffic), the PRAM clock advances to the latest
+// covered sequence number, and the received count advances by the batch's
+// full Count — including coalesced-away updates — so the barrier and
+// lazy-lock counting protocols account every original write. The causal view
+// receives the batch as one delivery group.
+func (n *Node) applyBatch(b UpdateBatch) {
+	if len(b.Updates) == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var maxSeq uint64
+	var maxTS vclock.VC
+	for _, u := range b.Updates {
+		n.applyTo(n.pram, u)
+		n.pramLast[u.Loc] = invalidation{from: b.From, seq: u.Seq}
+		if u.Seq > maxSeq {
+			maxSeq = u.Seq
+			maxTS = u.TS
+		}
+	}
+	n.deps.Set(b.From, maxSeq)
+	n.recvd[b.From] += b.Count
+	if !n.pramOnly {
+		n.pending = append(n.pending, deliveryGroup{
+			from:     b.From,
+			firstSeq: b.FirstSeq,
+			lastSeq:  maxSeq,
+			ts:       maxTS,
+			batch:    b.Updates,
+		})
+		n.drainCausalLocked()
+	}
+	n.cond.Broadcast()
+}
+
+// drainCausalLocked applies pending delivery groups to the causal view in
+// causal order until no more are deliverable. A group (single update or whole
+// batch) is applied atomically: its entries all land before any reader can
+// run, which is a legal causal schedule because delivery may be delayed but
+// never reordered, and the group covers a contiguous per-sender run.
 func (n *Node) drainCausalLocked() {
 	for {
 		progressed := false
 		kept := n.pending[:0]
-		for _, u := range n.pending {
-			if vclock.DeliverableAfter(n.causalApplied, u.TS, u.From) {
-				n.applyTo(n.causal, u)
-				n.causalApplied.Merge(u.TS)
+		for _, g := range n.pending {
+			if n.groupDeliverableLocked(g) {
+				if g.batch == nil {
+					n.applyTo(n.causal, g.one)
+				} else {
+					for _, u := range g.batch {
+						n.applyTo(n.causal, u)
+					}
+				}
+				n.causalApplied.Merge(g.ts)
 				progressed = true
 			} else {
-				kept = append(kept, u)
+				kept = append(kept, g)
 			}
 		}
 		n.pending = kept
@@ -378,21 +464,41 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 	n.writeLog = append(n.writeLog, WriteRecord{Loc: loc, Seq: u.Seq})
 	// Send while holding the lock so per-sender sequence numbers hit the
 	// fabric in order even under concurrent writers; fabric sends never
-	// block.
+	// block. With the outbox enabled, "send" means enqueue into the
+	// destination's pending batch, flushing any batch that crossed a
+	// threshold.
 	if n.scope != nil {
 		// Deduplicate targets: a duplicate entry in a user-supplied scope
-		// must not deliver (and for adds, apply) the update twice.
-		seen := make(map[int]bool, n.n)
+		// must not deliver (and for adds, apply) the update twice. The
+		// epoch scratch buffer replaces a per-write map allocation; a slot
+		// equals the current epoch iff that destination is already covered.
+		n.seenEpoch++
 		for _, j := range n.scope(loc) {
-			if j == n.id || j < 0 || j >= n.n || seen[j] {
+			if j == n.id || j < 0 || j >= n.n || n.seenBuf[j] == n.seenEpoch {
 				continue
 			}
-			seen[j] = true
+			n.seenBuf[j] = n.seenEpoch
 			n.sent[j]++
+			if n.batch.Enabled {
+				if n.enqueueLocked(j, u) {
+					n.flushDestLocked(j)
+				}
+				continue
+			}
 			_ = n.fabric.Send(network.Message{
 				From: n.id, To: j, Kind: KindUpdate,
 				Payload: u, Size: u.encodedSize(),
 			})
+		}
+	} else if n.batch.Enabled {
+		for j := 0; j < n.n; j++ {
+			if j == n.id {
+				continue
+			}
+			n.sent[j]++
+			if n.enqueueLocked(j, u) {
+				n.flushDestLocked(j)
+			}
 		}
 	} else {
 		for j := 0; j < n.n; j++ {
@@ -570,6 +676,12 @@ func (n *Node) awaitValue(loc string, value int64, causalView bool) {
 		view = n.causal
 	}
 	n.mu.Lock()
+	if n.batch.Enabled {
+		// Await registration is a synchronization boundary: a process about
+		// to block on a peer's flag must not keep its own half of the
+		// handshake parked in the outbox.
+		n.flushAllLocked()
+	}
 	start := time.Now()
 	for view[loc] != value && !n.closed {
 		n.cond.Wait()
@@ -585,10 +697,16 @@ func (n *Node) awaitValue(loc string, value int64, causalView bool) {
 }
 
 // SentCounts returns a copy of the cumulative per-destination update counts,
-// the vector each process reports to the barrier manager (Section 6).
+// the vector each process reports to the barrier manager (Section 6). With
+// the outbox enabled it first flushes every pending batch: the counts are a
+// promise that peers can wait for that many updates, so nothing counted may
+// remain parked locally.
 func (n *Node) SentCounts() []uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.batch.Enabled {
+		n.flushAllLocked()
+	}
 	out := make([]uint64, n.n)
 	copy(out, n.sent)
 	return out
@@ -610,6 +728,9 @@ func (n *Node) ReceivedCounts() []uint64 {
 func (n *Node) WaitReceived(min []uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.batch.Enabled {
+		n.flushAllLocked()
+	}
 	start := time.Now()
 	for !n.countsReachedLocked(min) && !n.closed {
 		n.cond.Wait()
@@ -635,6 +756,9 @@ func (n *Node) WaitCausalApplied(min []uint64) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.batch.Enabled {
+		n.flushAllLocked()
+	}
 	start := time.Now()
 	for !n.reachedLocked(n.causalApplied, min) && !n.closed {
 		n.cond.Wait()
@@ -742,11 +866,20 @@ func (n *Node) Snapshot(causalView bool) map[string]int64 {
 
 // Close unblocks all waiters and waits for the receive loop to exit. The
 // fabric must be closed (or still delivering) for the loop to finish;
-// closing the fabric first is the usual order.
+// closing the fabric first is the usual order. Pending outbox batches are
+// flushed best-effort (a closed fabric drops them silently), and the linger
+// flusher is stopped.
 func (n *Node) Close() {
 	n.mu.Lock()
+	first := !n.closed
+	if first && n.batch.Enabled {
+		n.flushAllLocked()
+	}
 	n.closed = true
 	n.cond.Broadcast()
 	n.mu.Unlock()
+	if first && n.flushQuit != nil {
+		close(n.flushQuit)
+	}
 	<-n.done
 }

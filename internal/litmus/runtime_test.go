@@ -5,6 +5,7 @@ import (
 
 	"mixedmem/internal/check"
 	"mixedmem/internal/core"
+	"mixedmem/internal/dsm"
 	"mixedmem/internal/history"
 	"mixedmem/internal/seqmem"
 )
@@ -89,6 +90,59 @@ func TestMixedRuntimeSBHistoryIsMixedConsistent(t *testing.T) {
 	}
 	// The same history must fail the SC check — the runtime exhibited a
 	// behavior only the weak models admit.
+	ok, _, err := check.SequentiallyConsistent(a)
+	if err != nil {
+		t.Fatalf("SC search: %v", err)
+	}
+	if ok {
+		t.Fatal("weak SB outcome should not be sequentially consistent")
+	}
+}
+
+// TestMixedRuntimeSBBatchedStillMixedConsistent repeats the recorded SB run
+// with the update outbox enabled: batching delays and coalesces wire frames
+// but must not change the verdict — the weak outcome stays mixed-consistent
+// and stays non-SC.
+func TestMixedRuntimeSBBatchedStillMixedConsistent(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{
+		Procs: 2, Record: true,
+		Batch: dsm.BatchConfig{Enabled: true, MaxUpdates: 8},
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+	_ = sys.Fabric().Hold(0, 1)
+	_ = sys.Fabric().Hold(1, 0)
+	sys.Run(func(p *core.Proc) {
+		if p.ID() == 0 {
+			p.Write("x", 1)
+			p.ReadPRAM("y")
+		} else {
+			p.Write("y", 1)
+			p.ReadPRAM("x")
+		}
+	})
+	_ = sys.Fabric().Release(0, 1)
+	_ = sys.Fabric().Release(1, 0)
+
+	h := sys.History()
+	a, err := h.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if v := check.Mixed(a); len(v) != 0 {
+		t.Fatalf("batched SB outcome flagged as inconsistent: %v", v)
+	}
+	zeros := 0
+	for _, op := range h.Ops {
+		if op.Kind == history.Read && op.Value == 0 {
+			zeros++
+		}
+	}
+	if zeros != 2 {
+		t.Fatalf("expected both reads 0 under held channels, history: %v", h.Ops)
+	}
 	ok, _, err := check.SequentiallyConsistent(a)
 	if err != nil {
 		t.Fatalf("SC search: %v", err)

@@ -93,6 +93,10 @@ type Stats struct {
 	PerNodeSent []uint64
 	// PerKind counts messages sent per Kind label.
 	PerKind map[string]uint64
+	// PerKindBytes counts modeled wire bytes sent per Kind label. Batching
+	// experiments read it to separate frame-count savings from payload
+	// growth: a batch frame is one message but carries many updates' bytes.
+	PerKindBytes map[string]uint64
 }
 
 // String formats the stats compactly for experiment output.
@@ -128,9 +132,9 @@ type Fabric struct {
 	bytesSent atomic.Uint64
 	nodeSent  []atomic.Uint64
 
-	// kinds maps Kind label -> *atomic.Uint64. A lock-free map keeps the
+	// kinds maps Kind label -> *kindCounter. A lock-free map keeps the
 	// accounting off the send hot path: after the first message of a kind
-	// the counter bump is a Load plus an atomic Add, with no mutex shared
+	// the counter bump is a Load plus two atomic Adds, with no mutex shared
 	// across senders.
 	kinds sync.Map
 
@@ -243,15 +247,23 @@ func (f *Fabric) Broadcast(from int, kind string, payload any, size int) error {
 	return nil
 }
 
+// kindCounter accumulates per-kind message and byte totals.
+type kindCounter struct {
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+}
+
 func (f *Fabric) account(m Message) {
 	f.msgsSent.Add(1)
 	f.bytesSent.Add(uint64(m.Size))
 	f.nodeSent[m.From].Add(1)
 	c, ok := f.kinds.Load(m.Kind)
 	if !ok {
-		c, _ = f.kinds.LoadOrStore(m.Kind, new(atomic.Uint64))
+		c, _ = f.kinds.LoadOrStore(m.Kind, new(kindCounter))
 	}
-	c.(*atomic.Uint64).Add(1)
+	kc := c.(*kindCounter)
+	kc.msgs.Add(1)
+	kc.bytes.Add(uint64(m.Size))
 }
 
 // Recv blocks until a message for node is delivered. The second result is
@@ -346,12 +358,15 @@ func (f *Fabric) Stats() Stats {
 		BytesSent:    f.bytesSent.Load(),
 		PerNodeSent:  make([]uint64, f.n),
 		PerKind:      make(map[string]uint64),
+		PerKindBytes: make(map[string]uint64),
 	}
 	for i := range s.PerNodeSent {
 		s.PerNodeSent[i] = f.nodeSent[i].Load()
 	}
 	f.kinds.Range(func(k, v any) bool {
-		s.PerKind[k.(string)] = v.(*atomic.Uint64).Load()
+		kc := v.(*kindCounter)
+		s.PerKind[k.(string)] = kc.msgs.Load()
+		s.PerKindBytes[k.(string)] = kc.bytes.Load()
 		return true
 	})
 	return s

@@ -203,6 +203,10 @@ func (c *BarrierClient) barrier(group string, k int, members []int) {
 	c.mu.Unlock()
 
 	start := time.Now()
+	// Barrier arrival is a synchronization boundary: SentCounts flushes the
+	// node's update outbox and snapshots the counts under one lock, so every
+	// update the reported vector promises is on the wire before the manager
+	// can release anyone against it.
 	sent := c.node.SentCounts()
 	if group != "" {
 		// Subset barrier: only member counts participate.

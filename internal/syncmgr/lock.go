@@ -385,6 +385,12 @@ func (c *Client) acquire(name string, mode LockMode) lockGrant {
 
 // release performs the mode's unlock work and notifies the manager.
 func (c *Client) release(name string, mode LockMode, writeSet map[string]writeStamp) {
+	// Lock release is a synchronization boundary: flush the update outbox
+	// first, whatever the mode. Eager's flush probe certifies receipt only of
+	// updates that FIFO-precede it; Lazy's received counts and DemandDriven's
+	// write-set stamps both promise the next holder it can wait for updates
+	// that must therefore already be on the wire.
+	c.node.FlushUpdates()
 	rel := lockRelease{Lock: name, Mode: mode, Client: c.node.ID()}
 	switch c.mode {
 	case Eager:

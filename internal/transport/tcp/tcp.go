@@ -143,7 +143,7 @@ type Transport struct {
 	msgsSent  atomic.Uint64
 	bytesSent atomic.Uint64
 	nodeSent  []atomic.Uint64
-	kinds     sync.Map // string -> *atomic.Uint64
+	kinds     sync.Map // string -> *kindCounter
 
 	dials        atomic.Uint64
 	dialFailures atomic.Uint64
@@ -306,15 +306,25 @@ func (t *Transport) Pending(from, to int) int {
 	return len(p.buf) - p.next
 }
 
+// kindCounter accumulates per-kind message and byte totals, mirroring the
+// simulated fabric's accounting so experiments read the same shape from
+// either backend.
+type kindCounter struct {
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+}
+
 func (t *Transport) account(m transport.Message) {
 	t.msgsSent.Add(1)
 	t.bytesSent.Add(uint64(m.Size))
 	t.nodeSent[m.From].Add(1)
 	c, ok := t.kinds.Load(m.Kind)
 	if !ok {
-		c, _ = t.kinds.LoadOrStore(m.Kind, new(atomic.Uint64))
+		c, _ = t.kinds.LoadOrStore(m.Kind, new(kindCounter))
 	}
-	c.(*atomic.Uint64).Add(1)
+	kc := c.(*kindCounter)
+	kc.msgs.Add(1)
+	kc.bytes.Add(uint64(m.Size))
 }
 
 // Stats returns a snapshot of the accounting counters. On a distributed
@@ -326,12 +336,15 @@ func (t *Transport) Stats() transport.Stats {
 		BytesSent:    t.bytesSent.Load(),
 		PerNodeSent:  make([]uint64, t.n),
 		PerKind:      make(map[string]uint64),
+		PerKindBytes: make(map[string]uint64),
 	}
 	for i := range s.PerNodeSent {
 		s.PerNodeSent[i] = t.nodeSent[i].Load()
 	}
 	t.kinds.Range(func(k, v any) bool {
-		s.PerKind[k.(string)] = v.(*atomic.Uint64).Load()
+		kc := v.(*kindCounter)
+		s.PerKind[k.(string)] = kc.msgs.Load()
+		s.PerKindBytes[k.(string)] = kc.bytes.Load()
 		return true
 	})
 	return s
