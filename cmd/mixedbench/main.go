@@ -9,6 +9,7 @@
 //	mixedbench -procs 8        # override the process count
 //	mixedbench -json           # one JSON line per measured row
 //	mixedbench -exp e8 -transport tcp   # latency spectrum over real TCP
+//	mixedbench -exp a3 -transport tcp   # placement ablation over real TCP
 //
 // Output is one section per experiment with the measured rows and the
 // paper's corresponding claim, so EXPERIMENTS.md can be checked against a
@@ -105,7 +106,7 @@ func runTo(args []string, out io.Writer) error {
 	fs.Int64Var(&cfg.seed, "seed", 1, "workload seed")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit one JSON line per measured row")
 	fs.StringVar(&cfg.transport, "transport", "sim",
-		"message transport: sim (simulated fabric) or tcp (real kernel sockets; e8 only)")
+		"message transport: sim (simulated fabric) or tcp (real kernel sockets; e8 and a3 only)")
 	fs.IntVar(&cfg.batch, "batch", 32,
 		"update-outbox batch size for e6's batched rows (MaxUpdates threshold)")
 	if err := fs.Parse(args); err != nil {
@@ -120,8 +121,8 @@ func runTo(args []string, out io.Writer) error {
 	switch cfg.transport {
 	case "sim":
 	case "tcp":
-		if strings.ToLower(cfg.exp) != "e8" {
-			return fmt.Errorf("-transport tcp supports only the latency spectrum: run with -exp e8")
+		if e := strings.ToLower(cfg.exp); e != "e8" && e != "a3" {
+			return fmt.Errorf("-transport tcp supports the latency spectrum and the placement ablation: run with -exp e8 or -exp a3")
 		}
 	default:
 		return fmt.Errorf("unknown transport %q (want sim or tcp)", cfg.transport)
@@ -237,7 +238,13 @@ func runA3(cfg *config) error {
 	if cfg.quick {
 		size, steps = 32, 8
 	}
-	r, err := bench.RunPlacementAblation(size, steps, cfg.procs, cfg.latency, cfg.seed)
+	var r bench.PlacementAblation
+	var err error
+	if cfg.transport == "tcp" {
+		r, err = bench.RunPlacementAblationTCP(size, steps, cfg.procs, cfg.seed)
+	} else {
+		r, err = bench.RunPlacementAblation(size, steps, cfg.procs, cfg.latency, cfg.seed)
+	}
 	if err != nil {
 		return err
 	}

@@ -29,6 +29,7 @@ import (
 	"mixedmem/internal/apps"
 	"mixedmem/internal/core"
 	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
 	"mixedmem/internal/syncmgr"
 	"mixedmem/internal/transport"
 	"mixedmem/internal/transport/tcp"
@@ -46,8 +47,10 @@ func run(args []string, out io.Writer) error {
 	var (
 		id      = fs.Int("id", -1, "this process's node id, 0..N-1")
 		peerCSV = fs.String("peers", "", "comma-separated host:port of every node, ordered by id")
-		app     = fs.String("app", "solve", "application: solve (E2 barrier solver) or cholesky (E5 lock-based factorization)")
+		app     = fs.String("app", "solve", "application: solve (E2 barrier solver), cholesky (E5 lock-based factorization), or emfield (Figure 4 field computation)")
 		size    = fs.Int("size", 20, "problem size n")
+		steps   = fs.Int("steps", 10, "time steps for -app emfield")
+		scoped  = fs.Bool("scoped", false, "emfield only: register causal-scoped placement so each boundary update ships to its one reader instead of broadcasting (must be set on every node)")
 		seed    = fs.Int64("seed", 7, "deterministic problem seed (same on every node)")
 		prop    = fs.String("propagation", "lazy", "critical-section propagation: eager, lazy, or demand")
 		manager = fs.Int("manager", 0, "node hosting the lock and barrier managers")
@@ -72,6 +75,9 @@ func run(args []string, out io.Writer) error {
 	if *batch < 0 {
 		return fmt.Errorf("-batch must be >= 0, got %d", *batch)
 	}
+	if *scoped && *app != "emfield" {
+		return fmt.Errorf("-scoped requires -app emfield")
+	}
 
 	cfg := tcp.Config{ID: *id, Peers: peers, Seed: *seed}
 	if *verbose {
@@ -88,6 +94,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *batch > 0 {
 		pcfg.Batch = dsm.BatchConfig{Enabled: true, MaxUpdates: *batch}
+	}
+	if *scoped {
+		pcfg.Scope = apps.EMFieldScope(*size, len(peers), true)
 	}
 	peer, err := core.NewPeer(pcfg)
 	if err != nil {
@@ -107,8 +116,10 @@ func run(args []string, out io.Writer) error {
 		verr = runSolve(out, peer.Proc(), *size, *seed)
 	case "cholesky":
 		verr = runCholesky(out, peer.Proc(), *size, *seed)
+	case "emfield":
+		verr = runEMField(out, peer.Proc(), *size, *steps, *seed, *scoped)
 	default:
-		return fmt.Errorf("unknown app %q (want solve or cholesky)", *app)
+		return fmt.Errorf("unknown app %q (want solve, cholesky, or emfield)", *app)
 	}
 	if verr != nil {
 		return verr
@@ -203,6 +214,33 @@ func runSolve(out io.Writer, p core.Process, n int, seed int64) error {
 	}
 	fmt.Fprintf(out, "node %d: solve n=%d converged in %d iters, max |x-x*| within 1e-7\n",
 		p.ID(), n, res.Iters)
+	return nil
+}
+
+// runEMField runs the Figure 4 field computation and verifies this node's
+// slab against the sequential reference, which must match bit-exactly (the
+// distributed program performs the same float operations in the same order).
+// With scoped placement each boundary publish travels point to point with
+// causal reads; without it, updates broadcast and boundary reads are PRAM.
+func runEMField(out io.Writer, p core.Process, size, steps int, seed int64, scoped bool) error {
+	prob := apps.GenEMProblem(size, steps, seed)
+	opts := apps.SolveOptions{}
+	if scoped {
+		opts.ReadLabel = history.LabelCausal
+	}
+	res := apps.SolveEMField(p, prob, opts)
+	refE, refH := prob.SolveSequential()
+	for i := res.Lo; i < res.Hi; i++ {
+		if res.E[i-res.Lo] != refE[i] || res.H[i-res.Lo] != refH[i] {
+			return fmt.Errorf("emfield slab [%d,%d) diverged from the sequential reference at %d", res.Lo, res.Hi, i)
+		}
+	}
+	mode := "broadcast"
+	if scoped {
+		mode = "causal-scoped"
+	}
+	fmt.Fprintf(out, "node %d: emfield grid=%d steps=%d (%s) matches sequential bit-exactly\n",
+		p.ID(), size, steps, mode)
 	return nil
 }
 

@@ -85,6 +85,28 @@ func TestMixednodeCholeskyThreeProcesses(t *testing.T) {
 	}
 }
 
+// TestMixednodeEMFieldScopedThreeProcesses runs the Figure 4 field
+// computation both broadcast and causal-scoped: the same fleet, the same
+// bit-exact verification, but under -scoped each boundary update travels
+// point to point with a dependency matrix instead of broadcasting.
+func TestMixednodeEMFieldScopedThreeProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	outs := launch(t, freeAddrs(t, 3), "-app", "emfield", "-size", "24", "-steps", "6", "-seed", "5")
+	for id, out := range outs {
+		if !strings.Contains(out, "(broadcast) matches sequential bit-exactly") {
+			t.Fatalf("node %d output missing verification: %q", id, out)
+		}
+	}
+	outs = launch(t, freeAddrs(t, 3), "-app", "emfield", "-size", "24", "-steps", "6", "-seed", "5", "-scoped")
+	for id, out := range outs {
+		if !strings.Contains(out, "(causal-scoped) matches sequential bit-exactly") {
+			t.Fatalf("node %d output missing scoped verification: %q", id, out)
+		}
+	}
+}
+
 // TestMixednodeMetricsMergedSnapshot runs a batched fleet with -metrics on
 // every node and checks that (a) each node prints the merged per-kind
 // snapshot, (b) all nodes agree on it (the exchange goes through the DSM, so
@@ -139,5 +161,8 @@ func TestMixednodeFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-id", "0", "-peers", "a:1,b:2", "-batch", "-3"}, &buf); err == nil {
 		t.Fatal("negative batch accepted")
+	}
+	if err := run([]string{"-id", "0", "-peers", "a:1,b:2", "-app", "solve", "-scoped"}, &buf); err == nil {
+		t.Fatal("-scoped without -app emfield accepted")
 	}
 }

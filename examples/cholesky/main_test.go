@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun exercises the example at a small size, so `go test ./...` catches
+// API drift in the factorization walkthrough.
+func TestRun(t *testing.T) {
+	if err := run(10, 2, 0.3, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun exercises the example at a small grid, so `go test ./...` catches
+// API drift in the field-computation walkthrough.
+func TestRun(t *testing.T) {
+	if err := run(16, 4, 2, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun exercises the example at a small size, so `go test ./...` catches
+// API drift in the solver walkthrough.
+func TestRun(t *testing.T) {
+	if err := run(12, 3, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun exercises the example with a short stream, so `go test ./...`
+// catches API drift in the producer/consumer walkthrough.
+func TestRun(t *testing.T) {
+	if err := run(6, 2, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

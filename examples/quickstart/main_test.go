@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun exercises the example end to end, so `go test ./...` catches API
+// drift in the code users copy first.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"strconv"
 
 	"mixedmem/internal/core"
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
 )
 
 // EMProblem is a one-dimensional staggered-grid electromagnetic-field
@@ -89,8 +91,15 @@ type EMResult struct {
 // phases, so the program is PRAM-consistent and PRAM reads suffice
 // (Corollary 2).
 //
-// Every process must call SolveEMField; each returns its own block.
-func SolveEMField(p core.Process, prob *EMProblem, _ SolveOptions) EMResult {
+// Every process must call SolveEMField; each returns its own block. By
+// default the boundary reads are PRAM; opts.ReadLabel == LabelCausal selects
+// causal reads instead — the same dataflow with Definition 2 guarantees, the
+// workload the causal-scoped placement rows of the A3 ablation measure.
+func SolveEMField(p core.Process, prob *EMProblem, opts SolveOptions) EMResult {
+	read := core.ReadPRAMFloat
+	if opts.ReadLabel == history.LabelCausal {
+		read = core.ReadCausalFloat
+	}
 	n := p.N()
 	per := prob.Size / n
 	extra := prob.Size % n
@@ -125,7 +134,7 @@ func SolveEMField(p core.Process, prob *EMProblem, _ SolveOptions) EMResult {
 		// E phase: e[i] += C*(h[i]-h[i-1]); i == lo needs h[lo-1] from the
 		// left neighbor's last publish.
 		if leftNeighbor {
-			h[lo-1] = core.ReadPRAMFloat(p, hBoundaryVar(lo-1))
+			h[lo-1] = read(p, hBoundaryVar(lo-1))
 		}
 		elo := lo
 		if elo == 0 {
@@ -140,7 +149,7 @@ func SolveEMField(p core.Process, prob *EMProblem, _ SolveOptions) EMResult {
 		// H phase: h[i] += C*(e[i+1]-e[i]); i == hi-1 needs e[hi] from the
 		// right neighbor's publish.
 		if rightNeighbor {
-			e[hi] = core.ReadPRAMFloat(p, eBoundaryVar(hi))
+			e[hi] = read(p, eBoundaryVar(hi))
 		}
 		hhi := hi
 		if hhi == prob.Size {
@@ -156,14 +165,17 @@ func SolveEMField(p core.Process, prob *EMProblem, _ SolveOptions) EMResult {
 	return EMResult{E: e[lo:hi], H: h[lo:hi], Lo: lo, Hi: hi}
 }
 
-// EMFieldPlacement returns the access-pattern placement for SolveEMField's
+// EMFieldScope returns the access-pattern placement for SolveEMField's
 // shared variables (Section 6's closing optimization): a published E
 // boundary at index i is read only by the owner of cell i-1, and a published
 // H boundary at index i only by the owner of cell i+1, so each update can be
 // sent to exactly one process instead of broadcast. Use it as
-// core.Config.Placement together with PRAMOnly (the program is
-// PRAM-consistent, so both optimizations apply).
-func EMFieldPlacement(size, procs int) func(loc string) []int {
+// core.Config.Placement — with PRAMOnly for the PRAM-read variant of the
+// program (it is PRAM-consistent, so both optimizations apply), or with
+// causal set, which also registers every reader as a causal reader, for the
+// ReadLabel == LabelCausal variant: boundary updates then ship
+// dependency-stamped to their single reader instead of broadcast.
+func EMFieldScope(size, procs int, causal bool) *dsm.ScopeMap {
 	owner := func(cell int) int {
 		if cell < 0 {
 			return 0
@@ -186,21 +198,19 @@ func EMFieldPlacement(size, procs int) func(loc string) []int {
 		}
 		return procs - 1
 	}
-	return func(loc string) []int {
-		if len(loc) < 2 {
-			return nil
-		}
-		idx, err := strconv.Atoi(loc[1:])
-		if err != nil {
-			return nil
-		}
-		switch loc[0] {
-		case 'E':
-			return []int{owner(idx - 1)}
-		case 'H':
-			return []int{owner(idx + 1)}
-		default:
-			return nil
+	scope := &dsm.ScopeMap{Readers: make(map[string][]int)}
+	if causal {
+		scope.CausalReaders = make(map[string][]int)
+	}
+	register := func(loc string, reader int) {
+		scope.Readers[loc] = []int{reader}
+		if causal {
+			scope.CausalReaders[loc] = []int{reader}
 		}
 	}
+	for i := 0; i < size; i++ {
+		register(eBoundaryVar(i), owner(i-1))
+		register(hBoundaryVar(i), owner(i+1))
+	}
+	return scope
 }

@@ -7,6 +7,7 @@ import (
 
 	"mixedmem/internal/apps"
 	"mixedmem/internal/core"
+	"mixedmem/internal/history"
 	"mixedmem/internal/network"
 	"mixedmem/internal/syncmgr"
 )
@@ -178,76 +179,108 @@ func RunPropagationCostSweep(noiseWrites int, slowFactor float64, latency networ
 // placement sends each update to one process instead of all.
 type PlacementAblation struct {
 	Size, Steps, Procs int
-	// Broadcast is the run with full update broadcast.
+	// Broadcast is the run with full update broadcast (PRAM reads).
 	BroadcastMsgs uint64
 	BroadcastTime time.Duration
-	// Scoped is the run with per-location placement (and PRAMOnly).
+	// Scoped is the run with per-location placement and PRAMOnly: every
+	// update timestamp-elided and sent to its single registered reader.
 	ScopedMsgs uint64
 	ScopedTime time.Duration
-	// ResultsMatch reports both runs matched the sequential reference.
+	// CausalScoped is the run with causal boundary reads and every reader
+	// causal-registered: each update ships dependency-stamped to its single
+	// reader instead of broadcast — scoped placement with a live causal
+	// view.
+	CausalScopedMsgs uint64
+	CausalScopedTime time.Duration
+	// ResultsMatch reports all runs matched the sequential reference.
 	ResultsMatch bool
 }
 
 // String renders the ablation row.
 func (r PlacementAblation) String() string {
-	saved := 0.0
-	if r.BroadcastMsgs > 0 {
-		saved = 100 * (1 - float64(r.ScopedMsgs)/float64(r.BroadcastMsgs))
+	saved := func(msgs uint64) float64 {
+		if r.BroadcastMsgs == 0 {
+			return 0
+		}
+		return 100 * (1 - float64(msgs)/float64(r.BroadcastMsgs))
 	}
 	return fmt.Sprintf(
-		"grid=%d steps=%d procs=%d | broadcast: %d msgs, %v | scoped: %d msgs, %v | %.1f%% msgs saved, results match=%v",
+		"grid=%d steps=%d procs=%d | broadcast: %d msgs, %v | scoped: %d msgs, %v (%.1f%% saved) | causal-scoped: %d msgs, %v (%.1f%% saved) | results match=%v",
 		r.Size, r.Steps, r.Procs,
 		r.BroadcastMsgs, r.BroadcastTime.Round(time.Microsecond),
-		r.ScopedMsgs, r.ScopedTime.Round(time.Microsecond),
-		saved, r.ResultsMatch)
+		r.ScopedMsgs, r.ScopedTime.Round(time.Microsecond), saved(r.ScopedMsgs),
+		r.CausalScopedMsgs, r.CausalScopedTime.Round(time.Microsecond), saved(r.CausalScopedMsgs),
+		r.ResultsMatch)
 }
 
-// RunPlacementAblation runs the EM-field computation with and without
-// access-pattern placement.
+// placementMode selects one A3 configuration.
+type placementMode int
+
+const (
+	placementBroadcast placementMode = iota
+	placementScopedPRAM
+	placementScopedCausal
+)
+
+// runPlacementCase runs the EM-field computation on one system configuration
+// and reports update-message count, wall time, and bit-exactness against the
+// sequential reference.
+func runPlacementCase(mode placementMode, prob *apps.EMProblem, refE []float64, procs int, latency network.LatencyModel, seed int64) (uint64, time.Duration, bool, error) {
+	cfg := core.Config{Procs: procs, Latency: latency, Seed: seed}
+	opts := apps.SolveOptions{}
+	switch mode {
+	case placementScopedPRAM:
+		cfg.PRAMOnly = true
+		cfg.Placement = apps.EMFieldScope(prob.Size, procs, false)
+	case placementScopedCausal:
+		cfg.Placement = apps.EMFieldScope(prob.Size, procs, true)
+		opts.ReadLabel = history.LabelCausal
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer sys.Close()
+	results := make([]apps.EMResult, procs)
+	start := time.Now()
+	sys.Run(func(p *core.Proc) {
+		results[p.ID()] = apps.SolveEMField(p, prob, opts)
+	})
+	elapsed := time.Since(start)
+	exact := true
+	for _, r := range results {
+		for i := r.Lo; i < r.Hi; i++ {
+			if r.E[i-r.Lo] != refE[i] {
+				exact = false
+			}
+		}
+	}
+	return sys.NetStats().PerKind[dsmUpdateKind], elapsed, exact, nil
+}
+
+// RunPlacementAblation runs the EM-field computation without placement, with
+// PRAM-only placement, and with causal-scoped placement.
 func RunPlacementAblation(size, steps, procs int, latency network.LatencyModel, seed int64) (PlacementAblation, error) {
 	prob := apps.GenEMProblem(size, steps, seed)
 	refE, _ := prob.SolveSequential()
 	out := PlacementAblation{Size: size, Steps: steps, Procs: procs}
 
-	run := func(scoped bool) (uint64, time.Duration, bool, error) {
-		cfg := core.Config{Procs: procs, Latency: latency, Seed: seed}
-		if scoped {
-			cfg.PRAMOnly = true
-			cfg.Placement = apps.EMFieldPlacement(size, procs)
-		}
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return 0, 0, false, err
-		}
-		defer sys.Close()
-		results := make([]apps.EMResult, procs)
-		start := time.Now()
-		sys.Run(func(p *core.Proc) {
-			results[p.ID()] = apps.SolveEMField(p, prob, apps.SolveOptions{})
-		})
-		elapsed := time.Since(start)
-		exact := true
-		for _, r := range results {
-			for i := r.Lo; i < r.Hi; i++ {
-				if r.E[i-r.Lo] != refE[i] {
-					exact = false
-				}
-			}
-		}
-		return sys.NetStats().PerKind[dsmUpdateKind], elapsed, exact, nil
-	}
-
-	bMsgs, bTime, bOK, err := run(false)
+	bMsgs, bTime, bOK, err := runPlacementCase(placementBroadcast, prob, refE, procs, latency, seed)
 	if err != nil {
 		return out, fmt.Errorf("placement ablation (broadcast): %w", err)
 	}
-	sMsgs, sTime, sOK, err := run(true)
+	sMsgs, sTime, sOK, err := runPlacementCase(placementScopedPRAM, prob, refE, procs, latency, seed)
 	if err != nil {
 		return out, fmt.Errorf("placement ablation (scoped): %w", err)
 	}
+	cMsgs, cTime, cOK, err := runPlacementCase(placementScopedCausal, prob, refE, procs, latency, seed)
+	if err != nil {
+		return out, fmt.Errorf("placement ablation (causal-scoped): %w", err)
+	}
 	out.BroadcastMsgs, out.BroadcastTime = bMsgs, bTime
 	out.ScopedMsgs, out.ScopedTime = sMsgs, sTime
-	out.ResultsMatch = bOK && sOK
+	out.CausalScopedMsgs, out.CausalScopedTime = cMsgs, cTime
+	out.ResultsMatch = bOK && sOK && cOK
 	return out, nil
 }
 

@@ -76,4 +76,28 @@ func TestRunPlacementAblation(t *testing.T) {
 	if r.ScopedMsgs*2 >= r.BroadcastMsgs {
 		t.Fatalf("placement did not cut update messages: %+v", r)
 	}
+	// The causal-scoped row pays dependency matrices per message but sends to
+	// the same single reader, so the count reduction must hold there too.
+	if r.CausalScopedMsgs == 0 || r.CausalScopedMsgs*2 >= r.BroadcastMsgs {
+		t.Fatalf("causal-scoped placement did not cut update messages: %+v", r)
+	}
+}
+
+func TestRunPlacementAblationTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP ablation in -short mode")
+	}
+	r, err := RunPlacementAblationTCP(32, 8, 4, 1)
+	if err != nil {
+		t.Fatalf("RunPlacementAblationTCP: %v", err)
+	}
+	if !r.ResultsMatch {
+		t.Fatal("TCP scoped run diverged from the sequential reference")
+	}
+	if r.ScopedMsgs == 0 || r.ScopedMsgs*2 >= r.BroadcastMsgs {
+		t.Fatalf("TCP placement did not cut update messages: %+v", r)
+	}
+	if r.CausalScopedMsgs == 0 || r.CausalScopedMsgs*2 >= r.BroadcastMsgs {
+		t.Fatalf("TCP causal-scoped placement did not cut update messages: %+v", r)
+	}
 }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"mixedmem/internal/apps"
 	"mixedmem/internal/core"
+	"mixedmem/internal/history"
 	"mixedmem/internal/transport/tcp"
 )
 
@@ -56,5 +58,100 @@ func RunLatencyMicroTCP(ops int) (LatencyResult, error) {
 		p.ReadCausal("w")
 	}
 	out.CausalRead = time.Since(start) / time.Duration(ops)
+	return out, nil
+}
+
+// runPlacementCaseTCP runs one A3 configuration over loopback TCP peers and
+// reports the summed update-message count across all peers' transports, wall
+// time, and bit-exactness against the sequential reference.
+func runPlacementCaseTCP(mode placementMode, prob *apps.EMProblem, refE []float64, procs int) (uint64, time.Duration, bool, error) {
+	trs, err := tcp.NewLoopback(procs, nil)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("loopback: %w", err)
+	}
+	peers := make([]*core.Peer, procs)
+	defer func() {
+		for _, tr := range trs {
+			tr.Flush(2 * time.Second)
+		}
+		for _, p := range peers {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
+	opts := apps.SolveOptions{}
+	if mode == placementScopedCausal {
+		opts.ReadLabel = history.LabelCausal
+	}
+	for i := range peers {
+		pcfg := core.PeerConfig{ID: i, Transport: trs[i]}
+		switch mode {
+		case placementScopedPRAM:
+			pcfg.PRAMOnly = true
+			pcfg.Scope = apps.EMFieldScope(prob.Size, procs, false)
+		case placementScopedCausal:
+			pcfg.Scope = apps.EMFieldScope(prob.Size, procs, true)
+		}
+		peers[i], err = core.NewPeer(pcfg)
+		if err != nil {
+			return 0, 0, false, fmt.Errorf("peer %d: %w", i, err)
+		}
+	}
+	results := make([]apps.EMResult, procs)
+	done := make(chan struct{})
+	start := time.Now()
+	for i, peer := range peers {
+		go func(i int, p *core.Proc) {
+			results[i] = apps.SolveEMField(p, prob, opts)
+			done <- struct{}{}
+		}(i, peer.Proc())
+	}
+	for range peers {
+		<-done
+	}
+	elapsed := time.Since(start)
+	exact := true
+	for _, r := range results {
+		for i := r.Lo; i < r.Hi; i++ {
+			if r.E[i-r.Lo] != refE[i] {
+				exact = false
+			}
+		}
+	}
+	var msgs uint64
+	for _, tr := range trs {
+		msgs += tr.Stats().PerKind[dsmUpdateKind]
+	}
+	return msgs, elapsed, exact, nil
+}
+
+// RunPlacementAblationTCP is the A3 placement ablation over real sockets:
+// every peer is its own node on loopback TCP, so the message counts are
+// actual frames sent rather than simulated deliveries. Broadcast, scoped
+// PRAM-only, and causal-scoped placement run the same EM-field program; the
+// scoped rows must win by the same point-to-point-versus-broadcast margin as
+// in the simulated fabric.
+func RunPlacementAblationTCP(size, steps, procs int, seed int64) (PlacementAblation, error) {
+	prob := apps.GenEMProblem(size, steps, seed)
+	refE, _ := prob.SolveSequential()
+	out := PlacementAblation{Size: size, Steps: steps, Procs: procs}
+
+	bMsgs, bTime, bOK, err := runPlacementCaseTCP(placementBroadcast, prob, refE, procs)
+	if err != nil {
+		return out, fmt.Errorf("placement ablation tcp (broadcast): %w", err)
+	}
+	sMsgs, sTime, sOK, err := runPlacementCaseTCP(placementScopedPRAM, prob, refE, procs)
+	if err != nil {
+		return out, fmt.Errorf("placement ablation tcp (scoped): %w", err)
+	}
+	cMsgs, cTime, cOK, err := runPlacementCaseTCP(placementScopedCausal, prob, refE, procs)
+	if err != nil {
+		return out, fmt.Errorf("placement ablation tcp (causal-scoped): %w", err)
+	}
+	out.BroadcastMsgs, out.BroadcastTime = bMsgs, bTime
+	out.ScopedMsgs, out.ScopedTime = sMsgs, sTime
+	out.CausalScopedMsgs, out.CausalScopedTime = cMsgs, cTime
+	out.ResultsMatch = bOK && sOK && cOK
 	return out, nil
 }

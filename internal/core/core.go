@@ -130,11 +130,16 @@ type Config struct {
 	// reads are all PRAM (Corollary 2's class). Causal reads degrade to
 	// PRAM reads; only use for programs certified PRAM-consistent.
 	PRAMOnly bool
-	// Placement, when non-nil, restricts each location's updates to the
-	// listed reader processes instead of broadcasting — Section 6's
-	// access-pattern optimization. Requires PRAMOnly; lock-based
-	// propagation is unsupported under a placement.
-	Placement func(loc string) []int
+	// Placement, when non-nil, restricts each location's updates to its
+	// registered readers instead of broadcasting — Section 6's
+	// access-pattern optimization. Causal-registered readers receive
+	// dependency-stamped updates; the rest get the timestamp-elided fast
+	// path. Lock-based propagation is unsupported under a placement.
+	Placement *dsm.ScopeMap
+	// TrackAccess records each process's read accesses (location and
+	// consistency label) so LearnedScope can derive a Placement from a
+	// profiling run.
+	TrackAccess bool
 	// Batch configures the per-destination update outbox (dsm.BatchConfig):
 	// writes enqueue into per-peer batches that flush on thresholds, a
 	// linger timer, and every synchronization boundary. The zero value
@@ -204,7 +209,7 @@ func NewSystem(cfg Config) (*System, error) {
 		node, err := dsm.NewNode(dsm.Config{
 			ID: i, N: cfg.Procs, Transport: fabric, Trace: trace,
 			Handler: d.Handle, PRAMOnly: cfg.PRAMOnly, Scope: cfg.Placement,
-			Batch: cfg.Batch,
+			TrackAccess: cfg.TrackAccess, Batch: cfg.Batch,
 		})
 		if err != nil {
 			fabric.Close()
@@ -266,6 +271,32 @@ func (s *System) History() *history.History {
 
 // NetStats returns the transport's message accounting.
 func (s *System) NetStats() network.Stats { return s.fabric.Stats() }
+
+// LearnedScope merges every process's access log (Config.TrackAccess) into a
+// ScopeMap for the workload: each location's readers are the processes that
+// read it at all, and its causal readers are those that performed
+// causal-labeled reads or awaits of it. Run the program once with tracking
+// on, then rebuild the system with the returned map as Config.Placement.
+// Returns nil when no accesses were recorded.
+func (s *System) LearnedScope() *dsm.ScopeMap {
+	scope := &dsm.ScopeMap{
+		Readers:       make(map[string][]int),
+		CausalReaders: make(map[string][]int),
+	}
+	for _, p := range s.procs {
+		id := p.node.ID()
+		for loc, kind := range p.node.Accessed() {
+			scope.Readers[loc] = append(scope.Readers[loc], id)
+			if kind&dsm.AccessCausal != 0 {
+				scope.CausalReaders[loc] = append(scope.CausalReaders[loc], id)
+			}
+		}
+	}
+	if len(scope.Readers) == 0 {
+		return nil
+	}
+	return scope
+}
 
 // Transport exposes the underlying message substrate.
 func (s *System) Transport() transport.Transport { return s.fabric }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
 	"mixedmem/internal/syncmgr"
 	"mixedmem/internal/transport"
 )
@@ -28,6 +29,15 @@ type PeerConfig struct {
 	// PRAMOnly elides vector timestamps and keeps only the PRAM view, as
 	// in Config.PRAMOnly.
 	PRAMOnly bool
+	// Scope restricts each location's updates to its registered readers, as
+	// in Config.Placement. All peers of a deployment must agree on the map.
+	Scope *dsm.ScopeMap
+	// TrackAccess records this peer's read accesses for scope learning, as
+	// in Config.TrackAccess.
+	TrackAccess bool
+	// Trace, when non-nil, records this peer's memory operations into the
+	// given history builder (one process's slice of a recorded history).
+	Trace *history.Builder
 	// Batch configures the per-destination update outbox, as in
 	// Config.Batch. All peers of a deployment should agree on whether
 	// batching is enabled only as a matter of symmetry — the receive path
@@ -66,7 +76,8 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	node, err := dsm.NewNode(dsm.Config{
 		ID: cfg.ID, N: n, Transport: cfg.Transport,
 		Handler: d.Handle, PRAMOnly: cfg.PRAMOnly,
-		Batch: cfg.Batch,
+		Scope: cfg.Scope, TrackAccess: cfg.TrackAccess,
+		Trace: cfg.Trace, Batch: cfg.Batch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: peer node: %w", err)

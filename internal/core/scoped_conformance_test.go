@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mixedmem/internal/check"
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
+)
+
+// scopedConformanceScope is the placement used by the scoped conformance
+// fuzzer: one fully-causal location, one with a mix of causal and elided
+// readers, one PRAM-elided everywhere. Writes to v1 exercise the kind-split
+// batching path (causal copy to one reader, elided copy to another), and v2
+// exercises the pure fast path under the same adversary schedule.
+func scopedConformanceScope() *dsm.ScopeMap {
+	return &dsm.ScopeMap{
+		Readers: map[string][]int{
+			"v0": {1, 2}, "v1": {0, 2}, "v2": {0, 1},
+		},
+		CausalReaders: map[string][]int{
+			"v0": {1, 2}, "v1": {0},
+		},
+	}
+}
+
+// scopedMenus lists, per process, which locations it may read and with which
+// label — the reader-registration contract: a process only reads locations it
+// is registered for, and only causally where causally registered.
+type scopedMenu struct {
+	pram   []string
+	causal []string
+}
+
+func scopedMenus() [3]scopedMenu {
+	return [3]scopedMenu{
+		{pram: []string{"v1", "v2"}, causal: []string{"v1"}},
+		{pram: []string{"v0", "v2"}, causal: []string{"v0"}},
+		{pram: []string{"v0", "v1"}, causal: []string{"v0"}},
+	}
+}
+
+// TestRuntimeScopedMixedConsistent is the causal-scoped analogue of the
+// runtime conformance fuzzer: random racing programs where every read honors
+// the registration contract, executed under a random network adversary, must
+// record mixed-consistent histories even though updates now travel point to
+// point with dependency matrices instead of timestamped broadcast.
+func TestRuntimeScopedMixedConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing test")
+	}
+	for seed := int64(300); seed < 312; seed++ {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			h := runScopedRacyProgram(t, seed, dsm.BatchConfig{})
+			a, err := h.Analyze()
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if v := check.Mixed(a); len(v) != 0 {
+				t.Fatalf("scoped runtime violated mixed consistency: %v", v[0])
+			}
+		})
+	}
+}
+
+// TestRuntimeScopedMixedConsistentBatched re-runs the scoped fuzzer with a
+// narrow outbox window, so causal and elided copies to the same destination
+// force mid-stream kind-split flushes while the adversary holds channels.
+func TestRuntimeScopedMixedConsistentBatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing test")
+	}
+	batch := dsm.BatchConfig{Enabled: true, MaxUpdates: 4, Linger: 200 * time.Microsecond}
+	for seed := int64(400); seed < 410; seed++ {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			h := runScopedRacyProgram(t, seed, batch)
+			a, err := h.Analyze()
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if v := check.Mixed(a); len(v) != 0 {
+				t.Fatalf("batched scoped runtime violated mixed consistency: %v", v[0])
+			}
+		})
+	}
+}
+
+// runScopedRacyProgram runs a random scoped program — every process writes
+// freely but reads only its registered locations — under an adversary
+// toggling channel holds, and returns the recorded history.
+func runScopedRacyProgram(t *testing.T, seed int64, batch dsm.BatchConfig) *history.History {
+	t.Helper()
+	const (
+		procs      = 3
+		opsPerProc = 12
+	)
+	sys, err := NewSystem(Config{
+		Procs: procs, Record: true, Batch: batch,
+		Placement: scopedConformanceScope(),
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+
+	stop := make(chan struct{})
+	advDone := make(chan struct{})
+	go func() {
+		defer close(advDone)
+		r := rand.New(rand.NewSource(seed * 7919))
+		type pair struct{ from, to int }
+		var held []pair
+		defer func() {
+			for _, p := range held {
+				_ = sys.Fabric().Release(p.from, p.to)
+			}
+		}()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Duration(100+r.Intn(400)) * time.Microsecond):
+			}
+			if len(held) > 0 && r.Intn(2) == 0 {
+				idx := r.Intn(len(held))
+				p := held[idx]
+				_ = sys.Fabric().Release(p.from, p.to)
+				held = append(held[:idx], held[idx+1:]...)
+				continue
+			}
+			from, to := r.Intn(procs), r.Intn(procs)
+			if from == to {
+				continue
+			}
+			_ = sys.Fabric().Hold(from, to)
+			held = append(held, pair{from, to})
+		}
+	}()
+
+	menus := scopedMenus()
+	var unique atomic.Int64
+	sys.Run(func(p *Proc) {
+		r := rand.New(rand.NewSource(seed + int64(p.ID())*1001))
+		menu := menus[p.ID()]
+		for i := 0; i < opsPerProc; i++ {
+			switch r.Intn(4) {
+			case 0:
+				p.Write("v"+strconv.Itoa(r.Intn(3)), unique.Add(1))
+			case 1:
+				p.ReadPRAM(menu.pram[r.Intn(len(menu.pram))])
+			case 2:
+				p.ReadCausal(menu.causal[r.Intn(len(menu.causal))])
+			default:
+				time.Sleep(time.Duration(r.Intn(200)) * time.Microsecond)
+				p.ReadCausal(menu.causal[r.Intn(len(menu.causal))])
+			}
+		}
+	})
+	close(stop)
+	<-advDone
+	return sys.History()
+}
+
+// TestLearnedScopeRoundTrip runs a deterministic relay program with access
+// tracking on, derives a placement from the recorded accesses, and re-runs
+// the same program under that learned scope: the learned map must name
+// exactly the observed readers and the scoped re-run must produce the same
+// values and a mixed-consistent history.
+func TestLearnedScopeRoundTrip(t *testing.T) {
+	relay := func(sys *System) (int64, int64) {
+		var causalX, pramF int64
+		sys.Run(func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				p.Write("x", 7)
+				p.Write("f", 1)
+			case 1:
+				p.Await("f", 1)
+				p.Write("g", 1)
+			case 2:
+				p.Await("g", 1)
+				causalX = p.ReadCausal("x")
+				pramF = p.ReadPRAM("f")
+			}
+		})
+		return causalX, pramF
+	}
+
+	learnSys, err := NewSystem(Config{Procs: 3, TrackAccess: true})
+	if err != nil {
+		t.Fatalf("NewSystem(track): %v", err)
+	}
+	if x, _ := relay(learnSys); x != 7 {
+		t.Fatalf("profiling run read x=%d, want 7", x)
+	}
+	scope := learnSys.LearnedScope()
+	learnSys.Close()
+	if scope == nil {
+		t.Fatal("LearnedScope returned nil after a tracked run")
+	}
+	// Awaits and causal reads are causal accesses; the plain PRAM read of f
+	// must be learned as a PRAM-only registration for process 2.
+	if got := scope.CausalReaders["x"]; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("learned causal readers of x = %v, want [2]", got)
+	}
+	if got := scope.CausalReaders["f"]; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("learned causal readers of f = %v, want [1]", got)
+	}
+	if got := scope.Readers["f"]; len(got) != 2 {
+		t.Fatalf("learned readers of f = %v, want procs 1 and 2", got)
+	}
+
+	scopedSys, err := NewSystem(Config{Procs: 3, Record: true, Placement: scope})
+	if err != nil {
+		t.Fatalf("NewSystem(learned scope): %v", err)
+	}
+	defer scopedSys.Close()
+	x, f := relay(scopedSys)
+	if x != 7 || f != 1 {
+		t.Fatalf("scoped re-run read x=%d f=%d, want 7 and 1", x, f)
+	}
+	a, err := scopedSys.History().Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if v := check.Mixed(a); len(v) != 0 {
+		t.Fatalf("scoped re-run violated mixed consistency: %v", v[0])
+	}
+}

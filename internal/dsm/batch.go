@@ -67,17 +67,32 @@ func (c BatchConfig) WithDefaults() BatchConfig {
 // updates, including coalesced-away ones, so the receiver's counting
 // primitives (barrier count vectors, lazy-lock waits) account every original
 // update. Under full broadcast the covered per-sender sequence numbers are
-// exactly [FirstSeq, FirstSeq+Count-1]; under scoped placement (which
-// requires PRAMOnly) the run may have per-destination holes and only Count is
-// meaningful. The surviving entries each carry their own Seq/TS, and the
-// entry with the highest Seq is always the sender's latest covered write
-// (the latest write is never coalesced away), which is what the receiver's
-// PRAM clock advances to.
+// exactly [FirstSeq, FirstSeq+Count-1]; under scoped placement the run may
+// have per-destination holes and only Count is meaningful. The surviving
+// entries each carry their own Seq/TS, and the entry with the highest Seq is
+// always the sender's latest covered write (the latest write is never
+// coalesced away), which is what the receiver's PRAM clock advances to.
+//
+// A batch is kind-homogeneous: either every covered update is causal
+// (dependency-stamped) or every one is timestamp-elided. A causal batch
+// hoists its dependency metadata to the batch level — PrevSeq chains it after
+// the sender's previous causal update addressed to this destination, and Deps
+// is one address-matrix snapshot covering the whole run (taken at flush, so
+// it may be newer than any entry's true dependencies; conservatively-newer is
+// safe because every referenced update is addressed here and eventually
+// arrives). An elided batch leaves both zero.
 type UpdateBatch struct {
 	From     int
 	FirstSeq uint64
 	Count    uint64
-	Updates  []Update
+	// PrevSeq is the sender's per-destination causal chain pointer (scoped
+	// causal batches only): the Seq of the previous causal update the sender
+	// addressed to this destination, 0 for the first.
+	PrevSeq uint64
+	// Deps is the sender's address matrix snapshot (scoped causal batches
+	// only); see Update.Deps for the sharing contract.
+	Deps    vclock.Matrix
+	Updates []Update
 }
 
 // encodedSize models the wire size of the batch: header plus entries. The
@@ -85,6 +100,9 @@ type UpdateBatch struct {
 // win of batching on top of the per-frame overhead it removes.
 func (b UpdateBatch) encodedSize() int {
 	s := 24
+	if b.Deps != nil {
+		s += 8 + 4 + b.Deps.EncodedSize() // PrevSeq + matrix dimension + matrix
+	}
 	for _, u := range b.Updates {
 		s += u.encodedSize() - 4 // From encoded once in the header
 	}
@@ -103,6 +121,11 @@ type outboxDest struct {
 	firstSeq uint64
 	count    uint64
 	bytes    int
+	// causal marks the pending batch's kind under scoped placement (batches
+	// are kind-homogeneous; enqueueLocked flushes on a kind change), and
+	// prevSeq is the causal chain pointer captured when the batch started.
+	causal  bool
+	prevSeq uint64
 }
 
 func newOutboxDest() *outboxDest {
@@ -111,11 +134,22 @@ func newOutboxDest() *outboxDest {
 
 // enqueueLocked adds u to destination j's pending batch, coalescing into the
 // location's live OpSet entry when allowed. It reports whether a threshold
-// was crossed and the batch should flush.
-func (n *Node) enqueueLocked(j int, u Update) bool {
+// was crossed and the batch should flush. causal marks the entry's kind under
+// scoped placement; a kind change flushes the pending batch first, so every
+// batch stays homogeneous. Causal entries ride without per-entry dependency
+// metadata — flushDestLocked attaches the batch-level PrevSeq/Deps; the
+// caller must have recorded the chain pointer in n.prevBuf[j] already.
+func (n *Node) enqueueLocked(j int, u Update, causal bool) bool {
 	ob := n.outbox[j]
+	if ob.count > 0 && n.scopedCausal && ob.causal != causal {
+		n.flushDestLocked(j)
+	}
 	if ob.count == 0 {
 		ob.firstSeq = u.Seq
+		ob.causal = causal
+		if causal && n.scopedCausal {
+			ob.prevSeq = n.prevBuf[j]
+		}
 	}
 	ob.count++
 	coalesced := false
@@ -147,8 +181,13 @@ func (n *Node) flushDestLocked(j int) {
 	if ob == nil || ob.count == 0 {
 		return
 	}
+	scopedCausal := n.scopedCausal && ob.causal
 	if ob.count == 1 && len(ob.entries) == 1 {
 		u := ob.entries[0]
+		if scopedCausal {
+			u.PrevSeq = ob.prevSeq
+			u.Deps = n.addr.Clone()
+		}
 		_ = n.fabric.Send(network.Message{
 			From: n.id, To: j, Kind: KindUpdate,
 			Payload: u, Size: u.encodedSize(),
@@ -159,6 +198,10 @@ func (n *Node) flushDestLocked(j int) {
 			FirstSeq: ob.firstSeq,
 			Count:    ob.count,
 			Updates:  ob.entries,
+		}
+		if scopedCausal {
+			b.PrevSeq = ob.prevSeq
+			b.Deps = n.addr.Clone()
 		}
 		_ = n.fabric.Send(network.Message{
 			From: n.id, To: j, Kind: KindUpdateBatch,
@@ -226,10 +269,20 @@ type deliveryGroup struct {
 	from     int
 	firstSeq uint64
 	lastSeq  uint64
-	// ts is the group's dependency clock: the timestamp of the latest
-	// entry, which dominates every other entry's timestamp (one sender's
-	// clocks are monotone).
+	// count is the number of covered updates, including coalesced-away
+	// ones; it feeds causalRecvd when the group applies.
+	count uint64
+	// ts is the group's dependency clock under full broadcast: the
+	// timestamp of the latest entry, which dominates every other entry's
+	// timestamp (one sender's clocks are monotone). Nil in scoped-causal
+	// mode, where deps carries the dependencies instead.
 	ts vclock.VC
+	// prevSeq and deps are the scoped-causal dependency metadata (deps
+	// non-nil marks the mode): the sender's per-destination chain pointer
+	// and address-matrix snapshot. deps is shared with the in-flight
+	// message and other groups — merge from it, never mutate it.
+	prevSeq uint64
+	deps    vclock.Matrix
 	// one holds the update when batch is nil (the common singleton case,
 	// kept inline to avoid a per-update slice allocation).
 	one   Update
@@ -240,7 +293,27 @@ type deliveryGroup struct {
 // contiguous per-sender run: the run starts right after what we applied from
 // the sender, and every cross-sender dependency of its latest entry is
 // already applied.
+//
+// Scoped-causal groups (deps != nil) use the address-matrix discipline
+// instead: the group must be next in the sender's per-destination chain
+// (causalApplied holds last-applied sequence numbers, not counts, in this
+// mode; the transport's FIFO channels make the chain equality exact), and
+// this node's row of the shipped matrix — which by construction names only
+// updates addressed to this node — must be covered by what the causal view
+// has applied from every other sender.
 func (n *Node) groupDeliverableLocked(g deliveryGroup) bool {
+	if g.deps != nil {
+		if n.causalApplied.Get(g.from) != g.prevSeq {
+			return false
+		}
+		need := g.deps.Row(n.id)
+		for k := 0; k < n.n && k < need.Len(); k++ {
+			if k != g.from && n.causalApplied.Get(k) < need.Get(k) {
+				return false
+			}
+		}
+		return true
+	}
 	if n.causalApplied.Get(g.from)+1 != g.firstSeq {
 		return false
 	}

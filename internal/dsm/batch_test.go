@@ -275,12 +275,10 @@ func TestBatchScopedPlacement(t *testing.T) {
 	if err != nil {
 		t.Fatalf("network.New: %v", err)
 	}
-	scope := func(loc string) []int {
-		if loc == "pair" {
-			return []int{1}
-		}
-		return []int{1, 2}
-	}
+	scope := &ScopeMap{Readers: map[string][]int{
+		"pair": {1},
+		"all":  {1, 2},
+	}}
 	batch := BatchConfig{Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30, Linger: time.Hour}
 	nodes := make([]*Node, 3)
 	for i := range nodes {
@@ -393,15 +391,33 @@ func TestBatchCodecMalformed(t *testing.T) {
 	huge = transport.AppendUint32(huge, 0)          // From
 	huge = transport.AppendUint64(huge, 1)          // FirstSeq
 	huge = transport.AppendUint64(huge, 1<<40)      // Count
+	huge = transport.AppendUint32(huge, 0)          // depsN
 	huge = transport.AppendUint32(huge, 0xFFFFFFFF) // nEntries
 	if _, err := transport.DecodePayload(KindUpdateBatch, huge); err == nil {
 		t.Fatal("decoding a batch with absurd entry count succeeded")
+	}
+	// A huge claimed dependency-matrix dimension must fail fast too: the
+	// quadratic allocation it implies is exactly what the bound prevents.
+	var badDeps []byte
+	badDeps = transport.AppendUint32(badDeps, 0)          // From
+	badDeps = transport.AppendUint64(badDeps, 1)          // FirstSeq
+	badDeps = transport.AppendUint64(badDeps, 1)          // Count
+	badDeps = transport.AppendUint32(badDeps, 0xFFFFFFF0) // depsN
+	if _, err := transport.DecodePayload(KindUpdateBatch, badDeps); err == nil {
+		t.Fatal("decoding a batch with absurd dependency dimension succeeded")
+	}
+	// A plausible dimension with no matrix bytes behind it.
+	badDeps = badDeps[:len(badDeps)-4]
+	badDeps = transport.AppendUint32(badDeps, 3) // depsN, but no matrix follows
+	if _, err := transport.DecodePayload(KindUpdateBatch, badDeps); err == nil {
+		t.Fatal("decoding a truncated dependency matrix succeeded")
 	}
 	// A huge claimed timestamp length inside an entry must fail fast too.
 	var badTS []byte
 	badTS = transport.AppendUint32(badTS, 0) // From
 	badTS = transport.AppendUint64(badTS, 1) // FirstSeq
 	badTS = transport.AppendUint64(badTS, 1) // Count
+	badTS = transport.AppendUint32(badTS, 0) // depsN
 	badTS = transport.AppendUint32(badTS, 1) // nEntries
 	badTS = transport.AppendUint64(badTS, 1) // Seq
 	badTS = append(badTS, byte(OpSet))       // Op
@@ -416,6 +432,7 @@ func TestBatchCodecMalformed(t *testing.T) {
 	cut = transport.AppendUint32(cut, 0)
 	cut = transport.AppendUint64(cut, 1)
 	cut = transport.AppendUint64(cut, 1)
+	cut = transport.AppendUint32(cut, 0)
 	cut = transport.AppendUint32(cut, 1)
 	cut = transport.AppendUint64(cut, 1)
 	cut = append(cut, byte(OpSet))
@@ -427,16 +444,16 @@ func TestBatchCodecMalformed(t *testing.T) {
 // --- scoped-write allocation satellite ---
 
 // TestScopedWriteAllocs pins the allocation cost of the scoped-write fast
-// path: deduplicating targets must reuse the node's epoch scratch buffer, not
-// allocate a map per write. The bound leaves room for the unavoidable per-op
-// allocations (payload boxing, fabric queue node, write-log growth) that a
-// per-write map would push well past.
+// path: destination lists are compiled once at construction, so a write must
+// not allocate per-write routing state. The bound leaves room for the
+// unavoidable per-op allocations (payload boxing, fabric queue node,
+// write-log growth) that a per-write map or slice would push well past.
 func TestScopedWriteAllocs(t *testing.T) {
 	f, err := network.New(network.Config{Nodes: 4})
 	if err != nil {
 		t.Fatalf("network.New: %v", err)
 	}
-	scope := func(loc string) []int { return []int{1, 2, 3} }
+	scope := &ScopeMap{Readers: map[string][]int{"hot": {1, 2, 3}}}
 	nodes := make([]*Node, 4)
 	for i := range nodes {
 		nodes[i], err = NewNode(Config{ID: i, N: 4, Transport: f, PRAMOnly: true, Scope: scope})
@@ -456,17 +473,40 @@ func TestScopedWriteAllocs(t *testing.T) {
 		nodes[0].Write("hot", v)
 	})
 	// Three sends, each boxing the payload into a Message and pushing a
-	// queue element, plus amortized write-log growth. The old per-write
-	// `make(map[int]bool)` added one map allocation on top of these — keep
-	// the bound tight enough to catch its return.
+	// queue element, plus amortized write-log growth. A per-write routing
+	// allocation would push past this — keep the bound tight enough to
+	// catch its return.
 	if allocs > 8 {
 		t.Fatalf("scoped write allocates %.1f objects/op, want <= 8", allocs)
 	}
 }
 
+func BenchmarkScopedCausalWrite(b *testing.B) {
+	f, _ := network.New(network.Config{Nodes: 4})
+	scope := &ScopeMap{
+		Readers:       map[string][]int{"hot": {1, 2, 3}},
+		CausalReaders: map[string][]int{"hot": {1, 2, 3}},
+	}
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i], _ = NewNode(Config{ID: i, N: 4, Transport: f, Scope: scope})
+	}
+	defer func() {
+		f.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[0].Write("hot", int64(i+1))
+	}
+}
+
 func BenchmarkScopedWrite(b *testing.B) {
 	f, _ := network.New(network.Config{Nodes: 4})
-	scope := func(loc string) []int { return []int{1, 2, 3} }
+	scope := &ScopeMap{Readers: map[string][]int{"hot": {1, 2, 3}}}
 	nodes := make([]*Node, 4)
 	for i := range nodes {
 		nodes[i], _ = NewNode(Config{ID: i, N: 4, Transport: f, PRAMOnly: true, Scope: scope})

@@ -11,11 +11,43 @@ import (
 // transports (internal/transport/tcp) can carry memory updates between OS
 // processes. Layout, all big-endian:
 //
-//	u32 From | u64 Seq | u8 Op | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS
+//	u32 From | u64 Seq | u8 Op | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS |
+//	u32 depsN | [ u64 PrevSeq | depsN*depsN*u64 Deps ]
 //
-// A PRAMOnly update has tsLen 0 and decodes with a nil timestamp, exactly
-// like the in-process value it mirrors.
+// A PRAMOnly or timestamp-elided update has tsLen 0 and decodes with a nil
+// timestamp, exactly like the in-process value it mirrors. depsN is 0 unless
+// the update carries scoped-causal metadata, in which case the chain pointer
+// and the row-major address matrix follow.
 type updateCodec struct{}
+
+// maxDepsN bounds the decoded dependency-matrix dimension. Real systems are
+// far smaller; the bound keeps a hostile length prefix from driving an n²
+// allocation before the remaining-bytes check can catch it.
+const maxDepsN = 4096
+
+// decodeDeps parses the trailing depsN | [PrevSeq | matrix] section shared by
+// both codecs. It returns zeroes when the section is absent (depsN == 0).
+func decodeDeps(d *transport.Decoder, what string) (uint64, vclock.Matrix, error) {
+	depsN := int(d.Uint32())
+	if d.Err() != nil || depsN == 0 {
+		return 0, nil, nil
+	}
+	if depsN > maxDepsN || depsN > d.Remaining()/8/depsN {
+		return 0, nil, fmt.Errorf("dsm: %s codec: %dx%d dependency matrix in %d bytes: %w",
+			what, depsN, depsN, d.Remaining(), transport.ErrTruncated)
+	}
+	prevSeq := d.Uint64()
+	m := vclock.NewMatrix(depsN)
+	for p := 0; p < depsN && d.Err() == nil; p++ {
+		for k := 0; k < depsN; k++ {
+			m.Set(p, k, d.Uint64())
+		}
+	}
+	if d.Err() != nil {
+		return 0, nil, fmt.Errorf("dsm: %s codec: dependency matrix: %w", what, d.Err())
+	}
+	return prevSeq, m, nil
+}
 
 func init() {
 	transport.RegisterPayload(KindUpdate, updateCodec{})
@@ -34,6 +66,11 @@ func (updateCodec) Encode(dst []byte, payload any) ([]byte, error) {
 	dst = transport.AppendUint64(dst, uint64(u.Value))
 	dst = transport.AppendUint32(dst, uint32(u.TS.Len()))
 	dst = u.TS.Encode(dst)
+	dst = transport.AppendUint32(dst, uint32(u.Deps.Len()))
+	if u.Deps != nil {
+		dst = transport.AppendUint64(dst, u.PrevSeq)
+		dst = u.Deps.Encode(dst)
+	}
 	return dst, nil
 }
 
@@ -47,11 +84,22 @@ func (updateCodec) Decode(data []byte) (any, error) {
 	}
 	u.Value = int64(d.Uint64())
 	if n := int(d.Uint32()); n > 0 && d.Err() == nil {
+		if n > d.Remaining()/8 {
+			return nil, fmt.Errorf("dsm: update codec: timestamp length %d in %d bytes: %w",
+				n, d.Remaining(), transport.ErrTruncated)
+		}
 		ts := vclock.New(n)
 		for i := range ts {
 			ts[i] = d.Uint64()
 		}
 		u.TS = ts
+	}
+	if d.Err() == nil {
+		prevSeq, deps, err := decodeDeps(d, "update")
+		if err != nil {
+			return nil, err
+		}
+		u.PrevSeq, u.Deps = prevSeq, deps
 	}
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("dsm: update codec: %w", err)
@@ -63,12 +111,14 @@ func (updateCodec) Decode(data []byte) (any, error) {
 // big-endian — the per-entry sender ID is hoisted into the header since every
 // entry of a batch comes from the same process:
 //
-//	u32 From | u64 FirstSeq | u64 Count | u32 nEntries |
-//	nEntries * ( u64 Seq | u8 Op | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS )
+//	u32 From | u64 FirstSeq | u64 Count | u32 depsN | [ u64 PrevSeq | depsN*depsN*u64 Deps ] |
+//	u32 nEntries | nEntries * ( u64 Seq | u8 Op | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS )
 //
-// Decode bounds nEntries and tsLen by the bytes actually remaining, so a
-// malformed length prefix fails with ErrTruncated instead of attempting a
-// huge allocation.
+// A scoped causal batch hoists its dependency metadata into the header
+// (depsN > 0); its entries carry no per-entry timestamps. Decode bounds
+// nEntries, tsLen, and depsN by the bytes actually remaining, so a malformed
+// length prefix fails with ErrTruncated instead of attempting a huge
+// allocation.
 type batchCodec struct{}
 
 func (batchCodec) Encode(dst []byte, payload any) ([]byte, error) {
@@ -79,6 +129,11 @@ func (batchCodec) Encode(dst []byte, payload any) ([]byte, error) {
 	dst = transport.AppendUint32(dst, uint32(b.From))
 	dst = transport.AppendUint64(dst, b.FirstSeq)
 	dst = transport.AppendUint64(dst, b.Count)
+	dst = transport.AppendUint32(dst, uint32(b.Deps.Len()))
+	if b.Deps != nil {
+		dst = transport.AppendUint64(dst, b.PrevSeq)
+		dst = b.Deps.Encode(dst)
+	}
 	dst = transport.AppendUint32(dst, uint32(len(b.Updates)))
 	for _, u := range b.Updates {
 		dst = transport.AppendUint64(dst, u.Seq)
@@ -101,6 +156,13 @@ func (batchCodec) Decode(data []byte) (any, error) {
 		From:     int(d.Uint32()),
 		FirstSeq: d.Uint64(),
 		Count:    d.Uint64(),
+	}
+	if d.Err() == nil {
+		prevSeq, deps, err := decodeDeps(d, "batch")
+		if err != nil {
+			return nil, err
+		}
+		b.PrevSeq, b.Deps = prevSeq, deps
 	}
 	nEntries := int(d.Uint32())
 	if d.Err() == nil && nEntries > d.Remaining()/minBatchEntry {

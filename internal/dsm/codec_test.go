@@ -49,6 +49,51 @@ func TestUpdateCodecPRAMOnlyNilTimestamp(t *testing.T) {
 	}
 }
 
+func TestUpdateCodecScopedCausalRoundTrip(t *testing.T) {
+	deps := vclock.NewMatrix(3)
+	deps.Set(0, 1, 4)
+	deps.Set(2, 0, 9)
+	u := Update{From: 1, Seq: 9, Op: OpSet, Loc: "s", Value: 3, PrevSeq: 5, Deps: deps}
+	got := roundTripUpdate(t, u)
+	if got.PrevSeq != 5 || got.Deps.Len() != 3 {
+		t.Fatalf("scoped metadata changed: prev=%d deps=%v", got.PrevSeq, got.Deps)
+	}
+	for p := 0; p < 3; p++ {
+		for k := 0; k < 3; k++ {
+			if got.Deps.Get(p, k) != deps.Get(p, k) {
+				t.Fatalf("deps[%d][%d] = %d, want %d", p, k, got.Deps.Get(p, k), deps.Get(p, k))
+			}
+		}
+	}
+}
+
+func TestBatchCodecScopedCausalRoundTrip(t *testing.T) {
+	deps := vclock.NewMatrix(2)
+	deps.Set(1, 0, 7)
+	b := UpdateBatch{
+		From: 0, FirstSeq: 3, Count: 5, PrevSeq: 2, Deps: deps,
+		Updates: []Update{
+			{From: 0, Seq: 3, Op: OpSet, Loc: "a", Value: 1},
+			{From: 0, Seq: 7, Op: OpAdd, Loc: "b", Value: 2},
+		},
+	}
+	enc, err := transport.EncodePayload(nil, KindUpdateBatch, b)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := transport.DecodePayload(KindUpdateBatch, enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got := dec.(UpdateBatch)
+	if got.PrevSeq != 2 || got.Deps.Len() != 2 || got.Deps.Get(1, 0) != 7 {
+		t.Fatalf("scoped batch metadata changed: %+v", got)
+	}
+	if len(got.Updates) != 2 || got.Updates[1].Seq != 7 || got.Updates[1].TS != nil {
+		t.Fatalf("entries changed: %+v", got.Updates)
+	}
+}
+
 func TestUpdateCodecRejectsWrongType(t *testing.T) {
 	if _, err := transport.EncodePayload(nil, KindUpdate, "not an update"); err == nil {
 		t.Fatal("encoding a non-Update payload succeeded")

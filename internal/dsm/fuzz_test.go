@@ -1,0 +1,109 @@
+package dsm
+
+import (
+	"reflect"
+	"testing"
+
+	"mixedmem/internal/transport"
+	"mixedmem/internal/vclock"
+)
+
+// FuzzBatchCodecRoundTrip drives the KindUpdateBatch wire codec with
+// arbitrary bytes: decoding must never panic, and any batch that decodes must
+// re-encode and re-decode to the same value (the decoder is the wire contract
+// both the sim and TCP transports rely on).
+func FuzzBatchCodecRoundTrip(f *testing.F) {
+	seedBatches := []UpdateBatch{
+		{From: 0, FirstSeq: 1, Count: 1, Updates: []Update{
+			{From: 0, Seq: 1, Op: OpSet, Loc: "x", Value: 7},
+		}},
+		{From: 2, FirstSeq: 4, Count: 3, Updates: []Update{
+			{From: 2, Seq: 4, Op: OpSet, Loc: "a", Value: -1, TS: vclock.VC{4, 0, 9}},
+			{From: 2, Seq: 6, Op: OpAdd, Loc: "b", Value: 2, TS: vclock.VC{6, 0, 9}},
+		}},
+	}
+	scoped := UpdateBatch{From: 1, FirstSeq: 2, Count: 2, PrevSeq: 1,
+		Deps: vclock.NewMatrix(2),
+		Updates: []Update{
+			{From: 1, Seq: 2, Op: OpSet, Loc: "s", Value: 5},
+			{From: 1, Seq: 3, Op: OpAddFloat, Loc: "t", Value: 1},
+		}}
+	scoped.Deps.Set(0, 1, 3)
+	seedBatches = append(seedBatches, scoped)
+	for _, b := range seedBatches {
+		enc, err := transport.EncodePayload(nil, KindUpdateBatch, b)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := transport.DecodePayload(KindUpdateBatch, data)
+		if err != nil || dec == nil {
+			return // rejected cleanly (or empty input): that is the contract
+		}
+		b, ok := dec.(UpdateBatch)
+		if !ok {
+			t.Fatalf("decoded %T, want UpdateBatch", dec)
+		}
+		enc, err := transport.EncodePayload(nil, KindUpdateBatch, b)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded batch failed: %v", err)
+		}
+		dec2, err := transport.DecodePayload(KindUpdateBatch, enc)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded batch failed: %v", err)
+		}
+		// Decode ignores trailing garbage, so compare value-to-value rather
+		// than bytes-to-bytes.
+		if !reflect.DeepEqual(dec, dec2) {
+			t.Fatalf("round trip changed the batch:\n%+v\n%+v", dec, dec2)
+		}
+	})
+}
+
+// FuzzUpdateCodecRoundTrip is the singleton-update analogue: the KindUpdate
+// decoder must never panic and must round-trip every accepted input.
+func FuzzUpdateCodecRoundTrip(f *testing.F) {
+	seeds := []Update{
+		{From: 0, Seq: 1, Op: OpSet, Loc: "y", Value: 9},
+		{From: 1, Seq: 3, Op: OpAdd, Loc: "ctr", Value: -4, TS: vclock.VC{1, 3}},
+	}
+	scoped := Update{From: 1, Seq: 5, Op: OpSet, Loc: "s", Value: 2, PrevSeq: 4,
+		Deps: vclock.NewMatrix(2)}
+	scoped.Deps.Set(1, 1, 5)
+	seeds = append(seeds, scoped)
+	for _, u := range seeds {
+		enc, err := transport.EncodePayload(nil, KindUpdate, u)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := transport.DecodePayload(KindUpdate, data)
+		if err != nil || dec == nil {
+			return
+		}
+		u, ok := dec.(Update)
+		if !ok {
+			t.Fatalf("decoded %T, want Update", dec)
+		}
+		enc, err := transport.EncodePayload(nil, KindUpdate, u)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded update failed: %v", err)
+		}
+		dec2, err := transport.DecodePayload(KindUpdate, enc)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded update failed: %v", err)
+		}
+		if !reflect.DeepEqual(dec, dec2) {
+			t.Fatalf("round trip changed the update:\n%+v\n%+v", dec, dec2)
+		}
+	})
+}

@@ -77,14 +77,34 @@ type Update struct {
 	Value int64
 	// TS is the writer's dependency clock after this update: TS[j] is the
 	// number of updates from process j the writer has applied, counting
-	// this one for j == From.
+	// this one for j == From. It is set only under full broadcast; scoped
+	// causal updates carry PrevSeq and Deps instead, and timestamp-elided
+	// updates (PRAMOnly mode, or PRAM-registered readers of a scoped
+	// location) carry neither.
 	TS vclock.VC
+	// PrevSeq, on a causal-scoped update, is the sequence number of the
+	// sender's previous causal update addressed to this destination (0 for
+	// the first): the per-destination delivery chain that keeps one
+	// sender's updates ordered even though the destination's view of the
+	// sender's sequence numbers has holes.
+	PrevSeq uint64
+	// Deps, on a causal-scoped update, is the sender's address-matrix
+	// snapshot: Deps[p][k] is the latest update from process k addressed
+	// to process p that this update transitively depends on. The receiver
+	// waits on its own row and merges the whole matrix; it never mutates
+	// it (the snapshot is shared across the write's destinations).
+	Deps vclock.Matrix
 }
 
 // encodedSize models the wire size of an update for the latency model:
-// header, location, value, and vector timestamp.
+// header, location, value, and dependency metadata (vector timestamp under
+// full broadcast, chain pointer plus matrix row(s) under scoped placement).
 func (u Update) encodedSize() int {
-	return 16 + len(u.Loc) + 8 + u.TS.EncodedSize()
+	s := 16 + len(u.Loc) + 8 + u.TS.EncodedSize()
+	if u.Deps != nil {
+		s += 8 + u.Deps.EncodedSize()
+	}
+	return s
 }
 
 // Handler receives non-update messages delivered to a node. Handlers run on
@@ -118,16 +138,22 @@ type Config struct {
 	// mode is only sound for programs certified PRAM-consistent (see
 	// check.PRAMConsistent).
 	PRAMOnly bool
-	// Scope, when non-nil, restricts each update's destinations to the
-	// listed processes instead of broadcasting — Section 6's closing
+	// Scope, when non-nil, restricts each location's updates to its
+	// registered readers instead of broadcasting — Section 6's closing
 	// remark on memory operations: "the overhead of broadcasting messages
 	// for each update ... may be avoided by making optimizations based on
-	// the patterns of accesses to shared variables." Only the returned
-	// processes (and the writer) observe the location. Requires PRAMOnly
-	// (causal delivery needs the full broadcast), and lock-based
-	// propagation is unsupported under a scope; the barrier count-vector
-	// protocol works unchanged because it counts per-destination sends.
-	Scope func(loc string) []int
+	// the patterns of accesses to shared variables." Causal-registered
+	// readers receive dependency-stamped updates delivered through the
+	// causal view; PRAM-registered readers take the timestamp-elided fast
+	// path end to end; unregistered locations broadcast with full causal
+	// metadata. Lock-based propagation is unsupported under a scope; the
+	// barrier count-vector protocol works unchanged because it counts
+	// per-destination sends. See ScopeMap for the registration contract.
+	Scope *ScopeMap
+	// TrackAccess records every location this node reads and with which
+	// labels, so a profiling run can learn a ScopeMap for the workload
+	// (Accessed / core.System.LearnedScope).
+	TrackAccess bool
 	// Batch configures the per-destination update outbox. The zero value
 	// keeps the original behavior: one message per write per destination.
 	Batch BatchConfig
@@ -159,10 +185,23 @@ type Node struct {
 	causal map[string]int64
 
 	// deps[j] counts updates from j applied to the PRAM view (deps[id]
-	// counts own writes). Writes are stamped with a copy of deps.
+	// counts own writes). Writes are stamped with a copy of deps. Under
+	// scoped placement deps[j] holds the last *sequence number* applied
+	// from j, which skips the holes left by updates addressed elsewhere —
+	// the PRAM view applies in receive order either way.
 	deps vclock.VC
-	// causalApplied[j] counts updates from j applied to the causal view.
+	// causalApplied[j] is the last update from j applied to the causal
+	// view: a count under full broadcast (where counts and sequence
+	// numbers coincide), the last applied sequence number under scoped
+	// placement (where this node's addressed stream has holes).
 	causalApplied vclock.VC
+	// causalRecvd[j] counts updates from j whose view obligations are
+	// fully met locally: causal updates once applied to the causal view,
+	// timestamp-elided updates at PRAM apply (their registration contract
+	// voids any causal obligation), own writes immediately. It feeds the
+	// count-based WaitCausalApplied, which must not compare counts against
+	// causalApplied once scoped sequence numbers have holes.
+	causalRecvd []uint64
 	// pending buffers delivery groups (single updates or whole batches)
 	// received but not yet causally applicable.
 	pending []deliveryGroup
@@ -198,12 +237,27 @@ type Node struct {
 
 	stats    Stats
 	pramOnly bool
-	scope    func(loc string) []int
-	// seenBuf/seenEpoch deduplicate scoped-write targets without a
-	// per-write map allocation: a slot equals the current epoch iff the
-	// destination was already sent this write's update.
-	seenBuf   []uint64
-	seenEpoch uint64
+	// scopeTargets holds the compiled per-location destination lists when
+	// Config.Scope is set; scopeAll is the fallback for unregistered
+	// locations (full broadcast). scopedCausal marks the scoped-causal
+	// mode: a scope with a live causal view, where causal delivery runs on
+	// the address matrix instead of vector timestamps.
+	scopeTargets map[string]scopeEntry
+	scopeAll     scopeEntry
+	scopedCausal bool
+	// addr is the address matrix (scoped-causal mode only): addr[p][k] is
+	// the latest update from sender k addressed to process p that this
+	// node transitively knows of. Own writes bump addr[dest][id] at send
+	// time; causal applies merge the sender's shipped snapshot. Row p is
+	// the wait condition shipped to destination p.
+	addr vclock.Matrix
+	// prevBuf is a per-write scratch buffer holding each causal
+	// destination's chain predecessor (addr[j][id] before the bump), so a
+	// write can bump the whole matrix before snapshotting it without
+	// allocating.
+	prevBuf []uint64
+	// track is the access log when Config.TrackAccess is set.
+	track map[string]AccessKind
 	// batch/outbox implement the per-destination update outbox; flushQuit
 	// stops the linger flusher.
 	batch     BatchConfig
@@ -229,13 +283,14 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("dsm: bad id/n %d/%d for %d-node transport",
 			cfg.ID, cfg.N, cfg.Transport.Nodes())
 	}
-	if cfg.Scope != nil && !cfg.PRAMOnly {
-		return nil, fmt.Errorf("dsm: scoped placement requires PRAMOnly (causal delivery needs full broadcast)")
+	if cfg.Scope != nil {
+		if err := cfg.Scope.Validate(cfg.N, cfg.PRAMOnly); err != nil {
+			return nil, err
+		}
 	}
 	node := &Node{
 		id:            cfg.ID,
 		pramOnly:      cfg.PRAMOnly,
-		scope:         cfg.Scope,
 		n:             cfg.N,
 		fabric:        cfg.Transport,
 		trace:         cfg.Trace,
@@ -244,6 +299,7 @@ func NewNode(cfg Config) (*Node, error) {
 		causal:        make(map[string]int64),
 		deps:          vclock.New(cfg.N),
 		causalApplied: vclock.New(cfg.N),
+		causalRecvd:   make([]uint64, cfg.N),
 		sent:          make([]uint64, cfg.N),
 		recvd:         make([]uint64, cfg.N),
 		invalid:       make(map[string]invalidation),
@@ -252,7 +308,15 @@ func NewNode(cfg Config) (*Node, error) {
 		done:          make(chan struct{}),
 	}
 	if cfg.Scope != nil {
-		node.seenBuf = make([]uint64, cfg.N)
+		node.scopeTargets, node.scopeAll = cfg.Scope.compile(cfg.ID, cfg.N, cfg.PRAMOnly)
+		node.scopedCausal = !cfg.PRAMOnly
+		if node.scopedCausal {
+			node.addr = vclock.NewMatrix(cfg.N)
+			node.prevBuf = make([]uint64, cfg.N)
+		}
+	}
+	if cfg.TrackAccess {
+		node.track = make(map[string]AccessKind)
 	}
 	if cfg.Batch.Enabled {
 		node.batch = cfg.Batch.WithDefaults()
@@ -315,20 +379,43 @@ func (n *Node) recvLoop() {
 }
 
 // applyRemote applies a received update: immediately to the PRAM view, and
-// to the causal view once its dependencies are satisfied.
+// to the causal view once its dependencies are satisfied. Under scoped
+// placement a timestamp-elided update (no Deps) is addressed to a
+// PRAM-registered reader: it carries no causal obligations, so it never
+// enters the causal view and never raises the observation fence.
 func (n *Node) applyRemote(u Update) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	// PRAM view: apply in receive order.
 	n.applyTo(n.pram, u)
-	n.pramLast[u.Loc] = invalidation{from: u.From, seq: u.Seq}
 	n.deps.Set(u.From, u.Seq)
 	n.recvd[u.From]++
-	if !n.pramOnly {
+	switch {
+	case n.pramOnly:
+		n.pramLast[u.Loc] = invalidation{from: u.From, seq: u.Seq}
+	case n.scopedCausal:
+		if u.Deps == nil {
+			// Elided fast path: PRAM view only; the registration contract
+			// says no causal read of this process depends on it.
+			n.causalRecvd[u.From]++
+			break
+		}
+		if u.Deps.Len() != n.n {
+			break // malformed dependency matrix; leave to the PRAM view only
+		}
+		n.pramLast[u.Loc] = invalidation{from: u.From, seq: u.Seq}
+		n.pending = append(n.pending, deliveryGroup{
+			from: u.From, firstSeq: u.Seq, lastSeq: u.Seq,
+			prevSeq: u.PrevSeq, deps: u.Deps, count: 1, one: u,
+		})
+		n.drainCausalLocked()
+	default:
 		// Causal view: buffer as a singleton group, then drain everything
 		// deliverable.
+		n.pramLast[u.Loc] = invalidation{from: u.From, seq: u.Seq}
 		n.pending = append(n.pending, deliveryGroup{
-			from: u.From, firstSeq: u.Seq, lastSeq: u.Seq, ts: u.TS, one: u,
+			from: u.From, firstSeq: u.Seq, lastSeq: u.Seq, ts: u.TS,
+			count: 1, one: u,
 		})
 		n.drainCausalLocked()
 	}
@@ -348,11 +435,17 @@ func (n *Node) applyBatch(b UpdateBatch) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// Scoped batches are kind-segregated at the sender: a batch with no
+	// dependency matrix is entirely timestamp-elided and stays out of the
+	// causal view, exactly like a singleton elided update.
+	elided := n.pramOnly || (n.scopedCausal && b.Deps == nil)
 	var maxSeq uint64
 	var maxTS vclock.VC
 	for _, u := range b.Updates {
 		n.applyTo(n.pram, u)
-		n.pramLast[u.Loc] = invalidation{from: b.From, seq: u.Seq}
+		if !elided || n.pramOnly {
+			n.pramLast[u.Loc] = invalidation{from: b.From, seq: u.Seq}
+		}
 		if u.Seq > maxSeq {
 			maxSeq = u.Seq
 			maxTS = u.TS
@@ -360,12 +453,31 @@ func (n *Node) applyBatch(b UpdateBatch) {
 	}
 	n.deps.Set(b.From, maxSeq)
 	n.recvd[b.From] += b.Count
-	if !n.pramOnly {
+	switch {
+	case n.pramOnly:
+	case elided:
+		n.causalRecvd[b.From] += b.Count
+	case n.scopedCausal:
+		if b.Deps.Len() != n.n {
+			break
+		}
+		n.pending = append(n.pending, deliveryGroup{
+			from:     b.From,
+			firstSeq: b.FirstSeq,
+			lastSeq:  maxSeq,
+			prevSeq:  b.PrevSeq,
+			deps:     b.Deps,
+			count:    b.Count,
+			batch:    b.Updates,
+		})
+		n.drainCausalLocked()
+	default:
 		n.pending = append(n.pending, deliveryGroup{
 			from:     b.From,
 			firstSeq: b.FirstSeq,
 			lastSeq:  maxSeq,
 			ts:       maxTS,
+			count:    b.Count,
 			batch:    b.Updates,
 		})
 		n.drainCausalLocked()
@@ -391,7 +503,16 @@ func (n *Node) drainCausalLocked() {
 						n.applyTo(n.causal, u)
 					}
 				}
-				n.causalApplied.Merge(g.ts)
+				if g.deps != nil {
+					// Scoped-causal: advance the sender's chain to the
+					// group's last addressed sequence number and absorb the
+					// shipped dependency knowledge.
+					n.causalApplied.Set(g.from, g.lastSeq)
+					n.addr.Merge(g.deps)
+				} else {
+					n.causalApplied.Merge(g.ts)
+				}
+				n.causalRecvd[g.from] += g.count
 				progressed = true
 			} else {
 				kept = append(kept, g)
@@ -457,9 +578,9 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 	n.pramLast[u.Loc] = invalidation{from: n.id, seq: u.Seq}
 	n.recvd[n.id]++
 	if !n.pramOnly {
-		u.TS = n.deps.Clone()
 		n.applyTo(n.causal, u)
 		n.causalApplied.Set(n.id, u.Seq)
+		n.causalRecvd[n.id]++
 	}
 	n.writeLog = append(n.writeLog, WriteRecord{Loc: loc, Seq: u.Seq})
 	// Send while holding the lock so per-sender sequence numbers hit the
@@ -467,40 +588,26 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 	// block. With the outbox enabled, "send" means enqueue into the
 	// destination's pending batch, flushing any batch that crossed a
 	// threshold.
-	if n.scope != nil {
-		// Deduplicate targets: a duplicate entry in a user-supplied scope
-		// must not deliver (and for adds, apply) the update twice. The
-		// epoch scratch buffer replaces a per-write map allocation; a slot
-		// equals the current epoch iff that destination is already covered.
-		n.seenEpoch++
-		for _, j := range n.scope(loc) {
-			if j == n.id || j < 0 || j >= n.n || n.seenBuf[j] == n.seenEpoch {
-				continue
-			}
-			n.seenBuf[j] = n.seenEpoch
-			n.sent[j]++
-			if n.batch.Enabled {
-				if n.enqueueLocked(j, u) {
-					n.flushDestLocked(j)
-				}
-				continue
-			}
-			_ = n.fabric.Send(network.Message{
-				From: n.id, To: j, Kind: KindUpdate,
-				Payload: u, Size: u.encodedSize(),
-			})
+	switch {
+	case n.scopeTargets != nil:
+		n.sendScopedLocked(u)
+	case n.batch.Enabled:
+		if !n.pramOnly {
+			u.TS = n.deps.Clone()
 		}
-	} else if n.batch.Enabled {
 		for j := 0; j < n.n; j++ {
 			if j == n.id {
 				continue
 			}
 			n.sent[j]++
-			if n.enqueueLocked(j, u) {
+			if n.enqueueLocked(j, u, false) {
 				n.flushDestLocked(j)
 			}
 		}
-	} else {
+	default:
+		if !n.pramOnly {
+			u.TS = n.deps.Clone()
+		}
 		for j := 0; j < n.n; j++ {
 			if j != n.id {
 				n.sent[j]++
@@ -511,6 +618,63 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 	n.stats.Writes++
 	n.cond.Broadcast()
 	n.mu.Unlock()
+}
+
+// sendScopedLocked routes one write under the scope map: timestamp-elided
+// copies to the location's PRAM-registered readers, dependency-stamped
+// copies to its causal-registered readers, and (for locations the map does
+// not name) a copy to every peer. Causal copies carry the per-destination
+// chain pointer and a snapshot of the address matrix taken after this
+// write's bumps, so a destination that relays the value onward ships a
+// matrix that already covers this update at every other destination.
+func (n *Node) sendScopedLocked(u Update) {
+	ent, ok := n.scopeTargets[u.Loc]
+	if !ok {
+		ent = n.scopeAll
+	}
+	for _, j := range ent.elided {
+		n.sent[j]++
+		if n.batch.Enabled {
+			if n.enqueueLocked(j, u, false) {
+				n.flushDestLocked(j)
+			}
+			continue
+		}
+		_ = n.fabric.Send(network.Message{
+			From: n.id, To: j, Kind: KindUpdate,
+			Payload: u, Size: u.encodedSize(),
+		})
+	}
+	if len(ent.causal) == 0 {
+		return
+	}
+	// Bump the matrix for every causal destination before any copy (or
+	// flushed batch) snapshots it: transitive soundness needs each shipped
+	// matrix to record this update at all of its destinations.
+	for _, j := range ent.causal {
+		n.prevBuf[j] = n.addr.Get(j, n.id)
+		n.addr.Set(j, n.id, u.Seq)
+	}
+	if n.batch.Enabled {
+		for _, j := range ent.causal {
+			n.sent[j]++
+			if n.enqueueLocked(j, u, true) {
+				n.flushDestLocked(j)
+			}
+		}
+		return
+	}
+	snap := n.addr.Clone()
+	for _, j := range ent.causal {
+		n.sent[j]++
+		cu := u
+		cu.PrevSeq = n.prevBuf[j]
+		cu.Deps = snap // shared across destinations; receivers only merge from it
+		_ = n.fabric.Send(network.Message{
+			From: n.id, To: j, Kind: KindUpdate,
+			Payload: cu, Size: cu.encodedSize(),
+		})
+	}
 }
 
 // ReadPRAM returns loc's value in the PRAM view: the most recent locally
@@ -530,6 +694,9 @@ func (n *Node) ReadPRAM(loc string) int64 {
 // handles.
 func (n *Node) readPRAMValue(loc string) int64 {
 	n.mu.Lock()
+	if n.track != nil {
+		n.track[loc] |= AccessPRAM
+	}
 	n.waitValidLocked(loc, false)
 	v := n.pram[loc]
 	n.raiseFenceLocked(loc)
@@ -567,6 +734,9 @@ func (n *Node) readCausalValue(loc string) int64 {
 		return n.readPRAMValue(loc)
 	}
 	n.mu.Lock()
+	if n.track != nil {
+		n.track[loc] |= AccessCausal
+	}
 	n.waitValidLocked(loc, true)
 	n.waitFenceLocked()
 	v := n.causal[loc]
@@ -668,6 +838,7 @@ func (n *Node) await(loc string, value int64, causalView bool) {
 // awaitValue is the await wait loop without trace recording, shared with
 // thread handles.
 func (n *Node) awaitValue(loc string, value int64, causalView bool) {
+	wantCausal := causalView
 	if n.pramOnly {
 		causalView = false
 	}
@@ -676,6 +847,13 @@ func (n *Node) awaitValue(loc string, value int64, causalView bool) {
 		view = n.causal
 	}
 	n.mu.Lock()
+	if n.track != nil {
+		if wantCausal {
+			n.track[loc] |= AccessCausal
+		} else {
+			n.track[loc] |= AccessPRAM
+		}
+	}
 	if n.batch.Enabled {
 		// Await registration is a synchronization boundary: a process about
 		// to block on a peer's flag must not keep its own half of the
@@ -748,7 +926,12 @@ func (n *Node) countsReachedLocked(min []uint64) bool {
 }
 
 // WaitCausalApplied blocks until at least min[j] updates from each process j
-// have been applied to the causal view.
+// have met their causal-view obligations locally: applied to the causal view
+// for dependency-stamped updates, applied to the PRAM view for
+// timestamp-elided ones (their registration contract voids the causal
+// obligation). Under full broadcast this is exactly "applied to the causal
+// view"; under scoped placement the count-based phrasing stays sound where
+// per-sender sequence numbers have holes.
 func (n *Node) WaitCausalApplied(min []uint64) {
 	if n.pramOnly {
 		n.WaitReceived(min)
@@ -760,15 +943,15 @@ func (n *Node) WaitCausalApplied(min []uint64) {
 		n.flushAllLocked()
 	}
 	start := time.Now()
-	for !n.reachedLocked(n.causalApplied, min) && !n.closed {
+	for !n.causalCountsReachedLocked(min) && !n.closed {
 		n.cond.Wait()
 	}
 	n.stats.Blocked += time.Since(start)
 }
 
-func (n *Node) reachedLocked(have vclock.VC, min []uint64) bool {
+func (n *Node) causalCountsReachedLocked(min []uint64) bool {
 	for j := 0; j < n.n && j < len(min); j++ {
-		if have.Get(j) < min[j] {
+		if n.causalRecvd[j] < min[j] {
 			return false
 		}
 	}

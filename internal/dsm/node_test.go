@@ -496,27 +496,100 @@ func TestConcurrentWritersConvergePRAM(t *testing.T) {
 	}
 }
 
-func TestScopeRequiresPRAMOnly(t *testing.T) {
-	f, _ := network.New(network.Config{Nodes: 2})
-	defer f.Close()
-	_, err := NewNode(Config{
-		ID: 0, N: 2, Transport: f,
-		Scope: func(string) []int { return nil },
-	})
-	if err == nil {
-		t.Fatal("scope without PRAMOnly must error")
+func TestScopeValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		scope    *ScopeMap
+		pramOnly bool
+		wantErr  bool
+	}{
+		{
+			name:  "reader out of range",
+			scope: &ScopeMap{Readers: map[string][]int{"x": {0, 2}}},
+
+			wantErr: true,
+		},
+		{
+			name:  "negative reader",
+			scope: &ScopeMap{Readers: map[string][]int{"x": {-1}}},
+
+			wantErr: true,
+		},
+		{
+			name: "causal reader out of range",
+			scope: &ScopeMap{
+				Readers:       map[string][]int{"x": {0, 1}},
+				CausalReaders: map[string][]int{"x": {5}},
+			},
+			wantErr: true,
+		},
+		{
+			name: "causal reader missing from reader scope",
+			scope: &ScopeMap{
+				Readers:       map[string][]int{"x": {0}},
+				CausalReaders: map[string][]int{"x": {1}},
+			},
+			wantErr: true,
+		},
+		{
+			name: "causal readers on a PRAMOnly node",
+			scope: &ScopeMap{
+				Readers:       map[string][]int{"x": {1}},
+				CausalReaders: map[string][]int{"x": {1}},
+			},
+			pramOnly: true,
+			wantErr:  true,
+		},
+		{
+			name: "valid causal scope",
+			scope: &ScopeMap{
+				Readers:       map[string][]int{"x": {0, 1}},
+				CausalReaders: map[string][]int{"x": {1}},
+			},
+		},
+		{
+			name:     "valid PRAM scope",
+			scope:    &ScopeMap{Readers: map[string][]int{"x": {1}}},
+			pramOnly: true,
+		},
+		{
+			name: "empty causal list is not an error",
+			scope: &ScopeMap{
+				Readers:       map[string][]int{"x": {1}},
+				CausalReaders: map[string][]int{"x": {}},
+			},
+			pramOnly: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, _ := network.New(network.Config{Nodes: 2})
+			node, err := NewNode(Config{
+				ID: 0, N: 2, Transport: f, PRAMOnly: tc.pramOnly, Scope: tc.scope,
+			})
+			f.Close()
+			if tc.wantErr {
+				if err == nil {
+					node.Close()
+					t.Fatal("invalid scope accepted")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("valid scope rejected: %v", err)
+			}
+			node.Close()
+		})
 	}
 }
 
 func TestScopedMulticastDelivery(t *testing.T) {
 	// Location "pair" goes only to node 1; "all" goes to both peers.
 	f, _ := network.New(network.Config{Nodes: 3})
-	scope := func(loc string) []int {
-		if loc == "pair" {
-			return []int{1}
-		}
-		return []int{1, 2}
-	}
+	scope := &ScopeMap{Readers: map[string][]int{
+		"pair": {1},
+		"all":  {1, 2},
+	}}
 	nodes := make([]*Node, 3)
 	for i := range nodes {
 		nodes[i], _ = NewNode(Config{ID: i, N: 3, Transport: f, PRAMOnly: true, Scope: scope})
@@ -548,12 +621,10 @@ func TestScopedMulticastDelivery(t *testing.T) {
 
 func TestScopedWaitReceived(t *testing.T) {
 	f, _ := network.New(network.Config{Nodes: 3})
-	scope := func(loc string) []int {
-		if loc == "skip2" {
-			return []int{1}
-		}
-		return []int{1, 2}
-	}
+	scope := &ScopeMap{Readers: map[string][]int{
+		"skip2": {1},
+		"both":  {1, 2},
+	}}
 	nodes := make([]*Node, 3)
 	for i := range nodes {
 		nodes[i], _ = NewNode(Config{ID: i, N: 3, Transport: f, PRAMOnly: true, Scope: scope})

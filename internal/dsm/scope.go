@@ -1,0 +1,149 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScopeMap is the per-location reader registration that drives scoped
+// placement — Section 6's closing remark that "the overhead of broadcasting
+// messages for each update ... may be avoided by making optimizations based
+// on the patterns of accesses to shared variables."
+//
+// Readers[loc] lists every process that reads loc; updates to loc are sent
+// only to those processes (plus the writer's own replica, which always
+// applies locally). CausalReaders[loc] is the subset that performs causal
+// reads of loc: their copies arrive with full causal-dependency metadata and
+// enter the causal view, while the remaining (PRAM-registered) readers get
+// the timestamp-elided fast path — a per-location analogue of the global
+// PRAMOnly mode.
+//
+// A location absent from Readers falls back to a full broadcast with causal
+// metadata (the safe default), so a scope map only needs to name the
+// locations whose traffic it wants to cut.
+//
+// The registration is a soundness contract, not just routing: a process must
+// not read a location it is not registered for (it would see the zero
+// value), and a PRAM-registered reader's reads of that location must need
+// only PRAM guarantees — no later causal read may depend on what those reads
+// observed, exactly as the PRAMOnly program class promises globally
+// (Corollary 2). Node.TrackAccess can learn the map from a profiling run.
+type ScopeMap struct {
+	// Readers maps a location to every process that reads it.
+	Readers map[string][]int
+	// CausalReaders maps a location to the subset of its readers that
+	// perform causal reads of it. Every entry must also appear in
+	// Readers[loc]; Validate rejects a causal reader missing from its
+	// location's reader scope.
+	CausalReaders map[string][]int
+}
+
+// Validate checks the map against a system of n processes. pramOnly is the
+// node's global PRAMOnly flag: a PRAMOnly node maintains no causal view, so
+// registering causal readers with it is a configuration error.
+func (s *ScopeMap) Validate(n int, pramOnly bool) error {
+	for loc, readers := range s.Readers {
+		for _, p := range readers {
+			if p < 0 || p >= n {
+				return fmt.Errorf("dsm: scope: reader %d of %q out of range [0,%d)", p, loc, n)
+			}
+		}
+	}
+	for loc, causal := range s.CausalReaders {
+		if len(causal) == 0 {
+			continue
+		}
+		if pramOnly {
+			return fmt.Errorf("dsm: scope: causal readers registered for %q but the node is PRAMOnly (no causal view to deliver to)", loc)
+		}
+		registered := make(map[int]bool, len(s.Readers[loc]))
+		for _, p := range s.Readers[loc] {
+			registered[p] = true
+		}
+		for _, p := range causal {
+			if p < 0 || p >= n {
+				return fmt.Errorf("dsm: scope: causal reader %d of %q out of range [0,%d)", p, loc, n)
+			}
+			if !registered[p] {
+				return fmt.Errorf("dsm: scope: causal reader %d of %q is not in the location's reader scope", p, loc)
+			}
+		}
+	}
+	return nil
+}
+
+// scopeEntry is a location's compiled destination lists for one node: the
+// causal-registered readers (who get dependency-stamped updates) and the
+// PRAM-registered readers (who get the timestamp-elided fast path). Both
+// exclude the node itself and are deduplicated and sorted.
+type scopeEntry struct {
+	causal []int
+	elided []int
+}
+
+// compile turns the validated map into per-location destination lists for
+// node id of n, plus the fallback entry used for unregistered locations
+// (full broadcast: causal to everyone unless the node is PRAMOnly).
+func (s *ScopeMap) compile(id, n int, pramOnly bool) (map[string]scopeEntry, scopeEntry) {
+	targets := make(map[string]scopeEntry, len(s.Readers))
+	for loc, readers := range s.Readers {
+		inCausal := make(map[int]bool)
+		for _, p := range s.CausalReaders[loc] {
+			inCausal[p] = true
+		}
+		var ent scopeEntry
+		seen := make(map[int]bool, len(readers))
+		for _, p := range readers {
+			if p == id || seen[p] {
+				continue
+			}
+			seen[p] = true
+			if inCausal[p] && !pramOnly {
+				ent.causal = append(ent.causal, p)
+			} else {
+				ent.elided = append(ent.elided, p)
+			}
+		}
+		sort.Ints(ent.causal)
+		sort.Ints(ent.elided)
+		targets[loc] = ent
+	}
+	var all scopeEntry
+	everyone := make([]int, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j != id {
+			everyone = append(everyone, j)
+		}
+	}
+	if pramOnly {
+		all.elided = everyone
+	} else {
+		all.causal = everyone
+	}
+	return targets, all
+}
+
+// AccessKind records how a node read a location, for scope learning.
+type AccessKind uint8
+
+// Access kinds; a location's entry is the OR of every kind observed.
+const (
+	// AccessPRAM marks a PRAM-labeled read or await.
+	AccessPRAM AccessKind = 1 << iota
+	// AccessCausal marks a causal-labeled read or await.
+	AccessCausal
+)
+
+// Accessed returns a copy of the node's access log: every location this node
+// read, with the kinds of reads observed. Empty unless the node was built
+// with Config.TrackAccess. Merging the logs of all nodes yields a ScopeMap
+// for the workload — see core.System.LearnedScope.
+func (n *Node) Accessed() map[string]AccessKind {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]AccessKind, len(n.track))
+	for loc, k := range n.track {
+		out[loc] = k
+	}
+	return out
+}

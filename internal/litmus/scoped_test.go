@@ -1,0 +1,281 @@
+package litmus
+
+import (
+	"testing"
+	"time"
+
+	"mixedmem/internal/check"
+	"mixedmem/internal/core"
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
+	"mixedmem/internal/transport/tcp"
+)
+
+// These tests re-run the litmus shapes (SB, MP, a three-process causal
+// chain) under causal-scoped placement: every location registered with
+// exactly its readers, all causal. The verdicts must match full broadcast —
+// scoping changes who receives an update, never what a read may observe.
+
+// sbScope registers each SB location with its single cross-process reader.
+func sbScope() *dsm.ScopeMap {
+	return &dsm.ScopeMap{
+		Readers:       map[string][]int{"x": {1}, "y": {0}},
+		CausalReaders: map[string][]int{"x": {1}, "y": {0}},
+	}
+}
+
+// mpScope registers message-passing's data and flag with the consumer.
+func mpScope() *dsm.ScopeMap {
+	return &dsm.ScopeMap{
+		Readers:       map[string][]int{"data": {1}, "flag": {1}},
+		CausalReaders: map[string][]int{"data": {1}, "flag": {1}},
+	}
+}
+
+// chainScope registers the three-process causal chain: a is read by 1 and 2,
+// b only by 2. Process 2's read of a through b's await is the transitive
+// dependency scoped delivery must preserve.
+func chainScope() *dsm.ScopeMap {
+	return &dsm.ScopeMap{
+		Readers:       map[string][]int{"a": {1, 2}, "b": {2}},
+		CausalReaders: map[string][]int{"a": {1, 2}, "b": {2}},
+	}
+}
+
+// analyzeMixed records the run and returns the mixed-consistency violation
+// count plus the recorded history.
+func analyzeMixed(t *testing.T, sys *core.System) (int, *history.History) {
+	t.Helper()
+	h := sys.History()
+	a, err := h.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return len(check.Mixed(a)), h
+}
+
+// TestScopedLitmusSBWeakOutcomeUnchanged forces the store-buffering weak
+// outcome under causal-scoped placement and checks the verdict pair is the
+// same as broadcast: mixed-consistent, not sequentially consistent.
+func TestScopedLitmusSBWeakOutcomeUnchanged(t *testing.T) {
+	for _, scoped := range []bool{false, true} {
+		cfg := core.Config{Procs: 2, Record: true}
+		if scoped {
+			cfg.Placement = sbScope()
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("NewSystem(scoped=%v): %v", scoped, err)
+		}
+		_ = sys.Fabric().Hold(0, 1)
+		_ = sys.Fabric().Hold(1, 0)
+		sys.Run(func(p *core.Proc) {
+			if p.ID() == 0 {
+				p.Write("x", 1)
+				p.ReadPRAM("y")
+			} else {
+				p.Write("y", 1)
+				p.ReadPRAM("x")
+			}
+		})
+		_ = sys.Fabric().Release(0, 1)
+		_ = sys.Fabric().Release(1, 0)
+
+		violations, h := analyzeMixed(t, sys)
+		if violations != 0 {
+			t.Fatalf("scoped=%v: weak SB outcome flagged as inconsistent", scoped)
+		}
+		zeros := 0
+		for _, op := range h.Ops {
+			if op.Kind == history.Read && op.Value == 0 {
+				zeros++
+			}
+		}
+		if zeros != 2 {
+			t.Fatalf("scoped=%v: expected both reads 0, history: %v", scoped, h.Ops)
+		}
+		a, err := h.Analyze()
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		ok, _, err := check.SequentiallyConsistent(a)
+		if err != nil {
+			t.Fatalf("SC search: %v", err)
+		}
+		if ok {
+			t.Fatalf("scoped=%v: weak SB outcome should not be SC", scoped)
+		}
+		sys.Close()
+	}
+}
+
+// TestScopedLitmusMPVerdictUnchanged runs message passing with causal reads
+// under broadcast and under scope: the consumer must read the data after the
+// flag in both, and both histories must be mixed-consistent.
+func TestScopedLitmusMPVerdictUnchanged(t *testing.T) {
+	run := func(scoped, batched bool) int64 {
+		cfg := core.Config{Procs: 2, Record: true}
+		if scoped {
+			cfg.Placement = mpScope()
+		}
+		if batched {
+			cfg.Batch = dsm.BatchConfig{Enabled: true, MaxUpdates: 8}
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("NewSystem(scoped=%v): %v", scoped, err)
+		}
+		defer sys.Close()
+		var got int64
+		sys.Run(func(p *core.Proc) {
+			if p.ID() == 0 {
+				p.Write("data", 41)
+				p.Write("data", 42)
+				p.Write("flag", 1)
+			} else {
+				p.Await("flag", 1)
+				got = p.ReadCausal("data")
+			}
+		})
+		if violations, _ := analyzeMixed(t, sys); violations != 0 {
+			t.Fatalf("MP(scoped=%v, batched=%v) flagged as inconsistent", scoped, batched)
+		}
+		return got
+	}
+	for _, scoped := range []bool{false, true} {
+		for _, batched := range []bool{false, true} {
+			if got := run(scoped, batched); got != 42 {
+				t.Fatalf("MP(scoped=%v, batched=%v) read data=%d, want 42", scoped, batched, got)
+			}
+		}
+	}
+}
+
+// TestScopedLitmusCausalChainVerdictUnchanged runs the three-process causal
+// chain: 0 writes a, 1 observes a and writes b, 2 observes b and must see a.
+// Under scope, process 2 learns about a's copy only transitively through 1's
+// dependency matrix.
+func TestScopedLitmusCausalChainVerdictUnchanged(t *testing.T) {
+	run := func(scoped bool) int64 {
+		cfg := core.Config{Procs: 3, Record: true}
+		if scoped {
+			cfg.Placement = chainScope()
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("NewSystem(scoped=%v): %v", scoped, err)
+		}
+		defer sys.Close()
+		var got int64
+		sys.Run(func(p *core.Proc) {
+			switch p.ID() {
+			case 0:
+				p.Write("a", 1)
+			case 1:
+				p.Await("a", 1)
+				p.Write("b", 1)
+			case 2:
+				p.Await("b", 1)
+				got = p.ReadCausal("a")
+			}
+		})
+		if violations, _ := analyzeMixed(t, sys); violations != 0 {
+			t.Fatalf("chain(scoped=%v) flagged as inconsistent", scoped)
+		}
+		return got
+	}
+	for _, scoped := range []bool{false, true} {
+		if got := run(scoped); got != 1 {
+			t.Fatalf("chain(scoped=%v) read a=%d, want 1 (causal chain broken)", scoped, got)
+		}
+	}
+}
+
+// runScopedTCP runs a program on loopback TCP peers with a shared recorded
+// history and returns it, closing everything down before analysis.
+func runScopedTCP(t *testing.T, procs int, scope *dsm.ScopeMap, body func(p *core.Proc)) *history.History {
+	t.Helper()
+	trs, err := tcp.NewLoopback(procs, nil)
+	if err != nil {
+		t.Fatalf("tcp loopback: %v", err)
+	}
+	trace := history.NewBuilder(procs)
+	peers := make([]*core.Peer, procs)
+	for i := range peers {
+		peers[i], err = core.NewPeer(core.PeerConfig{
+			ID: i, Transport: trs[i], Scope: scope, Trace: trace,
+		})
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	done := make(chan struct{})
+	for _, peer := range peers {
+		go func(p *core.Proc) {
+			body(p)
+			done <- struct{}{}
+		}(peer.Proc())
+	}
+	for range peers {
+		<-done
+	}
+	for _, tr := range trs {
+		tr.Flush(2 * time.Second)
+	}
+	for _, peer := range peers {
+		peer.Close()
+	}
+	return trace.History()
+}
+
+// TestScopedLitmusTCP reruns MP and the causal chain over real TCP sockets
+// with causal-scoped placement: same programs, same verdicts.
+func TestScopedLitmusTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP litmus in -short mode")
+	}
+	var mpGot int64
+	h := runScopedTCP(t, 2, mpScope(), func(p *core.Proc) {
+		if p.ID() == 0 {
+			p.Write("data", 42)
+			p.Write("flag", 1)
+		} else {
+			p.Await("flag", 1)
+			mpGot = p.ReadCausal("data")
+		}
+	})
+	a, err := h.Analyze()
+	if err != nil {
+		t.Fatalf("MP analyze: %v", err)
+	}
+	if v := check.Mixed(a); len(v) != 0 {
+		t.Fatalf("scoped MP over TCP flagged as inconsistent: %v", v)
+	}
+	if mpGot != 42 {
+		t.Fatalf("scoped MP over TCP read data=%d, want 42", mpGot)
+	}
+
+	var chainGot int64
+	h = runScopedTCP(t, 3, chainScope(), func(p *core.Proc) {
+		switch p.ID() {
+		case 0:
+			p.Write("a", 1)
+		case 1:
+			p.Await("a", 1)
+			p.Write("b", 1)
+		case 2:
+			p.Await("b", 1)
+			chainGot = p.ReadCausal("a")
+		}
+	})
+	a, err = h.Analyze()
+	if err != nil {
+		t.Fatalf("chain analyze: %v", err)
+	}
+	if v := check.Mixed(a); len(v) != 0 {
+		t.Fatalf("scoped chain over TCP flagged as inconsistent: %v", v)
+	}
+	if chainGot != 1 {
+		t.Fatalf("scoped chain over TCP read a=%d, want 1", chainGot)
+	}
+}

@@ -1,0 +1,106 @@
+package vclock
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Matrix is an n-by-n matrix clock, the dependency summary causal delivery
+// needs under partial replication. Row p is a vector clock about process p:
+// in the DSM's usage, Matrix[p][k] is the highest per-sender sequence number
+// of an update from process k *addressed to* process p that the matrix's
+// owner (transitively) knows about.
+//
+// A plain vector clock cannot express causal dependencies when updates are
+// scoped to subsets of processes: component k would count k's updates, but a
+// receiver that is not in the scope of some of them can never apply those,
+// so a "wait until applied >= ts[k]" condition either deadlocks or, if
+// holes are skipped, silently drops transitive dependencies that flow
+// through third processes. The matrix keeps one row per destination, so the
+// wait condition shipped to p mentions only updates p actually receives.
+//
+// Rows are merged componentwise (entries are monotone: per-sender sequence
+// numbers only grow), so matrices learned from different peers compose with
+// Merge exactly like vector clocks do.
+type Matrix []VC
+
+// NewMatrix returns a zeroed n-by-n matrix clock.
+func NewMatrix(n int) Matrix {
+	m := make(Matrix, n)
+	backing := make(VC, n*n)
+	for i := range m {
+		m[i] = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+	return m
+}
+
+// Len returns the number of rows (and columns).
+func (m Matrix) Len() int { return len(m) }
+
+// Row returns row p: the vector clock about process p. The returned slice
+// aliases the matrix.
+func (m Matrix) Row(p int) VC { return m[p] }
+
+// Get returns entry [p][k].
+func (m Matrix) Get(p, k int) uint64 { return m[p][k] }
+
+// Set assigns entry [p][k].
+func (m Matrix) Set(p, k int, v uint64) { m[p][k] = v }
+
+// Clone returns an independent copy of m.
+func (m Matrix) Clone() Matrix {
+	if m == nil {
+		return nil
+	}
+	out := NewMatrix(len(m))
+	for i, row := range m {
+		copy(out[i], row)
+	}
+	return out
+}
+
+// Merge raises every entry of m to the componentwise maximum of m and other.
+// Matrices of different sizes do not merge (the receiver validates sizes
+// before trusting a decoded matrix); Merge ignores rows and columns beyond
+// either operand's bounds.
+func (m Matrix) Merge(other Matrix) {
+	for i := 0; i < len(m) && i < len(other); i++ {
+		row, src := m[i], other[i]
+		for k := 0; k < len(row) && k < len(src); k++ {
+			if src[k] > row[k] {
+				row[k] = src[k]
+			}
+		}
+	}
+}
+
+// EncodedSize returns the number of bytes Encode produces for m.
+func (m Matrix) EncodedSize() int { return 8 * len(m) * len(m) }
+
+// Encode appends a fixed-width big-endian row-major encoding of m to dst and
+// returns the extended slice.
+func (m Matrix) Encode(dst []byte) []byte {
+	for _, row := range m {
+		dst = row.Encode(dst)
+	}
+	return dst
+}
+
+// DecodeMatrix parses an n-by-n matrix from src. It returns the matrix and
+// the number of bytes consumed.
+func DecodeMatrix(src []byte, n int) (Matrix, int, error) {
+	need := 8 * n * n
+	if n < 0 || len(src) < need {
+		return nil, 0, fmt.Errorf("vclock: decode %dx%d matrix from %d bytes: %w",
+			n, n, len(src), ErrSizeMismatch)
+	}
+	m := NewMatrix(n)
+	off := 0
+	for i := range m {
+		for k := range m[i] {
+			m[i][k] = binary.BigEndian.Uint64(src[off:])
+			off += 8
+		}
+	}
+	return m, need, nil
+}

@@ -1,0 +1,72 @@
+package vclock
+
+import "testing"
+
+func TestMatrixRowsIndependent(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, 5)
+	m.Row(1).Set(2, 7)
+	if m.Get(0, 1) != 5 || m.Get(1, 2) != 7 {
+		t.Fatalf("entries lost: %v", m)
+	}
+	if m.Get(1, 1) != 0 || m.Get(2, 2) != 0 {
+		t.Fatalf("writes leaked across rows: %v", m)
+	}
+}
+
+func TestMatrixCloneIsDeep(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 3)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	c.Set(1, 1, 4)
+	if m.Get(0, 0) != 3 || m.Get(1, 1) != 0 {
+		t.Fatalf("clone aliased original: %v", m)
+	}
+	if Matrix(nil).Clone() != nil {
+		t.Fatal("nil clone should stay nil")
+	}
+}
+
+func TestMatrixMerge(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 4)
+	a.Set(1, 1, 1)
+	b := NewMatrix(2)
+	b.Set(0, 0, 2)
+	b.Set(0, 1, 9)
+	a.Merge(b)
+	if a.Get(0, 0) != 4 || a.Get(0, 1) != 9 || a.Get(1, 1) != 1 {
+		t.Fatalf("merge wrong: %v", a)
+	}
+	// Mismatched sizes merge only the shared prefix, never panic.
+	a.Merge(NewMatrix(5))
+	a.Merge(nil)
+}
+
+func TestMatrixEncodeDecodeRoundTrip(t *testing.T) {
+	m := NewMatrix(3)
+	for p := 0; p < 3; p++ {
+		for k := 0; k < 3; k++ {
+			m.Set(p, k, uint64(10*p+k))
+		}
+	}
+	enc := m.Encode(nil)
+	if len(enc) != m.EncodedSize() {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), m.EncodedSize())
+	}
+	got, used, err := DecodeMatrix(enc, 3)
+	if err != nil || used != len(enc) {
+		t.Fatalf("decode: %v (used %d)", err, used)
+	}
+	for p := 0; p < 3; p++ {
+		for k := 0; k < 3; k++ {
+			if got.Get(p, k) != m.Get(p, k) {
+				t.Fatalf("entry [%d][%d] = %d, want %d", p, k, got.Get(p, k), m.Get(p, k))
+			}
+		}
+	}
+	if _, _, err := DecodeMatrix(enc[:10], 3); err == nil {
+		t.Fatal("short decode succeeded")
+	}
+}
