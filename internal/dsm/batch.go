@@ -77,10 +77,16 @@ func (c BatchConfig) WithDefaults() BatchConfig {
 // (dependency-stamped) or every one is timestamp-elided. A causal batch
 // hoists its dependency metadata to the batch level — PrevSeq chains it after
 // the sender's previous causal update addressed to this destination, and Deps
-// is one address-matrix snapshot covering the whole run (taken at flush, so
-// it may be newer than any entry's true dependencies; conservatively-newer is
-// safe because every referenced update is addressed here and eventually
-// arrives). An elided batch leaves both zero.
+// is the address-matrix snapshot captured when the batch's latest covered
+// write was enqueued, under the same lock hold as that write's matrix bumps.
+// One matrix covers the whole run because a sender's matrix is monotone: the
+// latest write's dependencies dominate every earlier covered entry's. The
+// snapshot is never taken at flush time — between enqueue and flush the
+// sender can absorb matrices from applied remote updates, and a flush-time
+// snapshot could name an update Y that itself (transitively) waits on a write
+// parked in this very batch, leaving the receiver's causal view in a
+// permanent circular wait (batch waits on Y, Y waits on the batch). An
+// elided batch leaves both zero.
 type UpdateBatch struct {
 	From     int
 	FirstSeq uint64
@@ -95,16 +101,17 @@ type UpdateBatch struct {
 	Updates []Update
 }
 
-// encodedSize models the wire size of the batch: header plus entries. The
-// per-entry sender ID is hoisted into the header, which is the (small) wire
-// win of batching on top of the per-frame overhead it removes.
+// encodedSize models the wire size of the batch: header plus entries,
+// mirroring batchCodec's layout. The per-entry sender ID and dependency
+// section are hoisted into the header, which is the (small) wire win of
+// batching on top of the per-frame overhead it removes.
 func (b UpdateBatch) encodedSize() int {
-	s := 24
+	s := 28 // From + FirstSeq + Count + depsN prefix + nEntries
 	if b.Deps != nil {
-		s += 8 + 4 + b.Deps.EncodedSize() // PrevSeq + matrix dimension + matrix
+		s += 8 + b.Deps.EncodedSize() // PrevSeq + matrix
 	}
 	for _, u := range b.Updates {
-		s += u.encodedSize() - 4 // From encoded once in the header
+		s += u.encodedSize() - 8 // From and the depsN prefix live in the header
 	}
 	return s
 }
@@ -126,6 +133,14 @@ type outboxDest struct {
 	// prevSeq is the causal chain pointer captured when the batch started.
 	causal  bool
 	prevSeq uint64
+	// deps is the address-matrix snapshot of the batch's latest covered
+	// write, captured at enqueue time (shared with the write's other
+	// destinations; receivers only merge from it). depsEpoch records
+	// Node.addrEpoch at capture, so enqueueLocked can detect that the node
+	// absorbed a remote matrix merge after the snapshot and split the batch
+	// instead of letting a newer snapshot cover older parked writes.
+	deps      vclock.Matrix
+	depsEpoch uint64
 }
 
 func newOutboxDest() *outboxDest {
@@ -137,11 +152,19 @@ func newOutboxDest() *outboxDest {
 // was crossed and the batch should flush. causal marks the entry's kind under
 // scoped placement; a kind change flushes the pending batch first, so every
 // batch stays homogeneous. Causal entries ride without per-entry dependency
-// metadata — flushDestLocked attaches the batch-level PrevSeq/Deps; the
-// caller must have recorded the chain pointer in n.prevBuf[j] already.
-func (n *Node) enqueueLocked(j int, u Update, causal bool) bool {
+// metadata — the batch-level Deps is deps, the caller's address-matrix
+// snapshot taken under the same lock hold as this write's bumps, refreshed at
+// every enqueue (the latest covered write's dependencies dominate the rest);
+// the caller must have recorded the chain pointer in n.prevBuf[j] already.
+// A pending causal batch whose snapshot predates a remote matrix merge
+// (addrEpoch moved) is flushed before u starts a fresh batch: this write's
+// snapshot may name a just-merged update that itself waits on a write parked
+// in the old batch, and shipping them under one matrix would hand the
+// receiver a circular wait.
+func (n *Node) enqueueLocked(j int, u Update, causal bool, deps vclock.Matrix) bool {
 	ob := n.outbox[j]
-	if ob.count > 0 && n.scopedCausal && ob.causal != causal {
+	if ob.count > 0 && n.scopedCausal &&
+		(ob.causal != causal || (ob.causal && ob.depsEpoch != n.addrEpoch)) {
 		n.flushDestLocked(j)
 	}
 	if ob.count == 0 {
@@ -150,6 +173,10 @@ func (n *Node) enqueueLocked(j int, u Update, causal bool) bool {
 		if causal && n.scopedCausal {
 			ob.prevSeq = n.prevBuf[j]
 		}
+	}
+	if causal && n.scopedCausal {
+		ob.deps = deps
+		ob.depsEpoch = n.addrEpoch
 	}
 	ob.count++
 	coalesced := false
@@ -185,8 +212,11 @@ func (n *Node) flushDestLocked(j int) {
 	if ob.count == 1 && len(ob.entries) == 1 {
 		u := ob.entries[0]
 		if scopedCausal {
+			// Ship the enqueue-time snapshot, never the current matrix: it
+			// may have absorbed merges since that could close a dependency
+			// cycle through this very write (see enqueueLocked).
 			u.PrevSeq = ob.prevSeq
-			u.Deps = n.addr.Clone()
+			u.Deps = ob.deps
 		}
 		_ = n.fabric.Send(network.Message{
 			From: n.id, To: j, Kind: KindUpdate,
@@ -201,18 +231,20 @@ func (n *Node) flushDestLocked(j int) {
 		}
 		if scopedCausal {
 			b.PrevSeq = ob.prevSeq
-			b.Deps = n.addr.Clone()
+			b.Deps = ob.deps
 		}
 		_ = n.fabric.Send(network.Message{
 			From: n.id, To: j, Kind: KindUpdateBatch,
 			Payload: b, Size: b.encodedSize(),
 		})
 	}
-	// The entries slice is owned by the in-flight message now; start fresh.
+	// The entries slice (and deps snapshot) are owned by the in-flight
+	// message now; start fresh.
 	ob.entries = nil
 	clear(ob.setIdx)
 	ob.count = 0
 	ob.bytes = 0
+	ob.deps = nil
 }
 
 // flushAllLocked flushes every destination's pending batch.

@@ -312,6 +312,186 @@ func TestBatchScopedPlacement(t *testing.T) {
 	}
 }
 
+func TestBatchScopedCausalDepsCapturedAtEnqueue(t *testing.T) {
+	// Regression: a parked causal batch must ship the address-matrix
+	// snapshot its writes were written under, never one absorbed later.
+	// Node 0's write W to "a" reaches node 2 but stays parked for node 1;
+	// node 2 (having causally applied W) writes Y to "b", which node 0
+	// causally applies — merging a matrix that records W at node 1. If node
+	// 0's next write X then ships in one batch with W under a flush-time
+	// snapshot, that batch waits on Y at node 1 while Y waits on W inside
+	// the batch: a permanent circular wait in the causal view.
+	f, err := network.New(network.Config{Nodes: 3})
+	if err != nil {
+		t.Fatalf("network.New: %v", err)
+	}
+	scope := &ScopeMap{
+		Readers: map[string][]int{
+			"a": {1, 2}, "c": {1, 2}, "b": {0, 1},
+		},
+		CausalReaders: map[string][]int{
+			"a": {1, 2}, "c": {1, 2}, "b": {0, 1},
+		},
+	}
+	batch := BatchConfig{Enabled: true, MaxUpdates: 1 << 20, MaxBytes: 1 << 30, Linger: time.Hour}
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		nodes[i], err = NewNode(Config{ID: i, N: 3, Transport: f, Scope: scope, Batch: batch})
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", i, err)
+		}
+	}
+	defer func() {
+		f.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	nodes[0].Write("a", 1) // W: parked for both causal readers
+	// Relay W to node 2 only; node 1's copy stays in the outbox.
+	nodes[0].mu.Lock()
+	nodes[0].flushDestLocked(2)
+	nodes[0].mu.Unlock()
+	nodes[2].WaitCausalApplied([]uint64{1, 0, 0})
+	nodes[2].Write("b", 2) // Y: causally after W
+	nodes[2].FlushUpdates()
+	// Wait for node 0 to causally apply Y (merging node 2's matrix) with a
+	// probe, not WaitCausalApplied — the latter flushes the outbox and
+	// would dissolve the parked batch this test is about.
+	eventually(t, func() bool { return nodes[0].causalSnapshotValue("b") == 2 },
+		"node 0 never causally applied Y")
+	nodes[0].Write("c", 3) // X: must not share a batch (or snapshot) with W
+	nodes[0].FlushUpdates()
+
+	done := make(chan struct{})
+	go func() {
+		nodes[1].WaitCausalApplied([]uint64{2, 0, 1})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("causal view deadlocked: batch shipped a flush-time deps snapshot")
+	}
+	for loc, want := range map[string]int64{"a": 1, "b": 2, "c": 3} {
+		if got := nodes[1].ReadCausal(loc); got != want {
+			t.Fatalf("%s = %d, want %d", loc, got, want)
+		}
+	}
+}
+
+func TestScopedCausalMalformedDepsDoesNotStall(t *testing.T) {
+	// A scoped-causal update (or batch) whose dependency matrix has the
+	// wrong dimension must stay out of the causal view but still count as
+	// causally settled, so barriers and WaitCausalApplied cannot hang on a
+	// misconfigured peer — and the fault must be visible in Stats.
+	f, err := network.New(network.Config{Nodes: 2})
+	if err != nil {
+		t.Fatalf("network.New: %v", err)
+	}
+	scope := &ScopeMap{
+		Readers:       map[string][]int{"a": {0, 1}},
+		CausalReaders: map[string][]int{"a": {0, 1}},
+	}
+	nodes := make([]*Node, 2)
+	for i := range nodes {
+		nodes[i], err = NewNode(Config{ID: i, N: 2, Transport: f, Scope: scope})
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", i, err)
+		}
+	}
+	defer func() {
+		f.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	bad := Update{From: 0, Seq: 1, Op: OpSet, Loc: "a", Value: 7,
+		Deps: vclock.NewMatrix(5)} // wrong dimension for a 2-node system
+	if err := f.Send(network.Message{
+		From: 0, To: 1, Kind: KindUpdate, Payload: bad, Size: bad.encodedSize(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	badBatch := UpdateBatch{
+		From: 0, FirstSeq: 2, Count: 2, PrevSeq: 1, Deps: vclock.NewMatrix(5),
+		Updates: []Update{
+			{From: 0, Seq: 2, Op: OpSet, Loc: "a", Value: 8},
+			{From: 0, Seq: 3, Op: OpSet, Loc: "a", Value: 9},
+		},
+	}
+	if err := f.Send(network.Message{
+		From: 0, To: 1, Kind: KindUpdateBatch, Payload: badBatch, Size: badBatch.encodedSize(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		nodes[1].WaitCausalApplied([]uint64{3, 0})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitCausalApplied hung on malformed dependency matrices")
+	}
+	// The PRAM view applied the values in receive order; the causal view
+	// never saw them, and no observation fence was raised that a causal
+	// read could stall on.
+	if got := nodes[1].ReadPRAM("a"); got != 9 {
+		t.Fatalf("PRAM a = %d, want 9", got)
+	}
+	if got := nodes[1].causalSnapshotValue("a"); got != 0 {
+		t.Fatalf("malformed update reached the causal view: a = %d", got)
+	}
+	if got := nodes[1].ReadCausal("a"); got != 0 {
+		t.Fatalf("causal read stalled or saw a malformed update: a = %d", got)
+	}
+	if got := nodes[1].Stats().MalformedUpdates; got != 3 {
+		t.Fatalf("MalformedUpdates = %d, want 3", got)
+	}
+}
+
+func TestEncodedSizeMatchesCodec(t *testing.T) {
+	// The latency model's wire-size accounting must track the real codecs
+	// byte for byte, including the always-present depsN length prefix.
+	deps := vclock.NewMatrix(3)
+	deps.Set(1, 0, 4)
+	ts := vclock.New(3)
+	ts[0], ts[2] = 2, 5
+	updates := []Update{
+		{From: 1, Seq: 3, Op: OpSet, Loc: "x[2]", Value: -9},
+		{From: 1, Seq: 3, Op: OpSet, Loc: "x[2]", Value: -9, TS: ts},
+		{From: 1, Seq: 3, Op: OpAdd, Loc: "", Value: 1, PrevSeq: 2, Deps: deps},
+	}
+	for i, u := range updates {
+		enc, err := transport.EncodePayload(nil, KindUpdate, u)
+		if err != nil {
+			t.Fatalf("update %d: encode: %v", i, err)
+		}
+		if got, want := u.encodedSize(), len(enc); got != want {
+			t.Fatalf("update %d: encodedSize = %d, codec writes %d bytes", i, got, want)
+		}
+	}
+	batches := []UpdateBatch{
+		{From: 1, FirstSeq: 3, Count: 2, Updates: updates[:2]},
+		{From: 1, FirstSeq: 3, Count: 2, PrevSeq: 2, Deps: deps,
+			Updates: []Update{{From: 1, Seq: 3, Op: OpSet, Loc: "y", Value: 1}}},
+	}
+	for i, b := range batches {
+		enc, err := transport.EncodePayload(nil, KindUpdateBatch, b)
+		if err != nil {
+			t.Fatalf("batch %d: encode: %v", i, err)
+		}
+		if got, want := b.encodedSize(), len(enc); got != want {
+			t.Fatalf("batch %d: encodedSize = %d, codec writes %d bytes", i, got, want)
+		}
+	}
+}
+
 func TestBatchConfigValidation(t *testing.T) {
 	c := BatchConfig{Enabled: true}.WithDefaults()
 	if c.MaxUpdates <= 0 || c.MaxBytes <= 0 || c.Linger <= 0 {

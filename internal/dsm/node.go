@@ -96,11 +96,13 @@ type Update struct {
 	Deps vclock.Matrix
 }
 
-// encodedSize models the wire size of an update for the latency model:
-// header, location, value, and dependency metadata (vector timestamp under
-// full broadcast, chain pointer plus matrix row(s) under scoped placement).
+// encodedSize models the wire size of an update for the latency model,
+// mirroring updateCodec's layout byte for byte: From, Seq, Op, the
+// length-prefixed location, Value, the length-prefixed timestamp, the u32
+// depsN prefix the codec always writes (even when zero), and — for
+// scoped-causal updates — the chain pointer and matrix.
 func (u Update) encodedSize() int {
-	s := 16 + len(u.Loc) + 8 + u.TS.EncodedSize()
+	s := 4 + 8 + 1 + (4 + len(u.Loc)) + 8 + (4 + u.TS.EncodedSize()) + 4
 	if u.Deps != nil {
 		s += 8 + u.Deps.EncodedSize()
 	}
@@ -168,6 +170,12 @@ type Stats struct {
 	// Blocked is the total time spent waiting in Await, WaitReceived,
 	// WaitCausalApplied, and invalidation stalls.
 	Blocked time.Duration
+	// MalformedUpdates counts received scoped-causal updates whose
+	// dependency matrix did not match the system size — a misconfigured or
+	// corrupt peer. Such updates reach the PRAM view only; they are counted
+	// as causally settled so counting primitives cannot stall on them, and
+	// this counter is the diagnostic that it happened.
+	MalformedUpdates uint64
 }
 
 // Node is one process's replica of the shared memory.
@@ -251,6 +259,12 @@ type Node struct {
 	// time; causal applies merge the sender's shipped snapshot. Row p is
 	// the wait condition shipped to destination p.
 	addr vclock.Matrix
+	// addrEpoch counts remote matrix merges absorbed into addr. The outbox
+	// compares it against each pending causal batch's snapshot epoch: a
+	// batch whose Deps predate a merge must flush before covering another
+	// write, or the newer snapshot could name an update that itself waits
+	// on a write parked in the batch (see enqueueLocked).
+	addrEpoch uint64
 	// prevBuf is a per-write scratch buffer holding each causal
 	// destination's chain predecessor (addr[j][id] before the bump), so a
 	// write can bump the whole matrix before snapshotting it without
@@ -401,7 +415,14 @@ func (n *Node) applyRemote(u Update) {
 			break
 		}
 		if u.Deps.Len() != n.n {
-			break // malformed dependency matrix; leave to the PRAM view only
+			// Malformed dependency matrix: a misconfigured or corrupt peer.
+			// The update stays out of the causal view (and out of pramLast,
+			// so no observation fence can wait on it), but it must not
+			// silently stall the counting primitives — count it as causally
+			// settled, like the elided path, and record the fault.
+			n.causalRecvd[u.From]++
+			n.stats.MalformedUpdates++
+			break
 		}
 		n.pramLast[u.Loc] = invalidation{from: u.From, seq: u.Seq}
 		n.pending = append(n.pending, deliveryGroup{
@@ -437,13 +458,18 @@ func (n *Node) applyBatch(b UpdateBatch) {
 	defer n.mu.Unlock()
 	// Scoped batches are kind-segregated at the sender: a batch with no
 	// dependency matrix is entirely timestamp-elided and stays out of the
-	// causal view, exactly like a singleton elided update.
+	// causal view, exactly like a singleton elided update. A batch whose
+	// matrix has the wrong dimension (misconfigured or corrupt peer) is
+	// handled like the elided case — PRAM view only, no fence anchor, but
+	// counted as causally settled so no counting primitive stalls on it —
+	// with the fault recorded in Stats.
 	elided := n.pramOnly || (n.scopedCausal && b.Deps == nil)
+	malformed := n.scopedCausal && b.Deps != nil && b.Deps.Len() != n.n
 	var maxSeq uint64
 	var maxTS vclock.VC
 	for _, u := range b.Updates {
 		n.applyTo(n.pram, u)
-		if !elided || n.pramOnly {
+		if n.pramOnly || (!elided && !malformed) {
 			n.pramLast[u.Loc] = invalidation{from: b.From, seq: u.Seq}
 		}
 		if u.Seq > maxSeq {
@@ -457,10 +483,10 @@ func (n *Node) applyBatch(b UpdateBatch) {
 	case n.pramOnly:
 	case elided:
 		n.causalRecvd[b.From] += b.Count
+	case malformed:
+		n.causalRecvd[b.From] += b.Count
+		n.stats.MalformedUpdates += b.Count
 	case n.scopedCausal:
-		if b.Deps.Len() != n.n {
-			break
-		}
 		n.pending = append(n.pending, deliveryGroup{
 			from:     b.From,
 			firstSeq: b.FirstSeq,
@@ -506,9 +532,12 @@ func (n *Node) drainCausalLocked() {
 				if g.deps != nil {
 					// Scoped-causal: advance the sender's chain to the
 					// group's last addressed sequence number and absorb the
-					// shipped dependency knowledge.
+					// shipped dependency knowledge. The epoch bump tells the
+					// outbox that pending causal batches now predate part of
+					// the matrix.
 					n.causalApplied.Set(g.from, g.lastSeq)
 					n.addr.Merge(g.deps)
+					n.addrEpoch++
 				} else {
 					n.causalApplied.Merge(g.ts)
 				}
@@ -600,7 +629,7 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 				continue
 			}
 			n.sent[j]++
-			if n.enqueueLocked(j, u, false) {
+			if n.enqueueLocked(j, u, false, nil) {
 				n.flushDestLocked(j)
 			}
 		}
@@ -626,7 +655,10 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 // not name) a copy to every peer. Causal copies carry the per-destination
 // chain pointer and a snapshot of the address matrix taken after this
 // write's bumps, so a destination that relays the value onward ships a
-// matrix that already covers this update at every other destination.
+// matrix that already covers this update at every other destination. The
+// snapshot is taken here, under the same lock hold as the bumps, for both
+// the immediate sends and the outbox path: a batch must ship dependencies
+// its covered writes were written under, never ones absorbed later.
 func (n *Node) sendScopedLocked(u Update) {
 	ent, ok := n.scopeTargets[u.Loc]
 	if !ok {
@@ -635,7 +667,7 @@ func (n *Node) sendScopedLocked(u Update) {
 	for _, j := range ent.elided {
 		n.sent[j]++
 		if n.batch.Enabled {
-			if n.enqueueLocked(j, u, false) {
+			if n.enqueueLocked(j, u, false, nil) {
 				n.flushDestLocked(j)
 			}
 			continue
@@ -655,21 +687,21 @@ func (n *Node) sendScopedLocked(u Update) {
 		n.prevBuf[j] = n.addr.Get(j, n.id)
 		n.addr.Set(j, n.id, u.Seq)
 	}
+	snap := n.addr.Clone() // shared across destinations; receivers only merge from it
 	if n.batch.Enabled {
 		for _, j := range ent.causal {
 			n.sent[j]++
-			if n.enqueueLocked(j, u, true) {
+			if n.enqueueLocked(j, u, true, snap) {
 				n.flushDestLocked(j)
 			}
 		}
 		return
 	}
-	snap := n.addr.Clone()
 	for _, j := range ent.causal {
 		n.sent[j]++
 		cu := u
 		cu.PrevSeq = n.prevBuf[j]
-		cu.Deps = snap // shared across destinations; receivers only merge from it
+		cu.Deps = snap
 		_ = n.fabric.Send(network.Message{
 			From: n.id, To: j, Kind: KindUpdate,
 			Payload: cu, Size: cu.encodedSize(),
