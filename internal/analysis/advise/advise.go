@@ -1,0 +1,564 @@
+// Package advise is the static counterpart of check.Advise: the paper's
+// compiler check (Section 4) run over source instead of a recorded history.
+// For each constant location it recommends the weakest read label the
+// corollaries justify — LabelPRAM when the phase discipline provably holds
+// (Corollary 2), LabelCausal when the entry discipline provably holds
+// (Corollary 1), LabelNone otherwise.
+//
+// The engine is deliberately much more conservative than the per-function
+// diagnostics of the mixedvet analyzers, because its claims must hold for
+// every execution: the dynamic checker sees one history and flags what
+// happened, while a static PRAM claim asserts that no history violates the
+// phase condition. In particular:
+//
+//   - One write with a non-constant location anywhere in the program voids
+//     every claim (it could target any location); a non-constant read voids
+//     claims for every written location.
+//   - The phase structure must be statically unambiguous: every function
+//     must reach each program point having passed one statically-known
+//     number of barriers (loops containing barriers, or barriers on one arm
+//     of a branch, fail this).
+//   - A PRAM claim for a location requires all of its accesses in a single
+//     function, every write guarded to one constant process role
+//     (`if p.ID() == k`), writes out of loops, write/write and read/write
+//     pairs in distinct phases, and a barrier between the last access and
+//     every function exit (otherwise back-to-back invocations of the
+//     function can place the last access and the next invocation's first
+//     access in the same phase).
+//   - Any call the engine cannot see through (module functions, function
+//     values, the standard library) makes the enclosing function opaque and
+//     voids claims for the locations it accesses.
+//
+// SPMD branch concurrency is why the engine reasons about phases and roles
+// rather than control-flow paths: a write under `case 0:` and a read under
+// `case 1:` share no path, yet execute in the same dynamic phase on
+// different processes.
+package advise
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"mixedmem/internal/analysis/cfg"
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/analysis/lockdiscipline"
+	"mixedmem/internal/analysis/mixedapi"
+	"mixedmem/internal/history"
+)
+
+// LocationAdvice is the static advice for one constant location.
+type LocationAdvice struct {
+	Loc string
+	// Label is the weakest read label justified for every execution:
+	// LabelPRAM < LabelCausal < LabelNone in cost, the reverse in strength.
+	Label     history.Label
+	Rationale string
+}
+
+// Result is the advice for a set of packages analyzed together.
+type Result struct {
+	// Advice holds one entry per constant location, sorted by location.
+	Advice []LocationAdvice
+	// LockOf records the lock association behind each LabelCausal entry —
+	// the lock map a dynamic check.Advise of the same program would need.
+	LockOf map[string]string
+}
+
+// Rank orders labels by strength for never-weaker comparisons: a static
+// label is sound if its rank is >= the rank of the dynamic advice.
+func Rank(l history.Label) int {
+	switch l {
+	case history.LabelPRAM:
+		return 0
+	case history.LabelCausal:
+		return 1
+	}
+	return 2
+}
+
+// ProgramLabel folds per-location advice into a single program-level label,
+// comparable with the program-level check.Advise: the strongest (most
+// conservative) requirement of any location.
+func (r *Result) ProgramLabel() history.Label {
+	out := history.LabelPRAM
+	for _, a := range r.Advice {
+		if Rank(a.Label) > Rank(out) {
+			out = a.Label
+		}
+	}
+	return out
+}
+
+// site is one constant-location access with its static context.
+type site struct {
+	call mixedapi.Call
+	unit int // global unit index
+	// role the access is guarded to; roleKnown false means it runs on
+	// every process.
+	role      int
+	roleKnown bool
+	// phase is the barrier count at the site; phaseOK false means the
+	// access is unreachable or the unit's phase structure is ambiguous.
+	phase   int
+	phaseOK bool
+	// barrierSealed means every path from the access to the unit's exit
+	// crosses a full barrier.
+	barrierSealed bool
+	// inLoop means the access's block lies on a control-flow cycle.
+	inLoop bool
+	// locks is the lock state immediately before the access.
+	locks lockdiscipline.State
+}
+
+// unitFacts is what the engine knows about one function unit.
+type unitFacts struct {
+	thread        bool // a Forall thread body
+	opaque        bool // contains a call the engine cannot see through
+	phaseCoherent bool
+}
+
+// Packages runs the engine over packages loaded together as one program.
+func Packages(pkgs []*framework.Package) *Result {
+	eng := &engine{
+		sites: make(map[string][]site),
+	}
+	for _, pkg := range pkgs {
+		eng.scanPackage(pkg)
+	}
+	return eng.decide()
+}
+
+type engine struct {
+	units          []unitFacts
+	sites          map[string][]site // constant location -> accesses
+	dynamicWrites  bool
+	dynamicReads   bool
+	phasesCoherent bool // true unless some unit's phase structure is ambiguous
+	scanned        bool
+}
+
+func (e *engine) scanPackage(pkg *framework.Package) {
+	if !e.scanned {
+		e.scanned = true
+		e.phasesCoherent = true
+	}
+	pass := &framework.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	threads := mixedapi.ThreadBodies(pkg.Info, pkg.Files)
+	for _, unit := range mixedapi.Units(pkg.Files) {
+		id := len(e.units)
+		facts := unitFacts{
+			thread: threads[unit.Body],
+			opaque: hasOpaqueCalls(pkg.Info, unit.Body),
+		}
+		g := cfg.New(unit.Body)
+		ph := phasesOf(pkg.Info, g)
+		facts.phaseCoherent = ph.coherent
+		if !ph.coherent {
+			e.phasesCoherent = false
+		}
+		roles := mixedapi.RoleGuards(pkg.Info, unit.Body)
+		flow := lockdiscipline.Analyze(pass, unit)
+		sealed := sealedSites(pkg.Info, g)
+		loops := cycleBlocks(g)
+
+		for _, blk := range g.Blocks {
+			phase, reached := ph.in[blk], ph.reached[blk]
+			for _, node := range blk.Stmts {
+				for _, c := range mixedapi.CallsIn(pkg.Info, node) {
+					switch {
+					case c.Op == mixedapi.OpBarrier:
+						phase++
+						continue
+					case c.Op == mixedapi.OpWrite && !c.Const:
+						e.dynamicWrites = true
+						continue
+					case c.Op.IsRead() && !c.Const:
+						e.dynamicReads = true
+						continue
+					case (c.Op == mixedapi.OpWrite || c.Op.IsRead()) && c.Const:
+					default:
+						continue
+					}
+					role, roleKnown := roles[c.Expr]
+					e.sites[c.Name] = append(e.sites[c.Name], site{
+						call:          c,
+						unit:          id,
+						role:          role,
+						roleKnown:     roleKnown,
+						phase:         phase,
+						phaseOK:       reached && ph.coherent,
+						barrierSealed: sealed[c.Expr],
+						inLoop:        loops[blk],
+						locks:         flow.At(c.Expr),
+					})
+				}
+			}
+		}
+		e.units = append(e.units, facts)
+	}
+}
+
+func (e *engine) decide() *Result {
+	res := &Result{LockOf: make(map[string]string)}
+	locs := make([]string, 0, len(e.sites))
+	for loc := range e.sites {
+		locs = append(locs, loc)
+	}
+	sort.Strings(locs)
+	for _, loc := range locs {
+		res.Advice = append(res.Advice, e.adviseLoc(loc, res.LockOf))
+	}
+	return res
+}
+
+func (e *engine) adviseLoc(loc string, lockOf map[string]string) LocationAdvice {
+	sites := e.sites[loc]
+	var writes, reads []site
+	for _, s := range sites {
+		if s.call.Op == mixedapi.OpWrite {
+			writes = append(writes, s)
+		} else {
+			reads = append(reads, s)
+		}
+	}
+	if e.dynamicWrites {
+		return LocationAdvice{loc, history.LabelNone,
+			"a write with a non-constant location elsewhere in the program could target this location in any phase"}
+	}
+	if reason := e.pramReason(loc, writes, reads); reason == "" {
+		return LocationAdvice{loc, history.LabelPRAM,
+			"phase discipline holds on every execution: Corollary 2 permits PRAM reads"}
+	} else if lock, ok := e.entryHolds(writes, reads); ok {
+		lockOf[loc] = lock
+		return LocationAdvice{loc, history.LabelCausal, fmt.Sprintf(
+			"entry discipline holds under lock %q: Corollary 1 permits causal reads (PRAM rejected: %s)",
+			lock, reason)}
+	} else {
+		return LocationAdvice{loc, history.LabelNone, fmt.Sprintf(
+			"neither corollary provable (PRAM rejected: %s)", reason)}
+	}
+}
+
+// pramReason checks the static phase discipline for one location; it
+// returns "" when PRAM reads are justified for every execution.
+func (e *engine) pramReason(loc string, writes, reads []site) string {
+	if len(writes) == 0 {
+		// Never written (counter increments are not writes): reads alone
+		// cannot violate the phase condition, but the program's phase
+		// structure must still be well defined for Corollary 2 to speak.
+		if e.dynamicReads {
+			return "" // a dynamic-location read of a never-written location is still just a read
+		}
+		if !e.phasesCoherent {
+			return "the program's barrier structure is statically ambiguous"
+		}
+		return ""
+	}
+	if e.dynamicReads {
+		return "a read with a non-constant location elsewhere in the program could read this location in a write phase"
+	}
+	if !e.phasesCoherent {
+		return "the program's barrier structure is statically ambiguous"
+	}
+	unit := writes[0].unit
+	all := append(append([]site(nil), writes...), reads...)
+	for _, s := range all {
+		if s.unit != unit {
+			return "accesses span multiple functions, so their phases cannot be compared"
+		}
+		if !s.phaseOK {
+			return "an access's barrier phase is statically unknown"
+		}
+		if !s.barrierSealed {
+			return "an access can reach a function exit without an intervening barrier, so repeated invocations may share a phase"
+		}
+	}
+	if e.units[unit].thread {
+		return "the accesses run on Forall thread strands, outside the barrier phase structure"
+	}
+	if e.units[unit].opaque {
+		return "the function calls code the engine cannot see through"
+	}
+	for i, w := range writes {
+		if !w.roleKnown {
+			return fmt.Sprintf("a write of %q is not guarded to a single process role, so every process writes it in that phase", loc)
+		}
+		if w.inLoop {
+			return fmt.Sprintf("a write of %q sits in a loop and can repeat within one phase", loc)
+		}
+		for _, w2 := range writes[i+1:] {
+			if w.phase == w2.phase {
+				return fmt.Sprintf("%q is written twice in phase %d", loc, w.phase)
+			}
+		}
+		for _, r := range reads {
+			if w.phase == r.phase {
+				return fmt.Sprintf("%q is both read and written in phase %d", loc, w.phase)
+			}
+		}
+	}
+	return ""
+}
+
+// entryHolds checks the static entry discipline: every write under the
+// write lock of one common lock, every read under that lock in some mode,
+// in units the engine can fully see.
+func (e *engine) entryHolds(writes, reads []site) (string, bool) {
+	if len(writes) == 0 && len(reads) == 0 {
+		return "", false
+	}
+	if e.dynamicReads {
+		// A dynamic-location read could read this location without its lock.
+		return "", false
+	}
+	var lock string
+	for i, w := range writes {
+		if e.units[w.unit].opaque {
+			return "", false // an unseen callee could release the lock
+		}
+		held := writeHeldLocks(w.locks)
+		if len(held) != 1 {
+			return "", false
+		}
+		if i == 0 {
+			lock = held[0]
+		} else if held[0] != lock {
+			return "", false
+		}
+	}
+	if lock == "" {
+		return "", false
+	}
+	for _, r := range reads {
+		if e.units[r.unit].opaque {
+			return "", false
+		}
+		switch r.locks[lock] {
+		case lockdiscipline.ReadHeld, lockdiscipline.WriteHeld:
+		default:
+			return "", false
+		}
+	}
+	return lock, true
+}
+
+func writeHeldLocks(s lockdiscipline.State) []string {
+	var out []string
+	for name, mode := range s {
+		if mode == lockdiscipline.WriteHeld {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// phaseFlow is the singleton barrier-count dataflow of one unit.
+type phaseFlow struct {
+	in       map[*cfg.Block]int
+	reached  map[*cfg.Block]bool
+	coherent bool
+}
+
+func phasesOf(info *types.Info, g *cfg.Graph) *phaseFlow {
+	ph := &phaseFlow{
+		in:       make(map[*cfg.Block]int),
+		reached:  make(map[*cfg.Block]bool),
+		coherent: true,
+	}
+	ph.reached[g.Entry] = true
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 && ph.coherent {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := ph.in[blk] + barrierCount(info, blk)
+		for _, succ := range blk.Succs {
+			if !ph.reached[succ] {
+				ph.reached[succ] = true
+				ph.in[succ] = out
+				work = append(work, succ)
+			} else if ph.in[succ] != out {
+				// Two paths disagree on the barrier count: a loop over a
+				// barrier, or a barrier on one arm of a branch. The phase
+				// structure is then not a static quantity.
+				ph.coherent = false
+			}
+		}
+	}
+	return ph
+}
+
+func barrierCount(info *types.Info, blk *cfg.Block) int {
+	n := 0
+	for _, node := range blk.Stmts {
+		for _, c := range mixedapi.CallsIn(info, node) {
+			if c.Op == mixedapi.OpBarrier {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// sealedSites computes, per recognized operation, whether every path from
+// it to the unit exit crosses a full barrier.
+func sealedSites(info *types.Info, g *cfg.Graph) map[*ast.CallExpr]bool {
+	// escapes[b]: control can get from the start of b to the exit without
+	// passing a barrier.
+	escapes := make(map[*cfg.Block]bool)
+	hasBarrier := make(map[*cfg.Block]bool)
+	for _, blk := range g.Blocks {
+		hasBarrier[blk] = barrierCount(info, blk) > 0
+	}
+	escapes[g.Exit] = true
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.Blocks {
+			if escapes[blk] || hasBarrier[blk] {
+				continue
+			}
+			for _, succ := range blk.Succs {
+				if escapes[succ] {
+					escapes[blk] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	out := make(map[*ast.CallExpr]bool)
+	for _, blk := range g.Blocks {
+		// Walk the block backwards: a site is sealed if a barrier follows it
+		// within the block, or no barrier-free escape exists from here on.
+		var calls []mixedapi.Call
+		for _, node := range blk.Stmts {
+			calls = append(calls, mixedapi.CallsIn(info, node)...)
+		}
+		suffixEscapes := false
+		for _, succ := range blk.Succs {
+			if escapes[succ] {
+				suffixEscapes = true
+				break
+			}
+		}
+		if len(blk.Succs) == 0 && blk != g.Exit {
+			// A dead-end block (unreachable continuation): conservatively
+			// treat as escaping.
+			suffixEscapes = true
+		}
+		for i := len(calls) - 1; i >= 0; i-- {
+			c := calls[i]
+			if c.Op == mixedapi.OpBarrier {
+				suffixEscapes = false
+				continue
+			}
+			out[c.Expr] = !suffixEscapes
+		}
+	}
+	return out
+}
+
+// cycleBlocks marks blocks that lie on a control-flow cycle.
+func cycleBlocks(g *cfg.Graph) map[*cfg.Block]bool {
+	// reach[b] = blocks reachable from b.
+	reach := make(map[*cfg.Block]map[*cfg.Block]bool)
+	var visit func(from *cfg.Block) map[*cfg.Block]bool
+	visit = func(from *cfg.Block) map[*cfg.Block]bool {
+		if r, ok := reach[from]; ok {
+			return r
+		}
+		r := make(map[*cfg.Block]bool)
+		reach[from] = r // breaks recursion on cycles (partial sets converge below)
+		for _, s := range from.Succs {
+			r[s] = true
+			for b := range visit(s) {
+				r[b] = true
+			}
+		}
+		return r
+	}
+	// Two rounds: the first may see partial sets through back edges, the
+	// second reads the completed first-round sets.
+	for _, blk := range g.Blocks {
+		visit(blk)
+	}
+	reach2 := make(map[*cfg.Block]map[*cfg.Block]bool)
+	for _, blk := range g.Blocks {
+		r := make(map[*cfg.Block]bool)
+		for _, s := range blk.Succs {
+			r[s] = true
+			for b := range reach[s] {
+				r[b] = true
+			}
+		}
+		reach2[blk] = r
+	}
+	out := make(map[*cfg.Block]bool)
+	for _, blk := range g.Blocks {
+		if reach2[blk][blk] {
+			out[blk] = true
+		}
+	}
+	return out
+}
+
+// hasOpaqueCalls reports whether the body contains a call the engine cannot
+// model: anything but recognized operations, other core-package functions,
+// type conversions, and builtins.
+func hasOpaqueCalls(info *types.Info, body *ast.BlockStmt) bool {
+	opaque := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false // separate unit
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := mixedapi.Classify(info, call); ok {
+			return true
+		}
+		if isTransparentCall(info, call) {
+			return true
+		}
+		opaque = true
+		return true
+	})
+	return opaque
+}
+
+func isTransparentCall(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true // conversion
+	}
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return false
+	}
+	switch obj := obj.(type) {
+	case *types.Builtin:
+		return true
+	case *types.Func:
+		// Unclassified core functions (ID, N, Forall, stats accessors) do
+		// not touch tracked memory or the phase/lock structure directly.
+		return obj.Pkg() != nil && isCore(obj.Pkg().Path())
+	}
+	return false
+}
+
+func isCore(path string) bool {
+	return len(path) >= len(mixedapi.CorePathSuffix) &&
+		path[len(path)-len(mixedapi.CorePathSuffix):] == mixedapi.CorePathSuffix
+}

@@ -1,0 +1,82 @@
+package advise_test
+
+import (
+	"testing"
+
+	"mixedmem/internal/analysis/advise"
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/history"
+)
+
+func adviceOf(t *testing.T, dir string) *advise.Result {
+	t.Helper()
+	pkg, err := framework.LoadDir(dir, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	return advise.Packages([]*framework.Package{pkg})
+}
+
+func labels(res *advise.Result) map[string]history.Label {
+	out := make(map[string]history.Label)
+	for _, a := range res.Advice {
+		out[a.Loc] = a.Label
+	}
+	return out
+}
+
+func TestAdviseBasic(t *testing.T) {
+	res := adviceOf(t, "../testdata/src/advise")
+	got := labels(res)
+	want := map[string]history.Label{
+		"x":   history.LabelPRAM,   // phase-disciplined pipeline
+		"tab": history.LabelCausal, // entry-disciplined under "m"
+		"y":   history.LabelNone,   // written twice in one phase
+		"ro":  history.LabelPRAM,   // read-only
+		"n":   history.LabelPRAM,   // counter increments are not writes
+		"tv":  history.LabelNone,   // Forall thread strands
+	}
+	if len(got) != len(want) {
+		t.Errorf("advice covers %d locations, want %d: %v", len(got), len(want), got)
+	}
+	for loc, lbl := range want {
+		if got[loc] != lbl {
+			t.Errorf("advice for %q = %v, want %v", loc, got[loc], lbl)
+		}
+	}
+	if res.LockOf["tab"] != "m" {
+		t.Errorf("LockOf[tab] = %q, want %q", res.LockOf["tab"], "m")
+	}
+	if len(res.LockOf) != 1 {
+		t.Errorf("LockOf = %v, want only tab", res.LockOf)
+	}
+	if pl := res.ProgramLabel(); pl != history.LabelNone {
+		t.Errorf("ProgramLabel = %v, want LabelNone (weakest location wins)", pl)
+	}
+	for _, a := range res.Advice {
+		if a.Rationale == "" {
+			t.Errorf("advice for %q has no rationale", a.Loc)
+		}
+	}
+}
+
+func TestAdvisePoison(t *testing.T) {
+	res := adviceOf(t, "../testdata/src/advise_poison")
+	for _, a := range res.Advice {
+		if a.Label != history.LabelNone {
+			t.Errorf("advice for %q = %v, want LabelNone: a dynamic-location write poisons every claim", a.Loc, a.Label)
+		}
+	}
+	got := labels(res)
+	if _, ok := got["z"]; !ok {
+		t.Fatalf("no advice for z: %v", got)
+	}
+}
+
+func TestRank(t *testing.T) {
+	if !(advise.Rank(history.LabelPRAM) < advise.Rank(history.LabelCausal) &&
+		advise.Rank(history.LabelCausal) < advise.Rank(history.LabelNone)) {
+		t.Errorf("Rank does not order PRAM < Causal < None: %d %d %d",
+			advise.Rank(history.LabelPRAM), advise.Rank(history.LabelCausal), advise.Rank(history.LabelNone))
+	}
+}

@@ -1,0 +1,106 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against expectations written in the fixture source, in
+// the style of golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	// want "regexp" "another regexp"
+//
+// on a line means the analyzer must report diagnostics on that line, one
+// matching each regexp; lines without a want comment must stay silent.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"mixedmem/internal/analysis/framework"
+)
+
+// Run loads pkgdir as a package, applies the analyzer, and reports every
+// mismatch between its diagnostics and the fixture's want comments. It
+// returns the analyzer's result value for fact-based tests.
+func Run(t *testing.T, a *framework.Analyzer, pkgdir string) any {
+	t.Helper()
+	pkg, err := framework.LoadDir(pkgdir, pkgdir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgdir, err)
+	}
+	got, err := framework.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgdir, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range got.Diagnostics {
+		pos := pkg.Fset.Position(d.Pos)
+		key := line{pos.Filename, pos.Line}
+		if !wants.claim(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, w := range res {
+			if !w.claimed {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+	return got.Result
+}
+
+type line struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	claimed bool
+}
+
+type wantSet map[line][]*want
+
+// claim marks the first unclaimed matching expectation on the line.
+func (ws wantSet) claim(key line, msg string) bool {
+	for _, w := range ws[key] {
+		if !w.claimed && w.re.MatchString(msg) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// quoted matches one expectation pattern: a Go-quoted string or a raw
+// backquoted string (which needs no escaping of the regexp).
+var quoted = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+func collectWants(t *testing.T, pkg *framework.Package) wantSet {
+	t.Helper()
+	ws := make(wantSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := line{pos.Filename, pos.Line}
+				for _, q := range quoted.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					ws[key] = append(ws[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return ws
+}

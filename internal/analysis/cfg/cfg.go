@@ -1,0 +1,362 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies — the minimal subset of golang.org/x/tools/go/cfg the
+// mixedvet analyzers need. Blocks hold statements in execution order;
+// control statements (if/for/range/switch/select) contribute their
+// initializers and condition expressions to the block that evaluates them
+// and fan out through successor edges. Function literals nested in a body
+// are opaque: their statements belong to their own graph, never the
+// enclosing function's.
+package cfg
+
+import "go/ast"
+
+// Block is one basic block: statements that execute sequentially, then a
+// transfer of control to one of Succs.
+type Block struct {
+	// Stmts are the statements (and, for control headers, condition
+	// expressions wrapped in ast.ExprStmt-free form via Nodes) executed in
+	// order.
+	Stmts []ast.Node
+	Succs []*Block
+	// Return is set when the block ends with a return statement; Exit edges
+	// from returns join the function exit block.
+	Return *ast.ReturnStmt
+	index  int
+}
+
+// Graph is a function body's control-flow graph.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+type builder struct {
+	g *Graph
+	// breakTo / continueTo are the current targets of unlabeled break and
+	// continue.
+	breakTo    *Block
+	continueTo *Block
+	// labels maps a label name to its loop/switch targets.
+	labels map[string]*labelTargets
+	// gotos are resolved after the walk: a goto jumps to its label's entry.
+	gotos      []pendingGoto
+	labelEntry map[string]*Block
+}
+
+type labelTargets struct {
+	brk  *Block
+	cont *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// New builds the graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{
+		g:          g,
+		labels:     make(map[string]*labelTargets),
+		labelEntry: make(map[string]*Block),
+	}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	last := b.stmts(g.Entry, body.List)
+	b.edge(last, g.Exit)
+	for _, pg := range b.gotos {
+		if target, ok := b.labelEntry[pg.label]; ok {
+			b.edge(pg.from, target)
+		} else {
+			// Unresolvable goto (label outside the analyzed subset):
+			// conservatively fall through to exit.
+			b.edge(pg.from, g.Exit)
+		}
+	}
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through cur, returning the block control
+// falls out of (nil when the list cannot complete normally).
+func (b *builder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+		if cur == nil {
+			// Unreachable continuation (after return/break/...): park the
+			// remaining statements in a fresh block with no predecessors so
+			// analyzers still see them.
+			cur = b.newBlock()
+		}
+	}
+	return cur
+}
+
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		cur.Stmts = append(cur.Stmts, s.Cond)
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then)
+		b.edge(b.stmt(then, s.Body), join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			b.edge(b.stmt(els, s.Else), join)
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Stmts = append(head.Stmts, s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Stmts = append(post.Stmts, s.Post)
+			b.edge(post, head)
+		}
+		end := b.loopBody(body, s.Body.List, after, post)
+		b.edge(end, post)
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		// Only the range expression evaluates at the head; the body has its
+		// own blocks.
+		head.Stmts = append(head.Stmts, s.X)
+		b.edge(cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		end := b.loopBody(body, s.Body.List, after, head)
+		b.edge(end, head)
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var tag ast.Node
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, tag = sw.Init, sw.Tag
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init, tag = sw.Init, sw.Assign
+			clauses = sw.Body.List
+		}
+		if init != nil {
+			cur.Stmts = append(cur.Stmts, init)
+		}
+		if tag != nil {
+			cur.Stmts = append(cur.Stmts, tag)
+		}
+		join := b.newBlock()
+		savedBreak := b.breakTo
+		b.breakTo = join
+		hasDefault := false
+		var caseBlocks []*Block
+		var caseBodies [][]ast.Stmt
+		for _, c := range clauses {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			for _, e := range cc.List {
+				blk.Stmts = append(blk.Stmts, e)
+			}
+			b.edge(cur, blk)
+			caseBlocks = append(caseBlocks, blk)
+			caseBodies = append(caseBodies, cc.Body)
+		}
+		for i, blk := range caseBlocks {
+			end := b.stmtsWithFallthrough(blk, caseBodies[i], caseBlocks, i)
+			b.edge(end, join)
+		}
+		if !hasDefault {
+			b.edge(cur, join)
+		}
+		b.breakTo = savedBreak
+		return join
+
+	case *ast.SelectStmt:
+		join := b.newBlock()
+		savedBreak := b.breakTo
+		b.breakTo = join
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			if cc.Comm != nil {
+				blk.Stmts = append(blk.Stmts, cc.Comm)
+			}
+			b.edge(cur, blk)
+			b.edge(b.stmts(blk, cc.Body), join)
+		}
+		b.breakTo = savedBreak
+		if len(s.Body.List) == 0 {
+			return nil // empty select blocks forever
+		}
+		return join
+
+	case *ast.LabeledStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		b.labelEntry[s.Label.Name] = head
+		after := b.newBlock()
+		b.labels[s.Label.Name] = &labelTargets{brk: after}
+		end := b.labeledStmt(head, s.Label.Name, s.Stmt)
+		b.edge(end, after)
+		return after
+
+	case *ast.BranchStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		switch s.Tok.String() {
+		case "break":
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					b.edge(cur, t.brk)
+				}
+			} else {
+				b.edge(cur, b.breakTo)
+			}
+			return nil
+		case "continue":
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok && t.cont != nil {
+					b.edge(cur, t.cont)
+				}
+			} else {
+				b.edge(cur, b.continueTo)
+			}
+			return nil
+		case "goto":
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: s.Label.Name})
+			return nil
+		case "fallthrough":
+			// Handled by stmtsWithFallthrough; standalone occurrence ends
+			// the block.
+			return nil
+		}
+		return cur
+
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		cur.Return = s
+		b.edge(cur, b.g.Exit)
+		return nil
+
+	default:
+		// Plain statements, including defer/go (whose call expressions are
+		// part of this block's evaluation) and expression statements.
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+// loopBody runs a loop body with break/continue targets bound.
+func (b *builder) loopBody(body *Block, list []ast.Stmt, brk, cont *Block) *Block {
+	savedBreak, savedCont := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = brk, cont
+	end := b.stmts(body, list)
+	b.breakTo, b.continueTo = savedBreak, savedCont
+	return end
+}
+
+// labeledStmt runs the statement under a label, binding the label's continue
+// target when the statement is a loop.
+func (b *builder) labeledStmt(cur *Block, label string, s ast.Stmt) *Block {
+	t := b.labels[label]
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Stmts = append(head.Stmts, s.Cond)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, t.brk)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Stmts = append(post.Stmts, s.Post)
+			b.edge(post, head)
+		}
+		t.cont = post
+		end := b.loopBody(body, s.Body.List, t.brk, post)
+		b.edge(end, post)
+		return nil // loop exit goes straight to t.brk (the after block)
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.Stmts = append(head.Stmts, s.X)
+		b.edge(cur, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, t.brk)
+		t.cont = head
+		end := b.loopBody(body, s.Body.List, t.brk, head)
+		b.edge(end, head)
+		return nil
+	default:
+		return b.stmt(cur, s)
+	}
+}
+
+// stmtsWithFallthrough handles a switch case body whose final statement may
+// be a fallthrough into the next case's body.
+func (b *builder) stmtsWithFallthrough(cur *Block, list []ast.Stmt, cases []*Block, i int) *Block {
+	if n := len(list); n > 0 {
+		if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && i+1 < len(cases) {
+			end := b.stmts(cur, list[:n-1])
+			b.edge(end, cases[i+1])
+			return nil
+		}
+	}
+	return b.stmts(cur, list)
+}

@@ -1,0 +1,16 @@
+// Package causalprog is an entry-disciplined program: a shared counter
+// accessed only inside "m" critical sections. The phase discipline fails
+// (every process writes in the same phase), but both the static engine and
+// the dynamic checker should fall back to causal reads (Corollary 1).
+package causalprog
+
+import "mixedmem/internal/core"
+
+// Program increments "tab" under the write lock. Values stay distinct
+// because the increments are mutually exclusive.
+func Program(p *core.Proc) {
+	p.WLock("m")
+	v := p.ReadCausal("tab")
+	p.Write("tab", v+1)
+	p.WUnlock("m")
+}

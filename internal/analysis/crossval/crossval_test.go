@@ -1,0 +1,107 @@
+package crossval
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mixedmem/internal/analysis/advise"
+	"mixedmem/internal/analysis/crossval/causalprog"
+	"mixedmem/internal/analysis/crossval/noneprog"
+	"mixedmem/internal/analysis/crossval/pramprog"
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/check"
+	"mixedmem/internal/core"
+	"mixedmem/internal/history"
+)
+
+// staticAdvice runs the advice engine over one program package's source.
+func staticAdvice(t *testing.T, dir string) *advise.Result {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := framework.LoadDir(abs, abs)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	return advise.Packages([]*framework.Package{pkg})
+}
+
+// dynamicAdvice records one execution of the program and runs the paper's
+// compiler check on the history, using the statically derived lock map.
+func dynamicAdvice(t *testing.T, prog func(p *core.Proc), locks map[string]string) check.Advice {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{Procs: 3, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Run(prog)
+	return check.Advise(sys.History(), locks)
+}
+
+// TestStaticMatchesDynamic runs each cross-validation program both ways and
+// requires agreement: the same source, judged from its syntax and from a
+// recorded execution, gets the same label. The static lock association
+// feeds the dynamic entry check, closing the loop mixedvet -advise promises.
+func TestStaticMatchesDynamic(t *testing.T) {
+	cases := []struct {
+		dir  string
+		prog func(p *core.Proc)
+		want history.Label
+	}{
+		{"pramprog", pramprog.Program, history.LabelPRAM},
+		{"causalprog", causalprog.Program, history.LabelCausal},
+		{"noneprog", noneprog.Program, history.LabelNone},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			static := staticAdvice(t, tc.dir)
+			if got := static.ProgramLabel(); got != tc.want {
+				t.Errorf("static label = %v, want %v\nadvice: %+v", got, tc.want, static.Advice)
+			}
+			dyn := dynamicAdvice(t, tc.prog, static.LockOf)
+			if dyn.Label != tc.want {
+				t.Errorf("dynamic label = %v, want %v (rationale: %s)", dyn.Label, tc.want, dyn.Rationale)
+			}
+			if advise.Rank(static.ProgramLabel()) < advise.Rank(dyn.Label) {
+				t.Errorf("static advice %v is weaker than dynamic %v: the static engine is unsound",
+					static.ProgramLabel(), dyn.Label)
+			}
+		})
+	}
+}
+
+// TestStaticNeverWeakerOnExamples checks the soundness direction over the
+// repo's five example programs. All of them write through computed location
+// names (per-process slots, matrix rows), which a static engine cannot
+// attribute to a location, so the only sound static answer is LabelNone for
+// every location — which by construction is never weaker than whatever a
+// recorded execution would justify.
+func TestStaticNeverWeakerOnExamples(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cholesky", "emfield", "linsolve", "pipeline", "quickstart"} {
+		t.Run(name, func(t *testing.T) {
+			// The examples delegate their memory accesses to internal/apps,
+			// so the program the engine judges is the pair of packages.
+			pkgs, err := framework.Load(root, []string{"./examples/" + name, "./internal/apps"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := advise.Packages(pkgs)
+			if len(res.Advice) == 0 {
+				t.Fatalf("no locations found in examples/%s", name)
+			}
+			for _, a := range res.Advice {
+				if a.Label != history.LabelNone {
+					t.Errorf("static advice for %q in examples/%s = %v; dynamic-location writes make any claim unsound",
+						a.Loc, name, a.Label)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,6 @@
+// Package crossval cross-validates the static advice engine against the
+// dynamic checker: the subpackages hold small programs whose source is
+// analyzed by internal/analysis/advise and whose executions are recorded
+// and judged by internal/check, and the test asserts the two agree — and
+// that the static answer is never weaker than the dynamic one.
+package crossval

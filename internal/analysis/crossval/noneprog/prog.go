@@ -1,0 +1,17 @@
+// Package noneprog violates both disciplines: a location written twice in
+// one barrier phase, with no locks anywhere. Neither corollary applies —
+// statically or dynamically.
+package noneprog
+
+import "mixedmem/internal/core"
+
+// Program double-writes "c" in phase 0 and reads it after the barrier.
+func Program(p *core.Proc) {
+	if p.ID() == 0 {
+		p.Write("c", 11)
+		p.Write("c", 12)
+	}
+	p.Barrier()
+	_ = p.ReadPRAM("c")
+	p.Barrier()
+}

@@ -1,0 +1,23 @@
+// Package pramprog is a phase-disciplined program: single role-guarded
+// writers, barrier-separated reads. Both the static engine and the dynamic
+// checker should conclude PRAM reads suffice (Corollary 2).
+package pramprog
+
+import "mixedmem/internal/core"
+
+// Program is the Figure 2 shape on two locations. Recorded executions keep
+// every written value distinct, as the checker's reads-from recovery needs.
+func Program(p *core.Proc) {
+	if p.ID() == 0 {
+		p.Write("x", 41)
+	}
+	p.Barrier()
+	_ = p.ReadPRAM("x")
+	p.Barrier()
+	if p.ID() == 1 {
+		p.Write("y", 7)
+	}
+	p.Barrier()
+	_ = p.ReadPRAM("y")
+	p.Barrier()
+}

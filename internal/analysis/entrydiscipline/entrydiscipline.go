@@ -1,0 +1,104 @@
+// Package entrydiscipline checks Corollary 3's program class: a location
+// that the package elsewhere accesses under a lock is associated with that
+// lock, and every ordinary write to an associated location must then happen
+// inside a write-lock critical section of it — otherwise the program is not
+// entry-consistent and the corollary's guarantee for PRAM reads of lock-
+// protected data evaporates.
+//
+// Association is computed package-wide: any recognized access (read, await,
+// or write) to constant location L at a point where constant lock K is held
+// (in any mode) associates L with K. A write to an associated location at a
+// point where its lock is not write-held is flagged. Locations associated
+// with more than one lock are skipped — the discipline is ambiguous and the
+// dynamic checker (check.EntryConsistent) is the arbiter there. Counter
+// operations (Add/AddFloat) are exempt, as in the dynamic checker
+// (Section 5.3).
+package entrydiscipline
+
+import (
+	"sort"
+
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/analysis/lockdiscipline"
+	"mixedmem/internal/analysis/mixedapi"
+)
+
+// Analyzer is the entrydiscipline pass.
+var Analyzer = &framework.Analyzer{
+	Name: "entrydiscipline",
+	Doc:  "flag writes outside a write-lock critical section to locations elsewhere accessed under that lock (Corollary 3)",
+	Run:  run,
+}
+
+// Result records the package's location→lock association for the static
+// advice engine.
+type Result struct {
+	// LockOf maps each constant location to the single lock it is
+	// associated with; locations seen under several locks are absent.
+	LockOf map[string]string
+}
+
+// access is one recognized constant-location operation plus the lock state
+// at its site.
+type access struct {
+	call  mixedapi.Call
+	state lockdiscipline.State
+}
+
+func run(pass *framework.Pass) (any, error) {
+	var accesses []access
+	for _, unit := range mixedapi.Units(pass.Files) {
+		flow := lockdiscipline.Analyze(pass, unit)
+		for _, c := range mixedapi.CallsIn(pass.TypesInfo, unit.Body) {
+			if !c.Const {
+				continue
+			}
+			if c.Op != mixedapi.OpWrite && !c.Op.IsRead() {
+				continue
+			}
+			accesses = append(accesses, access{call: c, state: flow.At(c.Expr)})
+		}
+	}
+
+	// Pass 1: associate locations with the locks held at their accesses.
+	locks := make(map[string]map[string]bool) // loc -> set of lock names
+	for _, a := range accesses {
+		for lock, mode := range a.state {
+			if mode == lockdiscipline.ReadHeld || mode == lockdiscipline.WriteHeld {
+				if locks[a.call.Name] == nil {
+					locks[a.call.Name] = make(map[string]bool)
+				}
+				locks[a.call.Name][lock] = true
+			}
+		}
+	}
+	res := &Result{LockOf: make(map[string]string)}
+	for loc, set := range locks {
+		if len(set) == 1 {
+			for lock := range set {
+				res.LockOf[loc] = lock
+			}
+		}
+	}
+
+	// Pass 2: writes to an associated location need its write lock held.
+	sort.Slice(accesses, func(i, j int) bool { return accesses[i].call.Pos < accesses[j].call.Pos })
+	for _, a := range accesses {
+		if a.call.Op != mixedapi.OpWrite {
+			continue
+		}
+		lock, ok := res.LockOf[a.call.Name]
+		if !ok {
+			continue
+		}
+		switch a.state[lock] {
+		case lockdiscipline.WriteHeld, lockdiscipline.Unknown:
+			// Held, or paths disagree — stay quiet rather than guess.
+		default:
+			pass.Reportf(a.call.Pos,
+				"write to %q outside the %q write-lock critical section: %q is elsewhere accessed under %q, so unprotected writes break entry consistency (Corollary 3)",
+				a.call.Name, lock, a.call.Name, lock)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,28 @@
+package entrydiscipline_test
+
+import (
+	"testing"
+
+	"mixedmem/internal/analysis/analysistest"
+	"mixedmem/internal/analysis/entrydiscipline"
+)
+
+func TestEntryDiscipline(t *testing.T) {
+	res := analysistest.Run(t, entrydiscipline.Analyzer, "../testdata/src/entrydiscipline")
+	facts, ok := res.(*entrydiscipline.Result)
+	if !ok {
+		t.Fatalf("result type = %T, want *entrydiscipline.Result", res)
+	}
+	if got := facts.LockOf["tab"]; got != "tab-lock" {
+		t.Fatalf(`LockOf["tab"] = %q, want "tab-lock"`, got)
+	}
+	if got := facts.LockOf["shared"]; got != "m" {
+		t.Fatalf(`LockOf["shared"] = %q, want "m"`, got)
+	}
+	if lock, ok := facts.LockOf["amb"]; ok {
+		t.Fatalf(`ambiguous location "amb" associated with %q, want no association`, lock)
+	}
+	if lock, ok := facts.LockOf["solo"]; ok {
+		t.Fatalf(`lock-free location "solo" associated with %q, want no association`, lock)
+	}
+}

@@ -1,0 +1,89 @@
+// Package framework is a self-contained reimplementation of the subset of
+// golang.org/x/tools/go/analysis that the mixedvet analyzers need: Analyzer,
+// Pass, and Diagnostic, plus a package loader built on go/parser and
+// go/types. The repo builds hermetically (no module downloads), so the
+// x/tools dependency is vendored in spirit rather than in go.mod — the API
+// mirrors go/analysis closely enough that the analyzers port to the real
+// framework by changing one import.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check over a type-checked package, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the mixedvet
+	// command line.
+	Name string
+	// Doc is the one-paragraph description printed by mixedvet -help.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics go through
+	// pass.Report; the returned value is the analyzer's package-level fact
+	// set, which the driver may aggregate program-wide (labelconsistency
+	// and the -advise engine do).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records one diagnostic. It may be called multiple times with
+	// the same position.
+	Report func(Diagnostic)
+}
+
+// Reportf is the printf-style convenience wrapper around Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// PackageDiagnostics is the outcome of running one analyzer over one package.
+type PackageDiagnostics struct {
+	Analyzer    *Analyzer
+	Package     *Package
+	Diagnostics []Diagnostic
+	// Result is the value Run returned: the analyzer's package-level facts.
+	Result any
+}
+
+// RunAnalyzer applies one analyzer to one loaded package, collecting and
+// position-sorting its diagnostics.
+func RunAnalyzer(a *Analyzer, pkg *Package) (PackageDiagnostics, error) {
+	out := PackageDiagnostics{Analyzer: a, Package: pkg}
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d Diagnostic) {
+			out.Diagnostics = append(out.Diagnostics, d)
+		},
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return out, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	out.Result = res
+	sort.SliceStable(out.Diagnostics, func(i, j int) bool {
+		return out.Diagnostics[i].Pos < out.Diagnostics[j].Pos
+	})
+	return out, nil
+}

@@ -1,0 +1,114 @@
+// Package labelconsistency checks that each constant location is read with
+// one consistency label. The model permits mixing labels per read, but a
+// location read both PRAM and causal usually signals that one of the sites
+// is relying on an ordering guarantee the other has decided is unnecessary —
+// the paper's corollaries justify a label per location (its access
+// discipline), not per read site. Both sites are named so either can be
+// fixed. Dynamic-label reads (core.Process.Read) and dynamic location names
+// are skipped.
+package labelconsistency
+
+import (
+	"go/token"
+	"sort"
+
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/analysis/mixedapi"
+)
+
+// Analyzer is the labelconsistency pass.
+var Analyzer = &framework.Analyzer{
+	Name: "labelconsistency",
+	Doc:  "flag constant locations read with both the PRAM and causal labels",
+	Run:  run,
+}
+
+// Site is one labeled read of a constant location.
+type Site struct {
+	Loc   string
+	PRAM  bool // PRAM-labeled if true, causal-labeled if false
+	Pos   token.Pos
+	Descr string // the method or helper name, for diagnostics
+}
+
+// Result carries every labeled read site out of the package so the driver
+// can repeat the check program-wide, across package boundaries.
+type Result struct {
+	Sites []Site
+}
+
+func run(pass *framework.Pass) (any, error) {
+	res := &Result{Sites: Collect(pass)}
+	for _, pair := range Mixed(res.Sites) {
+		pass.Reportf(pair[0].Pos,
+			"location %q is read with mixed labels: %s here is PRAM-labeled, but %s reads it causally — pick one label per location",
+			pair[0].Loc, pair[0].Descr, pass.Fset.Position(pair[1].Pos))
+		pass.Reportf(pair[1].Pos,
+			"location %q is read with mixed labels: %s here is causal-labeled, but %s reads it PRAM (weaker ordering) — pick one label per location",
+			pair[1].Loc, pair[1].Descr, pass.Fset.Position(pair[0].Pos))
+	}
+	return res, nil
+}
+
+// Collect gathers the labeled read sites of one package.
+func Collect(pass *framework.Pass) []Site {
+	var sites []Site
+	for _, unit := range mixedapi.Units(pass.Files) {
+		for _, c := range mixedapi.CallsIn(pass.TypesInfo, unit.Body) {
+			if !c.Const {
+				continue
+			}
+			var pram bool
+			switch {
+			case c.Op.IsPRAMLabeled():
+				pram = true
+			case c.Op.IsCausalLabeled():
+				pram = false
+			default:
+				continue
+			}
+			sites = append(sites, Site{Loc: c.Name, PRAM: pram, Pos: c.Pos, Descr: opName(c.Op)})
+		}
+	}
+	return sites
+}
+
+// Mixed returns, for each location read with both labels, one representative
+// [PRAM site, causal site] pair (the earliest site of each label).
+func Mixed(sites []Site) [][2]Site {
+	first := make(map[string]map[bool]Site)
+	for _, s := range sites {
+		if first[s.Loc] == nil {
+			first[s.Loc] = make(map[bool]Site)
+		}
+		if prev, ok := first[s.Loc][s.PRAM]; !ok || s.Pos < prev.Pos {
+			first[s.Loc][s.PRAM] = s
+		}
+	}
+	var locs []string
+	for loc, byLabel := range first {
+		if len(byLabel) == 2 {
+			locs = append(locs, loc)
+		}
+	}
+	sort.Strings(locs)
+	var out [][2]Site
+	for _, loc := range locs {
+		out = append(out, [2]Site{first[loc][true], first[loc][false]})
+	}
+	return out
+}
+
+func opName(op mixedapi.Op) string {
+	switch op {
+	case mixedapi.OpReadPRAM:
+		return "ReadPRAM"
+	case mixedapi.OpReadCausal:
+		return "ReadCausal"
+	case mixedapi.OpAwaitCausal:
+		return "Await"
+	case mixedapi.OpAwaitPRAM:
+		return "AwaitPRAM"
+	}
+	return "read"
+}

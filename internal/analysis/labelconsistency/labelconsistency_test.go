@@ -1,0 +1,23 @@
+package labelconsistency_test
+
+import (
+	"testing"
+
+	"mixedmem/internal/analysis/analysistest"
+	"mixedmem/internal/analysis/labelconsistency"
+)
+
+func TestLabelConsistency(t *testing.T) {
+	res := analysistest.Run(t, labelconsistency.Analyzer, "../testdata/src/labelconsistency")
+	facts, ok := res.(*labelconsistency.Result)
+	if !ok {
+		t.Fatalf("result type = %T, want *labelconsistency.Result", res)
+	}
+	mixed := labelconsistency.Mixed(facts.Sites)
+	if len(mixed) != 2 {
+		t.Fatalf("mixed-label locations = %d, want 2 (cfg, gate)", len(mixed))
+	}
+	if mixed[0][0].Loc != "cfg" || mixed[1][0].Loc != "gate" {
+		t.Fatalf("mixed locations = %q, %q, want cfg, gate", mixed[0][0].Loc, mixed[1][0].Loc)
+	}
+}

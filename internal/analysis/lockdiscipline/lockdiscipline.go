@@ -1,0 +1,285 @@
+// Package lockdiscipline checks the pairing of the model's read/write lock
+// operations (Section 3.1.1) per constant lock name, on the control-flow
+// graph of each function: releases must match a held acquire of the same
+// mode, acquires must not stack on an already-held lock, no lock may be
+// held on a path out of the function, and no ordinary write may execute
+// under a read lock (shared access grants no write permission in the entry
+// model; commutative counter operations are exempt, Section 5.3).
+//
+// The analysis is intraprocedural and path-insensitive per lock: states
+// that disagree across merging paths become unknown, which silences
+// diagnostics rather than guessing (a conditional acquire paired with an
+// identically-conditioned release is correct code the analysis cannot
+// prove). Dynamic lock names are not tracked.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"mixedmem/internal/analysis/cfg"
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/analysis/mixedapi"
+)
+
+// Analyzer is the lockdiscipline pass.
+var Analyzer = &framework.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "check WLock/WUnlock and RLock/RUnlock pairing per constant lock name on every control-flow path",
+	Run:  run,
+}
+
+// Mode is a lock's abstract state at a program point.
+type Mode uint8
+
+// Lock states; the zero value means not held.
+const (
+	Unlocked Mode = iota
+	ReadHeld
+	WriteHeld
+	// Unknown means paths disagree; diagnostics are suppressed.
+	Unknown
+)
+
+// State maps constant lock names to modes; absent means Unlocked.
+type State map[string]Mode
+
+func (s State) clone() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s State) equal(o State) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if o[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// merge joins two states: agreeing modes survive, disagreements become
+// Unknown.
+func merge(a, b State) State {
+	out := make(State)
+	for k, v := range a {
+		if b[k] == v {
+			if v != Unlocked {
+				out[k] = v
+			}
+		} else {
+			out[k] = Unknown
+		}
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok && v != Unlocked {
+			out[k] = Unknown
+		}
+	}
+	return out
+}
+
+// apply is the per-operation transfer function, without reporting.
+func apply(s State, c mixedapi.Call) {
+	if !c.Const {
+		return
+	}
+	switch c.Op {
+	case mixedapi.OpRLock:
+		s[c.Name] = ReadHeld
+	case mixedapi.OpWLock:
+		s[c.Name] = WriteHeld
+	case mixedapi.OpRUnlock, mixedapi.OpWUnlock:
+		delete(s, c.Name)
+	}
+}
+
+// Flow is the fixed-point lock-state analysis of one function unit, shared
+// with the static advice engine: At reports the state immediately before
+// each recognized operation.
+type Flow struct {
+	graph  *cfg.Graph
+	in     map[*cfg.Block]State
+	before map[*ast.CallExpr]State
+}
+
+// Analyze runs the dataflow over one unit.
+func Analyze(pass *framework.Pass, unit mixedapi.FuncUnit) *Flow {
+	f := &Flow{
+		graph:  cfg.New(unit.Body),
+		in:     make(map[*cfg.Block]State),
+		before: make(map[*ast.CallExpr]State),
+	}
+	// A missing in-state means unreached (bottom): the first propagation
+	// copies, later ones merge — merging with an implicit "all unlocked"
+	// state would wrongly degrade every held lock to Unknown.
+	f.in[f.graph.Entry] = State{}
+	work := []*cfg.Block{f.graph.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := f.in[blk].clone()
+		for _, node := range blk.Stmts {
+			for _, c := range callsIn(pass, node) {
+				apply(out, c)
+			}
+		}
+		for _, succ := range blk.Succs {
+			cur, reached := f.in[succ]
+			next := out.clone()
+			if reached {
+				next = merge(cur, out)
+			}
+			if !reached || !next.equal(cur) {
+				f.in[succ] = next
+				work = append(work, succ)
+			}
+		}
+	}
+	// Record the state before every operation for At.
+	for _, blk := range f.graph.Blocks {
+		s := f.in[blk].clone()
+		for _, node := range blk.Stmts {
+			for _, c := range callsIn(pass, node) {
+				f.before[c.Expr] = s.clone()
+				apply(s, c)
+			}
+		}
+	}
+	return f
+}
+
+// At returns the lock state immediately before the given operation site.
+func (f *Flow) At(call *ast.CallExpr) State { return f.before[call] }
+
+func callsIn(pass *framework.Pass, node ast.Node) []mixedapi.Call {
+	return mixedapi.CallsIn(pass.TypesInfo, node)
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, unit := range mixedapi.Units(pass.Files) {
+		checkUnit(pass, unit)
+	}
+	return nil, nil
+}
+
+func checkUnit(pass *framework.Pass, unit mixedapi.FuncUnit) {
+	flow := Analyze(pass, unit)
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	for _, blk := range flow.graph.Blocks {
+		in, reached := flow.in[blk]
+		if !reached {
+			continue // unreachable code
+		}
+		state := in.clone()
+		for _, node := range blk.Stmts {
+			for _, c := range callsIn(pass, node) {
+				check(report, state, c)
+				apply(state, c)
+			}
+		}
+		// A path out of the function must hold nothing. Unknown states are
+		// not reported: the disagreement was already conservative.
+		if exits(blk, flow.graph.Exit) {
+			pos := unit.Body.Rbrace
+			if blk.Return != nil {
+				pos = blk.Return.Pos()
+			}
+			for _, name := range sortedHeld(state) {
+				report(pos, "lock %q still held on a return path (acquired mode %s)",
+					name, modeName(state[name]))
+			}
+		}
+	}
+}
+
+func check(report func(token.Pos, string, ...any), s State, c mixedapi.Call) {
+	if c.Op == mixedapi.OpWrite {
+		// A write under a read lock and no write lock: the read lock grants
+		// shared access only. Counter operations (OpAdd) are exempt.
+		var under string
+		for _, name := range sortedHeld(s) {
+			switch s[name] {
+			case WriteHeld:
+				return
+			case ReadHeld:
+				if under == "" {
+					under = name
+				}
+			}
+		}
+		if under != "" {
+			report(c.Pos, "write under read lock %q: a read lock grants shared access only (acquire the write lock, or use a counter object)", under)
+		}
+		return
+	}
+	if !c.Const {
+		return
+	}
+	cur := s[c.Name]
+	switch c.Op {
+	case mixedapi.OpRLock, mixedapi.OpWLock:
+		if cur == ReadHeld || cur == WriteHeld {
+			report(c.Pos, "lock %q acquired while already held (mode %s)", c.Name, modeName(cur))
+		}
+	case mixedapi.OpRUnlock:
+		switch cur {
+		case Unlocked:
+			report(c.Pos, "RUnlock of %q without a matching RLock on this path", c.Name)
+		case WriteHeld:
+			report(c.Pos, "RUnlock of %q releases a write lock (use WUnlock)", c.Name)
+		}
+	case mixedapi.OpWUnlock:
+		switch cur {
+		case Unlocked:
+			report(c.Pos, "WUnlock of %q without a matching WLock on this path", c.Name)
+		case ReadHeld:
+			report(c.Pos, "WUnlock of %q releases a read lock (use RUnlock)", c.Name)
+		}
+	}
+}
+
+func exits(blk *cfg.Block, exit *cfg.Block) bool {
+	for _, s := range blk.Succs {
+		if s == exit {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedHeld(s State) []string {
+	var names []string
+	for name, mode := range s {
+		if mode == ReadHeld || mode == WriteHeld {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func modeName(m Mode) string {
+	switch m {
+	case ReadHeld:
+		return "read"
+	case WriteHeld:
+		return "write"
+	case Unknown:
+		return "unknown"
+	}
+	return "unlocked"
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"mixedmem/internal/analysis/analysistest"
+	"mixedmem/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, lockdiscipline.Analyzer, "../testdata/src/lockdiscipline")
+}

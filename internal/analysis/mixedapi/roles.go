@@ -1,0 +1,138 @@
+package mixedapi
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RoleMap assigns each recognized operation site the constant process role
+// it is guarded to (`if p.ID() == 2 { ... }`, `switch p.ID() { case 2: ... }`).
+// Sites with no enclosing constant role guard are absent.
+type RoleMap map[*ast.CallExpr]int
+
+// GuardRole matches the role-guard conditions `p.ID() == K` and
+// `K == p.ID()`.
+func GuardRole(info *types.Info, cond ast.Expr) (int, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "==" {
+		return 0, false
+	}
+	if IsIDCall(info, be.X) {
+		return ConstInt(info, be.Y)
+	}
+	if IsIDCall(info, be.Y) {
+		return ConstInt(info, be.X)
+	}
+	return 0, false
+}
+
+// RoleGuards computes the role context of every recognized operation in one
+// function body. Nested function literals are separate analysis units and
+// inherit no role (the literal may run on another strand entirely).
+func RoleGuards(info *types.Info, body *ast.BlockStmt) RoleMap {
+	m := make(RoleMap)
+	var walk func(n ast.Node, role int, known bool)
+	walkChildren := func(n ast.Node, role int, known bool) {
+		first := true
+		ast.Inspect(n, func(c ast.Node) bool {
+			if first {
+				first = false
+				return true
+			}
+			if c != nil {
+				walk(c, role, known)
+			}
+			return false
+		})
+	}
+	walk = func(n ast.Node, role int, known bool) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.IfStmt:
+			if n.Init != nil {
+				walk(n.Init, role, known)
+			}
+			walk(n.Cond, role, known)
+			if r, ok := GuardRole(info, n.Cond); ok {
+				walk(n.Body, r, true)
+			} else {
+				walk(n.Body, role, known)
+			}
+			if n.Else != nil {
+				walk(n.Else, role, known)
+			}
+		case *ast.SwitchStmt:
+			if n.Init != nil {
+				walk(n.Init, role, known)
+			}
+			if n.Tag != nil && IsIDCall(info, n.Tag) {
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CaseClause)
+					r, guarded := 0, false
+					if len(cc.List) == 1 {
+						r, guarded = ConstInt(info, cc.List[0])
+					}
+					for _, s := range cc.Body {
+						if guarded {
+							walk(s, r, true)
+						} else {
+							walk(s, role, known)
+						}
+					}
+				}
+				return
+			}
+			if n.Tag != nil {
+				walk(n.Tag, role, known)
+			}
+			walk(n.Body, role, known)
+		case *ast.CallExpr:
+			if known {
+				if _, ok := Classify(info, n); ok {
+					m[n] = role
+				}
+			}
+			walkChildren(n, role, known)
+		default:
+			walkChildren(n, role, known)
+		}
+	}
+	walk(body, 0, false)
+	return m
+}
+
+// ThreadBodies finds the bodies of function literals passed to Forall: their
+// operations run on spawned thread strands, where the SPMD phase structure
+// of the enclosing process does not apply.
+func ThreadBodies(info *types.Info, files []*ast.File) map[*ast.BlockStmt]bool {
+	out := make(map[*ast.BlockStmt]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[sel.Sel]
+			if !ok {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Name() != "Forall" || fn.Pkg() == nil ||
+				!isCorePath(fn.Pkg().Path()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					out[fl.Body] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

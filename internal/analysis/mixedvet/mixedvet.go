@@ -1,0 +1,118 @@
+// Package mixedvet drives the analyzer suite over a set of packages and
+// aggregates the findings, including the two program-wide passes no single
+// package sees: the cross-package label-consistency merge and the static
+// advice engine.
+package mixedvet
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"mixedmem/internal/analysis/advise"
+	"mixedmem/internal/analysis/entrydiscipline"
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/analysis/labelconsistency"
+	"mixedmem/internal/analysis/lockdiscipline"
+	"mixedmem/internal/analysis/phasediscipline"
+	"mixedmem/internal/analysis/scopeusage"
+)
+
+// Analyzers is the full mixedvet suite, in reporting order.
+var Analyzers = []*framework.Analyzer{
+	lockdiscipline.Analyzer,
+	labelconsistency.Analyzer,
+	phasediscipline.Analyzer,
+	entrydiscipline.Analyzer,
+	scopeusage.Analyzer,
+}
+
+// Finding is one diagnostic, located and attributed.
+type Finding struct {
+	Analyzer string
+	Package  string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Report is the outcome of one mixedvet run.
+type Report struct {
+	Findings []Finding
+	// Advice is the static advice engine's per-location result; nil unless
+	// requested.
+	Advice *advise.Result
+}
+
+// Run loads the packages matched by patterns (rooted at dir), applies every
+// analyzer to each, and merges the program-wide passes. With withAdvise set
+// it also runs the static advice engine over all loaded packages together.
+func Run(dir string, patterns []string, analyzers []*framework.Analyzer, withAdvise bool) (*Report, error) {
+	pkgs, err := framework.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("mixedvet: no packages match %v", patterns)
+	}
+	rep := &Report{}
+	// All packages of one Load share a FileSet, so cross-package positions
+	// resolve through any of them.
+	fset := pkgs[0].Fset
+
+	var allSites []labelconsistency.Site
+	intraMixed := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			got, err := framework.RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("mixedvet: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range got.Diagnostics {
+				rep.Findings = append(rep.Findings, Finding{
+					Analyzer: a.Name,
+					Package:  pkg.Path,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if res, ok := got.Result.(*labelconsistency.Result); ok {
+				allSites = append(allSites, res.Sites...)
+				// Locations already flagged within this package stay flagged
+				// there; the merge below only adds mixes no package sees alone.
+				for _, pair := range labelconsistency.Mixed(res.Sites) {
+					intraMixed[pair[0].Loc] = true
+				}
+			}
+		}
+	}
+	for _, pair := range labelconsistency.Mixed(allSites) {
+		if intraMixed[pair[0].Loc] {
+			continue
+		}
+		rep.Findings = append(rep.Findings, Finding{
+			Analyzer: labelconsistency.Analyzer.Name,
+			Pos:      fset.Position(pair[0].Pos),
+			Message: fmt.Sprintf(
+				"location %q is read with mixed labels across packages: %s here is PRAM-labeled, but %s reads it causally — pick one label per location",
+				pair[0].Loc, pair[0].Descr, fset.Position(pair[1].Pos)),
+		})
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i].Pos, rep.Findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return rep.Findings[i].Message < rep.Findings[j].Message
+	})
+	if withAdvise {
+		rep.Advice = advise.Packages(pkgs)
+	}
+	return rep, nil
+}

@@ -1,0 +1,196 @@
+// Package phasediscipline checks Corollary 2's program class on each
+// function's control-flow graph: with the computation split into phases by
+// barriers, no location may be written twice in one phase, and no location
+// may be both read and written in one phase. A violation means the program
+// is not PRAM-consistent, so Corollary 2 does not justify PRAM reads of the
+// offending location — the diagnostic lands on every PRAM-labeled read of
+// it in the same function, which is exactly the set of reads whose results
+// the corollary no longer defends.
+//
+// The analysis is intraprocedural (the static stand-in for the paper's
+// per-program condition) and tracks constant location names only. Loops
+// count: a write that reaches itself around a loop back edge with no
+// intervening Barrier() is a double write in one phase. Subset barriers
+// (BarrierGroup) are not phase boundaries — only the full barrier orders
+// all processes. Commutative counter operations (Add/AddFloat) are exempt:
+// they are operations of an abstract data type, not writes (Section 5.3).
+package phasediscipline
+
+import (
+	"go/token"
+
+	"mixedmem/internal/analysis/cfg"
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/analysis/mixedapi"
+)
+
+// Analyzer is the phasediscipline pass.
+var Analyzer = &framework.Analyzer{
+	Name: "phasediscipline",
+	Doc:  "flag PRAM reads of locations written twice (or read and written) in one barrier phase on some path (Corollary 2)",
+	Run:  run,
+}
+
+// Evidence is why a location fails the phase condition in one function.
+type Evidence struct {
+	Loc string
+	// Kind is "written twice" or "read and written".
+	Kind string
+	// First and Second are the two conflicting sites, in path order.
+	First, Second token.Pos
+}
+
+// Result is the analyzer's package-level fact set: per function unit, the
+// locations with phase violations, for the static advice engine.
+type Result struct {
+	// Violations maps a location to its first piece of evidence, across
+	// all units of the package.
+	Violations map[string]Evidence
+}
+
+// state tracks, per location, a site since the last barrier on some path.
+// The maps are may-information: merged by union, cleared at barriers.
+type state struct {
+	written map[string]token.Pos
+	read    map[string]token.Pos
+}
+
+func newState() *state {
+	return &state{written: map[string]token.Pos{}, read: map[string]token.Pos{}}
+}
+
+func (s *state) clone() *state {
+	out := newState()
+	for k, v := range s.written {
+		out.written[k] = v
+	}
+	for k, v := range s.read {
+		out.read[k] = v
+	}
+	return out
+}
+
+// join unions o into s and reports whether s changed.
+func (s *state) join(o *state) bool {
+	changed := false
+	for k, v := range o.written {
+		if _, ok := s.written[k]; !ok {
+			s.written[k] = v
+			changed = true
+		}
+	}
+	for k, v := range o.read {
+		if _, ok := s.read[k]; !ok {
+			s.read[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func run(pass *framework.Pass) (any, error) {
+	res := &Result{Violations: make(map[string]Evidence)}
+	for _, unit := range mixedapi.Units(pass.Files) {
+		checkUnit(pass, unit, res)
+	}
+	return res, nil
+}
+
+func checkUnit(pass *framework.Pass, unit mixedapi.FuncUnit, res *Result) {
+	g := cfg.New(unit.Body)
+	in := make(map[*cfg.Block]*state)
+	in[g.Entry] = newState()
+	work := []*cfg.Block{g.Entry}
+	evidence := make(map[string]Evidence)
+	record := func(loc, kind string, first, second token.Pos) {
+		if _, ok := evidence[loc]; !ok {
+			evidence[loc] = Evidence{Loc: loc, Kind: kind, First: first, Second: second}
+		}
+	}
+	transfer := func(s *state, collect bool) func(c mixedapi.Call) {
+		return func(c mixedapi.Call) {
+			switch {
+			case c.Op == mixedapi.OpBarrier:
+				s.written = map[string]token.Pos{}
+				s.read = map[string]token.Pos{}
+			case c.Op == mixedapi.OpWrite && c.Const:
+				if collect {
+					if first, ok := s.written[c.Name]; ok {
+						record(c.Name, "written twice", first, c.Pos)
+					}
+					if first, ok := s.read[c.Name]; ok {
+						record(c.Name, "read and written", first, c.Pos)
+					}
+				}
+				if _, ok := s.written[c.Name]; !ok {
+					s.written[c.Name] = c.Pos
+				}
+			case c.Op.IsRead() && c.Const:
+				if collect {
+					if first, ok := s.written[c.Name]; ok {
+						record(c.Name, "read and written", first, c.Pos)
+					}
+				}
+				if _, ok := s.read[c.Name]; !ok {
+					s.read[c.Name] = c.Pos
+				}
+			}
+		}
+	}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[blk].clone()
+		step := transfer(out, false)
+		for _, node := range blk.Stmts {
+			for _, c := range mixedapi.CallsIn(pass.TypesInfo, node) {
+				step(c)
+			}
+		}
+		for _, succ := range blk.Succs {
+			cur, reached := in[succ]
+			if !reached {
+				in[succ] = out.clone()
+				work = append(work, succ)
+			} else if cur.join(out) {
+				work = append(work, succ)
+			}
+		}
+	}
+	// Collection pass over the stabilized states.
+	for _, blk := range g.Blocks {
+		s, reached := in[blk]
+		if !reached {
+			continue
+		}
+		s = s.clone()
+		step := transfer(s, true)
+		for _, node := range blk.Stmts {
+			for _, c := range mixedapi.CallsIn(pass.TypesInfo, node) {
+				step(c)
+			}
+		}
+	}
+	if len(evidence) == 0 {
+		return
+	}
+	for loc, ev := range evidence {
+		if _, ok := res.Violations[loc]; !ok {
+			res.Violations[loc] = ev
+		}
+	}
+	// Flag every PRAM-labeled read of an offending location in this unit.
+	for _, c := range mixedapi.CallsIn(pass.TypesInfo, unit.Body) {
+		if !c.Op.IsPRAMLabeled() || !c.Const {
+			continue
+		}
+		ev, ok := evidence[c.Name]
+		if !ok {
+			continue
+		}
+		pass.Reportf(c.Pos,
+			"PRAM read of %q is unjustified: %q is %s in one barrier phase (%s and %s), so the program is not PRAM-consistent and Corollary 2 does not apply",
+			c.Name, c.Name, ev.Kind,
+			pass.Fset.Position(ev.First), pass.Fset.Position(ev.Second))
+	}
+}

@@ -1,0 +1,30 @@
+package phasediscipline_test
+
+import (
+	"testing"
+
+	"mixedmem/internal/analysis/analysistest"
+	"mixedmem/internal/analysis/phasediscipline"
+)
+
+func TestPhaseDiscipline(t *testing.T) {
+	res := analysistest.Run(t, phasediscipline.Analyzer, "../testdata/src/phasediscipline")
+	facts, ok := res.(*phasediscipline.Result)
+	if !ok {
+		t.Fatalf("result type = %T, want *phasediscipline.Result", res)
+	}
+	// The seeded linsolve bug surfaces as package-level evidence against the
+	// mutated row — and only that row of the solver's three.
+	ev, ok := facts.Violations["x1"]
+	if !ok {
+		t.Fatal(`no violation recorded for the double-written row "x1"`)
+	}
+	if ev.Kind != "written twice" {
+		t.Fatalf(`violation kind for "x1" = %q, want "written twice"`, ev.Kind)
+	}
+	for _, row := range []string{"x0", "x2"} {
+		if _, ok := facts.Violations[row]; ok {
+			t.Fatalf("clean row %q has a recorded violation", row)
+		}
+	}
+}

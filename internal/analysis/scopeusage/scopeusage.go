@@ -1,0 +1,204 @@
+// Package scopeusage cross-checks causal-scoped partial replication against
+// the reads the source actually performs. A dsm.ScopeMap registers, per
+// location, which processes read it; updates are then sent only to those
+// readers, so a read by an unregistered process observes a stale local copy
+// forever — a silent correctness bug the runtime cannot flag (Validate only
+// checks the map's internal consistency, not the program against it).
+//
+// The analyzer finds every fully-constant ScopeMap composite literal in the
+// package and every labeled read of a constant location performed under a
+// constant role guard (`if p.ID() == 2 { ... }` or `switch p.ID() { case 2:
+// ... }`), and reports reads whose role is missing from the location's
+// registration: for any read, the role must be in Readers[loc]; for a
+// causal-labeled read it must also be in CausalReaders[loc]. Locations
+// absent from Readers fall back to full broadcast and are always fine. If
+// the package builds any scope the analyzer cannot resolve (computed keys,
+// programmatic construction), it stays silent — it cannot know the final
+// registration.
+package scopeusage
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/analysis/mixedapi"
+)
+
+// Analyzer is the scopeusage pass.
+var Analyzer = &framework.Analyzer{
+	Name: "scopeusage",
+	Doc:  "flag labeled reads by a proc role not registered for the location in the package's ScopeMap",
+	Run:  run,
+}
+
+// dsmPathSuffix identifies the package defining ScopeMap.
+const dsmPathSuffix = "internal/dsm"
+
+// scope is one statically-resolved ScopeMap literal.
+type scope struct {
+	readers       map[string][]int
+	causalReaders map[string][]int
+}
+
+func run(pass *framework.Pass) (any, error) {
+	scopes, allKnown := collectScopes(pass)
+	if len(scopes) == 0 || !allKnown {
+		return nil, nil
+	}
+	for _, unit := range mixedapi.Units(pass.Files) {
+		checkUnit(pass, unit, scopes)
+	}
+	return nil, nil
+}
+
+// collectScopes finds the package's ScopeMap composite literals. allKnown is
+// false when any of them has a part the analyzer cannot resolve to
+// constants.
+func collectScopes(pass *framework.Pass) (scopes []*scope, allKnown bool) {
+	allKnown = true
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isScopeMapType(pass.TypesInfo, lit) {
+				return true
+			}
+			s, ok := resolveScope(pass, lit)
+			if !ok {
+				allKnown = false
+				return true
+			}
+			scopes = append(scopes, s)
+			return true
+		})
+	}
+	return scopes, allKnown
+}
+
+func isScopeMapType(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ScopeMap" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), dsmPathSuffix)
+}
+
+func resolveScope(pass *framework.Pass, lit *ast.CompositeLit) (*scope, bool) {
+	s := &scope{readers: map[string][]int{}, causalReaders: map[string][]int{}}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return nil, false
+		}
+		field, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		var dst map[string][]int
+		switch field.Name {
+		case "Readers":
+			dst = s.readers
+		case "CausalReaders":
+			dst = s.causalReaders
+		default:
+			continue
+		}
+		m, ok := resolveReaderMap(pass, kv.Value)
+		if !ok {
+			return nil, false
+		}
+		for loc, ids := range m {
+			dst[loc] = ids
+		}
+	}
+	return s, true
+}
+
+// resolveReaderMap resolves a map[string][]int literal with constant keys
+// and constant elements.
+func resolveReaderMap(pass *framework.Pass, e ast.Expr) (map[string][]int, bool) {
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil, false // make(...), a variable, nil, ...
+	}
+	out := make(map[string][]int)
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return nil, false
+		}
+		loc, ok := mixedapi.ConstString(pass.TypesInfo, kv.Key)
+		if !ok {
+			return nil, false
+		}
+		list, ok := kv.Value.(*ast.CompositeLit)
+		if !ok {
+			return nil, false
+		}
+		var ids []int
+		for _, idExpr := range list.Elts {
+			id, ok := mixedapi.ConstInt(pass.TypesInfo, idExpr)
+			if !ok {
+				return nil, false
+			}
+			ids = append(ids, id)
+		}
+		out[loc] = ids
+	}
+	return out, true
+}
+
+// checkUnit checks each labeled read performed under a constant role guard
+// against every resolved scope.
+func checkUnit(pass *framework.Pass, unit mixedapi.FuncUnit, scopes []*scope) {
+	roles := mixedapi.RoleGuards(pass.TypesInfo, unit.Body)
+	for _, c := range mixedapi.CallsIn(pass.TypesInfo, unit.Body) {
+		role, guarded := roles[c.Expr]
+		if !guarded {
+			continue // no statically-known role: nothing to check
+		}
+		checkRead(pass, c, role, scopes)
+	}
+}
+
+func checkRead(pass *framework.Pass, c mixedapi.Call, role int, scopes []*scope) {
+	if !c.Op.IsRead() || !c.Const {
+		return
+	}
+	for _, s := range scopes {
+		ids, registered := s.readers[c.Name]
+		if !registered {
+			continue // broadcast fallback: every process receives updates
+		}
+		if !contains(ids, role) {
+			pass.Reportf(c.Pos,
+				"process %d reads %q but is not in the ScopeMap's Readers[%q] = %v: scoped replication will never deliver updates to it",
+				role, c.Name, c.Name, ids)
+			return
+		}
+		if c.Op.IsCausalLabeled() {
+			if cids := s.causalReaders[c.Name]; !contains(cids, role) {
+				pass.Reportf(c.Pos,
+					"process %d reads %q causally but is not in CausalReaders[%q] = %v: its replica carries no dependency metadata for a causal read",
+					role, c.Name, c.Name, cids)
+				return
+			}
+		}
+	}
+}
+
+func contains(ids []int, id int) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

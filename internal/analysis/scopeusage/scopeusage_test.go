@@ -1,0 +1,16 @@
+package scopeusage_test
+
+import (
+	"testing"
+
+	"mixedmem/internal/analysis/analysistest"
+	"mixedmem/internal/analysis/scopeusage"
+)
+
+func TestScopeUsage(t *testing.T) {
+	analysistest.Run(t, scopeusage.Analyzer, "../testdata/src/scopeusage")
+}
+
+func TestScopeUsageUnknownScopeStaysSilent(t *testing.T) {
+	analysistest.Run(t, scopeusage.Analyzer, "../testdata/src/scopeusage_unknown")
+}

@@ -1,0 +1,60 @@
+// Fixture for the static advice engine: one location per regime.
+package advisefix
+
+import "mixedmem/internal/core"
+
+// pramPipeline's "x" satisfies the static phase discipline — a single
+// role-guarded write, reads in a different phase, a barrier between every
+// access and the function exit — so PRAM reads are justified.
+func pramPipeline(p *core.Proc) {
+	if p.ID() == 0 {
+		p.Write("x", 1)
+	}
+	p.Barrier()
+	_ = p.ReadPRAM("x")
+	p.Barrier()
+}
+
+// lockTable's "tab" fails the phase discipline (unguarded writes, no
+// barriers) but satisfies the entry discipline under lock "m".
+func lockTable(p *core.Proc) {
+	p.WLock("m")
+	p.Write("tab", int64(p.ID()))
+	p.WUnlock("m")
+	p.RLock("m")
+	_ = p.ReadCausal("tab")
+	p.RUnlock("m")
+}
+
+// collidingPhases writes "y" twice in one phase: neither corollary applies.
+func collidingPhases(p *core.Proc) {
+	if p.ID() == 0 {
+		p.Write("y", 1)
+		p.Write("y", 2)
+	}
+	p.Barrier()
+	_ = p.ReadPRAM("y")
+	p.Barrier()
+}
+
+// readOnly's "ro" is never written, so reads alone cannot violate the
+// phase condition.
+func readOnly(p *core.Proc) {
+	_ = p.ReadPRAM("ro")
+}
+
+// counters only ever Adds to "n": counter increments are commutative and
+// exempt from the write disciplines, so "n" counts as read-only.
+func counters(p *core.Proc) {
+	p.Add("n", 1)
+	_ = p.ReadPRAM("n")
+}
+
+// threadStrand accesses "tv" on Forall thread strands, outside the SPMD
+// phase structure, and holds no locks: no claim is possible.
+func threadStrand(p *core.Proc) {
+	p.Forall(2, func(i int, t core.ThreadOps) {
+		t.Write("tv", 1)
+		_ = t.ReadPRAM("tv")
+	})
+}

@@ -1,0 +1,23 @@
+// Fixture for the advice engine's poison rule: one write through a
+// computed location voids every static claim in the program.
+package poisonfix
+
+import "mixedmem/internal/core"
+
+// scatter writes through a computed location: statically it could target
+// any location in any phase.
+func scatter(p *core.Proc, loc string) {
+	p.Write(loc, 1)
+	p.Barrier()
+}
+
+// wouldBePRAM has the exact shape the engine accepts for PRAM, but
+// scatter above poisons "z" along with everything else.
+func wouldBePRAM(p *core.Proc) {
+	if p.ID() == 0 {
+		p.Write("z", 1)
+	}
+	p.Barrier()
+	_ = p.ReadPRAM("z")
+	p.Barrier()
+}

@@ -1,0 +1,39 @@
+// Clean cases: disciplined or unassociated accesses the analyzer must not
+// flag.
+package entryfix
+
+import "mixedmem/internal/core"
+
+func disciplinedWriter(p *core.Proc) {
+	p.WLock("m")
+	p.Write("shared", 2)
+	p.WUnlock("m")
+}
+
+func disciplinedReader(p *core.Proc) {
+	p.RLock("m")
+	_ = p.ReadPRAM("shared")
+	p.RUnlock("m")
+}
+
+func unassociated(p *core.Proc) {
+	p.Write("solo", 1) // "solo" is never accessed under a lock: no discipline to enforce
+	p.Barrier()
+	_ = p.ReadPRAM("solo")
+}
+
+func counterWriter(p *core.Proc) {
+	p.Add("shared", 1) // counter ops commute: exempt even for lock-associated locations
+}
+
+// ambiguous is accessed under two different locks; the association is
+// ambiguous, so the analyzer defers to the dynamic checker.
+func ambiguousAccess(p *core.Proc) {
+	p.RLock("a")
+	_ = p.ReadPRAM("amb")
+	p.RUnlock("a")
+	p.RLock("b")
+	_ = p.ReadPRAM("amb")
+	p.RUnlock("b")
+	p.Write("amb", 1)
+}

@@ -1,0 +1,22 @@
+// Flagged cases for the entrydiscipline analyzer: "tab" is read under
+// "tab-lock" elsewhere in the package, so unprotected writes to it break
+// the entry-consistency discipline.
+package entryfix
+
+import "mixedmem/internal/core"
+
+func guardedReader(p *core.Proc) {
+	p.RLock("tab-lock")
+	_ = p.ReadPRAM("tab")
+	p.RUnlock("tab-lock")
+}
+
+func unguardedWriter(p *core.Proc) {
+	p.Write("tab", 1) // want `write to "tab" outside the "tab-lock" write-lock critical section`
+}
+
+func readLockedWriter(p *core.Proc) {
+	p.RLock("tab-lock")
+	p.Write("tab", 2) // want `write to "tab" outside the "tab-lock" write-lock critical section`
+	p.RUnlock("tab-lock")
+}

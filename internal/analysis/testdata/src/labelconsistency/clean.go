@@ -1,0 +1,22 @@
+// Clean cases: single-label locations and dynamic reads the analyzer must
+// not flag.
+package labelfix
+
+import "mixedmem/internal/core"
+
+func pramOnly(p *core.Proc) {
+	_ = p.ReadPRAM("a")
+	p.AwaitPRAM("a", 1)
+	_ = core.ReadPRAMFloat(p, "af")
+}
+
+func causalOnly(p *core.Proc) {
+	_ = p.ReadCausal("b")
+	p.Await("b", 1)
+	_ = core.ReadCausalFloat(p, "bf")
+}
+
+func dynamicLocationsSkipped(p *core.Proc, loc string) {
+	_ = p.ReadPRAM(loc)
+	_ = p.ReadCausal(loc)
+}

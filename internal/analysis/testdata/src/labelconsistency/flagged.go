@@ -1,0 +1,18 @@
+// Flagged cases for the labelconsistency analyzer.
+package labelfix
+
+import "mixedmem/internal/core"
+
+func writerSide(p *core.Proc) {
+	p.Write("cfg", 1)
+	_ = p.ReadPRAM("cfg") // want `location "cfg" is read with mixed labels: ReadPRAM here is PRAM-labeled`
+}
+
+func readerSide(p *core.Proc) {
+	_ = p.ReadCausal("cfg") // want `location "cfg" is read with mixed labels: ReadCausal here is causal-labeled`
+}
+
+func awaitMix(p *core.Proc) {
+	p.AwaitPRAM("gate", 1) // want `location "gate" is read with mixed labels: AwaitPRAM here is PRAM-labeled`
+	p.Await("gate", 1)     // want `location "gate" is read with mixed labels: Await here is causal-labeled`
+}

@@ -1,0 +1,54 @@
+// Clean cases: well-paired locking the analyzer must not flag.
+package lockfix
+
+import "mixedmem/internal/core"
+
+func balanced(p *core.Proc) {
+	p.WLock("m")
+	p.Write("x", 1)
+	p.WUnlock("m")
+	p.RLock("m")
+	_ = p.ReadPRAM("x")
+	p.RUnlock("m")
+}
+
+func counterUnderReadLock(p *core.Proc) {
+	p.RLock("m")
+	p.Add("hits", 1) // commutative counter op: not a write under the model
+	p.RUnlock("m")
+}
+
+func loopBalanced(p *core.Proc) {
+	for i := 0; i < 3; i++ {
+		p.WLock("m")
+		p.Write("x", int64(i))
+		p.WUnlock("m")
+	}
+}
+
+func branchBalanced(p *core.Proc, cond bool) {
+	if cond {
+		p.WLock("m")
+		p.WUnlock("m")
+	} else {
+		p.RLock("m")
+		p.RUnlock("m")
+	}
+}
+
+// conditionalPair is correct code the analysis cannot prove: the merged
+// state is unknown, which suppresses diagnostics rather than guessing.
+func conditionalPair(p *core.Proc, cond bool) {
+	if cond {
+		p.WLock("m")
+	}
+	if cond {
+		p.WUnlock("m")
+	}
+}
+
+func dynamicNamesSkipped(p *core.Proc, name string) {
+	p.WLock(name)
+	p.WUnlock(name)
+	p.RUnlock(name) // dynamic lock names are not tracked
+}

@@ -1,0 +1,43 @@
+// Flagged cases for the lockdiscipline analyzer.
+package lockfix
+
+import "mixedmem/internal/core"
+
+func unlockWithoutLock(p *core.Proc) {
+	p.RUnlock("l") // want `RUnlock of "l" without a matching RLock on this path`
+}
+
+func doubleAcquire(p *core.Proc) {
+	p.WLock("l")
+	p.WLock("l") // want `lock "l" acquired while already held \(mode write\)`
+	p.WUnlock("l")
+}
+
+func upgradeWithoutRelease(p *core.Proc) {
+	p.RLock("l")
+	p.WLock("l") // want `lock "l" acquired while already held \(mode read\)`
+	p.WUnlock("l")
+}
+
+func wrongModeRelease(p *core.Proc) {
+	p.RLock("l")
+	p.WUnlock("l") // want `WUnlock of "l" releases a read lock \(use RUnlock\)`
+}
+
+func leakOnReturnPath(p *core.Proc, cond bool) {
+	p.WLock("l")
+	if cond {
+		return // want `lock "l" still held on a return path \(acquired mode write\)`
+	}
+	p.WUnlock("l")
+}
+
+func leakAtEnd(p *core.Proc) {
+	p.RLock("l")
+} // want `lock "l" still held on a return path \(acquired mode read\)`
+
+func writeUnderReadLock(p *core.Proc) {
+	p.RLock("l")
+	p.Write("x", 1) // want `write under read lock "l"`
+	p.RUnlock("l")
+}

@@ -1,0 +1,43 @@
+// Clean cases: barrier-disciplined programs the analyzer must not flag.
+package phasefix
+
+import "mixedmem/internal/core"
+
+func barrierSeparated(p *core.Proc) {
+	p.Write("x", 1)
+	p.Barrier()
+	_ = p.ReadPRAM("x")
+	p.Barrier()
+	p.Write("x", 2)
+}
+
+func loopWithBarriers(p *core.Proc, n int) {
+	for i := 0; i < n; i++ {
+		p.Write("x", int64(i))
+		p.Barrier()
+		_ = p.ReadPRAM("x")
+		p.Barrier()
+	}
+}
+
+func counterOpsExempt(p *core.Proc, n int) {
+	for i := 0; i < n; i++ {
+		p.Add("hits", 1) // commutative: not a write under the phase condition
+	}
+	p.Barrier()
+	_ = p.ReadPRAM("hits")
+}
+
+func causalReadsNotFlagged(p *core.Proc) {
+	p.Write("y", 1)
+	p.Write("y", 2)
+	// The phase condition fails for "y", but only PRAM reads lose their
+	// justification; this causal read is ordered by Theorem 1 instead.
+	_ = p.ReadCausal("y")
+}
+
+func dynamicLocationsSkipped(p *core.Proc, loc string) {
+	p.Write(loc, 1)
+	p.Write(loc, 2)
+	_ = p.ReadPRAM(loc)
+}

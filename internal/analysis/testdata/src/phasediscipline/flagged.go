@@ -1,0 +1,43 @@
+// Flagged cases for the phasediscipline analyzer: phase-condition
+// violations poison every PRAM-labeled read of the location in the unit.
+package phasefix
+
+import "mixedmem/internal/core"
+
+func doubleWrite(p *core.Proc) {
+	p.Write("x", 1)
+	p.Write("x", 2)
+	p.Barrier()
+	_ = p.ReadPRAM("x") // want `PRAM read of "x" is unjustified: "x" is written twice in one barrier phase`
+}
+
+func readAndWrite(p *core.Proc) {
+	if p.ID() == 0 {
+		p.Write("flag", 1)
+	}
+	_ = p.ReadPRAM("flag") // want `PRAM read of "flag" is unjustified: "flag" is read and written in one barrier phase`
+}
+
+func loopWriteNoBarrier(p *core.Proc, n int) {
+	for i := 0; i < n; i++ {
+		p.Write("acc", int64(i)) // rewritten every iteration, same phase
+	}
+	p.Barrier()
+	_ = p.ReadPRAM("acc") // want `PRAM read of "acc" is unjustified: "acc" is written twice in one barrier phase`
+}
+
+func awaitAlsoFlagged(p *core.Proc) {
+	p.Write("turn", 1)
+	p.Write("turn", 2)
+	p.AwaitPRAM("turn", 2) // want `PRAM read of "turn" is unjustified: "turn" is written twice in one barrier phase`
+}
+
+// groupBarrierIsNotAPhase: BarrierGroup synchronizes a subset only, so it
+// does not end the phase for the full process set.
+func groupBarrierIsNotAPhase(p *core.Proc) {
+	p.Write("g", 1)
+	p.BarrierGroup("halves", []int{0, 1})
+	p.Write("g", 2)
+	p.Barrier()
+	_ = p.ReadPRAM("g") // want `PRAM read of "g" is unjustified: "g" is written twice in one barrier phase`
+}

@@ -1,0 +1,44 @@
+// linsolve.go is examples/linsolve with a seeded bug: the mutated update
+// step writes row "x1" twice between barriers, so the program leaves
+// Corollary 2's class and every ReadPRAM of that row must be flagged —
+// and only that row.
+package phasefix
+
+import "mixedmem/internal/core"
+
+func jacobiMutated(p *core.Proc, iters int) {
+	for it := 0; it < iters; it++ {
+		switch p.ID() {
+		case 0:
+			core.WriteFloat(p, "x0", 0.5)
+		case 1:
+			core.WriteFloat(p, "x1", 0.25)
+			core.WriteFloat(p, "x1", 0.125) // seeded bug: double write, no barrier between
+		case 2:
+			core.WriteFloat(p, "x2", 0.75)
+		}
+		p.Barrier()
+		a := core.ReadPRAMFloat(p, "x0")
+		b := core.ReadPRAMFloat(p, "x1") // want `PRAM read of "x1" is unjustified: "x1" is written twice in one barrier phase`
+		c := core.ReadPRAMFloat(p, "x2")
+		residual := a + b + c
+		_ = residual
+		p.Barrier()
+		// Every PRAM read of the poisoned row in this unit is flagged,
+		// not just the first.
+		delta := core.ReadPRAMFloat(p, "x1") // want `PRAM read of "x1" is unjustified`
+		_ = delta
+		p.Barrier()
+	}
+}
+
+// jacobiReport reads the rows in a separate function: the phase condition
+// is checked per function unit, so the violation inside jacobiMutated does
+// not poison reads elsewhere (a documented limitation of the intraprocedural
+// scope — the dynamic checker covers the whole execution).
+func jacobiReport(p *core.Proc) {
+	p.Barrier()
+	_ = core.ReadPRAMFloat(p, "x0")
+	_ = core.ReadPRAMFloat(p, "x1")
+	_ = core.ReadPRAMFloat(p, "x2")
+}

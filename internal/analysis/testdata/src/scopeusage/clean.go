@@ -1,0 +1,34 @@
+// Clean cases: registered readers, broadcast-fallback locations, and reads
+// with no statically-known role.
+package scopefix
+
+import "mixedmem/internal/core"
+
+func registeredReads(p *core.Proc) {
+	if p.ID() == 1 {
+		_ = p.ReadPRAM("stage1")
+		_ = p.ReadPRAM("stage3") // PRAM read needs Readers membership only
+	}
+	if p.ID() == 2 {
+		_ = p.ReadCausal("stage2")
+		_ = p.ReadCausal("stage3")
+	}
+}
+
+func broadcastFallback(p *core.Proc) {
+	if p.ID() == 5 {
+		// "free" is not registered: it falls back to full broadcast, so any
+		// process may read it.
+		_ = p.ReadPRAM("free")
+	}
+}
+
+func unknownRole(p *core.Proc, role int) {
+	if p.ID() == role {
+		_ = p.ReadPRAM("stage1") // role is not a constant: nothing to check
+	}
+	// Unguarded reads run as every process; without a constant role the
+	// analyzer has nothing to check (a documented limitation — the dynamic
+	// scoped conformance tests cover this case).
+	_ = p.ReadPRAM("stage2")
+}

@@ -1,0 +1,47 @@
+// Flagged cases for the scopeusage analyzer: the package builds one
+// fully-constant ScopeMap, so reads under constant role guards can be
+// checked against it.
+package scopefix
+
+import (
+	"mixedmem/internal/core"
+	"mixedmem/internal/dsm"
+)
+
+// Placement registers the pipeline's readers: process 1 reads "stage1",
+// process 2 reads "stage2" causally, and "stage3" has a PRAM-only reader 1
+// beside causal reader 2.
+func Placement() *dsm.ScopeMap {
+	return &dsm.ScopeMap{
+		Readers:       map[string][]int{"stage1": {1}, "stage2": {2}, "stage3": {1, 2}},
+		CausalReaders: map[string][]int{"stage2": {2}, "stage3": {2}},
+	}
+}
+
+func pipeline(p *core.Proc) {
+	if p.ID() == 0 {
+		p.Write("stage1", 1)
+	}
+	if p.ID() == 1 {
+		_ = p.ReadPRAM("stage1")
+		p.Write("stage2", 2)
+	}
+	if p.ID() == 2 {
+		_ = p.ReadCausal("stage2")
+	}
+	if p.ID() == 3 {
+		_ = p.ReadPRAM("stage1") // want `process 3 reads "stage1" but is not in the ScopeMap's Readers`
+	}
+	if p.ID() == 1 {
+		_ = p.ReadCausal("stage3") // want `process 1 reads "stage3" causally but is not in CausalReaders`
+	}
+}
+
+func switchRoles(p *core.Proc) {
+	switch p.ID() {
+	case 1:
+		_ = p.ReadPRAM("stage1")
+	case 2:
+		_ = p.ReadPRAM("stage1") // want `process 2 reads "stage1" but is not in the ScopeMap's Readers`
+	}
+}

@@ -1,0 +1,25 @@
+// The package builds a ScopeMap the analyzer cannot resolve (programmatic
+// construction), so every check is suppressed: the analyzer cannot know the
+// final registration, and guessing would flag correct programs.
+package scopeunknown
+
+import (
+	"fmt"
+
+	"mixedmem/internal/core"
+	"mixedmem/internal/dsm"
+)
+
+func ComputedPlacement(n int) *dsm.ScopeMap {
+	scope := &dsm.ScopeMap{Readers: make(map[string][]int)}
+	for i := 0; i < n; i++ {
+		scope.Readers[fmt.Sprintf("slot%d", i)] = []int{(i + 1) % n}
+	}
+	return scope
+}
+
+func reader(p *core.Proc) {
+	if p.ID() == 7 {
+		_ = p.ReadPRAM("slot0") // would be flagged if the scope were a constant literal
+	}
+}

@@ -1,0 +1,11 @@
+// One half of the cross-package mixed-label fixture: this package reads
+// "shared-cfg" PRAM-labeled, its sibling xlabel_b reads it causally. Each
+// package is consistent on its own, so only the driver's program-wide merge
+// can see the mix.
+package xlabela
+
+import "mixedmem/internal/core"
+
+func reader(p *core.Proc) {
+	_ = p.ReadPRAM("shared-cfg")
+}

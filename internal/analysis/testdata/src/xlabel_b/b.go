@@ -1,0 +1,8 @@
+// The other half of the cross-package mixed-label fixture: see xlabel_a.
+package xlabelb
+
+import "mixedmem/internal/core"
+
+func reader(p *core.Proc) {
+	_ = p.ReadCausal("shared-cfg")
+}

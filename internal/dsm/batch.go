@@ -108,7 +108,7 @@ type UpdateBatch struct {
 func (b UpdateBatch) encodedSize() int {
 	s := 28 // From + FirstSeq + Count + depsN prefix + nEntries
 	if b.Deps != nil {
-		s += 8 + b.Deps.EncodedSize() // PrevSeq + matrix
+		s += 8 + b.Deps.ActiveEncodedSize() // PrevSeq + sparse matrix
 	}
 	for _, u := range b.Updates {
 		s += u.encodedSize() - 8 // From and the depsN prefix live in the header

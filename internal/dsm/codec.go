@@ -12,34 +12,71 @@ import (
 // processes. Layout, all big-endian:
 //
 //	u32 From | u64 Seq | u8 Op | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS |
-//	u32 depsN | [ u64 PrevSeq | depsN*depsN*u64 Deps ]
+//	u32 depsN | [ u64 PrevSeq | u32 nAct | nAct*u32 ids | nAct*nAct*u64 sub ]
 //
 // A PRAMOnly or timestamp-elided update has tsLen 0 and decodes with a nil
 // timestamp, exactly like the in-process value it mirrors. depsN is 0 unless
 // the update carries scoped-causal metadata, in which case the chain pointer
-// and the row-major address matrix follow.
+// and the dependency matrix follow. The matrix ships sparsely: only the
+// submatrix over its active indices (rows or columns with a nonzero entry)
+// is encoded, so an update's wire size grows with the processes that
+// actually exchanged scoped updates, not with the cluster size — the wire
+// form of garbage-collecting the columns idle peers would otherwise occupy.
 type updateCodec struct{}
 
 // maxDepsN bounds the decoded dependency-matrix dimension. Real systems are
-// far smaller; the bound keeps a hostile length prefix from driving an n²
-// allocation before the remaining-bytes check can catch it.
-const maxDepsN = 4096
+// far smaller; the bound caps the n² allocation a hostile depsN prefix could
+// otherwise demand (the sparse payload itself can be legitimately tiny, so
+// remaining-bytes checks cannot bound the full dimension).
+const maxDepsN = 1024
 
-// decodeDeps parses the trailing depsN | [PrevSeq | matrix] section shared by
-// both codecs. It returns zeroes when the section is absent (depsN == 0).
+// appendDeps writes the depsN | [PrevSeq | sparse matrix] section shared by
+// both codecs.
+func appendDeps(dst []byte, prevSeq uint64, deps vclock.Matrix) []byte {
+	dst = transport.AppendUint32(dst, uint32(deps.Len()))
+	if deps != nil {
+		dst = transport.AppendUint64(dst, prevSeq)
+		dst = deps.EncodeActive(dst)
+	}
+	return dst
+}
+
+// decodeDeps parses the trailing depsN | [PrevSeq | sparse matrix] section
+// shared by both codecs. It returns zeroes when the section is absent
+// (depsN == 0).
 func decodeDeps(d *transport.Decoder, what string) (uint64, vclock.Matrix, error) {
 	depsN := int(d.Uint32())
 	if d.Err() != nil || depsN == 0 {
 		return 0, nil, nil
 	}
-	if depsN > maxDepsN || depsN > d.Remaining()/8/depsN {
-		return 0, nil, fmt.Errorf("dsm: %s codec: %dx%d dependency matrix in %d bytes: %w",
-			what, depsN, depsN, d.Remaining(), transport.ErrTruncated)
+	if depsN > maxDepsN {
+		return 0, nil, fmt.Errorf("dsm: %s codec: %dx%d dependency matrix exceeds the %d dimension bound: %w",
+			what, depsN, depsN, maxDepsN, transport.ErrTruncated)
 	}
 	prevSeq := d.Uint64()
+	nAct := int(d.Uint32())
+	if d.Err() == nil && (nAct > depsN || nAct > d.Remaining()/4) {
+		return 0, nil, fmt.Errorf("dsm: %s codec: %d active dependency indices in %d bytes: %w",
+			what, nAct, d.Remaining(), transport.ErrTruncated)
+	}
+	ids := make([]int, 0, nAct)
+	prev := -1
+	for i := 0; i < nAct && d.Err() == nil; i++ {
+		id := int(d.Uint32())
+		if id <= prev || id >= depsN {
+			return 0, nil, fmt.Errorf("dsm: %s codec: active dependency index %d not ascending within [0,%d): %w",
+				what, id, depsN, transport.ErrTruncated)
+		}
+		ids = append(ids, id)
+		prev = id
+	}
+	if d.Err() == nil && nAct > 0 && nAct > d.Remaining()/8/nAct {
+		return 0, nil, fmt.Errorf("dsm: %s codec: %dx%d dependency submatrix in %d bytes: %w",
+			what, nAct, nAct, d.Remaining(), transport.ErrTruncated)
+	}
 	m := vclock.NewMatrix(depsN)
-	for p := 0; p < depsN && d.Err() == nil; p++ {
-		for k := 0; k < depsN; k++ {
+	for _, p := range ids {
+		for _, k := range ids {
 			m.Set(p, k, d.Uint64())
 		}
 	}
@@ -66,12 +103,7 @@ func (updateCodec) Encode(dst []byte, payload any) ([]byte, error) {
 	dst = transport.AppendUint64(dst, uint64(u.Value))
 	dst = transport.AppendUint32(dst, uint32(u.TS.Len()))
 	dst = u.TS.Encode(dst)
-	dst = transport.AppendUint32(dst, uint32(u.Deps.Len()))
-	if u.Deps != nil {
-		dst = transport.AppendUint64(dst, u.PrevSeq)
-		dst = u.Deps.Encode(dst)
-	}
-	return dst, nil
+	return appendDeps(dst, u.PrevSeq, u.Deps), nil
 }
 
 func (updateCodec) Decode(data []byte) (any, error) {
@@ -111,14 +143,15 @@ func (updateCodec) Decode(data []byte) (any, error) {
 // big-endian — the per-entry sender ID is hoisted into the header since every
 // entry of a batch comes from the same process:
 //
-//	u32 From | u64 FirstSeq | u64 Count | u32 depsN | [ u64 PrevSeq | depsN*depsN*u64 Deps ] |
+//	u32 From | u64 FirstSeq | u64 Count |
+//	u32 depsN | [ u64 PrevSeq | u32 nAct | nAct*u32 ids | nAct*nAct*u64 sub ] |
 //	u32 nEntries | nEntries * ( u64 Seq | u8 Op | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS )
 //
 // A scoped causal batch hoists its dependency metadata into the header
-// (depsN > 0); its entries carry no per-entry timestamps. Decode bounds
-// nEntries, tsLen, and depsN by the bytes actually remaining, so a malformed
-// length prefix fails with ErrTruncated instead of attempting a huge
-// allocation.
+// (depsN > 0), encoded sparsely over the matrix's active indices exactly as
+// in updateCodec; its entries carry no per-entry timestamps. Decode bounds
+// nEntries, tsLen, nAct, and depsN, so a malformed length prefix fails with
+// ErrTruncated instead of attempting a huge allocation.
 type batchCodec struct{}
 
 func (batchCodec) Encode(dst []byte, payload any) ([]byte, error) {
@@ -129,11 +162,7 @@ func (batchCodec) Encode(dst []byte, payload any) ([]byte, error) {
 	dst = transport.AppendUint32(dst, uint32(b.From))
 	dst = transport.AppendUint64(dst, b.FirstSeq)
 	dst = transport.AppendUint64(dst, b.Count)
-	dst = transport.AppendUint32(dst, uint32(b.Deps.Len()))
-	if b.Deps != nil {
-		dst = transport.AppendUint64(dst, b.PrevSeq)
-		dst = b.Deps.Encode(dst)
-	}
+	dst = appendDeps(dst, b.PrevSeq, b.Deps)
 	dst = transport.AppendUint32(dst, uint32(len(b.Updates)))
 	for _, u := range b.Updates {
 		dst = transport.AppendUint64(dst, u.Seq)

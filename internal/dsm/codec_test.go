@@ -102,3 +102,62 @@ func TestUpdateCodecRejectsWrongType(t *testing.T) {
 		t.Fatal("decoding a truncated update succeeded")
 	}
 }
+
+// TestUpdateCodecWireSizeIgnoresIdlePeers pins the point of the sparse deps
+// encoding: a scoped-causal update whose dependencies involve three peers
+// costs the same bytes in a 4-process cluster and a 256-process one.
+func TestUpdateCodecWireSizeIgnoresIdlePeers(t *testing.T) {
+	encodedLen := func(n int) int {
+		deps := vclock.NewMatrix(n)
+		deps.Set(0, 1, 4)
+		deps.Set(1, 2, 9)
+		u := Update{From: 1, Seq: 9, Op: OpSet, Loc: "s", Value: 3, PrevSeq: 5, Deps: deps}
+		enc, err := transport.EncodePayload(nil, KindUpdate, u)
+		if err != nil {
+			t.Fatalf("encode (n=%d): %v", n, err)
+		}
+		if got := u.encodedSize(); got != len(enc) {
+			t.Fatalf("n=%d: encodedSize = %d, codec writes %d bytes", n, got, len(enc))
+		}
+		got := roundTripUpdate(t, u)
+		if got.Deps.Len() != n || got.Deps.Get(1, 2) != 9 || got.Deps.Get(0, 1) != 4 {
+			t.Fatalf("n=%d: deps did not round-trip: %v", n, got.Deps)
+		}
+		return len(enc)
+	}
+	small, big := encodedLen(4), encodedLen(256)
+	if small != big {
+		t.Fatalf("wire size grew from %d to %d bytes with 252 idle peers", small, big)
+	}
+}
+
+// TestDecodeDepsRejectsMalformedIndices checks the sparse section's
+// validation: out-of-range, unsorted, or over-counted index lists fail
+// cleanly instead of corrupting the matrix.
+func TestDecodeDepsRejectsMalformedIndices(t *testing.T) {
+	base := Update{From: 0, Seq: 1, Op: OpSet, Loc: "s", Value: 1, PrevSeq: 0,
+		Deps: vclock.NewMatrix(3)}
+	base.Deps.Set(0, 2, 1)
+	enc, err := transport.EncodePayload(nil, KindUpdate, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deps section trails the payload: depsN(4) | PrevSeq(8) | nAct(4) | ids | sub.
+	sub := 2 * 2 * 8
+	idsOff := len(enc) - sub - 2*4
+	corrupt := func(mutate func([]byte)) error {
+		bad := append([]byte(nil), enc...)
+		mutate(bad)
+		_, err := transport.DecodePayload(KindUpdate, bad)
+		return err
+	}
+	if err := corrupt(func(b []byte) { b[idsOff+3] = 7 }); err == nil {
+		t.Error("index beyond depsN decoded successfully")
+	}
+	if err := corrupt(func(b []byte) { b[idsOff+3], b[idsOff+7] = 2, 0 }); err == nil {
+		t.Error("descending index list decoded successfully")
+	}
+	if err := corrupt(func(b []byte) { b[idsOff-1] = 200 }); err == nil {
+		t.Error("nAct larger than depsN decoded successfully")
+	}
+}

@@ -100,11 +100,12 @@ type Update struct {
 // mirroring updateCodec's layout byte for byte: From, Seq, Op, the
 // length-prefixed location, Value, the length-prefixed timestamp, the u32
 // depsN prefix the codec always writes (even when zero), and — for
-// scoped-causal updates — the chain pointer and matrix.
+// scoped-causal updates — the chain pointer and the sparse matrix (whose
+// size tracks the active peers, not the cluster dimension).
 func (u Update) encodedSize() int {
 	s := 4 + 8 + 1 + (4 + len(u.Loc)) + 8 + (4 + u.TS.EncodedSize()) + 4
 	if u.Deps != nil {
-		s += 8 + u.Deps.EncodedSize()
+		s += 8 + u.Deps.ActiveEncodedSize()
 	}
 	return s
 }

@@ -77,6 +77,52 @@ func (m Matrix) Merge(other Matrix) {
 // EncodedSize returns the number of bytes Encode produces for m.
 func (m Matrix) EncodedSize() int { return 8 * len(m) * len(m) }
 
+// Active returns, in ascending order, the indices whose row or column holds
+// a nonzero entry: the processes that participate in the dependencies m
+// records. In a long-running system most peers are idle with respect to any
+// one scope, so the active set is how the wire encoding avoids shipping
+// (and the receiver avoids re-learning) quadratically many zeroes.
+func (m Matrix) Active() []int {
+	var out []int
+	for i := range m {
+		for k := range m {
+			if m[i][k] != 0 || m[k][i] != 0 {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ActiveEncodedSize returns the number of bytes EncodeActive produces for m.
+func (m Matrix) ActiveEncodedSize() int {
+	n := len(m.Active())
+	return 4 + 4*n + 8*n*n
+}
+
+// EncodeActive appends the sparse encoding of m — the active index list
+// followed by the row-major submatrix over those indices — to dst:
+//
+//	u32 nAct | nAct*u32 ids | nAct*nAct*u64 sub
+//
+// Entries outside the active rows and columns are zero by construction, so
+// the encoding is lossless; its size depends only on how many processes
+// participate, not on the matrix dimension.
+func (m Matrix) EncodeActive(dst []byte) []byte {
+	ids := m.Active()
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ids)))
+	for _, id := range ids {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(id))
+	}
+	for _, i := range ids {
+		for _, k := range ids {
+			dst = binary.BigEndian.AppendUint64(dst, m[i][k])
+		}
+	}
+	return dst
+}
+
 // Encode appends a fixed-width big-endian row-major encoding of m to dst and
 // returns the extended slice.
 func (m Matrix) Encode(dst []byte) []byte {

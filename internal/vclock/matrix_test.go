@@ -70,3 +70,46 @@ func TestMatrixEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatal("short decode succeeded")
 	}
 }
+
+func TestMatrixActive(t *testing.T) {
+	m := NewMatrix(6)
+	m.Set(1, 4, 7) // row 1 and column 4 become active
+	got := m.Active()
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("Active = %v, want [1 4]", got)
+	}
+	if a := NewMatrix(6).Active(); len(a) != 0 {
+		t.Fatalf("zero matrix has active indices %v", a)
+	}
+	if a := Matrix(nil).Active(); len(a) != 0 {
+		t.Fatalf("nil matrix has active indices %v", a)
+	}
+}
+
+func TestMatrixEncodeActiveSizeIgnoresIdlePeers(t *testing.T) {
+	// The same three-peer interaction embedded in clusters of growing size
+	// must encode to the same number of bytes: idle rows and columns cost
+	// nothing on the wire.
+	sizes := []int{4, 16, 64, 256}
+	var first []byte
+	for _, n := range sizes {
+		m := NewMatrix(n)
+		m.Set(0, 2, 5)
+		m.Set(2, 3, 1)
+		m.Set(3, 0, 9)
+		enc := m.EncodeActive(nil)
+		if len(enc) != m.ActiveEncodedSize() {
+			t.Fatalf("n=%d: encoded %d bytes, ActiveEncodedSize says %d", n, len(enc), m.ActiveEncodedSize())
+		}
+		if first == nil {
+			first = enc
+		} else if len(enc) != len(first) {
+			t.Fatalf("n=%d: sparse encoding is %d bytes, n=%d was %d — size must not grow with idle peers",
+				n, len(enc), sizes[0], len(first))
+		}
+	}
+	// 3 active indices: u32 count + 3 ids + 3x3 submatrix.
+	if want := 4 + 3*4 + 9*8; len(first) != want {
+		t.Fatalf("sparse encoding is %d bytes, want %d", len(first), want)
+	}
+}
