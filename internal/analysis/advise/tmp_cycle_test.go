@@ -1,0 +1,60 @@
+package advise
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"mixedmem/internal/analysis/cfg"
+)
+
+func TestTmpCycleBlocksIfInsideFor(t *testing.T) {
+	src := `package p
+func f(c bool) {
+	for i := 0; i < 10; i++ {
+		if c {
+			println("branch")
+		} else {
+			println("other")
+		}
+	}
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	g := cfg.New(body)
+
+	// Ground truth: block b is on a cycle iff b is reachable from itself.
+	onCycle := func(start *cfg.Block) bool {
+		seen := make(map[*cfg.Block]bool)
+		var stack []*cfg.Block
+		stack = append(stack, start)
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range b.Succs {
+				if s == start {
+					return true
+				}
+				if !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		return false
+	}
+
+	got := cycleBlocks(g)
+	for i, blk := range g.Blocks {
+		want := onCycle(blk)
+		if got[blk] != want {
+			t.Errorf("block %d: cycleBlocks=%v, ground truth=%v (stmts=%d succs=%d)",
+				i, got[blk], want, len(blk.Stmts), len(blk.Succs))
+		}
+	}
+}
