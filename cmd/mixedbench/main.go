@@ -10,6 +10,7 @@
 //	mixedbench -json           # one JSON line per measured row
 //	mixedbench -exp e8 -transport tcp   # latency spectrum over real TCP
 //	mixedbench -exp a3 -transport tcp   # placement ablation over real TCP
+//	mixedbench -exp s1                  # serving tail-latency sweep (also tcp)
 //
 // Output is one section per experiment with the measured rows and the
 // paper's corresponding claim, so EXPERIMENTS.md can be checked against a
@@ -99,7 +100,7 @@ func run(args []string) error { return runTo(args, os.Stdout) }
 func runTo(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mixedbench", flag.ContinueOnError)
 	cfg := config{out: out}
-	fs.StringVar(&cfg.exp, "exp", "all", "experiment to run: e1..e10, a1..a3, or all")
+	fs.StringVar(&cfg.exp, "exp", "all", "experiment to run: e1..e10, a1..a3, s1, or all")
 	fs.BoolVar(&cfg.quick, "quick", false, "small sizes and zero latency")
 	fs.BoolVar(&cfg.sweep, "sweep", false, "sweep process counts (2, 4, 8) in e2 and e5")
 	fs.IntVar(&cfg.procs, "procs", 4, "number of processes")
@@ -118,15 +119,6 @@ func runTo(args []string, out io.Writer) error {
 	if cfg.procs < 2 {
 		return fmt.Errorf("-procs %d: the experiments need at least 2 processes (coordinator + worker)", cfg.procs)
 	}
-	switch cfg.transport {
-	case "sim":
-	case "tcp":
-		if e := strings.ToLower(cfg.exp); e != "e8" && e != "a3" {
-			return fmt.Errorf("-transport tcp supports the latency spectrum and the placement ablation: run with -exp e8 or -exp a3")
-		}
-	default:
-		return fmt.Errorf("unknown transport %q (want sim or tcp)", cfg.transport)
-	}
 	cfg.latency = bench.DefaultLatency
 	if cfg.quick {
 		cfg.latency = network.LatencyModel{}
@@ -135,24 +127,46 @@ func runTo(args []string, out io.Writer) error {
 	type experiment struct {
 		id, title string
 		run       func(*config) error
+		// tcp marks experiments with a real-socket runner, selectable with
+		// -transport tcp.
+		tcp bool
 	}
 	experiments := []experiment{
-		{"e1", "Figure 1: lock and barrier synchronization orders", runE1},
-		{"e2", "Figure 2 vs Figure 3: barrier solver vs handshake solver", runE2},
-		{"e3", "Section 5.1: PRAM reads are insufficient for handshaking", runE3},
-		{"e4", "Figure 4: electromagnetic field computation (PRAM + barriers)", runE4},
-		{"e5", "Figure 5 / Section 7: Cholesky with locks vs counter objects", runE5},
-		{"e6", "Section 6: eager vs lazy vs demand-driven propagation", runE6},
-		{"e7", "Section 7: asynchronous Gauss-Seidel converges under PRAM", runE7},
-		{"e8", "Sections 1/3.2: access-latency spectrum (PRAM/causal vs SC)", runE8},
-		{"e9", "Theorem 1 corollaries: random programs are SC", runE9},
-		{"e10", "Section 2: producer/consumer via awaits vs lock polling", runE10},
-		{"a1", "Ablation: timestamp elision for PRAM-consistent programs (Section 6)", runA1},
-		{"a2", "Ablation: where each propagation mode pays (asymmetric links)", runA2},
-		{"a3", "Ablation: access-pattern placement vs broadcast (Section 6)", runA3},
+		{"e1", "Figure 1: lock and barrier synchronization orders", runE1, false},
+		{"e2", "Figure 2 vs Figure 3: barrier solver vs handshake solver", runE2, false},
+		{"e3", "Section 5.1: PRAM reads are insufficient for handshaking", runE3, false},
+		{"e4", "Figure 4: electromagnetic field computation (PRAM + barriers)", runE4, false},
+		{"e5", "Figure 5 / Section 7: Cholesky with locks vs counter objects", runE5, false},
+		{"e6", "Section 6: eager vs lazy vs demand-driven propagation", runE6, false},
+		{"e7", "Section 7: asynchronous Gauss-Seidel converges under PRAM", runE7, false},
+		{"e8", "Sections 1/3.2: access-latency spectrum (PRAM/causal vs SC)", runE8, true},
+		{"e9", "Theorem 1 corollaries: random programs are SC", runE9, false},
+		{"e10", "Section 2: producer/consumer via awaits vs lock polling", runE10, false},
+		{"a1", "Ablation: timestamp elision for PRAM-consistent programs (Section 6)", runA1, false},
+		{"a2", "Ablation: where each propagation mode pays (asymmetric links)", runA2, false},
+		{"a3", "Ablation: access-pattern placement vs broadcast (Section 6)", runA3, true},
+		{"s1", "Serving: session/KV tail latency per label configuration under load", runS1, true},
 	}
 
 	want := strings.ToLower(cfg.exp)
+	switch cfg.transport {
+	case "sim":
+	case "tcp":
+		capable := false
+		var ids []string
+		for _, e := range experiments {
+			if e.tcp {
+				ids = append(ids, e.id)
+				capable = capable || want == e.id
+			}
+		}
+		if !capable {
+			return fmt.Errorf("-transport tcp needs one tcp-capable experiment: run with -exp %s",
+				strings.Join(ids, ", -exp "))
+		}
+	default:
+		return fmt.Errorf("unknown transport %q (want sim or tcp)", cfg.transport)
+	}
 	matched := false
 	for _, e := range experiments {
 		if want != "all" && want != e.id {
@@ -171,7 +185,7 @@ func runTo(args []string, out io.Writer) error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want e1..e10, a1..a3, or all)", cfg.exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e10, a1..a3, s1, or all)", cfg.exp)
 	}
 	return nil
 }
@@ -253,6 +267,40 @@ func runA3(cfg *config) error {
 	}
 	cfg.claim("claim (Section 6): broadcast overhead can be avoided with optimizations based",
 		"on the access patterns of shared variables")
+	return nil
+}
+
+func runS1(cfg *config) error {
+	opt := bench.ServingOptions{
+		Procs:   cfg.procs,
+		Seed:    cfg.seed,
+		Latency: cfg.latency,
+	}
+	if cfg.quick {
+		opt.Workers = 2
+		opt.Ops, opt.Warmup = 60, 12
+		opt.Rates = []float64{1000, 4000, 0} // still three load points
+		// A small nonzero model: -quick zeroes cfg.latency, but the serving
+		// sweep is about queueing, which a zero model would erase entirely.
+		opt.Latency = network.LatencyModel{Fixed: 25 * time.Microsecond}
+	}
+	var r bench.ServingResult
+	var err error
+	if cfg.transport == "tcp" {
+		r, err = bench.RunServingTCP(opt)
+	} else {
+		r, err = bench.RunServing(opt)
+	}
+	if err != nil {
+		return err
+	}
+	if err := cfg.emit(r); err != nil {
+		return err
+	}
+	cfg.claim("claim (Sections 5-6, serving restatement): labeling session state as causal",
+		"scopes (partial replication) and aggregates as PRAM counter objects cuts",
+		"update traffic and tail write-visibility latency versus labeling everything",
+		"causal-broadcast, without changing any verdict of the checker")
 	return nil
 }
 

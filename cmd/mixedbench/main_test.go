@@ -103,3 +103,85 @@ func TestRunE8OverTCP(t *testing.T) {
 		t.Fatalf("suspicious tcp spectrum: %+v", rec)
 	}
 }
+
+func TestRunS1QuickJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	var buf bytes.Buffer
+	if err := runTo([]string{"-exp", "s1", "-quick", "-json"}, &buf); err != nil {
+		t.Fatalf("runTo: %v", err)
+	}
+	var rec struct {
+		Exp  string `json:"exp"`
+		Data struct {
+			Transport string
+			Cells     []struct {
+				Mode        string
+				Rate        float64
+				Read        struct{ Count, P50, P99, P999 int64 }
+				Write       struct{ Count, P50, P99, P999 int64 }
+				Vis         struct{ Count, P99 int64 }
+				Fingerprint uint64
+			}
+		} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &rec); err != nil {
+		t.Fatalf("parse: %v (output %q)", err, buf.String())
+	}
+	if rec.Exp != "s1" || rec.Data.Transport != "sim" {
+		t.Fatalf("wrong row identity: %+v", rec)
+	}
+	rates := map[float64]bool{}
+	modes := map[string]bool{}
+	for _, c := range rec.Data.Cells {
+		rates[c.Rate] = true
+		modes[c.Mode] = true
+		if c.Read.Count == 0 || c.Write.Count == 0 || c.Vis.Count == 0 {
+			t.Fatalf("cell %q rate %.0f has empty histograms", c.Mode, c.Rate)
+		}
+		if c.Fingerprint == 0 {
+			t.Fatalf("cell %q rate %.0f missing workload fingerprint", c.Mode, c.Rate)
+		}
+	}
+	if len(rates) < 3 {
+		t.Fatalf("only %d offered-load points, want >= 3", len(rates))
+	}
+	if len(modes) != 3 {
+		t.Fatalf("got label configurations %v, want all three", modes)
+	}
+}
+
+func TestRunS1OverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	var buf bytes.Buffer
+	if err := runTo([]string{"-exp", "s1", "-quick", "-json", "-transport", "tcp"}, &buf); err != nil {
+		t.Fatalf("runTo: %v", err)
+	}
+	var rec struct {
+		Data struct {
+			Transport string
+			Cells     []struct{ Fingerprint uint64 }
+		} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &rec); err != nil {
+		t.Fatalf("parse: %v (output %q)", err, buf.String())
+	}
+	if rec.Data.Transport != "tcp" || len(rec.Data.Cells) == 0 {
+		t.Fatalf("suspicious tcp serving row: %+v", rec.Data)
+	}
+}
+
+func TestTCPRegistryListsCapableExperiments(t *testing.T) {
+	err := run([]string{"-transport", "tcp", "-exp", "e2"})
+	if err == nil {
+		t.Fatal("tcp with a sim-only experiment must error")
+	}
+	for _, id := range []string{"e8", "a3", "s1"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("tcp guard %q does not list capable experiment %s", err, id)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"mixedmem/internal/apps"
 	"mixedmem/internal/core"
 	"mixedmem/internal/dsm"
+	"mixedmem/internal/hist"
 	"mixedmem/internal/history"
 	"mixedmem/internal/syncmgr"
 	"mixedmem/internal/transport"
@@ -47,8 +48,9 @@ func run(args []string, out io.Writer) error {
 	var (
 		id      = fs.Int("id", -1, "this process's node id, 0..N-1")
 		peerCSV = fs.String("peers", "", "comma-separated host:port of every node, ordered by id")
-		app     = fs.String("app", "solve", "application: solve (E2 barrier solver), cholesky (E5 lock-based factorization), or emfield (Figure 4 field computation)")
-		size    = fs.Int("size", 20, "problem size n")
+		app     = fs.String("app", "solve", "application: solve (E2 barrier solver), cholesky (E5 lock-based factorization), emfield (Figure 4 field computation), or session (S1 session/KV front-end)")
+		size    = fs.Int("size", 20, "problem size n; for -app session, measured requests per worker strand")
+		labels  = fs.String("labels", "broadcast", "session only: label configuration (broadcast, causal-scoped, or hybrid; same on every node)")
 		steps   = fs.Int("steps", 10, "time steps for -app emfield")
 		scoped  = fs.Bool("scoped", false, "emfield only: register causal-scoped placement so each boundary update ships to its one reader instead of broadcasting (must be set on every node)")
 		seed    = fs.Int64("seed", 7, "deterministic problem seed (same on every node)")
@@ -78,6 +80,19 @@ func run(args []string, out io.Writer) error {
 	if *scoped && *app != "emfield" {
 		return fmt.Errorf("-scoped requires -app emfield")
 	}
+	sessionMode, err := apps.ParseSessionMode(*labels)
+	if err != nil {
+		return err
+	}
+	if *labels != "broadcast" && *app != "session" {
+		return fmt.Errorf("-labels requires -app session")
+	}
+	sessionCfg := apps.SessionConfig{
+		Procs: len(peers),
+		Ops:   *size, Warmup: *size/5 + 4,
+		Seed: *seed,
+		Mode: sessionMode,
+	}
 
 	cfg := tcp.Config{ID: *id, Peers: peers, Seed: *seed}
 	if *verbose {
@@ -98,6 +113,9 @@ func run(args []string, out io.Writer) error {
 	if *scoped {
 		pcfg.Scope = apps.EMFieldScope(*size, len(peers), true)
 	}
+	if *app == "session" {
+		pcfg.Scope = apps.SessionScope(sessionCfg)
+	}
 	peer, err := core.NewPeer(pcfg)
 	if err != nil {
 		tr.Close()
@@ -111,6 +129,7 @@ func run(args []string, out io.Writer) error {
 
 	start := time.Now()
 	var verr error
+	var sessionRes *apps.SessionProcResult
 	switch *app {
 	case "solve":
 		verr = runSolve(out, peer.Proc(), *size, *seed)
@@ -118,8 +137,10 @@ func run(args []string, out io.Writer) error {
 		verr = runCholesky(out, peer.Proc(), *size, *seed)
 	case "emfield":
 		verr = runEMField(out, peer.Proc(), *size, *steps, *seed, *scoped)
+	case "session":
+		sessionRes, verr = runSession(out, peer.Proc(), sessionCfg)
 	default:
-		return fmt.Errorf("unknown app %q (want solve, cholesky, or emfield)", *app)
+		return fmt.Errorf("unknown app %q (want solve, cholesky, emfield, or session)", *app)
 	}
 	if verr != nil {
 		return verr
@@ -128,7 +149,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "node %d: done in %v; sent %d msgs / %d bytes\n",
 		*id, time.Since(start).Round(time.Millisecond), s.MessagesSent, s.BytesSent)
 	if *metrics {
-		printFleetMetrics(out, peer.Proc(), s)
+		hists := map[string]*hist.Histogram{}
+		if sessionRes != nil {
+			hists["read"] = sessionRes.Read
+			hists["write"] = sessionRes.Write
+			hists["vis"] = sessionRes.Vis
+		}
+		if err := printFleetMetrics(out, peer.Proc(), s, peer.Proc().MemStats(), hists); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -148,13 +177,21 @@ var metricKinds = []string{
 	syncmgr.KindBarRelease,
 }
 
-// printFleetMetrics merges per-node transport stats through the memory
-// itself: each node writes its snapshot (taken before this exchange, so the
-// exchange's own traffic is excluded) under metrics/<id>/..., a barrier
-// guarantees every pre-arrival update is applied everywhere before release,
-// and then each node reads all nodes' rows and prints the fleet-wide sums.
-// Every node must run with -metrics or the extra barrier deadlocks the fleet.
-func printFleetMetrics(out io.Writer, p core.Process, s transport.Stats) {
+// metricHistNames is the fixed, ordered set of latency histograms a node may
+// publish in the -metrics exchange; nodes that ran an app without latency
+// measurements publish them empty.
+var metricHistNames = []string{"read", "write", "vis"}
+
+// printFleetMetrics merges per-node transport stats, memory-protocol
+// counters, and latency histograms through the memory itself: each node
+// writes its snapshot (taken before this exchange, so the exchange's own
+// traffic is excluded) under metrics/<id>/..., a barrier guarantees every
+// pre-arrival update is applied everywhere before release, and then each
+// node reads all nodes' rows and prints the fleet-wide sums. Histograms ride
+// along as packed bucket cells, so the merged percentiles printed here are
+// exactly the percentiles of the pooled per-node samples. Every node must
+// run with -metrics or the extra barrier deadlocks the fleet.
+func printFleetMetrics(out io.Writer, p core.Process, s transport.Stats, mem dsm.Stats, hists map[string]*hist.Histogram) error {
 	me := strconv.Itoa(p.ID())
 	p.Write("metrics/"+me+"/msgs/total", int64(s.MessagesSent))
 	p.Write("metrics/"+me+"/bytes/total", int64(s.BytesSent))
@@ -162,15 +199,20 @@ func printFleetMetrics(out io.Writer, p core.Process, s transport.Stats) {
 		p.Write("metrics/"+me+"/msgs/"+k, int64(s.PerKind[k]))
 		p.Write("metrics/"+me+"/bytes/"+k, int64(s.PerKindBytes[k]))
 	}
+	p.Write("metrics/"+me+"/mem/malformed", int64(mem.MalformedUpdates))
+	for _, name := range metricHistNames {
+		publishFleetHist(p, name, hists[name])
+	}
 	p.Barrier()
 
-	var totalMsgs, totalBytes int64
+	var totalMsgs, totalBytes, malformed int64
 	kindMsgs := make([]int64, len(metricKinds))
 	kindBytes := make([]int64, len(metricKinds))
 	for id := 0; id < p.N(); id++ {
 		node := strconv.Itoa(id)
 		totalMsgs += p.ReadPRAM("metrics/" + node + "/msgs/total")
 		totalBytes += p.ReadPRAM("metrics/" + node + "/bytes/total")
+		malformed += p.ReadPRAM("metrics/" + node + "/mem/malformed")
 		for i, k := range metricKinds {
 			kindMsgs[i] += p.ReadPRAM("metrics/" + node + "/msgs/" + k)
 			kindBytes[i] += p.ReadPRAM("metrics/" + node + "/bytes/" + k)
@@ -183,6 +225,58 @@ func printFleetMetrics(out io.Writer, p core.Process, s transport.Stats) {
 		}
 		fmt.Fprintf(out, "node %d: fleet %-12s %6d msgs / %8d bytes\n", p.ID(), k, kindMsgs[i], kindBytes[i])
 	}
+	fmt.Fprintf(out, "node %d: fleet malformed-updates: %d\n", p.ID(), malformed)
+	for _, name := range metricHistNames {
+		merged, err := readFleetHist(p, name)
+		if err != nil {
+			return err
+		}
+		if merged.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "node %d: fleet %-5s latency: %s\n", p.ID(), name, merged.Summary())
+	}
+	return nil
+}
+
+// publishFleetHist writes one latency histogram into this node's metrics
+// rows as packed bucket cells under metrics/<id>/hist/<name>/. A nil
+// histogram publishes a zero cell count. The caller must follow with the
+// barrier before any node reads the rows back.
+func publishFleetHist(p core.Process, name string, h *hist.Histogram) {
+	prefix := "metrics/" + strconv.Itoa(p.ID()) + "/hist/" + name + "/"
+	if h == nil {
+		p.Write(prefix+"n", 0)
+		return
+	}
+	cells := h.Cells()
+	p.Write(prefix+"n", int64(len(cells)))
+	for i, c := range cells {
+		p.Write(prefix+strconv.Itoa(i), c)
+	}
+}
+
+// readFleetHist reads every node's published cells for one histogram name
+// and returns the fleet-wide merge. Because the bucket cells are exact, the
+// merged histogram's quantiles equal the quantiles of all nodes' samples
+// pooled together.
+func readFleetHist(p core.Process, name string) (*hist.Histogram, error) {
+	merged := hist.New()
+	for id := 0; id < p.N(); id++ {
+		prefix := "metrics/" + strconv.Itoa(id) + "/hist/" + name + "/"
+		n := p.ReadPRAM(prefix + "n")
+		if n == 0 {
+			continue
+		}
+		cells := make([]int64, n)
+		for i := range cells {
+			cells[i] = p.ReadPRAM(prefix + strconv.Itoa(i))
+		}
+		if err := merged.AddCells(cells); err != nil {
+			return nil, fmt.Errorf("fleet %s histogram from node %d: %w", name, id, err)
+		}
+	}
+	return merged, nil
 }
 
 func parsePropagation(s string) (syncmgr.PropagationMode, error) {
@@ -242,6 +336,23 @@ func runEMField(out io.Writer, p core.Process, size, steps int, seed int64, scop
 	fmt.Fprintf(out, "node %d: emfield grid=%d steps=%d (%s) matches sequential bit-exactly\n",
 		p.ID(), size, steps, mode)
 	return nil
+}
+
+// runSession runs the S1 session/KV front-end: every node serves its worker
+// strands (plus visibility probers for its peers' flagged writes) and then
+// verifies the fleet's PRAM aggregate counters against the replay-predicted
+// values — every node computes the expected totals locally from the seed, so
+// no node needs a referee.
+func runSession(out io.Writer, p core.Process, cfg apps.SessionConfig) (*apps.SessionProcResult, error) {
+	res := apps.ServeSessions(p, cfg)
+	if err := apps.VerifySessionCounters(p, cfg); err != nil {
+		return nil, err
+	}
+	c := cfg.WithDefaults()
+	c.Procs = p.N()
+	fmt.Fprintf(out, "node %d: session (%s) fp=%016x counters verified; read[%s] write[%s] vis[%s]\n",
+		p.ID(), c.Mode, c.WorkloadFingerprint(), res.Read.Summary(), res.Write.Summary(), res.Vis.Summary())
+	return res, nil
 }
 
 // runCholesky runs the Figure 5 lock-based sparse Cholesky factorization and

@@ -3,10 +3,17 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"mixedmem/internal/core"
+	"mixedmem/internal/hist"
+	"mixedmem/internal/network"
 )
 
 // freeAddrs reserves n distinct loopback ports and releases them for the
@@ -145,6 +152,118 @@ func TestMixednodeMetricsMergedSnapshot(t *testing.T) {
 	}
 }
 
+// TestMixednodeSessionThreeProcesses runs the S1 session/KV front-end as a
+// real three-node TCP fleet with causal-scoped labels and -metrics: every
+// node must verify the replay-predicted aggregate counters, and the merged
+// fleet snapshot — now including the latency histograms and the
+// malformed-update counter — must be identical on every node, because each
+// node reconstructs it from the same exact bucket cells.
+func TestMixednodeSessionThreeProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	outs := launch(t, freeAddrs(t, 3), "-app", "session", "-size", "30", "-seed", "9",
+		"-labels", "causal-scoped", "-metrics")
+	var want string
+	for id, out := range outs {
+		if !strings.Contains(out, "session (causal-scoped)") || !strings.Contains(out, "counters verified") {
+			t.Fatalf("node %d output missing session verification: %q", id, out)
+		}
+		var fleet []string
+		prefix := fmt.Sprintf("node %d: fleet", id)
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				fleet = append(fleet, strings.TrimPrefix(line, prefix))
+			}
+		}
+		merged := strings.Join(fleet, "\n")
+		for _, row := range []string{"totals:", "malformed-updates: 0", "read  latency:", "write latency:", "vis   latency:"} {
+			if !strings.Contains(merged, row) {
+				t.Fatalf("node %d fleet metrics missing %q: %q", id, row, merged)
+			}
+		}
+		if id == 0 {
+			want = merged
+		} else if merged != want {
+			t.Fatalf("node %d merged snapshot disagrees with node 0:\n%q\nvs\n%q", id, merged, want)
+		}
+	}
+}
+
+// TestFleetHistMergeEqualsPooled drives the -metrics histogram exchange
+// through a simulated fleet and pins the exactness claim: the percentiles of
+// the fleet-merged histogram equal the percentiles of one histogram fed all
+// nodes' samples pooled together, and both sit within half a bucket width of
+// the true rank percentile of the raw pooled samples.
+func TestFleetHistMergeEqualsPooled(t *testing.T) {
+	const procs, samples = 4, 800
+	sys, err := core.NewSystem(core.Config{
+		Procs:   procs,
+		Latency: network.LatencyModel{Fixed: 20 * time.Microsecond},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+	perProc := make([]*hist.Histogram, procs)
+	raw := make([][]int64, procs)
+	merged := make([]*hist.Histogram, procs)
+	empty := make([]*hist.Histogram, procs)
+	mergeErrs := make([]error, procs)
+	sys.Run(func(p *core.Proc) {
+		h := hist.New()
+		x := uint64(p.ID())*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+		vals := make([]int64, samples)
+		for i := range vals {
+			x = x*6364136223846793005 + 1442695040888963407
+			v := int64((x >> 16) % 50_000_000)
+			vals[i] = v
+			h.Record(v)
+		}
+		raw[p.ID()], perProc[p.ID()] = vals, h
+		publishFleetHist(p, "read", h)
+		publishFleetHist(p, "vis", nil) // a node that measured nothing
+		p.Barrier()
+		merged[p.ID()], mergeErrs[p.ID()] = readFleetHist(p, "read")
+		empty[p.ID()], _ = readFleetHist(p, "vis")
+	})
+	pooled := hist.New()
+	var all []int64
+	for id := range perProc {
+		pooled.Merge(perProc[id])
+		all = append(all, raw[id]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for id := 0; id < procs; id++ {
+		if mergeErrs[id] != nil {
+			t.Fatalf("node %d: readFleetHist: %v", id, mergeErrs[id])
+		}
+		if empty[id] == nil || empty[id].Count() != 0 {
+			t.Fatalf("node %d: unpublished histogram merged non-empty", id)
+		}
+		m := merged[id]
+		if m.Count() != pooled.Count() || m.Sum() != pooled.Sum() || m.Max() != pooled.Max() {
+			t.Fatalf("node %d merged (count %d sum %d) disagrees with pooled (count %d sum %d)",
+				id, m.Count(), m.Sum(), pooled.Count(), pooled.Sum())
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			got, want := m.Quantile(q), pooled.Quantile(q)
+			if got != want {
+				t.Errorf("node %d q%v: merged %d != pooled %d", id, q, got, want)
+			}
+			rank := int(math.Ceil(q * float64(len(all))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := all[rank-1]
+			if d := got - exact; d < -(exact>>4+1) || d > exact>>4+1 {
+				t.Errorf("node %d q%v: merged %d too far from exact pooled percentile %d", id, q, got, exact)
+			}
+		}
+	}
+}
+
 func TestMixednodeFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-peers", "a:1,b:2"}, &buf); err == nil {
@@ -164,5 +283,11 @@ func TestMixednodeFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-id", "0", "-peers", "a:1,b:2", "-app", "solve", "-scoped"}, &buf); err == nil {
 		t.Fatal("-scoped without -app emfield accepted")
+	}
+	if err := run([]string{"-id", "0", "-peers", "a:1,b:2", "-app", "session", "-labels", "psychic"}, &buf); err == nil {
+		t.Fatal("bad -labels accepted")
+	}
+	if err := run([]string{"-id", "0", "-peers", "a:1,b:2", "-app", "solve", "-labels", "hybrid"}, &buf); err == nil {
+		t.Fatal("-labels without -app session accepted")
 	}
 }

@@ -465,45 +465,29 @@ func sealedSites(info *types.Info, g *cfg.Graph) map[*ast.CallExpr]bool {
 	return out
 }
 
-// cycleBlocks marks blocks that lie on a control-flow cycle.
+// cycleBlocks marks blocks that lie on a control-flow cycle: b is on a
+// cycle iff b is reachable from itself. Plain per-block DFS — memoizing
+// reachability across blocks caches partial sets wherever the recursion is
+// broken on a back edge, which silently missed blocks on branches nested
+// inside loops, and a write wrongly classified as loop-free is an
+// unsoundness in the claims this feeds.
 func cycleBlocks(g *cfg.Graph) map[*cfg.Block]bool {
-	// reach[b] = blocks reachable from b.
-	reach := make(map[*cfg.Block]map[*cfg.Block]bool)
-	var visit func(from *cfg.Block) map[*cfg.Block]bool
-	visit = func(from *cfg.Block) map[*cfg.Block]bool {
-		if r, ok := reach[from]; ok {
-			return r
-		}
-		r := make(map[*cfg.Block]bool)
-		reach[from] = r // breaks recursion on cycles (partial sets converge below)
-		for _, s := range from.Succs {
-			r[s] = true
-			for b := range visit(s) {
-				r[b] = true
-			}
-		}
-		return r
-	}
-	// Two rounds: the first may see partial sets through back edges, the
-	// second reads the completed first-round sets.
-	for _, blk := range g.Blocks {
-		visit(blk)
-	}
-	reach2 := make(map[*cfg.Block]map[*cfg.Block]bool)
-	for _, blk := range g.Blocks {
-		r := make(map[*cfg.Block]bool)
-		for _, s := range blk.Succs {
-			r[s] = true
-			for b := range reach[s] {
-				r[b] = true
-			}
-		}
-		reach2[blk] = r
-	}
 	out := make(map[*cfg.Block]bool)
-	for _, blk := range g.Blocks {
-		if reach2[blk][blk] {
-			out[blk] = true
+	for _, start := range g.Blocks {
+		seen := make(map[*cfg.Block]bool)
+		stack := append([]*cfg.Block(nil), start.Succs...)
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if b == start {
+				out[start] = true
+				break
+			}
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			stack = append(stack, b.Succs...)
 		}
 	}
 	return out

@@ -9,7 +9,7 @@ import (
 	"mixedmem/internal/analysis/cfg"
 )
 
-func TestTmpCycleBlocksIfInsideFor(t *testing.T) {
+func TestCycleBlocksMatchesReachability(t *testing.T) {
 	src := `package p
 func f(c bool) {
 	for i := 0; i < 10; i++ {

@@ -126,6 +126,84 @@ func runPlacementCaseTCP(mode placementMode, prob *apps.EMProblem, refE []float6
 	return msgs, elapsed, exact, nil
 }
 
+// runServingCellTCP runs one S1 cell over loopback TCP peers.
+func runServingCellTCP(cfg apps.SessionConfig) (ServingCell, uint64, time.Duration, error) {
+	trs, err := tcp.NewLoopback(cfg.Procs, nil)
+	if err != nil {
+		return ServingCell{}, 0, 0, fmt.Errorf("loopback: %w", err)
+	}
+	peers := make([]*core.Peer, cfg.Procs)
+	defer func() {
+		for _, tr := range trs {
+			tr.Flush(2 * time.Second)
+		}
+		for _, p := range peers {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
+	scope := apps.SessionScope(cfg)
+	for i := range peers {
+		peers[i], err = core.NewPeer(core.PeerConfig{ID: i, Transport: trs[i], Scope: scope})
+		if err != nil {
+			return ServingCell{}, 0, 0, fmt.Errorf("peer %d: %w", i, err)
+		}
+	}
+	results := make([]*apps.SessionProcResult, cfg.Procs)
+	verifyErrs := make([]error, cfg.Procs)
+	done := make(chan struct{})
+	start := time.Now()
+	for i, peer := range peers {
+		go func(i int, p *core.Proc) {
+			results[i] = apps.ServeSessions(p, cfg)
+			verifyErrs[i] = apps.VerifySessionCounters(p, cfg)
+			done <- struct{}{}
+		}(i, peer.Proc())
+	}
+	for range peers {
+		<-done
+	}
+	elapsed := time.Since(start)
+	for _, err := range verifyErrs {
+		if err != nil {
+			return ServingCell{}, 0, 0, err
+		}
+	}
+	var msgs uint64
+	for _, tr := range trs {
+		msgs += tr.Stats().PerKind[dsmUpdateKind]
+	}
+	return mergeServingCell(cfg, results), msgs, elapsed, nil
+}
+
+// RunServingTCP is S1 over real sockets: the same sweep as RunServing, but
+// every process is its own peer on loopback TCP, so the visibility
+// latencies include real kernel queueing and the update counts are actual
+// frames. The Latency option is ignored; the seeded workload — and thus
+// every cell's fingerprint — is identical to the simulated run's.
+func RunServingTCP(opt ServingOptions) (ServingResult, error) {
+	o := opt.withDefaults()
+	out := ServingResult{
+		Transport: "tcp",
+		Procs:     o.Procs, Workers: o.Workers, Ops: o.Ops, Warmup: o.Warmup,
+		Seed: o.Seed,
+	}
+	for _, rate := range o.Rates {
+		for _, mode := range o.Modes {
+			cfg := o.sessionConfig(mode, rate)
+			cell, msgs, elapsed, err := runServingCellTCP(cfg)
+			if err != nil {
+				return out, fmt.Errorf("serving tcp (%v, rate %.0f): %w", mode, rate, err)
+			}
+			cell.UpdateMsgs = msgs
+			cell.Elapsed = elapsed
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, nil
+}
+
 // RunPlacementAblationTCP is the A3 placement ablation over real sockets:
 // every peer is its own node on loopback TCP, so the message counts are
 // actual frames sent rather than simulated deliveries. Broadcast, scoped

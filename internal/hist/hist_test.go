@@ -1,0 +1,220 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile returns the ceil(q*n)-th smallest sample, the definition
+// Quantile buckets.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileWithinBucketError is the histogram property test: for random
+// sample sets spanning nanoseconds to minutes, every reported percentile
+// must lie in the bucket of the exact percentile, i.e. within half a
+// bucket width (≤ 2^-subBits relative error) of it.
+func TestQuantileWithinBucketError(t *testing.T) {
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for seed := int64(1); seed <= 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 100 + r.Intn(5000)
+		samples := make([]int64, n)
+		h := New()
+		for i := range samples {
+			// Log-uniform magnitudes so every octave is exercised.
+			v := int64(math.Exp(r.Float64() * 25)) // up to ~7e10 ns
+			samples[i] = v
+			h.Record(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			exact := exactQuantile(samples, q)
+			got := h.Quantile(q)
+			lo, hi := bucketBounds(bucketIndex(exact))
+			if got < lo || got > hi {
+				t.Fatalf("seed %d q=%v: reported %d outside exact value %d's bucket [%d,%d]",
+					seed, q, got, exact, lo, hi)
+			}
+			width := hi - lo + 1
+			if d := got - exact; d > width/2+1 || d < -(width/2+1) {
+				t.Fatalf("seed %d q=%v: reported %d is %d away from exact %d, bucket width %d",
+					seed, q, got, d, exact, width)
+			}
+		}
+		if h.Count() != int64(n) {
+			t.Fatalf("count %d, want %d", h.Count(), n)
+		}
+		if h.Min() != samples[0] || h.Max() != samples[n-1] {
+			t.Fatalf("min/max %d/%d, want %d/%d", h.Min(), h.Max(), samples[0], samples[n-1])
+		}
+	}
+}
+
+func TestBucketIndexBounds(t *testing.T) {
+	for _, v := range []int64{0, 1, subCount - 1, subCount, subCount + 1,
+		1000, 1 << 20, math.MaxInt64 - 1, math.MaxInt64} {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of [0,%d)", v, i, numBuckets)
+		}
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside its own bucket %d's bounds [%d,%d]", v, i, lo, hi)
+		}
+	}
+	// Indexes are monotone in the value.
+	prev := -1
+	for v := int64(0); v < 1<<14; v++ {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+func randomHist(seed int64, n int) *Histogram {
+	r := rand.New(rand.NewSource(seed))
+	h := New()
+	for i := 0; i < n; i++ {
+		h.Record(int64(math.Exp(r.Float64() * 22)))
+	}
+	return h
+}
+
+func histsEqual(a, b *Histogram) bool {
+	if a.total != b.total || a.sum != b.sum || a.Min() != b.Min() || a.Max() != b.Max() {
+		return false
+	}
+	for i := range a.counts {
+		if a.counts[i] != b.counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeAssociativeCommutative checks the merge laws the fleet-wide
+// exchange relies on: any merge order of per-node histograms yields the
+// same histogram, and the merge equals the histogram of the pooled
+// samples.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	a, b, c := randomHist(1, 500), randomHist(2, 800), randomHist(3, 50)
+
+	ab := New()
+	ab.Merge(a)
+	ab.Merge(b)
+	ab.Merge(c)
+
+	cb := New()
+	cb.Merge(c)
+	cb.Merge(b)
+	cb.Merge(a)
+
+	bc := New()
+	bc.Merge(b)
+	bc.Merge(c)
+	acc := New()
+	acc.Merge(a)
+	acc.Merge(bc)
+
+	if !histsEqual(ab, cb) || !histsEqual(ab, acc) {
+		t.Fatal("merge is not order-independent")
+	}
+
+	// Pooled: one histogram fed all three sample streams directly.
+	pooled := New()
+	for seed, n := range map[int64]int{1: 500, 2: 800, 3: 50} {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			pooled.Record(int64(math.Exp(r.Float64() * 22)))
+		}
+	}
+	if !histsEqual(ab, pooled) {
+		t.Fatal("merged histogram differs from pooled-sample histogram")
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if ab.Quantile(q) != pooled.Quantile(q) {
+			t.Fatalf("q=%v: merged %d != pooled %d", q, ab.Quantile(q), pooled.Quantile(q))
+		}
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	h := New()
+	if n := testing.AllocsPerRun(1000, func() { h.Record(123456) }); n != 0 {
+		t.Fatalf("Record allocates %v times per call", n)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, h := range []*Histogram{New(), randomHist(7, 1000)} {
+		b, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got := New()
+		if err := got.UnmarshalBinary(b); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !histsEqual(h, got) {
+			t.Fatal("binary round trip changed the histogram")
+		}
+	}
+	if err := New().UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated input did not error")
+	}
+}
+
+func TestCellsRoundTripAndAccumulate(t *testing.T) {
+	a, b := randomHist(11, 700), randomHist(12, 300)
+
+	merged := New()
+	if err := merged.AddCells(a.Cells()); err != nil {
+		t.Fatalf("AddCells(a): %v", err)
+	}
+	if err := merged.AddCells(b.Cells()); err != nil {
+		t.Fatalf("AddCells(b): %v", err)
+	}
+
+	want := New()
+	want.Merge(a)
+	want.Merge(b)
+	if !histsEqual(merged, want) {
+		t.Fatal("cell-merged histogram differs from direct merge")
+	}
+
+	empty := New()
+	viaCells := New()
+	if err := viaCells.AddCells(empty.Cells()); err != nil {
+		t.Fatalf("AddCells(empty): %v", err)
+	}
+	if viaCells.Count() != 0 || viaCells.Min() != 0 || viaCells.Max() != 0 {
+		t.Fatal("empty histogram's cells perturbed the receiver")
+	}
+	if err := New().AddCells(nil); err == nil {
+		t.Fatal("missing header cells did not error")
+	}
+}
+
+func TestQuantileEmptyAndClamped(t *testing.T) {
+	h := New()
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Record(-5) // clamps to zero
+	if h.Quantile(-1) != 0 || h.Quantile(2) != 0 {
+		t.Fatal("clamped quantiles of the zero sample != 0")
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatal("negative sample did not clamp to zero")
+	}
+}

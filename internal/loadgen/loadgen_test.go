@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeterministicTrace is the loadgen determinism guarantee: the same
+// config yields the identical request sequence, and fingerprints agree;
+// different seeds or worker ids diverge.
+func TestDeterministicTrace(t *testing.T) {
+	cfg := Config{Keys: 256, ZipfS: 1.1, ReadFraction: 0.7, Seed: 42, Worker: 3}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 10000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+	if Fingerprint(cfg, 5000) != Fingerprint(cfg, 5000) {
+		t.Fatal("fingerprints of identical configs differ")
+	}
+	other := cfg
+	other.Worker = 4
+	if Fingerprint(cfg, 5000) == Fingerprint(other, 5000) {
+		t.Fatal("different workers produced the same fingerprint")
+	}
+	other = cfg
+	other.Seed = 43
+	if Fingerprint(cfg, 5000) == Fingerprint(other, 5000) {
+		t.Fatal("different seeds produced the same fingerprint")
+	}
+}
+
+func TestReadWriteMixAndKeyRange(t *testing.T) {
+	cfg := Config{Keys: 64, ZipfS: 0.99, ReadFraction: 0.9, Seed: 7}
+	g := New(cfg)
+	reads := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		req := g.Next()
+		if req.Key < 0 || req.Key >= cfg.Keys {
+			t.Fatalf("key %d out of range [0,%d)", req.Key, cfg.Keys)
+		}
+		if req.Arrival != 0 {
+			t.Fatalf("closed-loop request carries arrival %v", req.Arrival)
+		}
+		if req.Op == OpRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.88 || frac > 0.92 {
+		t.Fatalf("read fraction %.3f, want ≈0.9", frac)
+	}
+}
+
+// TestZipfSkew checks the sampler is actually zipfian: with s=1 over a
+// small key space, the hottest key's share must be close to its analytic
+// probability and far above uniform.
+func TestZipfSkew(t *testing.T) {
+	const keys, n = 16, 50000
+	g := New(Config{Keys: keys, ZipfS: 1, Seed: 5})
+	counts := make([]int, keys)
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// Analytic: P(0) = 1/H_16 ≈ 0.296.
+	share := float64(counts[0]) / n
+	if share < 0.27 || share > 0.32 {
+		t.Fatalf("hottest key share %.3f, want ≈0.296", share)
+	}
+	if counts[0] <= counts[keys-1] {
+		t.Fatal("head key not hotter than tail key")
+	}
+	// Uniform control.
+	g = New(Config{Keys: keys, ZipfS: 0, Seed: 5})
+	counts = make([]int, keys)
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	share = float64(counts[0]) / n
+	if share < 0.05 || share > 0.08 {
+		t.Fatalf("uniform key share %.3f, want ≈0.0625", share)
+	}
+}
+
+// TestOpenLoopArrivals checks the open-loop schedule: arrivals are
+// strictly increasing, deterministic, and the mean interarrival matches
+// 1/rate.
+func TestOpenLoopArrivals(t *testing.T) {
+	cfg := Config{Keys: 8, Seed: 9, Rate: 1000} // 1k req/s -> 1ms mean gap
+	a, b := New(cfg), New(cfg)
+	var prev time.Duration
+	const n = 20000
+	var last time.Duration
+	for i := 0; i < n; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra.Arrival != rb.Arrival {
+			t.Fatalf("arrival %d diverged across identical generators", i)
+		}
+		if ra.Arrival <= prev {
+			t.Fatalf("arrival %d not increasing: %v after %v", i, ra.Arrival, prev)
+		}
+		prev = ra.Arrival
+		last = ra.Arrival
+	}
+	mean := last / n
+	if mean < 900*time.Microsecond || mean > 1100*time.Microsecond {
+		t.Fatalf("mean interarrival %v, want ≈1ms", mean)
+	}
+}
