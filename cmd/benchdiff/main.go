@@ -1,0 +1,217 @@
+// Command benchdiff compares two perf-trajectory measurements (the JSONL
+// emitted by `mixedbench -exp perf -json`, or a JSON object/array holding
+// PerfCells) and fails when the current run regresses against the baseline.
+//
+//	benchdiff [-tol 0.10] [-alloc-tol 0.05] baseline.json current.json [more-current.json ...]
+//
+// Cells are matched on their grid key (transport/scenario/label/batch/
+// writers/readers). Two gates run per matched cell:
+//
+//   - throughput: current ns/op may exceed baseline ns/op by at most -tol
+//     (relative). Wall-clock numbers are noisy — scheduler preemption on a
+//     shared box moves single runs by tens of percent — so pass SEVERAL
+//     current files (repeated runs) and benchdiff takes the per-cell best
+//     before applying the tolerance: the minimum ns/op across runs is the
+//     least-disturbed observation and converges on the machine's true
+//     floor, while means and single runs do not.
+//   - allocations: current allocs/op may exceed the baseline by at most
+//     -alloc-tol (absolute). Allocation counts are near-deterministic —
+//     they measure code paths, not the scheduler — so the slack is only
+//     for process-wide counting jitter (background applier goroutines
+//     land in the same counter), and any real regression trips the gate.
+//
+// Baseline cells missing from the current run fail the diff (a shrunk grid
+// silently hides regressions); cells new in the current run are reported
+// and pass.
+//
+// Exit status: 0 clean, 1 regression or shrunk grid, 2 usage/parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mixedmem/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if err == errRegression {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+}
+
+var errRegression = fmt.Errorf("regression")
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	tol := fs.Float64("tol", 0.10, "relative ns/op tolerance before a throughput regression fails")
+	allocTol := fs.Float64("alloc-tol", 0.05, "absolute allocs/op tolerance before an allocation regression fails")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("usage: benchdiff [-tol f] [-alloc-tol f] baseline.json current.json [more-current.json ...]")
+	}
+
+	base, err := loadCells(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", fs.Arg(0), err)
+	}
+	cur := map[string]bench.PerfCell{}
+	for _, path := range fs.Args()[1:] {
+		cells, err := loadCells(path)
+		if err != nil {
+			return fmt.Errorf("current %s: %w", path, err)
+		}
+		// Best-of across runs, per cell and per metric: minimum ns/op and
+		// minimum allocs/op independently (noise only ever inflates both).
+		for k, c := range cells {
+			best, ok := cur[k]
+			if !ok {
+				cur[k] = c
+				continue
+			}
+			if c.NsPerOp < best.NsPerOp {
+				best.NsPerOp = c.NsPerOp
+				best.OpsPerSec = c.OpsPerSec
+			}
+			if c.AllocsPerOp < best.AllocsPerOp {
+				best.AllocsPerOp = c.AllocsPerOp
+			}
+			cur[k] = best
+		}
+	}
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failed := false
+	fmt.Printf("%-32s %10s %10s %7s  %9s %9s  %s\n",
+		"cell", "base ns", "cur ns", "Δns", "base al", "cur al", "verdict")
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			fmt.Printf("%-32s %10.0f %10s %7s  %9.3f %9s  MISSING\n",
+				k, b.NsPerOp, "-", "-", b.AllocsPerOp, "-")
+			failed = true
+			continue
+		}
+		dNs := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if c.NsPerOp > b.NsPerOp*(1+*tol) {
+			verdict = "NS REGRESSION"
+			failed = true
+		}
+		if c.AllocsPerOp > b.AllocsPerOp+*allocTol {
+			if verdict == "ok" {
+				verdict = "ALLOC REGRESSION"
+			} else {
+				verdict += " + ALLOC REGRESSION"
+			}
+			failed = true
+		}
+		fmt.Printf("%-32s %10.0f %10.0f %+6.1f%%  %9.3f %9.3f  %s\n",
+			k, b.NsPerOp, c.NsPerOp, dNs*100, b.AllocsPerOp, c.AllocsPerOp, verdict)
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("%-32s %10s %10.0f %7s  %9s %9.3f  new cell\n",
+				k, "-", cur[k].NsPerOp, "-", "-", cur[k].AllocsPerOp)
+		}
+	}
+	if failed {
+		return errRegression
+	}
+	return nil
+}
+
+// loadCells reads one measurement file in any of the shapes the toolchain
+// produces: `mixedbench -json` JSONL (rows with type PerfCell), a
+// PerfResult object, or a bare array of cells.
+func loadCells(path string) (map[string]bench.PerfCell, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bench.PerfCell{}
+	add := func(c bench.PerfCell) {
+		// Duplicate keys within one file (repeated runs appended together)
+		// merge best-of, exactly like cells across files: noise only ever
+		// inflates a measurement, so the minimum is the signal.
+		best, ok := out[c.Key()]
+		if !ok {
+			out[c.Key()] = c
+			return
+		}
+		if c.NsPerOp < best.NsPerOp {
+			best.NsPerOp = c.NsPerOp
+			best.OpsPerSec = c.OpsPerSec
+		}
+		if c.AllocsPerOp < best.AllocsPerOp {
+			best.AllocsPerOp = c.AllocsPerOp
+		}
+		out[c.Key()] = best
+	}
+
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") && !strings.Contains(strings.SplitN(trimmed, "\n", 2)[0], `"type"`) {
+		// A single JSON object: PerfResult.
+		var r bench.PerfResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		for _, c := range r.Cells {
+			add(c)
+		}
+		return out, nil
+	}
+	if strings.HasPrefix(trimmed, "[") {
+		var cells []bench.PerfCell
+		if err := json.Unmarshal(data, &cells); err != nil {
+			return nil, err
+		}
+		for _, c := range cells {
+			add(c)
+		}
+		return out, nil
+	}
+
+	// JSONL from mixedbench -json: skip rows of other experiments.
+	for i, line := range strings.Split(trimmed, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Type string          `json:"type"`
+			Data json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		if rec.Type != "PerfCell" {
+			continue
+		}
+		var c bench.PerfCell
+		if err := json.Unmarshal(rec.Data, &c); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		add(c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no PerfCell rows found")
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mixedmem/internal/bench"
+)
+
+func writeCells(t *testing.T, dir, name string, cells []bench.PerfCell) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(bench.PerfResult{Transport: "sim", Procs: 4, Cells: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func cell(ns, allocs float64) bench.PerfCell {
+	return bench.PerfCell{
+		Transport: "sim", Scenario: "write", Label: "pram", Batch: 64,
+		Writers: 1, Ops: 1000, NsPerOp: ns, AllocsPerOp: allocs,
+		OpsPerSec: 1e9 / ns,
+	}
+}
+
+func TestCleanDiffPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeCells(t, dir, "base.json", []bench.PerfCell{cell(100, 1.0)})
+	cur := writeCells(t, dir, "cur.json", []bench.PerfCell{cell(105, 1.0)})
+	if err := run([]string{base, cur}); err != nil {
+		t.Fatalf("5%% slower within 10%% tolerance must pass, got %v", err)
+	}
+}
+
+func TestThroughputRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeCells(t, dir, "base.json", []bench.PerfCell{cell(100, 1.0)})
+	cur := writeCells(t, dir, "cur.json", []bench.PerfCell{cell(125, 1.0)})
+	if err := run([]string{base, cur}); err != errRegression {
+		t.Fatalf("25%% slower must fail the 10%% gate, got %v", err)
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeCells(t, dir, "base.json", []bench.PerfCell{cell(100, 1.0)})
+	cur := writeCells(t, dir, "cur.json", []bench.PerfCell{cell(100, 2.0)})
+	if err := run([]string{base, cur}); err != errRegression {
+		t.Fatalf("+1 alloc/op must fail, got %v", err)
+	}
+}
+
+func TestBestOfManyRunsDeNoises(t *testing.T) {
+	dir := t.TempDir()
+	base := writeCells(t, dir, "base.json", []bench.PerfCell{cell(100, 1.0)})
+	// One noisy run and one quiet run: the per-cell best must be compared.
+	noisy := writeCells(t, dir, "noisy.json", []bench.PerfCell{cell(180, 1.2)})
+	quiet := writeCells(t, dir, "quiet.json", []bench.PerfCell{cell(102, 1.0)})
+	if err := run([]string{base, noisy, quiet}); err != nil {
+		t.Fatalf("best-of runs must pass, got %v", err)
+	}
+}
+
+func TestMissingCellFails(t *testing.T) {
+	dir := t.TempDir()
+	extra := cell(50, 0)
+	extra.Scenario = "contended1"
+	base := writeCells(t, dir, "base.json", []bench.PerfCell{cell(100, 1.0), extra})
+	cur := writeCells(t, dir, "cur.json", []bench.PerfCell{cell(100, 1.0)})
+	if err := run([]string{base, cur}); err != errRegression {
+		t.Fatalf("shrunk grid must fail, got %v", err)
+	}
+}
+
+func TestLoadCellsJSONL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rows.jsonl")
+	c := cell(100, 1.0)
+	data, _ := json.Marshal(struct {
+		Exp  string         `json:"exp"`
+		Type string         `json:"type"`
+		Data bench.PerfCell `json:"data"`
+	}{"perf", "PerfCell", c})
+	other := []byte(`{"exp":"e6","type":"Row","data":{"x":1}}`)
+	if err := os.WriteFile(path, append(append(append([]byte{}, other...), '\n'), append(data, '\n')...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := loadCells(path)
+	if err != nil {
+		t.Fatalf("loadCells: %v", err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1 (non-PerfCell rows skipped)", len(cells))
+	}
+	if got := cells[c.Key()]; got.NsPerOp != 100 {
+		t.Fatalf("cell round-trip: %+v", got)
+	}
+}

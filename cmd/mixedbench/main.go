@@ -146,6 +146,7 @@ func runTo(args []string, out io.Writer) error {
 		{"a2", "Ablation: where each propagation mode pays (asymmetric links)", runA2, false},
 		{"a3", "Ablation: access-pattern placement vs broadcast (Section 6)", runA3, true},
 		{"s1", "Serving: session/KV tail latency per label configuration under load", runS1, true},
+		{"perf", "Perf trajectory: hot-path ns/op, allocs/op, and contended throughput", runPerf, true},
 	}
 
 	want := strings.ToLower(cfg.exp)
@@ -301,6 +302,32 @@ func runS1(cfg *config) error {
 		"scopes (partial replication) and aggregates as PRAM counter objects cuts",
 		"update traffic and tail write-visibility latency versus labeling everything",
 		"causal-broadcast, without changing any verdict of the checker")
+	return nil
+}
+
+func runPerf(cfg *config) error {
+	opt := bench.PerfOptions{Procs: cfg.procs}
+	if cfg.quick {
+		opt.Ops = 4000
+	}
+	var r bench.PerfResult
+	var err error
+	if cfg.transport == "tcp" {
+		r, err = bench.RunPerfTCP(opt)
+	} else {
+		r, err = bench.RunPerf(opt)
+	}
+	if err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if err := cfg.emit(c); err != nil {
+			return err
+		}
+	}
+	cfg.claim("claim (ROADMAP, raw speed): weaker labels must be cheaper in implementation,",
+		"not just in protocol; the grid pins ns/op, allocs/op, and contended",
+		"throughput so cmd/benchdiff can fail CI when a change regresses them")
 	return nil
 }
 

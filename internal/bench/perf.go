@@ -1,0 +1,403 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/network"
+	"mixedmem/internal/transport"
+	"mixedmem/internal/transport/tcp"
+)
+
+// Experiment PERF: the raw-speed trajectory. Every other experiment charges
+// protocol costs through a latency model or a real network; this one measures
+// the implementation itself — nanoseconds and heap allocations per operation
+// on the write→outbox→codec→transport hot path, and aggregate throughput when
+// many goroutines hit one replica on distinct locations. The grid is fixed
+// (labels × batch configuration × scenario × substrate) so two runs are
+// comparable row by row: mixedbench -exp perf emits the cells as JSON and
+// cmd/benchdiff compares them against the previous run's committed baseline,
+// failing CI on regressions. The paper's economics only mean something if
+// each consistency label's implementation is near the hardware floor; this
+// harness is what keeps it there.
+
+// PerfCell is one grid point of the perf experiment.
+type PerfCell struct {
+	// Transport is the substrate: "sim" or "tcp" (loopback sockets).
+	Transport string `json:"transport"`
+	// Scenario is "write" (one writer, drain-to-peers throughput),
+	// "contended" (many writer + reader goroutines on distinct locations of
+	// one replica while a remote peer streams updates into it), or
+	// "contended1" (the same goroutine mix all hammering one single
+	// location — remote streamer included — so every operation contends on
+	// one cell; the row the sharded apply path's lock-free reads answer to).
+	Scenario string `json:"scenario"`
+	// Label is the consistency configuration: "pram" (PRAMOnly), "causal"
+	// (full broadcast with timestamps), or "scoped" (causal-scoped
+	// point-to-point placement).
+	Label string `json:"label"`
+	// Batch is the outbox MaxUpdates threshold; 0 means the outbox is off.
+	Batch int `json:"batch"`
+	// Writers and Readers are the goroutine counts of the scenario.
+	Writers int `json:"writers"`
+	Readers int `json:"readers"`
+	// Ops is the total number of measured operations (writes + reads).
+	Ops int `json:"ops"`
+	// NsPerOp, AllocsPerOp, and OpsPerSec are the measurements. Allocations
+	// are process-wide mallocs per operation: they include the receive path
+	// of every in-process replica, which is exactly the end-to-end path the
+	// alloc-free work pins.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// Key identifies the cell's grid point independent of measurements; benchdiff
+// matches baseline and current rows on it.
+func (c PerfCell) Key() string {
+	return fmt.Sprintf("%s/%s/%s/b%d/w%d/r%d",
+		c.Transport, c.Scenario, c.Label, c.Batch, c.Writers, c.Readers)
+}
+
+func (c PerfCell) String() string {
+	return fmt.Sprintf("%-28s ops=%-7d %9.0f ns/op %7.2f allocs/op %12.0f ops/s",
+		c.Key(), c.Ops, c.NsPerOp, c.AllocsPerOp, c.OpsPerSec)
+}
+
+// PerfResult is the full grid on one substrate.
+type PerfResult struct {
+	Transport string     `json:"transport"`
+	Procs     int        `json:"procs"`
+	Cells     []PerfCell `json:"cells"`
+}
+
+func (r PerfResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf (%s): procs=%d\n", r.Transport, r.Procs)
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// PerfOptions configures the perf grid.
+type PerfOptions struct {
+	// Procs is the replica count (default 4).
+	Procs int
+	// Ops is the measured write count per cell (default 20000 sim, a quarter
+	// of that on tcp where the kernel round trips dominate).
+	Ops int
+	// Warmup is the unmeasured write count per cell (default Ops/10),
+	// letting pools, maps, and outbox rings reach steady state before the
+	// allocation window opens.
+	Warmup int
+}
+
+func (o PerfOptions) withDefaults() PerfOptions {
+	if o.Procs == 0 {
+		o.Procs = 4
+	}
+	if o.Ops == 0 {
+		o.Ops = 20000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Ops / 10
+	}
+	return o
+}
+
+// perfGrid is the fixed cell grid per substrate. Keeping it a function of
+// nothing (not flags, not hardware) is what makes BENCH_PERF.json files
+// comparable across runs.
+func perfGrid() []PerfCell {
+	return []PerfCell{
+		{Scenario: "write", Label: "pram", Batch: 0, Writers: 1},
+		{Scenario: "write", Label: "pram", Batch: 64, Writers: 1},
+		{Scenario: "write", Label: "causal", Batch: 0, Writers: 1},
+		{Scenario: "write", Label: "causal", Batch: 64, Writers: 1},
+		{Scenario: "write", Label: "scoped", Batch: 64, Writers: 1},
+		{Scenario: "contended", Label: "pram", Batch: 0, Writers: 4, Readers: 4},
+		{Scenario: "contended", Label: "causal", Batch: 64, Writers: 4, Readers: 4},
+		{Scenario: "contended1", Label: "pram", Batch: 0, Writers: 4, Readers: 4},
+		{Scenario: "contended1", Label: "causal", Batch: 64, Writers: 4, Readers: 4},
+	}
+}
+
+// perfLocs are the writer locations: a small working set, round-robined, so
+// coalescing and shard spread both behave as in real workloads.
+const perfLocCount = 8
+
+func perfLoc(writer, i int) string {
+	return fmt.Sprintf("w%d_%d", writer, i%perfLocCount)
+}
+
+// remoteLoc is the location set the remote streamer writes in the contended
+// scenario.
+func remoteLoc(i int) string {
+	return fmt.Sprintf("x%d", i%perfLocCount)
+}
+
+// perfScope builds the scoped-label placement: every writer location of node
+// 0 is registered to the single causal reader 1, the point-to-point
+// placement whose metadata (chain pointers + dependency matrices) exercises
+// the scoped-causal fast path.
+func perfScope(writers int) *dsm.ScopeMap {
+	s := &dsm.ScopeMap{
+		Readers:       map[string][]int{},
+		CausalReaders: map[string][]int{},
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perfLocCount; i++ {
+			loc := perfLoc(w, i)
+			s.Readers[loc] = []int{1}
+			s.CausalReaders[loc] = []int{1}
+		}
+	}
+	return s
+}
+
+// RunPerf runs the grid on the simulated fabric with a zero latency model:
+// the fabric then measures pure implementation cost (queues, locks, clocks,
+// outbox), which is the quantity the optimization passes move.
+func RunPerf(opt PerfOptions) (PerfResult, error) {
+	o := opt.withDefaults()
+	out := PerfResult{Transport: "sim", Procs: o.Procs}
+	for _, cell := range perfGrid() {
+		cell.Transport = "sim"
+		measured, err := runPerfCellSim(o, cell)
+		if err != nil {
+			return out, fmt.Errorf("perf %s: %w", cell.Key(), err)
+		}
+		out.Cells = append(out.Cells, measured)
+	}
+	return out, nil
+}
+
+// RunPerfTCP runs a socket-path subset of the grid over loopback TCP: the
+// cells that exercise the frame writer, the pooled codec buffers, and the
+// read loop. The contended scenario is sim-only (its point is lock
+// contention inside one replica, which sockets only blur).
+func RunPerfTCP(opt PerfOptions) (PerfResult, error) {
+	o := opt.withDefaults()
+	if opt.Ops == 0 {
+		o.Ops = o.Ops / 4
+		o.Warmup = o.Ops / 10
+	}
+	out := PerfResult{Transport: "tcp", Procs: o.Procs}
+	for _, cell := range perfGrid() {
+		if cell.Scenario != "write" || cell.Label == "scoped" {
+			continue
+		}
+		cell.Transport = "tcp"
+		measured, err := runPerfCellTCP(o, cell)
+		if err != nil {
+			return out, fmt.Errorf("perf %s: %w", cell.Key(), err)
+		}
+		out.Cells = append(out.Cells, measured)
+	}
+	return out, nil
+}
+
+// buildPerfNode constructs one replica for a cell.
+func buildPerfNode(id int, o PerfOptions, cell PerfCell, tr transport.Transport) (*dsm.Node, error) {
+	cfg := dsm.Config{ID: id, N: o.Procs, Transport: tr}
+	switch cell.Label {
+	case "pram":
+		cfg.PRAMOnly = true
+	case "causal":
+	case "scoped":
+		cfg.Scope = perfScope(cell.Writers)
+	default:
+		return nil, fmt.Errorf("unknown label %q", cell.Label)
+	}
+	if cell.Batch > 0 {
+		cfg.Batch = dsm.BatchConfig{Enabled: true, MaxUpdates: cell.Batch}
+	}
+	return dsm.NewNode(cfg)
+}
+
+// runPerfCellSim measures one cell on a shared zero-latency fabric.
+func runPerfCellSim(o PerfOptions, cell PerfCell) (PerfCell, error) {
+	f, err := network.New(network.Config{Nodes: o.Procs})
+	if err != nil {
+		return cell, err
+	}
+	nodes := make([]*dsm.Node, o.Procs)
+	for i := range nodes {
+		nodes[i], err = buildPerfNode(i, o, cell, f)
+		if err != nil {
+			f.Close()
+			for _, nd := range nodes {
+				if nd != nil {
+					nd.Close()
+				}
+			}
+			return cell, err
+		}
+	}
+	defer func() {
+		f.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	return measurePerfCell(o, cell, nodes)
+}
+
+// runPerfCellTCP measures one cell over loopback TCP, one transport (and
+// replica) per node, all in this process so drain waits stay observable.
+func runPerfCellTCP(o PerfOptions, cell PerfCell) (PerfCell, error) {
+	trs, err := tcp.NewLoopback(o.Procs, nil)
+	if err != nil {
+		return cell, err
+	}
+	nodes := make([]*dsm.Node, o.Procs)
+	cleanup := func() {
+		for _, tr := range trs {
+			tr.Flush(2 * time.Second)
+		}
+		for i, nd := range nodes {
+			trs[i].Close()
+			if nd != nil {
+				nd.Close()
+			}
+		}
+	}
+	for i := range nodes {
+		nodes[i], err = buildPerfNode(i, o, cell, trs[i])
+		if err != nil {
+			cleanup()
+			return cell, err
+		}
+	}
+	defer cleanup()
+	return measurePerfCell(o, cell, nodes)
+}
+
+// measurePerfCell runs the scenario: a warmup pass, then a measured pass
+// bracketed by ReadMemStats, timing from first write to full drain at every
+// receiving replica.
+func measurePerfCell(o PerfOptions, cell PerfCell, nodes []*dsm.Node) (PerfCell, error) {
+	writerOps := o.Ops / cell.Writers
+	drain := func(sentPerWriterNode map[int]uint64) {
+		// Every replica that receives the traffic must have applied it:
+		// under broadcast labels that is every peer; under the scoped label
+		// only replica 1 is registered.
+		min := make([]uint64, len(nodes))
+		for from, count := range sentPerWriterNode {
+			min[from] = count
+		}
+		for j, nd := range nodes {
+			if cell.Label == "scoped" && j != 1 {
+				continue
+			}
+			nd.WaitReceived(min)
+		}
+	}
+
+	// Precompute every location string: the harness must not charge its own
+	// fmt.Sprintf allocations to the measured path.
+	writerLocs := make([][]string, cell.Writers)
+	for w := range writerLocs {
+		writerLocs[w] = make([]string, perfLocCount)
+		for i := range writerLocs[w] {
+			writerLocs[w][i] = perfLoc(w, i)
+		}
+	}
+	remoteLocs := make([]string, perfLocCount)
+	for i := range remoteLocs {
+		remoteLocs[i] = remoteLoc(i)
+	}
+	if cell.Scenario == "contended1" {
+		// Single-location contention: every goroutine — local writers, local
+		// readers, and the remote streamer — hits the same cell.
+		for w := range writerLocs {
+			for i := range writerLocs[w] {
+				writerLocs[w][i] = "hot"
+			}
+		}
+		for i := range remoteLocs {
+			remoteLocs[i] = "hot"
+		}
+	}
+
+	var seq uint64 // monotone values so awaited convergence is unambiguous
+	runPass := func(ops int) int {
+		var wg sync.WaitGroup
+		var stop atomic.Bool
+		var reads atomic.Int64
+		total := 0
+		// Readers (contended scenario): hammer the writers' locations until
+		// the writers finish.
+		for r := 0; r < cell.Readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				locs := writerLocs[r%cell.Writers]
+				n := 0
+				for !stop.Load() {
+					nodes[0].ReadPRAM(locs[n%perfLocCount])
+					n++
+				}
+				reads.Add(int64(n))
+			}(r)
+		}
+		// Remote streamer (contended scenario): replica 1 writes its own
+		// location set, feeding replica 0's receive loop concurrently.
+		remoteOps := 0
+		if strings.HasPrefix(cell.Scenario, "contended") {
+			remoteOps = ops
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < remoteOps; i++ {
+					nodes[1].Write(remoteLocs[i%perfLocCount], int64(atomic.AddUint64(&seq, 1)))
+				}
+				nodes[1].FlushUpdates()
+			}()
+		}
+		var wwg sync.WaitGroup
+		for w := 0; w < cell.Writers; w++ {
+			wwg.Add(1)
+			go func(w int) {
+				defer wwg.Done()
+				locs := writerLocs[w]
+				for i := 0; i < ops; i++ {
+					nodes[0].Write(locs[i%perfLocCount], int64(atomic.AddUint64(&seq, 1)))
+				}
+			}(w)
+		}
+		wwg.Wait()
+		nodes[0].FlushUpdates()
+		stop.Store(true)
+		wg.Wait()
+		sent := map[int]uint64{0: nodes[0].ReceivedCounts()[0]}
+		if remoteOps > 0 {
+			sent[1] = nodes[1].ReceivedCounts()[1]
+		}
+		drain(sent)
+		total = ops*cell.Writers + remoteOps + int(reads.Load())
+		return total
+	}
+
+	runPass(o.Warmup / cell.Writers)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	total := runPass(writerOps)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	cell.Ops = total
+	cell.NsPerOp = float64(elapsed.Nanoseconds()) / float64(total)
+	cell.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(total)
+	cell.OpsPerSec = float64(total) / elapsed.Seconds()
+	return cell, nil
+}

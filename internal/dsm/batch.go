@@ -1,9 +1,11 @@
 package dsm
 
 import (
+	"sync"
 	"time"
 
 	"mixedmem/internal/network"
+	"mixedmem/internal/transport"
 	"mixedmem/internal/vclock"
 )
 
@@ -116,8 +118,78 @@ func (b UpdateBatch) encodedSize() int {
 	return s
 }
 
-// outboxDest buffers the pending batch for one destination. All access is
-// under the node mutex.
+// updateSlicePool recycles the []Update slices that carry batch payloads
+// (DESIGN.md §12 pool lifecycle). A flush copies the destination's fixed
+// ring into a pooled slice; ownership then travels with the message:
+//
+//   - sim fabric: the receiver's applyBatch/drainCausalLocked returns the
+//     slice once the batch has fully applied (by-reference delivery — the
+//     sender retains nothing after Send);
+//   - tcp: the sending transport returns it after encoding the frame
+//     (transport.RecyclePayload), and the receiving codec draws its decode
+//     slice from this same pool, to be returned by its applyBatch.
+//
+// A put slice must not be referenced by anyone else; entries are cleared so
+// pooled slices pin no update payloads. The pool is a plain mutex-guarded
+// freelist rather than a sync.Pool so get/put are themselves alloc-free
+// (sync.Pool's pointer boxing costs an allocation per put).
+var updateSlicePool struct {
+	mu   sync.Mutex
+	free [][]Update
+}
+
+func getUpdateSlice(capHint int) []Update {
+	p := &updateSlicePool
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		s := p.free[i]
+		if cap(s) >= capHint {
+			p.free[i] = p.free[len(p.free)-1]
+			p.free[len(p.free)-1] = nil
+			p.free = p.free[:len(p.free)-1]
+			p.mu.Unlock()
+			return s[:0]
+		}
+	}
+	p.mu.Unlock()
+	return make([]Update, 0, capHint)
+}
+
+func putUpdateSlice(s []Update) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	p := &updateSlicePool
+	p.mu.Lock()
+	if len(p.free) < 64 {
+		p.free = append(p.free, s[:0])
+	}
+	p.mu.Unlock()
+}
+
+func init() {
+	// The tcp transport recycles a batch payload once the frame is encoded;
+	// the sim fabric delivers by reference and the receiver recycles
+	// instead (see updateSlicePool).
+	transport.RegisterRecycler(KindUpdateBatch, func(payload any) {
+		if b, ok := payload.(UpdateBatch); ok {
+			putUpdateSlice(b.Updates)
+		}
+	})
+}
+
+// outboxDest buffers the pending batch for one destination. All destinations
+// share the node-level outbox lock — the bottom of the documented lock order
+// (clockMu -> shard.mu -> outboxMu): writers enqueue under the clock lock
+// and are already serialized by it, so per-destination locks would buy no
+// writer parallelism while costing one lock pair per destination per write;
+// a single outbox lock keeps the linger flusher decoupled from the
+// clock-guarded hot paths at one lock pair per write. entries is a reusable
+// ring backing sized for MaxUpdates at construction: a flush copies the live
+// prefix into a pooled slice and truncates, so steady-state flushing
+// allocates nothing and the backing is never handed to a message.
 type outboxDest struct {
 	entries []Update
 	// setIdx maps a location to the index in entries of its latest live
@@ -129,43 +201,55 @@ type outboxDest struct {
 	count    uint64
 	bytes    int
 	// causal marks the pending batch's kind under scoped placement (batches
-	// are kind-homogeneous; enqueueLocked flushes on a kind change), and
+	// are kind-homogeneous; outboxAdd flushes on a kind change), and
 	// prevSeq is the causal chain pointer captured when the batch started.
 	causal  bool
 	prevSeq uint64
 	// deps is the address-matrix snapshot of the batch's latest covered
 	// write, captured at enqueue time (shared with the write's other
 	// destinations; receivers only merge from it). depsEpoch records
-	// Node.addrEpoch at capture, so enqueueLocked can detect that the node
+	// Node.addrEpoch at capture, so outboxAdd can detect that the node
 	// absorbed a remote matrix merge after the snapshot and split the batch
 	// instead of letting a newer snapshot cover older parked writes.
 	deps      vclock.Matrix
 	depsEpoch uint64
 }
 
-func newOutboxDest() *outboxDest {
-	return &outboxDest{setIdx: make(map[string]int)}
+func newOutboxDest(maxUpdates int) *outboxDest {
+	// Preallocate the backing up to a sane bound; configs with huge
+	// MaxUpdates (tests disabling threshold flushes) grow on demand, and
+	// the backing persists across flushes either way.
+	capHint := maxUpdates
+	if capHint > 256 {
+		capHint = 256
+	}
+	return &outboxDest{
+		entries: make([]Update, 0, capHint),
+		setIdx:  make(map[string]int),
+	}
 }
 
-// enqueueLocked adds u to destination j's pending batch, coalescing into the
-// location's live OpSet entry when allowed. It reports whether a threshold
-// was crossed and the batch should flush. causal marks the entry's kind under
-// scoped placement; a kind change flushes the pending batch first, so every
-// batch stays homogeneous. Causal entries ride without per-entry dependency
-// metadata — the batch-level Deps is deps, the caller's address-matrix
-// snapshot taken under the same lock hold as this write's bumps, refreshed at
-// every enqueue (the latest covered write's dependencies dominate the rest);
-// the caller must have recorded the chain pointer in n.prevBuf[j] already.
-// A pending causal batch whose snapshot predates a remote matrix merge
-// (addrEpoch moved) is flushed before u starts a fresh batch: this write's
-// snapshot may name a just-merged update that itself waits on a write parked
-// in the old batch, and shipping them under one matrix would hand the
-// receiver a circular wait.
-func (n *Node) enqueueLocked(j int, u Update, causal bool, deps vclock.Matrix) bool {
+// outboxAdd adds u to destination j's pending batch, coalescing into the
+// location's live OpSet entry when allowed, and flushes inline when a
+// threshold is crossed. The caller holds the clock lock (sequence numbers
+// must hit the outbox in assignment order) and the outbox lock — one
+// acquisition covers all destinations of a write. causal marks the entry's kind under scoped placement; a kind
+// change flushes the pending batch first, so every batch stays homogeneous.
+// Causal entries ride without per-entry dependency metadata — the
+// batch-level Deps is deps, the caller's address-matrix snapshot taken under
+// the same lock hold as this write's bumps, refreshed at every enqueue (the
+// latest covered write's dependencies dominate the rest); the caller must
+// have recorded the chain pointer in n.prevBuf[j] already. A pending causal
+// batch whose snapshot predates a remote matrix merge (addrEpoch moved) is
+// flushed before u starts a fresh batch: this write's snapshot may name a
+// just-merged update that itself waits on a write parked in the old batch,
+// and shipping them under one matrix would hand the receiver a circular
+// wait.
+func (n *Node) outboxAddLocked(j int, u Update, causal bool, deps vclock.Matrix) {
 	ob := n.outbox[j]
 	if ob.count > 0 && n.scopedCausal &&
 		(ob.causal != causal || (ob.causal && ob.depsEpoch != n.addrEpoch)) {
-		n.flushDestLocked(j)
+		n.flushDestLocked(j, ob)
 	}
 	if ob.count == 0 {
 		ob.firstSeq = u.Seq
@@ -191,21 +275,25 @@ func (n *Node) enqueueLocked(j int, u Update, causal bool, deps vclock.Matrix) b
 	} else {
 		// An add (or coalescing off) bars later sets from jumping over it:
 		// the location's next OpSet must append after this entry.
-		delete(n.outbox[j].setIdx, u.Loc)
+		delete(ob.setIdx, u.Loc)
 	}
 	if !coalesced {
 		ob.entries = append(ob.entries, u)
 		ob.bytes += u.encodedSize()
 	}
-	return len(ob.entries) >= n.batch.MaxUpdates || ob.bytes >= n.batch.MaxBytes
+	if len(ob.entries) >= n.batch.MaxUpdates || ob.bytes >= n.batch.MaxBytes {
+		n.flushDestLocked(j, ob)
+	}
 }
 
-// flushDestLocked sends destination j's pending batch, if any. A batch that
-// covers a single update goes out as a plain KindUpdate frame — the receive
-// path and wire format are then identical to unbatched operation.
-func (n *Node) flushDestLocked(j int) {
-	ob := n.outbox[j]
-	if ob == nil || ob.count == 0 {
+// flushDestLocked sends destination j's pending batch, if any; the caller
+// holds outboxMu. A batch that covers a single update goes out as a plain
+// KindUpdate frame — the receive path and wire format are then identical to
+// unbatched operation. Multi-entry batches copy the ring's live prefix into
+// a pooled slice (see updateSlicePool for who returns it); the ring backing
+// itself is reused forever.
+func (n *Node) flushDestLocked(j int, ob *outboxDest) {
+	if ob.count == 0 {
 		return
 	}
 	scopedCausal := n.scopedCausal && ob.causal
@@ -214,7 +302,7 @@ func (n *Node) flushDestLocked(j int) {
 		if scopedCausal {
 			// Ship the enqueue-time snapshot, never the current matrix: it
 			// may have absorbed merges since that could close a dependency
-			// cycle through this very write (see enqueueLocked).
+			// cycle through this very write (see outboxAdd).
 			u.PrevSeq = ob.prevSeq
 			u.Deps = ob.deps
 		}
@@ -223,11 +311,13 @@ func (n *Node) flushDestLocked(j int) {
 			Payload: u, Size: u.encodedSize(),
 		})
 	} else {
+		out := getUpdateSlice(len(ob.entries))
+		out = append(out, ob.entries...)
 		b := UpdateBatch{
 			From:     n.id,
 			FirstSeq: ob.firstSeq,
 			Count:    ob.count,
-			Updates:  ob.entries,
+			Updates:  out,
 		}
 		if scopedCausal {
 			b.PrevSeq = ob.prevSeq
@@ -238,25 +328,28 @@ func (n *Node) flushDestLocked(j int) {
 			Payload: b, Size: b.encodedSize(),
 		})
 	}
-	// The entries slice (and deps snapshot) are owned by the in-flight
-	// message now; start fresh.
-	ob.entries = nil
+	ob.entries = ob.entries[:0]
 	clear(ob.setIdx)
 	ob.count = 0
 	ob.bytes = 0
 	ob.deps = nil
 }
 
-// flushAllLocked flushes every destination's pending batch.
+// flushAllLocked flushes every destination's pending batch; the caller holds
+// the clock lock (lock order: clockMu -> outboxMu). No-op when batching
+// is disabled.
 func (n *Node) flushAllLocked() {
 	if n.outbox == nil {
 		return
 	}
-	for j := range n.outbox {
-		if j != n.id && n.outbox[j] != nil {
-			n.flushDestLocked(j)
+	n.outboxMu.Lock()
+	for j, ob := range n.outbox {
+		if j == n.id || ob == nil {
+			continue
 		}
+		n.flushDestLocked(j, ob)
 	}
+	n.outboxMu.Unlock()
 }
 
 // FlushUpdates sends every pending outbox batch immediately. It is the
@@ -264,14 +357,20 @@ func (n *Node) flushAllLocked() {
 // release, the barrier client before reporting its sent counts, and awaits
 // call it on registration, so no update a peer must observe to make progress
 // is ever parked in the outbox past a synchronization point. It is a no-op
-// when batching is disabled.
+// when batching is disabled. It takes only the outbox lock, so the linger
+// flusher never contends with the clock-guarded hot paths.
 func (n *Node) FlushUpdates() {
 	if !n.batch.Enabled {
 		return
 	}
-	n.mu.Lock()
-	n.flushAllLocked()
-	n.mu.Unlock()
+	n.outboxMu.Lock()
+	for j, ob := range n.outbox {
+		if j == n.id || ob == nil {
+			continue
+		}
+		n.flushDestLocked(j, ob)
+	}
+	n.outboxMu.Unlock()
 }
 
 // lingerLoop is the outbox's progress guarantee: every Linger interval it
@@ -335,25 +434,25 @@ type deliveryGroup struct {
 // has applied from every other sender.
 func (n *Node) groupDeliverableLocked(g deliveryGroup) bool {
 	if g.deps != nil {
-		if n.causalApplied.Get(g.from) != g.prevSeq {
+		if n.causalApplied.get(g.from) != g.prevSeq {
 			return false
 		}
 		need := g.deps.Row(n.id)
 		for k := 0; k < n.n && k < need.Len(); k++ {
-			if k != g.from && n.causalApplied.Get(k) < need.Get(k) {
+			if k != g.from && n.causalApplied.get(k) < need.Get(k) {
 				return false
 			}
 		}
 		return true
 	}
-	if n.causalApplied.Get(g.from)+1 != g.firstSeq {
+	if n.causalApplied.get(g.from)+1 != g.firstSeq {
 		return false
 	}
-	if g.ts.Len() != n.causalApplied.Len() {
+	if g.ts.Len() != len(n.causalApplied) {
 		return false
 	}
-	for k := 0; k < n.causalApplied.Len(); k++ {
-		if k != g.from && g.ts.Get(k) > n.causalApplied.Get(k) {
+	for k := 0; k < len(n.causalApplied); k++ {
+		if k != g.from && g.ts.Get(k) > n.causalApplied.get(k) {
 			return false
 		}
 	}

@@ -239,9 +239,10 @@ func TestBatchCausalChainAcrossSenders(t *testing.T) {
 // causalSnapshotValue reads the causal view without blocking on fences or
 // invalidations — a test probe for "has this been causally applied yet".
 func (n *Node) causalSnapshotValue(loc string) int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.causal[loc]
+	if c := n.shard(loc).lookup(loc); c != nil {
+		return c.causal.Load()
+	}
+	return 0
 }
 
 func TestBatchNoCoalesceKeepsEveryEntry(t *testing.T) {
@@ -350,9 +351,10 @@ func TestBatchScopedCausalDepsCapturedAtEnqueue(t *testing.T) {
 
 	nodes[0].Write("a", 1) // W: parked for both causal readers
 	// Relay W to node 2 only; node 1's copy stays in the outbox.
-	nodes[0].mu.Lock()
-	nodes[0].flushDestLocked(2)
-	nodes[0].mu.Unlock()
+	ob2 := nodes[0].outbox[2]
+	nodes[0].outboxMu.Lock()
+	nodes[0].flushDestLocked(2, ob2)
+	nodes[0].outboxMu.Unlock()
 	nodes[2].WaitCausalApplied([]uint64{1, 0, 0})
 	nodes[2].Write("b", 2) // Y: causally after W
 	nodes[2].FlushUpdates()

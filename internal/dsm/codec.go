@@ -199,7 +199,10 @@ func (batchCodec) Decode(data []byte) (any, error) {
 			nEntries, d.Remaining(), transport.ErrTruncated)
 	}
 	if nEntries > 0 && d.Err() == nil {
-		b.Updates = make([]Update, 0, nEntries)
+		// Draw the entry slice from the batch pool: the receiving node's
+		// apply path returns it once the batch has fully applied (see
+		// updateSlicePool).
+		b.Updates = getUpdateSlice(nEntries)
 	}
 	for i := 0; i < nEntries && d.Err() == nil; i++ {
 		u := Update{
@@ -224,6 +227,7 @@ func (batchCodec) Decode(data []byte) (any, error) {
 		b.Updates = append(b.Updates, u)
 	}
 	if err := d.Err(); err != nil {
+		putUpdateSlice(b.Updates)
 		return nil, fmt.Errorf("dsm: batch codec: %w", err)
 	}
 	return b, nil

@@ -26,12 +26,40 @@
 // demand-driven lock propagation). Counter objects with commutative add
 // operations (the Cholesky optimization of Section 5.3) are updates of kind
 // add.
+//
+// # Concurrency structure
+//
+// The replica's state is partitioned so the hot paths never share a lock
+// (DESIGN.md §12):
+//
+//   - location values live in power-of-two-sharded copy-on-write maps of
+//     *cell; a cell holds both views' values and the PRAM last-writer as
+//     atomics. Reads are lock-free: an atomic map-pointer load, a map
+//     lookup, and an atomic value load. Shard mutexes serialize only
+//     structural inserts (copy-on-write), invalidation bookkeeping, and
+//     await registration.
+//   - protocol state — the matrix/vector clocks, sent/received counters,
+//     pending causal delivery groups, and the write log — lives under the
+//     clock lock (Node.clockMu). deps/causalApplied are mutated only under
+//     it but stored as atomics so the read paths can consult them without
+//     taking it.
+//   - the outbox (all destinations) shares one lock (Node.outboxMu), so
+//     the linger flusher never contends with the clock-guarded hot paths.
+//   - the observation fence is a lock-free atomic vector raised by CAS-max.
+//
+// Lock order: clockMu -> shard.mu -> outboxMu (each level optional,
+// never taken in reverse). The fence, stats, and closed flag are atomics
+// with no lock. Fence soundness across the lock-free read path relies on
+// store order: appliers store a cell's last-writer before its value, and
+// readers load the value before the last-writer, so any value a read
+// observes is covered by the fence entry the read raises.
 package dsm
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mixedmem/internal/history"
@@ -179,6 +207,143 @@ type Stats struct {
 	MalformedUpdates uint64
 }
 
+// Sharding constants: locations hash into a power-of-two number of shards,
+// so distinct-location operations land on distinct shard state. The PRAM
+// last-writer is packed into one atomic word as from<<seqBits | seq, which
+// caps per-sender sequence numbers at 2^48 — unreachable in practice.
+const (
+	shardCount = 32
+	shardMask  = shardCount - 1
+	seqBits    = 48
+	seqMask    = (1 << seqBits) - 1
+)
+
+// cell holds one location's state in both views. Values are atomics so the
+// read paths never lock: appliers mutate them under the clock lock (or, for
+// commutative adds, with atomic add/CAS), readers load them directly.
+type cell struct {
+	pram   atomic.Int64
+	causal atomic.Int64
+	// last packs the update most recently applied to the PRAM view
+	// (from<<seqBits | seq; zero means never anchored). PRAM reads raise
+	// the observation fence with it. Appliers store last before the value
+	// and readers load the value before last, so the fence entry a read
+	// raises always covers the value it observed.
+	last atomic.Uint64
+}
+
+func packLast(from int, seq uint64) uint64 {
+	return uint64(from)<<seqBits | seq&seqMask
+}
+
+// shard is one partition of the location space. The value map is
+// copy-on-write: lookups load the pointer atomically; inserts (rare — once
+// per new location) copy the map under the shard mutex. The mutex also
+// guards the invalidation table and await registration; invalidLen mirrors
+// len(invalid) so the read fast path can skip the table without locking.
+type shard struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters atomic.Int32
+	vals    atomic.Pointer[map[string]*cell]
+
+	invalid    map[string]invalidation
+	invalidLen atomic.Int32
+
+	pramReads   atomic.Uint64
+	causalReads atomic.Uint64
+}
+
+// lookup returns the location's cell, or nil if it was never written.
+func (sh *shard) lookup(loc string) *cell {
+	return (*sh.vals.Load())[loc]
+}
+
+// cellFor returns the location's cell, inserting one with a copy-on-write
+// map swap if needed. Safe under any lock level at or above shard.mu in the
+// documented order.
+func (sh *shard) cellFor(loc string) *cell {
+	if c := sh.lookup(loc); c != nil {
+		return c
+	}
+	sh.mu.Lock()
+	old := *sh.vals.Load()
+	if c := old[loc]; c != nil {
+		sh.mu.Unlock()
+		return c
+	}
+	next := make(map[string]*cell, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	c := new(cell)
+	next[loc] = c
+	sh.vals.Store(&next)
+	sh.mu.Unlock()
+	return c
+}
+
+// wake broadcasts the shard condition if any await is registered. Appliers
+// call it after storing a value; the registration protocol in awaitValue
+// (waiters incremented before the value check, broadcast after the store)
+// makes the missed-wakeup window empty.
+func (sh *shard) wake() {
+	if sh.waiters.Load() == 0 {
+		return
+	}
+	sh.mu.Lock()
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// shardIndex is FNV-1a over the location, masked to the shard count.
+func shardIndex(loc string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(loc); i++ {
+		h ^= uint32(loc[i])
+		h *= 16777619
+	}
+	return h & shardMask
+}
+
+// avc is a vector clock stored as atomics: mutated only under the clock
+// lock, readable without it. raise is the exception — the observation fence
+// is raised by reader threads with a CAS-max and never needs the lock.
+type avc []atomic.Uint64
+
+func newAVC(n int) avc { return make(avc, n) }
+
+func (v avc) get(j int) uint64    { return v[j].Load() }
+func (v avc) set(j int, x uint64) { v[j].Store(x) }
+func (v avc) raise(j int, x uint64) {
+	for {
+		cur := v[j].Load()
+		if cur >= x || v[j].CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// clone materializes the vector as a plain VC (callers hold the clock lock
+// when a consistent snapshot matters, e.g. timestamp stamping).
+func (v avc) clone() vclock.VC {
+	out := vclock.New(len(v))
+	for j := range v {
+		out[j] = v[j].Load()
+	}
+	return out
+}
+
+// merge raises each component to at least ts's (single mutator: the clock
+// lock holder).
+func (v avc) merge(ts vclock.VC) {
+	for j := 0; j < len(v) && j < ts.Len(); j++ {
+		if x := ts.Get(j); x > v[j].Load() {
+			v[j].Store(x)
+		}
+	}
+}
+
 // Node is one process's replica of the shared memory.
 type Node struct {
 	id     int
@@ -187,23 +352,39 @@ type Node struct {
 	trace  *history.Builder
 	handle Handler
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	// shards partition the location space; see the package comment for the
+	// locking structure.
+	shards [shardCount]shard
 
-	pram   map[string]int64
-	causal map[string]int64
+	// clockMu guards the protocol state below it: the clocks and counters,
+	// pending causal delivery groups, the write log, and the scoped-causal
+	// address matrix. clockCond is broadcast on every apply and write, and
+	// waited on by the counting primitives, fence waits, and invalidation
+	// stalls.
+	clockMu   sync.Mutex
+	clockCond *sync.Cond
 
 	// deps[j] counts updates from j applied to the PRAM view (deps[id]
 	// counts own writes). Writes are stamped with a copy of deps. Under
 	// scoped placement deps[j] holds the last *sequence number* applied
 	// from j, which skips the holes left by updates addressed elsewhere —
-	// the PRAM view applies in receive order either way.
-	deps vclock.VC
+	// the PRAM view applies in receive order either way. Mutated under
+	// clockMu, loadable lock-free.
+	deps avc
 	// causalApplied[j] is the last update from j applied to the causal
 	// view: a count under full broadcast (where counts and sequence
 	// numbers coincide), the last applied sequence number under scoped
-	// placement (where this node's addressed stream has holes).
-	causalApplied vclock.VC
+	// placement (where this node's addressed stream has holes). Mutated
+	// under clockMu, loadable lock-free.
+	causalApplied avc
+	// fence[j] is the observation fence: the per-sender sequence numbers
+	// this process has *observed* through PRAM reads and PRAM awaits. A
+	// PRAM read creates a reads-from edge in the causality relation, so by
+	// Definition 2 every later causal read of this process must reflect
+	// the observed update's causal context; ReadCausal therefore waits
+	// until the causal view has applied at least fence[j] updates from
+	// every j. Raised lock-free by CAS-max.
+	fence avc
 	// causalRecvd[j] counts updates from j whose view obligations are
 	// fully met locally: causal updates once applied to the causal view,
 	// timestamp-elided updates at PRAM apply (their registration contract
@@ -222,29 +403,28 @@ type Node struct {
 	// placement, where per-sender sequence numbers have holes; the
 	// count-based waits (barriers, lazy locks) use recvd.
 	recvd []uint64
-	// invalid maps a location to the update that must be applied before
-	// reads of it may proceed (demand-driven lock propagation).
-	invalid map[string]invalidation
 	// writeLog records this node's own updates in order, so a lock client
 	// can collect the write-set of a critical section for demand-driven
 	// propagation. logBase is the absolute index of writeLog[0]: marks are
 	// absolute positions, so the prefix no critical section still needs
 	// can be trimmed without invalidating outstanding marks.
+	//
+	// Logging is lazy: logOn flips on at the first WriteMark call. A mark's
+	// absolute position is the node's own-write count (deps[id]), so enabling
+	// sets logBase to that count and positions stay continuous. Before the
+	// first mark no WritesSince call can name an earlier position, and a node
+	// that never uses locks never pays the log's append or memory cost —
+	// unbounded growth on the write hot path, before this, dominated the
+	// unbatched write profile via growslice.
 	writeLog []WriteRecord
 	logBase  int
-	// pramLast tracks, per location, the update most recently applied to
-	// the PRAM view. PRAM reads raise the observation fence with it.
-	pramLast map[string]invalidation
-	// fence[j] is the observation fence: the per-sender sequence numbers
-	// this process has *observed* through PRAM reads and PRAM awaits. A
-	// PRAM read creates a reads-from edge in the causality relation, so by
-	// Definition 2 every later causal read of this process must reflect
-	// the observed update's causal context; ReadCausal therefore waits
-	// until the causal view has applied at least fence[j] updates from
-	// every j.
-	fence vclock.VC
+	logOn    bool
 
-	stats    Stats
+	statWrites    atomic.Uint64
+	statAwaits    atomic.Uint64
+	statMalformed atomic.Uint64
+	statBlocked   atomic.Int64 // nanoseconds
+
 	pramOnly bool
 	// scopeTargets holds the compiled per-location destination lists when
 	// Config.Scope is set; scopeAll is the fallback for unregistered
@@ -258,27 +438,34 @@ type Node struct {
 	// the latest update from sender k addressed to process p that this
 	// node transitively knows of. Own writes bump addr[dest][id] at send
 	// time; causal applies merge the sender's shipped snapshot. Row p is
-	// the wait condition shipped to destination p.
+	// the wait condition shipped to destination p. Guarded by clockMu.
 	addr vclock.Matrix
 	// addrEpoch counts remote matrix merges absorbed into addr. The outbox
 	// compares it against each pending causal batch's snapshot epoch: a
 	// batch whose Deps predate a merge must flush before covering another
 	// write, or the newer snapshot could name an update that itself waits
-	// on a write parked in the batch (see enqueueLocked).
+	// on a write parked in the batch (see outboxAdd). Guarded by clockMu.
 	addrEpoch uint64
 	// prevBuf is a per-write scratch buffer holding each causal
 	// destination's chain predecessor (addr[j][id] before the bump), so a
 	// write can bump the whole matrix before snapshotting it without
-	// allocating.
+	// allocating. Guarded by clockMu.
 	prevBuf []uint64
-	// track is the access log when Config.TrackAccess is set.
-	track map[string]AccessKind
-	// batch/outbox implement the per-destination update outbox; flushQuit
-	// stops the linger flusher.
+
+	// track is the access log when Config.TrackAccess is set; trackMu
+	// guards it (the map reference itself is immutable after NewNode).
+	trackMu sync.Mutex
+	track   map[string]AccessKind
+
+	// batch/outbox implement the per-destination update outbox; outboxMu
+	// guards every destination's pending batch (one lock pair per write,
+	// writers being clockMu-serialized anyway); flushQuit stops the linger
+	// flusher.
 	batch     BatchConfig
+	outboxMu  sync.Mutex
 	outbox    []*outboxDest
 	flushQuit chan struct{}
-	closed    bool
+	closed    atomic.Bool
 	done      chan struct{}
 }
 
@@ -310,18 +497,21 @@ func NewNode(cfg Config) (*Node, error) {
 		fabric:        cfg.Transport,
 		trace:         cfg.Trace,
 		handle:        cfg.Handler,
-		pram:          make(map[string]int64),
-		causal:        make(map[string]int64),
-		deps:          vclock.New(cfg.N),
-		causalApplied: vclock.New(cfg.N),
+		deps:          newAVC(cfg.N),
+		causalApplied: newAVC(cfg.N),
+		fence:         newAVC(cfg.N),
 		causalRecvd:   make([]uint64, cfg.N),
 		sent:          make([]uint64, cfg.N),
 		recvd:         make([]uint64, cfg.N),
-		invalid:       make(map[string]invalidation),
-		pramLast:      make(map[string]invalidation),
-		fence:         vclock.New(cfg.N),
 		done:          make(chan struct{}),
 	}
+	for i := range node.shards {
+		sh := &node.shards[i]
+		sh.cond = sync.NewCond(&sh.mu)
+		m := make(map[string]*cell)
+		sh.vals.Store(&m)
+	}
+	node.clockCond = sync.NewCond(&node.clockMu)
 	if cfg.Scope != nil {
 		node.scopeTargets, node.scopeAll = cfg.Scope.compile(cfg.ID, cfg.N, cfg.PRAMOnly)
 		node.scopedCausal = !cfg.PRAMOnly
@@ -338,13 +528,12 @@ func NewNode(cfg Config) (*Node, error) {
 		node.outbox = make([]*outboxDest, cfg.N)
 		for j := range node.outbox {
 			if j != node.id {
-				node.outbox[j] = newOutboxDest()
+				node.outbox[j] = newOutboxDest(node.batch.MaxUpdates)
 			}
 		}
 		node.flushQuit = make(chan struct{})
 		go node.lingerLoop()
 	}
-	node.cond = sync.NewCond(&node.mu)
 	go node.recvLoop()
 	return node, nil
 }
@@ -361,6 +550,14 @@ func (n *Node) Transport() transport.Transport { return n.fabric }
 
 // Trace returns the history builder, or nil when not recording.
 func (n *Node) Trace() *history.Builder { return n.trace }
+
+func (n *Node) shard(loc string) *shard { return &n.shards[shardIndex(loc)] }
+
+func (n *Node) trackAccess(loc string, kind AccessKind) {
+	n.trackMu.Lock()
+	n.track[loc] |= kind
+	n.trackMu.Unlock()
+}
 
 // recvLoop dispatches fabric messages: updates into the memory views,
 // everything else to the protocol handler.
@@ -393,70 +590,100 @@ func (n *Node) recvLoop() {
 	}
 }
 
+// applyCell applies one update operation to a view's atomic value. OpSet
+// stores; the commutative ops use atomic add / CAS so concurrent appliers
+// (a local writer and the receive loop) never lose an increment.
+func applyCell(v *atomic.Int64, u Update) {
+	switch u.Op {
+	case OpAdd:
+		v.Add(u.Value)
+	case OpAddFloat:
+		for {
+			old := v.Load()
+			sum := math.Float64frombits(uint64(old)) +
+				math.Float64frombits(uint64(u.Value))
+			if v.CompareAndSwap(old, int64(math.Float64bits(sum))) {
+				return
+			}
+		}
+	default:
+		v.Store(u.Value)
+	}
+}
+
 // applyRemote applies a received update: immediately to the PRAM view, and
 // to the causal view once its dependencies are satisfied. Under scoped
 // placement a timestamp-elided update (no Deps) is addressed to a
 // PRAM-registered reader: it carries no causal obligations, so it never
 // enters the causal view and never raises the observation fence.
 func (n *Node) applyRemote(u Update) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	// PRAM view: apply in receive order.
-	n.applyTo(n.pram, u)
-	n.deps.Set(u.From, u.Seq)
-	n.recvd[u.From]++
+	n.clockMu.Lock()
+	sh := n.shard(u.Loc)
+	c := sh.cellFor(u.Loc)
+	// PRAM view: apply in receive order. The last-writer anchor (for the
+	// observation fence) is stored before the value; it is skipped in
+	// PRAMOnly mode (no causal read ever waits on the fence there) and for
+	// elided or malformed scoped updates (no fence may wait on them).
 	switch {
 	case n.pramOnly:
-		n.pramLast[u.Loc] = invalidation{from: u.From, seq: u.Seq}
+		applyCell(&c.pram, u)
 	case n.scopedCausal:
-		if u.Deps == nil {
+		switch {
+		case u.Deps == nil:
 			// Elided fast path: PRAM view only; the registration contract
 			// says no causal read of this process depends on it.
+			applyCell(&c.pram, u)
 			n.causalRecvd[u.From]++
-			break
-		}
-		if u.Deps.Len() != n.n {
+		case u.Deps.Len() != n.n:
 			// Malformed dependency matrix: a misconfigured or corrupt peer.
-			// The update stays out of the causal view (and out of pramLast,
-			// so no observation fence can wait on it), but it must not
-			// silently stall the counting primitives — count it as causally
-			// settled, like the elided path, and record the fault.
+			// The update stays out of the causal view (and raises no fence
+			// anchor), but it must not silently stall the counting
+			// primitives — count it as causally settled, like the elided
+			// path, and record the fault.
+			applyCell(&c.pram, u)
 			n.causalRecvd[u.From]++
-			n.stats.MalformedUpdates++
-			break
+			n.statMalformed.Add(1)
+		default:
+			c.last.Store(packLast(u.From, u.Seq))
+			applyCell(&c.pram, u)
+			n.pending = append(n.pending, deliveryGroup{
+				from: u.From, firstSeq: u.Seq, lastSeq: u.Seq,
+				prevSeq: u.PrevSeq, deps: u.Deps, count: 1, one: u,
+			})
+			n.drainCausalLocked()
 		}
-		n.pramLast[u.Loc] = invalidation{from: u.From, seq: u.Seq}
-		n.pending = append(n.pending, deliveryGroup{
-			from: u.From, firstSeq: u.Seq, lastSeq: u.Seq,
-			prevSeq: u.PrevSeq, deps: u.Deps, count: 1, one: u,
-		})
-		n.drainCausalLocked()
 	default:
 		// Causal view: buffer as a singleton group, then drain everything
 		// deliverable.
-		n.pramLast[u.Loc] = invalidation{from: u.From, seq: u.Seq}
+		c.last.Store(packLast(u.From, u.Seq))
+		applyCell(&c.pram, u)
 		n.pending = append(n.pending, deliveryGroup{
 			from: u.From, firstSeq: u.Seq, lastSeq: u.Seq, ts: u.TS,
 			count: 1, one: u,
 		})
 		n.drainCausalLocked()
 	}
-	n.cond.Broadcast()
+	n.deps.set(u.From, u.Seq)
+	n.recvd[u.From]++
+	n.clockCond.Broadcast()
+	n.clockMu.Unlock()
+	sh.wake()
 }
 
-// applyBatch applies a received update batch atomically under the node lock:
+// applyBatch applies a received update batch under one clock-lock hold:
 // every entry goes into the PRAM view in one critical section (receive-side
 // amortization of lock traffic), the PRAM clock advances to the latest
 // covered sequence number, and the received count advances by the batch's
 // full Count — including coalesced-away updates — so the barrier and
 // lazy-lock counting protocols account every original write. The causal view
-// receives the batch as one delivery group.
+// receives the batch as one delivery group. Batches that never enter the
+// pending buffer return their entry slice to the batch pool here; buffered
+// groups return it when the group applies (drainCausalLocked).
 func (n *Node) applyBatch(b UpdateBatch) {
 	if len(b.Updates) == 0 {
 		return
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.clockMu.Lock()
 	// Scoped batches are kind-segregated at the sender: a batch with no
 	// dependency matrix is entirely timestamp-elided and stays out of the
 	// causal view, exactly like a singleton elided update. A batch whose
@@ -466,27 +693,34 @@ func (n *Node) applyBatch(b UpdateBatch) {
 	// with the fault recorded in Stats.
 	elided := n.pramOnly || (n.scopedCausal && b.Deps == nil)
 	malformed := n.scopedCausal && b.Deps != nil && b.Deps.Len() != n.n
+	anchor := !elided && !malformed
 	var maxSeq uint64
 	var maxTS vclock.VC
 	for _, u := range b.Updates {
-		n.applyTo(n.pram, u)
-		if n.pramOnly || (!elided && !malformed) {
-			n.pramLast[u.Loc] = invalidation{from: b.From, seq: u.Seq}
+		sh := n.shard(u.Loc)
+		c := sh.cellFor(u.Loc)
+		if anchor {
+			c.last.Store(packLast(b.From, u.Seq))
 		}
+		applyCell(&c.pram, u)
+		sh.wake()
 		if u.Seq > maxSeq {
 			maxSeq = u.Seq
 			maxTS = u.TS
 		}
 	}
-	n.deps.Set(b.From, maxSeq)
+	n.deps.set(b.From, maxSeq)
 	n.recvd[b.From] += b.Count
 	switch {
 	case n.pramOnly:
+		putUpdateSlice(b.Updates)
 	case elided:
 		n.causalRecvd[b.From] += b.Count
+		putUpdateSlice(b.Updates)
 	case malformed:
 		n.causalRecvd[b.From] += b.Count
-		n.stats.MalformedUpdates += b.Count
+		n.statMalformed.Add(b.Count)
+		putUpdateSlice(b.Updates)
 	case n.scopedCausal:
 		n.pending = append(n.pending, deliveryGroup{
 			from:     b.From,
@@ -509,14 +743,16 @@ func (n *Node) applyBatch(b UpdateBatch) {
 		})
 		n.drainCausalLocked()
 	}
-	n.cond.Broadcast()
+	n.clockCond.Broadcast()
+	n.clockMu.Unlock()
 }
 
 // drainCausalLocked applies pending delivery groups to the causal view in
 // causal order until no more are deliverable. A group (single update or whole
-// batch) is applied atomically: its entries all land before any reader can
-// run, which is a legal causal schedule because delivery may be delayed but
-// never reordered, and the group covers a contiguous per-sender run.
+// batch) is applied atomically with respect to the clock: its causalApplied
+// advance happens after all its values are stored, so a lock-free causal
+// read that sees the advanced clock sees the values. Batch groups return
+// their entry slice to the batch pool once applied.
 func (n *Node) drainCausalLocked() {
 	for {
 		progressed := false
@@ -524,10 +760,10 @@ func (n *Node) drainCausalLocked() {
 		for _, g := range n.pending {
 			if n.groupDeliverableLocked(g) {
 				if g.batch == nil {
-					n.applyTo(n.causal, g.one)
+					n.applyCausal(g.one)
 				} else {
 					for _, u := range g.batch {
-						n.applyTo(n.causal, u)
+						n.applyCausal(u)
 					}
 				}
 				if g.deps != nil {
@@ -536,13 +772,16 @@ func (n *Node) drainCausalLocked() {
 					// shipped dependency knowledge. The epoch bump tells the
 					// outbox that pending causal batches now predate part of
 					// the matrix.
-					n.causalApplied.Set(g.from, g.lastSeq)
+					n.causalApplied.set(g.from, g.lastSeq)
 					n.addr.Merge(g.deps)
 					n.addrEpoch++
 				} else {
-					n.causalApplied.Merge(g.ts)
+					n.causalApplied.merge(g.ts)
 				}
 				n.causalRecvd[g.from] += g.count
+				if g.batch != nil {
+					putUpdateSlice(g.batch)
+				}
 				progressed = true
 			} else {
 				kept = append(kept, g)
@@ -555,17 +794,10 @@ func (n *Node) drainCausalLocked() {
 	}
 }
 
-func (n *Node) applyTo(view map[string]int64, u Update) {
-	switch u.Op {
-	case OpAdd:
-		view[u.Loc] += u.Value
-	case OpAddFloat:
-		sum := math.Float64frombits(uint64(view[u.Loc])) +
-			math.Float64frombits(uint64(u.Value))
-		view[u.Loc] = int64(math.Float64bits(sum))
-	default:
-		view[u.Loc] = u.Value
-	}
+func (n *Node) applyCausal(u Update) {
+	sh := n.shard(u.Loc)
+	applyCell(&sh.cellFor(u.Loc).causal, u)
+	sh.wake()
 }
 
 // Write stores value at loc in both local views and broadcasts the update.
@@ -595,26 +827,33 @@ func (n *Node) AddFloat(loc string, delta float64) {
 }
 
 func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
-	n.mu.Lock()
-	n.deps.Tick(n.id)
+	n.clockMu.Lock()
+	seq := n.deps.get(n.id) + 1
+	n.deps.set(n.id, seq)
 	u := Update{
 		From:  n.id,
-		Seq:   n.deps.Get(n.id),
+		Seq:   seq,
 		Op:    op,
 		Loc:   loc,
 		Value: value,
 	}
-	n.applyTo(n.pram, u)
-	n.pramLast[u.Loc] = invalidation{from: n.id, seq: u.Seq}
+	sh := n.shard(loc)
+	c := sh.cellFor(loc)
+	if !n.pramOnly {
+		c.last.Store(packLast(n.id, seq))
+	}
+	applyCell(&c.pram, u)
 	n.recvd[n.id]++
 	if !n.pramOnly {
-		n.applyTo(n.causal, u)
-		n.causalApplied.Set(n.id, u.Seq)
+		applyCell(&c.causal, u)
+		n.causalApplied.set(n.id, seq)
 		n.causalRecvd[n.id]++
 	}
-	n.writeLog = append(n.writeLog, WriteRecord{Loc: loc, Seq: u.Seq})
-	// Send while holding the lock so per-sender sequence numbers hit the
-	// fabric in order even under concurrent writers; fabric sends never
+	if n.logOn {
+		n.writeLog = append(n.writeLog, WriteRecord{Loc: loc, Seq: seq})
+	}
+	// Send while holding the clock lock so per-sender sequence numbers hit
+	// the fabric in order even under concurrent writers; fabric sends never
 	// block. With the outbox enabled, "send" means enqueue into the
 	// destination's pending batch, flushing any batch that crossed a
 	// threshold.
@@ -623,20 +862,20 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 		n.sendScopedLocked(u)
 	case n.batch.Enabled:
 		if !n.pramOnly {
-			u.TS = n.deps.Clone()
+			u.TS = n.deps.clone()
 		}
+		n.outboxMu.Lock()
 		for j := 0; j < n.n; j++ {
 			if j == n.id {
 				continue
 			}
 			n.sent[j]++
-			if n.enqueueLocked(j, u, false, nil) {
-				n.flushDestLocked(j)
-			}
+			n.outboxAddLocked(j, u, false, nil)
 		}
+		n.outboxMu.Unlock()
 	default:
 		if !n.pramOnly {
-			u.TS = n.deps.Clone()
+			u.TS = n.deps.clone()
 		}
 		for j := 0; j < n.n; j++ {
 			if j != n.id {
@@ -645,9 +884,10 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 		}
 		_ = n.fabric.Broadcast(n.id, KindUpdate, u, u.encodedSize())
 	}
-	n.stats.Writes++
-	n.cond.Broadcast()
-	n.mu.Unlock()
+	n.statWrites.Add(1)
+	n.clockCond.Broadcast()
+	n.clockMu.Unlock()
+	sh.wake()
 }
 
 // sendScopedLocked routes one write under the scope map: timestamp-elided
@@ -657,26 +897,30 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 // chain pointer and a snapshot of the address matrix taken after this
 // write's bumps, so a destination that relays the value onward ships a
 // matrix that already covers this update at every other destination. The
-// snapshot is taken here, under the same lock hold as the bumps, for both
-// the immediate sends and the outbox path: a batch must ship dependencies
-// its covered writes were written under, never ones absorbed later.
+// snapshot is taken here, under the same clock-lock hold as the bumps, for
+// both the immediate sends and the outbox path: a batch must ship
+// dependencies its covered writes were written under, never ones absorbed
+// later.
 func (n *Node) sendScopedLocked(u Update) {
 	ent, ok := n.scopeTargets[u.Loc]
 	if !ok {
 		ent = n.scopeAll
 	}
-	for _, j := range ent.elided {
-		n.sent[j]++
-		if n.batch.Enabled {
-			if n.enqueueLocked(j, u, false, nil) {
-				n.flushDestLocked(j)
-			}
-			continue
+	if n.batch.Enabled {
+		n.outboxMu.Lock()
+		for _, j := range ent.elided {
+			n.sent[j]++
+			n.outboxAddLocked(j, u, false, nil)
 		}
-		_ = n.fabric.Send(network.Message{
-			From: n.id, To: j, Kind: KindUpdate,
-			Payload: u, Size: u.encodedSize(),
-		})
+		n.outboxMu.Unlock()
+	} else {
+		for _, j := range ent.elided {
+			n.sent[j]++
+			_ = n.fabric.Send(network.Message{
+				From: n.id, To: j, Kind: KindUpdate,
+				Payload: u, Size: u.encodedSize(),
+			})
+		}
 	}
 	if len(ent.causal) == 0 {
 		return
@@ -690,12 +934,12 @@ func (n *Node) sendScopedLocked(u Update) {
 	}
 	snap := n.addr.Clone() // shared across destinations; receivers only merge from it
 	if n.batch.Enabled {
+		n.outboxMu.Lock()
 		for _, j := range ent.causal {
 			n.sent[j]++
-			if n.enqueueLocked(j, u, true, snap) {
-				n.flushDestLocked(j)
-			}
+			n.outboxAddLocked(j, u, true, snap)
 		}
+		n.outboxMu.Unlock()
 		return
 	}
 	for _, j := range ent.causal {
@@ -724,17 +968,28 @@ func (n *Node) ReadPRAM(loc string) int64 {
 }
 
 // readPRAMValue is ReadPRAM without trace recording, shared with thread
-// handles.
+// handles. The fast path is lock-free: one atomic map-pointer load, one map
+// lookup, and atomic value/last-writer loads. The value is loaded before
+// the last-writer anchor (appliers store them in the opposite order), so
+// the fence entry raised always covers the observed value.
 func (n *Node) readPRAMValue(loc string) int64 {
-	n.mu.Lock()
+	sh := n.shard(loc)
 	if n.track != nil {
-		n.track[loc] |= AccessPRAM
+		n.trackAccess(loc, AccessPRAM)
 	}
-	n.waitValidLocked(loc, false)
-	v := n.pram[loc]
-	n.raiseFenceLocked(loc)
-	n.stats.PRAMReads++
-	n.mu.Unlock()
+	if sh.invalidLen.Load() != 0 {
+		n.waitValid(sh, loc, false)
+	}
+	var v int64
+	if c := sh.lookup(loc); c != nil {
+		v = c.pram.Load()
+		if !n.pramOnly {
+			if packed := c.last.Load(); packed != 0 {
+				n.fence.raise(int(packed>>seqBits), packed&seqMask)
+			}
+		}
+	}
+	sh.pramReads.Add(1)
 	return v
 }
 
@@ -760,84 +1015,88 @@ func (n *Node) ReadCausal(loc string) int64 {
 }
 
 // readCausalValue is ReadCausal without trace recording, shared with thread
-// handles.
+// handles. Lock-free when the fence is already covered: causalApplied only
+// advances after a group's values are stored, so a fence check that passes
+// on atomic loads guarantees the covered values are visible.
 func (n *Node) readCausalValue(loc string) int64 {
 	if n.pramOnly {
 		// Degraded mode: only sound for PRAM-consistent programs.
 		return n.readPRAMValue(loc)
 	}
-	n.mu.Lock()
+	sh := n.shard(loc)
 	if n.track != nil {
-		n.track[loc] |= AccessCausal
+		n.trackAccess(loc, AccessCausal)
 	}
-	n.waitValidLocked(loc, true)
-	n.waitFenceLocked()
-	v := n.causal[loc]
-	n.stats.CausalReads++
-	n.mu.Unlock()
+	if sh.invalidLen.Load() != 0 {
+		n.waitValid(sh, loc, true)
+	}
+	if !n.fenceCovered() {
+		n.waitFence()
+	}
+	var v int64
+	if c := sh.lookup(loc); c != nil {
+		v = c.causal.Load()
+	}
+	sh.causalReads.Add(1)
 	return v
 }
 
-// raiseFenceLocked records that this process observed, through the PRAM
-// view, the update last applied to loc. Later causal reads wait for the
-// causal view to catch up to the fence (Definition 2: the observation is a
-// reads-from edge in the causality relation).
-func (n *Node) raiseFenceLocked(loc string) {
-	lw, ok := n.pramLast[loc]
-	if !ok {
-		return
+// fenceCovered reports whether the causal view has applied every update the
+// observation fence covers. Lock-free: both vectors are atomics, and both
+// only grow, so a stale load can only send the caller to the locked slow
+// path, never let it pass early.
+func (n *Node) fenceCovered() bool {
+	for j := 0; j < n.n; j++ {
+		if n.causalApplied.get(j) < n.fence.get(j) {
+			return false
+		}
 	}
-	if lw.seq > n.fence.Get(lw.from) {
-		n.fence.Set(lw.from, lw.seq)
-	}
+	return true
 }
 
-// waitFenceLocked blocks until the causal view has applied every update the
+// waitFence blocks until the causal view has applied every update the
 // observation fence covers.
-func (n *Node) waitFenceLocked() {
+func (n *Node) waitFence() {
 	start := time.Now()
-	waited := false
-	for !n.closed {
-		ok := true
-		for j := 0; j < n.n; j++ {
-			if n.causalApplied.Get(j) < n.fence.Get(j) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			break
-		}
-		waited = true
-		n.cond.Wait()
+	n.clockMu.Lock()
+	for !n.closed.Load() && !n.fenceCovered() {
+		n.clockCond.Wait()
 	}
-	if waited {
-		n.stats.Blocked += time.Since(start)
-	}
+	n.clockMu.Unlock()
+	n.statBlocked.Add(int64(time.Since(start)))
 }
 
-// waitValidLocked blocks while loc is invalidated and the required update
-// has not yet reached the relevant view.
-func (n *Node) waitValidLocked(loc string, causalView bool) {
-	inv, ok := n.invalid[loc]
+// waitValid blocks while loc is invalidated and the required update has not
+// yet reached the relevant view. The caller's shard fast path already saw a
+// nonzero invalidation count; the wait itself runs on the clock condition,
+// which every apply broadcasts.
+func (n *Node) waitValid(sh *shard, loc string, causalView bool) {
+	sh.mu.Lock()
+	inv, ok := sh.invalid[loc]
+	sh.mu.Unlock()
 	if !ok {
 		return
 	}
 	start := time.Now()
-	for {
+	n.clockMu.Lock()
+	for !n.closed.Load() {
 		var applied uint64
 		if causalView {
-			applied = n.causalApplied.Get(inv.from)
+			applied = n.causalApplied.get(inv.from)
 		} else {
-			applied = n.deps.Get(inv.from)
+			applied = n.deps.get(inv.from)
 		}
-		if applied >= inv.seq || n.closed {
+		if applied >= inv.seq {
 			break
 		}
-		n.cond.Wait()
+		n.clockCond.Wait()
 	}
-	delete(n.invalid, loc)
-	n.stats.Blocked += time.Since(start)
+	n.clockMu.Unlock()
+	sh.mu.Lock()
+	delete(sh.invalid, loc)
+	sh.invalidLen.Store(int32(len(sh.invalid)))
+	sh.mu.Unlock()
+	n.statBlocked.Add(int64(time.Since(start)))
 }
 
 // AwaitPRAM blocks until loc holds value in the PRAM view — the busy-wait
@@ -869,42 +1128,57 @@ func (n *Node) await(loc string, value int64, causalView bool) {
 }
 
 // awaitValue is the await wait loop without trace recording, shared with
-// thread handles.
+// thread handles. The waiter registers on the location's shard (waiters
+// incremented under the shard lock before the first value check); appliers
+// store the value and then broadcast if any waiter is registered, so the
+// waiter either sees the value or is woken.
 func (n *Node) awaitValue(loc string, value int64, causalView bool) {
 	wantCausal := causalView
 	if n.pramOnly {
 		causalView = false
 	}
-	view := n.pram
-	if causalView {
-		view = n.causal
-	}
-	n.mu.Lock()
 	if n.track != nil {
 		if wantCausal {
-			n.track[loc] |= AccessCausal
+			n.trackAccess(loc, AccessCausal)
 		} else {
-			n.track[loc] |= AccessPRAM
+			n.trackAccess(loc, AccessPRAM)
 		}
 	}
-	if n.batch.Enabled {
-		// Await registration is a synchronization boundary: a process about
-		// to block on a peer's flag must not keep its own half of the
-		// handshake parked in the outbox.
-		n.flushAllLocked()
-	}
+	// Await registration is a synchronization boundary: a process about
+	// to block on a peer's flag must not keep its own half of the
+	// handshake parked in the outbox.
+	n.FlushUpdates()
+	sh := n.shard(loc)
 	start := time.Now()
-	for view[loc] != value && !n.closed {
-		n.cond.Wait()
+	sh.mu.Lock()
+	sh.waiters.Add(1)
+	for !n.closed.Load() {
+		var v int64
+		if c := sh.lookup(loc); c != nil {
+			if causalView {
+				v = c.causal.Load()
+			} else {
+				v = c.pram.Load()
+			}
+		}
+		if v == value {
+			break
+		}
+		sh.cond.Wait()
 	}
-	if !causalView {
+	sh.waiters.Add(-1)
+	sh.mu.Unlock()
+	if !causalView && !n.pramOnly {
 		// The matched write is a synchronization edge incident on this
 		// process; later causal reads must observe its causal context.
-		n.raiseFenceLocked(loc)
+		if c := sh.lookup(loc); c != nil {
+			if packed := c.last.Load(); packed != 0 {
+				n.fence.raise(int(packed>>seqBits), packed&seqMask)
+			}
+		}
 	}
-	n.stats.Awaits++
-	n.stats.Blocked += time.Since(start)
-	n.mu.Unlock()
+	n.statAwaits.Add(1)
+	n.statBlocked.Add(int64(time.Since(start)))
 }
 
 // SentCounts returns a copy of the cumulative per-destination update counts,
@@ -913,11 +1187,9 @@ func (n *Node) awaitValue(loc string, value int64, causalView bool) {
 // promise that peers can wait for that many updates, so nothing counted may
 // remain parked locally.
 func (n *Node) SentCounts() []uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.batch.Enabled {
-		n.flushAllLocked()
-	}
+	n.clockMu.Lock()
+	defer n.clockMu.Unlock()
+	n.flushAllLocked()
 	out := make([]uint64, n.n)
 	copy(out, n.sent)
 	return out
@@ -926,8 +1198,8 @@ func (n *Node) SentCounts() []uint64 {
 // ReceivedCounts returns, per sender, the cumulative number of updates
 // applied to the PRAM view (own writes for the node's own component).
 func (n *Node) ReceivedCounts() []uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.clockMu.Lock()
+	defer n.clockMu.Unlock()
 	out := make([]uint64, n.n)
 	copy(out, n.recvd)
 	return out
@@ -937,16 +1209,14 @@ func (n *Node) ReceivedCounts() []uint64 {
 // been applied to the PRAM view. The barrier protocol uses it to ensure all
 // prior-phase updates are in place before the phase's reads (Section 6).
 func (n *Node) WaitReceived(min []uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.batch.Enabled {
-		n.flushAllLocked()
-	}
+	n.clockMu.Lock()
+	defer n.clockMu.Unlock()
+	n.flushAllLocked()
 	start := time.Now()
-	for !n.countsReachedLocked(min) && !n.closed {
-		n.cond.Wait()
+	for !n.countsReachedLocked(min) && !n.closed.Load() {
+		n.clockCond.Wait()
 	}
-	n.stats.Blocked += time.Since(start)
+	n.statBlocked.Add(int64(time.Since(start)))
 }
 
 func (n *Node) countsReachedLocked(min []uint64) bool {
@@ -970,16 +1240,14 @@ func (n *Node) WaitCausalApplied(min []uint64) {
 		n.WaitReceived(min)
 		return
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.batch.Enabled {
-		n.flushAllLocked()
-	}
+	n.clockMu.Lock()
+	defer n.clockMu.Unlock()
+	n.flushAllLocked()
 	start := time.Now()
-	for !n.causalCountsReachedLocked(min) && !n.closed {
-		n.cond.Wait()
+	for !n.causalCountsReachedLocked(min) && !n.closed.Load() {
+		n.clockCond.Wait()
 	}
-	n.stats.Blocked += time.Since(start)
+	n.statBlocked.Add(int64(time.Since(start)))
 }
 
 func (n *Node) causalCountsReachedLocked(min []uint64) bool {
@@ -1000,10 +1268,16 @@ type WriteRecord struct {
 
 // WriteMark returns a marker into the node's write log. Combined with
 // WritesSince it delimits the write-set of a critical section. Marks are
-// absolute positions and stay valid across TrimWriteLog.
+// absolute positions and stay valid across TrimWriteLog. The first call
+// turns logging on: positions are own-write counts, so enabling mid-life
+// keeps every subsequent mark exactly where eager logging would have put it.
 func (n *Node) WriteMark() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.clockMu.Lock()
+	defer n.clockMu.Unlock()
+	if !n.logOn {
+		n.logOn = true
+		n.logBase = int(n.deps.get(n.id))
+	}
 	return n.logBase + len(n.writeLog)
 }
 
@@ -1011,8 +1285,8 @@ func (n *Node) WriteMark() int {
 // the given marker. Entries already trimmed are gone; callers trim only
 // below their oldest outstanding mark.
 func (n *Node) WritesSince(mark int) []WriteRecord {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.clockMu.Lock()
+	defer n.clockMu.Unlock()
 	idx := mark - n.logBase
 	if idx < 0 {
 		idx = 0
@@ -1029,8 +1303,8 @@ func (n *Node) WritesSince(mark int) []WriteRecord {
 // bounding the log's memory. The lock client calls it after each unlock with
 // its oldest still-outstanding mark.
 func (n *Node) TrimWriteLog(upTo int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.clockMu.Lock()
+	defer n.clockMu.Unlock()
 	idx := upTo - n.logBase
 	if idx <= 0 {
 		return
@@ -1049,33 +1323,49 @@ func (n *Node) TrimWriteLog(upTo int) {
 // critical section travels with the unlock and only reads of invalidated
 // locations block.
 func (n *Node) Invalidate(loc string, from int, seq uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if cur, ok := n.invalid[loc]; ok && cur.seq >= seq && cur.from == from {
+	sh := n.shard(loc)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.invalid[loc]; ok && cur.seq >= seq && cur.from == from {
 		return
 	}
-	n.invalid[loc] = invalidation{from: from, seq: seq}
+	if sh.invalid == nil {
+		sh.invalid = make(map[string]invalidation)
+	}
+	sh.invalid[loc] = invalidation{from: from, seq: seq}
+	sh.invalidLen.Store(int32(len(sh.invalid)))
 }
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	s := Stats{
+		Writes:           n.statWrites.Load(),
+		Awaits:           n.statAwaits.Load(),
+		Blocked:          time.Duration(n.statBlocked.Load()),
+		MalformedUpdates: n.statMalformed.Load(),
+	}
+	for i := range n.shards {
+		s.PRAMReads += n.shards[i].pramReads.Load()
+		s.CausalReads += n.shards[i].causalReads.Load()
+	}
+	return s
 }
 
 // Snapshot returns a copy of the requested view's contents, for debugging
 // and result extraction in examples. causalView selects the causal view.
+// Cells exist only for locations some write or apply touched; a location the
+// selected view never received reads as zero, matching the map semantics.
 func (n *Node) Snapshot(causalView bool) map[string]int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	src := n.pram
-	if causalView {
-		src = n.causal
-	}
-	out := make(map[string]int64, len(src))
-	for k, v := range src {
-		out[k] = v
+	out := make(map[string]int64)
+	for i := range n.shards {
+		m := *n.shards[i].vals.Load()
+		for loc, c := range m {
+			if causalView {
+				out[loc] = c.causal.Load()
+			} else {
+				out[loc] = c.pram.Load()
+			}
+		}
 	}
 	return out
 }
@@ -1086,14 +1376,20 @@ func (n *Node) Snapshot(causalView bool) map[string]int64 {
 // flushed best-effort (a closed fabric drops them silently), and the linger
 // flusher is stopped.
 func (n *Node) Close() {
-	n.mu.Lock()
-	first := !n.closed
+	n.clockMu.Lock()
+	first := !n.closed.Load()
 	if first && n.batch.Enabled {
 		n.flushAllLocked()
 	}
-	n.closed = true
-	n.cond.Broadcast()
-	n.mu.Unlock()
+	n.closed.Store(true)
+	n.clockCond.Broadcast()
+	n.clockMu.Unlock()
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
 	if first && n.flushQuit != nil {
 		close(n.flushQuit)
 	}

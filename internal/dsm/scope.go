@@ -139,8 +139,8 @@ const (
 // with Config.TrackAccess. Merging the logs of all nodes yields a ScopeMap
 // for the workload — see core.System.LearnedScope.
 func (n *Node) Accessed() map[string]AccessKind {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.trackMu.Lock()
+	defer n.trackMu.Unlock()
 	out := make(map[string]AccessKind, len(n.track))
 	for loc, k := range n.track {
 		out[loc] = k

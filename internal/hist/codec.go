@@ -19,7 +19,20 @@ func (h *Histogram) MarshalBinary() ([]byte, error) {
 			nz++
 		}
 	}
-	buf := make([]byte, 0, 8*4+4+nz*12)
+	return h.AppendBinary(make([]byte, 0, 8*4+4+nz*12)), nil
+}
+
+// AppendBinary appends the sparse wire form to dst and returns the extended
+// slice — the alloc-free variant for callers that reuse a pooled buffer
+// (transport.GetBuf) across encodes.
+func (h *Histogram) AppendBinary(dst []byte) []byte {
+	nz := 0
+	for _, c := range h.counts {
+		if c != 0 {
+			nz++
+		}
+	}
+	buf := dst
 	buf = binary.BigEndian.AppendUint64(buf, uint64(h.total))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(h.sum))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(h.min))
@@ -32,7 +45,7 @@ func (h *Histogram) MarshalBinary() ([]byte, error) {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(i))
 		buf = binary.BigEndian.AppendUint64(buf, uint64(c))
 	}
-	return buf, nil
+	return buf
 }
 
 // UnmarshalBinary decodes a histogram previously encoded with
@@ -87,7 +100,15 @@ const (
 // shared-memory locations: cells[0..2] are sum, min (MaxInt64 when empty),
 // and max, followed by one packed (index, count) cell per nonzero bucket.
 func (h *Histogram) Cells() []int64 {
-	cells := []int64{h.sum, h.min, h.max}
+	return h.AppendCells(make([]int64, 0, 3+16))
+}
+
+// AppendCells appends the packed-cell encoding to dst and returns the
+// extended slice — the alloc-free variant for callers that reuse a scratch
+// slice across snapshots (the fleet-metrics publisher re-encodes every
+// interval).
+func (h *Histogram) AppendCells(dst []int64) []int64 {
+	cells := append(dst, h.sum, h.min, h.max)
 	for i, c := range h.counts {
 		for c > 0 {
 			chunk := c

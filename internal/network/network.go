@@ -190,7 +190,7 @@ func New(cfg Config) (*Fabric, error) {
 func (f *Fabric) pump(src, dst *queue, factor *atomic.Int64) {
 	defer f.wg.Done()
 	for {
-		m, ok := src.pop()
+		m, ok := src.popInflight()
 		if !ok {
 			return
 		}
@@ -213,6 +213,7 @@ func (f *Fabric) pump(src, dst *queue, factor *atomic.Int64) {
 			}
 		}
 		dst.push(m)
+		src.delivered()
 	}
 }
 
@@ -226,8 +227,21 @@ func (f *Fabric) Send(m Message) error {
 		return fmt.Errorf("network: send %d->%d: %w", m.From, m.To, ErrInvalidNode)
 	}
 	f.account(m)
-	f.pairs[m.From*f.n+m.To].push(m)
+	f.deliver(m.From, m.To, m)
 	return nil
+}
+
+// deliver routes m onto the (from, to) channel. With a zero latency model it
+// first tries the idle-channel bypass, which hands the message straight to
+// the destination inbox without waking the pair's pump goroutine; otherwise
+// (or when the channel is busy, held, or modeled with latency) it enqueues
+// for the pump as usual.
+func (f *Fabric) deliver(from, to int, m Message) {
+	q := f.pairs[from*f.n+to]
+	if f.latency.zero() && q.tryBypass(m, f.inboxes[to]) {
+		return
+	}
+	q.push(m)
 }
 
 // Broadcast sends m to every node except the sender. The per-destination
@@ -242,7 +256,7 @@ func (f *Fabric) Broadcast(from int, kind string, payload any, size int) error {
 		}
 		m := Message{From: from, To: to, Kind: kind, Payload: payload, Size: size}
 		f.account(m)
-		f.pairs[from*f.n+to].push(m)
+		f.deliver(from, to, m)
 	}
 	return nil
 }

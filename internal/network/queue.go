@@ -18,6 +18,10 @@ type queue struct {
 	// held pauses delivery without affecting enqueues; used by the test
 	// fabric to build adversarial delivery schedules.
 	held bool
+	// inflight is true while the pump holds a popped message it has not yet
+	// pushed to the destination inbox. The sender-side bypass (tryBypass)
+	// must not overtake such a message, or per-channel FIFO would break.
+	inflight bool
 }
 
 func newQueue() *queue {
@@ -41,7 +45,14 @@ func (q *queue) push(m Message) {
 // pop removes and returns the oldest message. It blocks while the queue is
 // empty or held. The second result is false once the queue is closed and
 // drained.
-func (q *queue) pop() (Message, bool) {
+func (q *queue) pop() (Message, bool) { return q.popImpl(false) }
+
+// popInflight is pop for the pair-channel pump: it additionally marks the
+// popped message as in flight, disabling the sender-side bypass until the
+// pump acknowledges inbox delivery via delivered.
+func (q *queue) popInflight() (Message, bool) { return q.popImpl(true) }
+
+func (q *queue) popImpl(markInflight bool) (Message, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for (len(q.items) == q.head || q.held) && !q.closed {
@@ -60,7 +71,40 @@ func (q *queue) pop() (Message, bool) {
 		q.items = q.items[:n]
 		q.head = 0
 	}
+	if markInflight {
+		q.inflight = true
+	}
 	return m, true
+}
+
+// delivered clears the in-flight mark set by popInflight.
+func (q *queue) delivered() {
+	q.mu.Lock()
+	q.inflight = false
+	q.mu.Unlock()
+}
+
+// tryBypass delivers m straight into inbox when the channel is completely
+// idle: nothing queued, nothing in the pump's hands, delivery not held. The
+// caller has already established that the latency model is zero. Holding
+// q.mu across the inbox push serializes bypassing senders with each other
+// and with the pump, so per-channel FIFO order is exactly the order in which
+// senders won q.mu — the same guarantee the queue itself provides. The
+// bypass exists because a pump handoff costs a goroutine wakeup per message,
+// which dominates the zero-latency fabrics the perf harness measures.
+func (q *queue) tryBypass(m Message, inbox *queue) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return true // push would drop it too
+	}
+	if q.held || q.inflight || len(q.items) != q.head {
+		q.mu.Unlock()
+		return false
+	}
+	inbox.push(m)
+	q.mu.Unlock()
+	return true
 }
 
 // hold pauses delivery: pop blocks even when messages are queued.

@@ -1,0 +1,41 @@
+package tcp
+
+import (
+	"testing"
+
+	"mixedmem/internal/transport"
+)
+
+// TestAppendMsgFrameAllocFree pins the frame writer at zero allocations:
+// push encodes every outgoing message into a pooled buffer with
+// appendMsgFrame, and the writer goroutine ships those buffers through
+// net.Buffers without copying, so a single stray allocation here would be
+// paid once per message on every connection.
+func TestAppendMsgFrameAllocFree(t *testing.T) {
+	m := transport.Message{From: 0, To: 1, Kind: "dsm.update", Size: 64}
+	payload := make([]byte, 64)
+	buf := make([]byte, 0, 256) // warm buffer, as GetBuf returns once the pool cycles
+	allocs := testing.AllocsPerRun(500, func() {
+		frame := appendMsgFrame(buf[:0], 0, m, payload)
+		patchMsgFrameSeq(frame, 42)
+	})
+	if allocs > 0 {
+		t.Errorf("appendMsgFrame into warm buffer: %.3f allocs/op, want 0", allocs)
+	}
+}
+
+// TestFramePoolRoundTrip pins the pooled-buffer cycle the sender runs per
+// message: GetBuf, encode a frame, PutBuf. Warm, the freelist serves every
+// request and the cycle is allocation-free.
+func TestFramePoolRoundTrip(t *testing.T) {
+	m := transport.Message{From: 1, To: 0, Kind: "dsm.update", Size: 32}
+	payload := make([]byte, 32)
+	transport.PutBuf(make([]byte, 0, 512))
+	allocs := testing.AllocsPerRun(500, func() {
+		frame := appendMsgFrame(transport.GetBuf(), 7, m, payload)
+		transport.PutBuf(frame)
+	})
+	if allocs > 0 {
+		t.Errorf("pooled frame cycle: %.3f allocs/op, want 0", allocs)
+	}
+}

@@ -39,8 +39,10 @@ func FuzzFrameDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))
+		var body []byte
 		for {
-			body, err := readFrame(br)
+			var err error
+			body, err = readFrame(br, body)
 			if err != nil {
 				return // stream rejected cleanly
 			}

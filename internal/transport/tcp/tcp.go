@@ -171,12 +171,35 @@ type peer struct {
 	// buf holds encoded msg frames not yet acked; buf[i] carries sequence
 	// base+i+1. next indexes the first frame not yet written to the
 	// current connection; a reconnect resets it to 0, replaying the
-	// unacked suffix.
+	// unacked suffix. Frames are pooled buffers (transport.GetBuf); they
+	// return to the pool when acked, via the in-flight protocol below.
 	buf    [][]byte
 	base   uint64
 	next   int
 	conn   net.Conn
 	closed bool
+	// inflightHi is the absolute sequence of the last frame the writer
+	// goroutine is currently handing to the kernel (0 when idle). An ack can
+	// cover an in-flight frame — after a reconnect the receiver re-acks
+	// replayed duplicates while the writer is still streaming them — so
+	// advanceAck parks such frames on held instead of returning them to the
+	// pool; the writer drains held once the write call is over.
+	inflightHi uint64
+	held       [][]byte
+	// wbatch is the writer goroutine's reusable frame-slice scratch. runPeer
+	// guarantees a single writer, so only that goroutine touches it.
+	wbatch [][]byte
+}
+
+// releaseHeld returns parked frames to the buffer pool and clears the
+// in-flight window. Caller holds p.mu.
+func (p *peer) releaseHeld() {
+	for i, f := range p.held {
+		transport.PutBuf(f)
+		p.held[i] = nil
+	}
+	p.held = p.held[:0]
+	p.inflightHi = 0
 }
 
 // ErrInvalidNode is returned for out-of-range node IDs.
@@ -254,12 +277,17 @@ func (t *Transport) Send(m transport.Message) error {
 		t.inbox.push(m)
 		return nil
 	}
-	payload, err := transport.EncodePayload(nil, m.Kind, m.Payload)
+	payload, err := transport.EncodePayload(transport.GetBuf(), m.Kind, m.Payload)
 	if err != nil {
+		transport.PutBuf(payload)
 		return fmt.Errorf("tcp: send %d->%d kind %q: %w", m.From, m.To, m.Kind, err)
 	}
 	t.account(m)
 	t.peers[m.To].push(m, payload)
+	transport.PutBuf(payload) // push copied it into the frame
+	// The payload object's pooled internals (for example a batch's entry
+	// slice) are fully captured in the encoding; hand them back.
+	transport.RecyclePayload(m.Kind, m.Payload)
 	return nil
 }
 
@@ -268,8 +296,9 @@ func (t *Transport) Broadcast(from int, kind string, payload any, size int) erro
 	if from != t.id {
 		return fmt.Errorf("tcp: broadcast from %d on node %d: %w", from, t.id, ErrInvalidNode)
 	}
-	enc, err := transport.EncodePayload(nil, kind, payload)
+	enc, err := transport.EncodePayload(transport.GetBuf(), kind, payload)
 	if err != nil {
+		transport.PutBuf(enc)
 		return fmt.Errorf("tcp: broadcast kind %q: %w", kind, err)
 	}
 	for to := 0; to < t.n; to++ {
@@ -280,6 +309,8 @@ func (t *Transport) Broadcast(from int, kind string, payload any, size int) erro
 		t.account(m)
 		t.peers[to].push(m, enc)
 	}
+	transport.PutBuf(enc)
+	transport.RecyclePayload(kind, payload)
 	return nil
 }
 
@@ -435,20 +466,29 @@ func (t *Transport) Close() {
 	})
 }
 
-// push encodes m into a frame, assigns the channel's next sequence number,
-// and appends it to the replay buffer.
+// push encodes m into a pooled frame buffer, assigns the channel's next
+// sequence number, and appends it to the replay buffer. The frame is encoded
+// outside p.mu — only the append needs the lock — and returns to the pool
+// when its ack arrives.
 func (p *peer) push(m transport.Message, payload []byte) {
+	frame := appendMsgFrame(transport.GetBuf(), 0, m, payload)
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
+		transport.PutBuf(frame)
 		return
 	}
 	seq := p.base + uint64(len(p.buf)) + 1
-	p.buf = append(p.buf, appendMsgFrame(nil, seq, m, payload))
+	patchMsgFrameSeq(frame, seq)
+	p.buf = append(p.buf, frame)
 	p.cond.Signal()
+	p.mu.Unlock()
 }
 
-// advanceAck trims the replay buffer through the cumulative ack.
+// advanceAck trims the replay buffer through the cumulative ack, returning
+// acked frames to the buffer pool — except frames the writer goroutine is
+// concurrently handing to the kernel, which are parked on held until the
+// write call is over.
 func (p *peer) advanceAck(cum uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -461,7 +501,13 @@ func (p *peer) advanceAck(cum uint64) {
 		drop = len(p.buf)
 	}
 	for i := 0; i < drop; i++ {
+		f := p.buf[i]
 		p.buf[i] = nil
+		if seq := p.base + uint64(i) + 1; p.inflightHi != 0 && seq <= p.inflightHi {
+			p.held = append(p.held, f)
+		} else {
+			transport.PutBuf(f)
+		}
 	}
 	p.buf = p.buf[drop:]
 	p.base += uint64(drop)
@@ -503,8 +549,7 @@ func (t *Transport) runPeer(p *peer) {
 			}
 			continue
 		}
-		bw := bufio.NewWriter(conn)
-		if err := t.writeHello(conn, bw); err != nil {
+		if err := t.writeHello(conn); err != nil {
 			t.dialFailures.Add(1)
 			conn.Close()
 			continue
@@ -528,7 +573,7 @@ func (t *Transport) runPeer(p *peer) {
 
 		ackDone := make(chan struct{})
 		go t.readAcks(p, conn, ackDone)
-		err = t.writeFrames(p, conn, bw)
+		err = t.writeFrames(p, conn)
 		conn.Close()
 		<-ackDone
 		p.mu.Lock()
@@ -543,26 +588,27 @@ func (t *Transport) runPeer(p *peer) {
 	}
 }
 
-func (t *Transport) writeHello(conn net.Conn, bw *bufio.Writer) error {
-	body := make([]byte, 0, 9)
-	body = append(body, frameHello)
-	body = transport.AppendUint32(body, helloMagic)
-	body = transport.AppendUint32(body, uint32(t.id))
+func (t *Transport) writeHello(conn net.Conn) error {
+	frame := transport.GetBuf()
+	frame = transport.AppendUint32(frame, 9)
+	frame = append(frame, frameHello)
+	frame = transport.AppendUint32(frame, helloMagic)
+	frame = transport.AppendUint32(frame, uint32(t.id))
 	conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-	if _, err := bw.Write(transport.AppendUint32(nil, uint32(len(body)))); err != nil {
-		return err
-	}
-	if _, err := bw.Write(body); err != nil {
-		return err
-	}
-	return bw.Flush()
+	_, err := conn.Write(frame)
+	transport.PutBuf(frame)
+	return err
 }
 
 // writeFrames streams the replay buffer to the connection until it fails,
-// is replaced, or the transport closes.
-func (t *Transport) writeFrames(p *peer, conn net.Conn, bw *bufio.Writer) error {
+// is replaced, or the transport closes. Each round snapshots the unwritten
+// suffix into the writer's reusable scratch and hands it to the kernel as
+// one vectored write (net.Buffers → writev), so a flushed outbox batch goes
+// out in a single syscall with no intermediate copy.
+func (t *Transport) writeFrames(p *peer, conn net.Conn) error {
 	for {
 		p.mu.Lock()
+		p.releaseHeld() // frames acked while the previous write was in flight
 		for p.next >= len(p.buf) && p.conn == conn && !p.closed {
 			p.cond.Wait()
 		}
@@ -570,18 +616,17 @@ func (t *Transport) writeFrames(p *peer, conn net.Conn, bw *bufio.Writer) error 
 			p.mu.Unlock()
 			return errConnGone
 		}
-		batch := make([][]byte, len(p.buf)-p.next)
-		copy(batch, p.buf[p.next:])
+		p.wbatch = append(p.wbatch[:0], p.buf[p.next:]...)
+		p.inflightHi = p.base + uint64(len(p.buf))
 		p.next = len(p.buf)
 		p.mu.Unlock()
 
 		conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-		for _, frame := range batch {
-			if _, err := bw.Write(frame); err != nil {
-				return err
-			}
-		}
-		if err := bw.Flush(); err != nil {
+		bufs := net.Buffers(p.wbatch)
+		if _, err := bufs.WriteTo(conn); err != nil {
+			p.mu.Lock()
+			p.releaseHeld()
+			p.mu.Unlock()
 			return err
 		}
 	}
@@ -592,8 +637,11 @@ func (t *Transport) writeFrames(p *peer, conn net.Conn, bw *bufio.Writer) error 
 func (t *Transport) readAcks(p *peer, conn net.Conn, done chan struct{}) {
 	defer close(done)
 	br := bufio.NewReader(conn)
+	body := transport.GetBuf()
+	defer func() { transport.PutBuf(body) }()
 	for {
-		body, err := readFrame(br)
+		var err error
+		body, err = readFrame(br, body)
 		if err != nil {
 			conn.Close()
 			p.mu.Lock()
@@ -645,7 +693,12 @@ func (t *Transport) serveConn(conn net.Conn) {
 		t.connMu.Unlock()
 	}()
 	br := bufio.NewReader(conn)
-	body, err := readFrame(br)
+	// body is the connection's reusable frame buffer: readFrame fills it in
+	// place (growing as needed) and every decode copies what it keeps, so one
+	// buffer serves every frame of the connection.
+	body := transport.GetBuf()
+	defer func() { transport.PutBuf(body) }()
+	body, err := readFrame(br, body)
 	if err != nil || len(body) != 9 || body[0] != frameHello ||
 		binary.BigEndian.Uint32(body[1:]) != helloMagic {
 		return
@@ -654,9 +707,10 @@ func (t *Transport) serveConn(conn net.Conn) {
 	if from < 0 || from >= t.n || from == t.id {
 		return
 	}
-	ack := make([]byte, 0, 13)
+	ack := transport.GetBuf()
+	defer func() { transport.PutBuf(ack) }()
 	for {
-		body, err := readFrame(br)
+		body, err = readFrame(br, body)
 		if err != nil {
 			return
 		}
@@ -708,6 +762,15 @@ func appendMsgFrame(dst []byte, seq uint64, m transport.Message, payload []byte)
 	return dst
 }
 
+// patchMsgFrameSeq overwrites the sequence number of a frame produced by
+// appendMsgFrame with an empty dst: the sequence sits right after the 4-byte
+// length prefix and 1-byte frame type. push encodes outside the peer lock
+// with a placeholder sequence and patches the real one once it holds the
+// lock and knows the frame's position.
+func patchMsgFrameSeq(frame []byte, seq uint64) {
+	binary.BigEndian.PutUint64(frame[5:], seq)
+}
+
 // decodeMsgFrame parses a msg frame body back into a Message.
 func decodeMsgFrame(body []byte) (transport.Message, uint64, error) {
 	d := transport.NewDecoder(body[1:])
@@ -735,19 +798,26 @@ func decodeMsgFrame(body []byte) (transport.Message, uint64, error) {
 	return m, seq, nil
 }
 
-// readFrame reads one length-prefixed frame body.
-func readFrame(br *bufio.Reader) ([]byte, error) {
+// readFrame reads one length-prefixed frame body into buf, growing it only
+// when a frame exceeds its capacity. The caller owns exactly one buffer per
+// connection and passes the previous return value back in, so steady-state
+// reading allocates nothing; every decode must copy what it keeps out of the
+// returned slice before the next call.
+func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-		return nil, err
+		return buf, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("tcp: frame of %d bytes exceeds limit", n)
+		return buf, fmt.Errorf("tcp: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(br, body); err != nil {
-		return nil, err
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
 	}
-	return body, nil
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return buf, err
+	}
+	return buf, nil
 }
