@@ -9,6 +9,7 @@
 //	mixedbench -procs 8        # override the process count
 //	mixedbench -json           # one JSON line per measured row
 //	mixedbench -exp e8 -transport tcp   # latency spectrum over real TCP
+//	mixedbench -exp e8s                 # per-label cost curve (also tcp)
 //	mixedbench -exp a3 -transport tcp   # placement ablation over real TCP
 //	mixedbench -exp s1                  # serving tail-latency sweep (also tcp)
 //
@@ -140,6 +141,7 @@ func runTo(args []string, out io.Writer) error {
 		{"e6", "Section 6: eager vs lazy vs demand-driven propagation", runE6, false},
 		{"e7", "Section 7: asynchronous Gauss-Seidel converges under PRAM", runE7, false},
 		{"e8", "Sections 1/3.2: access-latency spectrum (PRAM/causal vs SC)", runE8, true},
+		{"e8s", "Label lattice: cost-of-consistency curve (slow/PRAM/causal/SC)", runE8S, true},
 		{"e9", "Theorem 1 corollaries: random programs are SC", runE9, false},
 		{"e10", "Section 2: producer/consumer via awaits vs lock polling", runE10, false},
 		{"a1", "Ablation: timestamp elision for PRAM-consistent programs (Section 6)", runA1, false},
@@ -536,6 +538,35 @@ func runE8(cfg *config) error {
 	}
 	cfg.claim("claim (Sections 1, 3.2): weak reads/writes are local; sequential consistency pays",
 		"a round trip per operation")
+	return nil
+}
+
+func runE8S(cfg *config) error {
+	ops := 300
+	if cfg.quick {
+		ops = 100
+	}
+	if cfg.transport == "tcp" {
+		r, err := bench.RunLatencySpectrumTCP(2, ops)
+		if err != nil {
+			return err
+		}
+		if err := cfg.emit(r); err != nil {
+			return err
+		}
+		cfg.claim("claim (lattice): cost is monotone in label strength over real sockets —",
+			"weak accesses stay local while the SC point pays a kernel round trip per access")
+		return nil
+	}
+	r, err := bench.RunLatencySpectrum(cfg.procs, ops, cfg.latency)
+	if err != nil {
+		return err
+	}
+	if err := cfg.emit(r); err != nil {
+		return err
+	}
+	cfg.claim("claim (lattice): cost is monotone in label strength — the weak labels share the",
+		"broadcast path (slow sheds timestamp bytes), and SC pays a round trip per access")
 	return nil
 }
 

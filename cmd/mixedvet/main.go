@@ -12,8 +12,11 @@
 //
 // With -advise it also prints, per constant location, the weakest read
 // label the corollaries statically justify (the static counterpart of
-// check.Advise): PRAM when the phase discipline provably holds, Causal when
-// the entry discipline provably holds, none otherwise.
+// check.Advise), walking the lattice slow < PRAM < causal < SC bottom-up:
+// slow when the phase discipline provably holds and barriers are the only
+// synchronization, PRAM when the phase discipline provably holds but awaits
+// or locks appear, causal when the entry discipline provably holds, and SC
+// otherwise — the lattice top needs no program condition.
 package main
 
 import (

@@ -1,0 +1,56 @@
+// Gaussasync runs the Section 7 asynchronous relaxation at the two weak ends
+// of the label lattice on the same seeded diagonally dominant system:
+//
+//   - plain PRAM (the paper's setting): chaotic Gauss–Seidel sweeps with no
+//     barriers, locks, or awaits during the iteration;
+//   - Slow (the lattice bottom): the same sweeps with the estimate cells
+//     labeled Slow and slow reads throughout.
+//
+// Each estimate cell has exactly one writer, so per-location FIFO already
+// hands every reader a monotone sequence of refinements — the cross-location
+// per-sender ordering PRAM adds is not load-bearing, and dropping to Slow
+// additionally sheds the vector timestamp from every update on the wire.
+// Both runs converge to the direct solution; the run prints final errors and
+// wall-clock time for each label.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mixedmem/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 24, "system size")
+	procs := flag.Int("procs", 4, "processes")
+	rounds := flag.Int("rounds", 60, "asynchronous sweeps per process")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+	if err := run(*n, *procs, *rounds, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n, procs, rounds int, seed int64) error {
+	pram, err := bench.RunGaussSeidel(n, procs, rounds, seed)
+	if err != nil {
+		return err
+	}
+	slow, err := bench.RunGaussSeidelSlow(n, procs, rounds, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("asynchronous Gauss–Seidel, PRAM estimate cells:")
+	fmt.Printf("  %v\n", pram)
+	fmt.Println("asynchronous Gauss–Seidel, Slow estimate cells (timestamp-free wire):")
+	fmt.Printf("  %v\n", slow)
+	const tol = 1e-6
+	if pram.Error > tol || slow.Error > tol {
+		return fmt.Errorf("relaxation did not converge: pram=%.3e slow=%.3e (tol %.0e)",
+			pram.Error, slow.Error, tol)
+	}
+	fmt.Printf("\nboth labels converge below %.0e: single-writer cells make Slow sufficient\n", tol)
+	return nil
+}

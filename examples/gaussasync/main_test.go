@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun exercises the example at a small size, so `go test ./...` pins the
+// Slow-label relaxation's convergence alongside the PRAM baseline.
+func TestRun(t *testing.T) {
+	if err := run(12, 3, 60, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

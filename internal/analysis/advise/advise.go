@@ -1,9 +1,14 @@
 // Package advise is the static counterpart of check.Advise: the paper's
 // compiler check (Section 4) run over source instead of a recorded history.
 // For each constant location it recommends the weakest read label the
-// corollaries justify — LabelPRAM when the phase discipline provably holds
-// (Corollary 2), LabelCausal when the entry discipline provably holds
-// (Corollary 1), LabelNone otherwise.
+// corollaries justify, walking the lattice bottom-up — LabelSlow when the
+// phase discipline provably holds and barriers are the program's only
+// synchronization (Corollary 2's proof survives with slow reads because the
+// slow-memory relation retains barrier edges), LabelPRAM when the phase
+// discipline provably holds but awaits or locks appear (they lean on the
+// per-sender FIFO slow memory drops), LabelCausal when the entry discipline
+// provably holds (Corollary 1), and LabelSC otherwise — sequentially
+// consistent reads are the lattice top and need no program condition.
 //
 // The engine is deliberately much more conservative than the per-function
 // diagnostics of the mixedvet analyzers, because its claims must hold for
@@ -52,7 +57,8 @@ import (
 type LocationAdvice struct {
 	Loc string
 	// Label is the weakest read label justified for every execution:
-	// LabelPRAM < LabelCausal < LabelNone in cost, the reverse in strength.
+	// LabelSlow < LabelPRAM < LabelCausal < LabelSC in cost, the reverse
+	// in strength.
 	Label     history.Label
 	Rationale string
 }
@@ -67,22 +73,25 @@ type Result struct {
 }
 
 // Rank orders labels by strength for never-weaker comparisons: a static
-// label is sound if its rank is >= the rank of the dynamic advice.
+// label is sound if its rank is >= the rank of the dynamic advice. The
+// unconditioned labels (LabelSC and the legacy LabelNone) share the top.
 func Rank(l history.Label) int {
 	switch l {
-	case history.LabelPRAM:
+	case history.LabelSlow:
 		return 0
-	case history.LabelCausal:
+	case history.LabelPRAM:
 		return 1
+	case history.LabelCausal:
+		return 2
 	}
-	return 2
+	return 3
 }
 
 // ProgramLabel folds per-location advice into a single program-level label,
 // comparable with the program-level check.Advise: the strongest (most
 // conservative) requirement of any location.
 func (r *Result) ProgramLabel() history.Label {
-	out := history.LabelPRAM
+	out := history.LabelSlow
 	for _, a := range r.Advice {
 		if Rank(a.Label) > Rank(out) {
 			out = a.Label
@@ -135,6 +144,7 @@ type engine struct {
 	sites          map[string][]site // constant location -> accesses
 	dynamicWrites  bool
 	dynamicReads   bool
+	syncCalls      bool // an await or lock operation appears somewhere
 	phasesCoherent bool // true unless some unit's phase structure is ambiguous
 	scanned        bool
 }
@@ -172,6 +182,14 @@ func (e *engine) scanPackage(pkg *framework.Package) {
 			phase, reached := ph.in[blk], ph.reached[blk]
 			for _, node := range blk.Stmts {
 				for _, c := range mixedapi.CallsIn(pkg.Info, node) {
+					switch c.Op {
+					case mixedapi.OpAwaitCausal, mixedapi.OpAwaitPRAM,
+						mixedapi.OpRLock, mixedapi.OpRUnlock,
+						mixedapi.OpWLock, mixedapi.OpWUnlock:
+						// Any await or lock op anywhere keeps the advice at
+						// PRAM or above, mirroring check.SlowConsistent.
+						e.syncCalls = true
+					}
 					switch {
 					case c.Op == mixedapi.OpBarrier:
 						phase++
@@ -229,20 +247,24 @@ func (e *engine) adviseLoc(loc string, lockOf map[string]string) LocationAdvice 
 		}
 	}
 	if e.dynamicWrites {
-		return LocationAdvice{loc, history.LabelNone,
+		return LocationAdvice{loc, history.LabelSC,
 			"a write with a non-constant location elsewhere in the program could target this location in any phase"}
 	}
 	if reason := e.pramReason(loc, writes, reads); reason == "" {
+		if !e.syncCalls {
+			return LocationAdvice{loc, history.LabelSlow,
+				"phase discipline holds and barriers are the only synchronization: Corollary 2 extends to slow reads"}
+		}
 		return LocationAdvice{loc, history.LabelPRAM,
-			"phase discipline holds on every execution: Corollary 2 permits PRAM reads"}
+			"phase discipline holds on every execution: Corollary 2 permits PRAM reads (awaits or locks elsewhere rely on per-sender FIFO, rejecting slow)"}
 	} else if lock, ok := e.entryHolds(writes, reads); ok {
 		lockOf[loc] = lock
 		return LocationAdvice{loc, history.LabelCausal, fmt.Sprintf(
 			"entry discipline holds under lock %q: Corollary 1 permits causal reads (PRAM rejected: %s)",
 			lock, reason)}
 	} else {
-		return LocationAdvice{loc, history.LabelNone, fmt.Sprintf(
-			"neither corollary provable (PRAM rejected: %s)", reason)}
+		return LocationAdvice{loc, history.LabelSC, fmt.Sprintf(
+			"neither corollary provable, only sequentially consistent reads are unconditional (PRAM rejected: %s)", reason)}
 	}
 }
 

@@ -29,12 +29,12 @@ func TestAdviseBasic(t *testing.T) {
 	res := adviceOf(t, "../testdata/src/advise")
 	got := labels(res)
 	want := map[string]history.Label{
-		"x":   history.LabelPRAM,   // phase-disciplined pipeline
+		"x":   history.LabelPRAM,   // phase-disciplined pipeline; locks elsewhere reject slow
 		"tab": history.LabelCausal, // entry-disciplined under "m"
-		"y":   history.LabelNone,   // written twice in one phase
+		"y":   history.LabelSC,     // written twice in one phase
 		"ro":  history.LabelPRAM,   // read-only
 		"n":   history.LabelPRAM,   // counter increments are not writes
-		"tv":  history.LabelNone,   // Forall thread strands
+		"tv":  history.LabelSC,     // Forall thread strands
 	}
 	if len(got) != len(want) {
 		t.Errorf("advice covers %d locations, want %d: %v", len(got), len(want), got)
@@ -50,8 +50,8 @@ func TestAdviseBasic(t *testing.T) {
 	if len(res.LockOf) != 1 {
 		t.Errorf("LockOf = %v, want only tab", res.LockOf)
 	}
-	if pl := res.ProgramLabel(); pl != history.LabelNone {
-		t.Errorf("ProgramLabel = %v, want LabelNone (weakest location wins)", pl)
+	if pl := res.ProgramLabel(); pl != history.LabelSC {
+		t.Errorf("ProgramLabel = %v, want LabelSC (strongest requirement wins)", pl)
 	}
 	for _, a := range res.Advice {
 		if a.Rationale == "" {
@@ -60,11 +60,32 @@ func TestAdviseBasic(t *testing.T) {
 	}
 }
 
+func TestAdviseSlow(t *testing.T) {
+	res := adviceOf(t, "../testdata/src/advise_slow")
+	got := labels(res)
+	want := map[string]history.Label{
+		"left":  history.LabelSlow,
+		"right": history.LabelSlow,
+		"acc":   history.LabelSlow,
+	}
+	if len(got) != len(want) {
+		t.Errorf("advice covers %d locations, want %d: %v", len(got), len(want), got)
+	}
+	for loc, lbl := range want {
+		if got[loc] != lbl {
+			t.Errorf("advice for %q = %v, want %v", loc, got[loc], lbl)
+		}
+	}
+	if pl := res.ProgramLabel(); pl != history.LabelSlow {
+		t.Errorf("ProgramLabel = %v, want LabelSlow (barrier-only phase discipline)", pl)
+	}
+}
+
 func TestAdvisePoison(t *testing.T) {
 	res := adviceOf(t, "../testdata/src/advise_poison")
 	for _, a := range res.Advice {
-		if a.Label != history.LabelNone {
-			t.Errorf("advice for %q = %v, want LabelNone: a dynamic-location write poisons every claim", a.Loc, a.Label)
+		if a.Label != history.LabelSC {
+			t.Errorf("advice for %q = %v, want LabelSC: a dynamic-location write poisons every claim", a.Loc, a.Label)
 		}
 	}
 	got := labels(res)
@@ -74,9 +95,14 @@ func TestAdvisePoison(t *testing.T) {
 }
 
 func TestRank(t *testing.T) {
-	if !(advise.Rank(history.LabelPRAM) < advise.Rank(history.LabelCausal) &&
-		advise.Rank(history.LabelCausal) < advise.Rank(history.LabelNone)) {
-		t.Errorf("Rank does not order PRAM < Causal < None: %d %d %d",
-			advise.Rank(history.LabelPRAM), advise.Rank(history.LabelCausal), advise.Rank(history.LabelNone))
+	if !(advise.Rank(history.LabelSlow) < advise.Rank(history.LabelPRAM) &&
+		advise.Rank(history.LabelPRAM) < advise.Rank(history.LabelCausal) &&
+		advise.Rank(history.LabelCausal) < advise.Rank(history.LabelSC)) {
+		t.Errorf("Rank does not order Slow < PRAM < Causal < SC: %d %d %d %d",
+			advise.Rank(history.LabelSlow), advise.Rank(history.LabelPRAM),
+			advise.Rank(history.LabelCausal), advise.Rank(history.LabelSC))
+	}
+	if advise.Rank(history.LabelNone) != advise.Rank(history.LabelSC) {
+		t.Errorf("legacy LabelNone should share the unconditioned top with LabelSC")
 	}
 }

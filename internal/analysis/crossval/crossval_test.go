@@ -8,6 +8,7 @@ import (
 	"mixedmem/internal/analysis/crossval/causalprog"
 	"mixedmem/internal/analysis/crossval/noneprog"
 	"mixedmem/internal/analysis/crossval/pramprog"
+	"mixedmem/internal/analysis/crossval/slowprog"
 	"mixedmem/internal/analysis/framework"
 	"mixedmem/internal/check"
 	"mixedmem/internal/core"
@@ -51,9 +52,10 @@ func TestStaticMatchesDynamic(t *testing.T) {
 		prog func(p *core.Proc)
 		want history.Label
 	}{
+		{"slowprog", slowprog.Program, history.LabelSlow},
 		{"pramprog", pramprog.Program, history.LabelPRAM},
 		{"causalprog", causalprog.Program, history.LabelCausal},
-		{"noneprog", noneprog.Program, history.LabelNone},
+		{"noneprog", noneprog.Program, history.LabelSC},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -74,9 +76,9 @@ func TestStaticMatchesDynamic(t *testing.T) {
 }
 
 // TestStaticNeverWeakerOnExamples checks the soundness direction over the
-// repo's five example programs. All of them write through computed location
+// repo's example programs. All of them write through computed location
 // names (per-process slots, matrix rows), which a static engine cannot
-// attribute to a location, so the only sound static answer is LabelNone for
+// attribute to a location, so the only sound static answer is LabelSC for
 // every location — which by construction is never weaker than whatever a
 // recorded execution would justify.
 func TestStaticNeverWeakerOnExamples(t *testing.T) {
@@ -84,7 +86,7 @@ func TestStaticNeverWeakerOnExamples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"cholesky", "emfield", "linsolve", "pipeline", "quickstart"} {
+	for _, name := range []string{"cholesky", "emfield", "gaussasync", "linsolve", "pipeline", "quickstart"} {
 		t.Run(name, func(t *testing.T) {
 			// The examples delegate their memory accesses to internal/apps,
 			// so the program the engine judges is the pair of packages.
@@ -97,7 +99,7 @@ func TestStaticNeverWeakerOnExamples(t *testing.T) {
 				t.Fatalf("no locations found in examples/%s", name)
 			}
 			for _, a := range res.Advice {
-				if a.Label != history.LabelNone {
+				if a.Label != history.LabelSC {
 					t.Errorf("static advice for %q in examples/%s = %v; dynamic-location writes make any claim unsound",
 						a.Loc, name, a.Label)
 				}

@@ -1,6 +1,7 @@
 // Package noneprog violates both disciplines: a location written twice in
 // one barrier phase, with no locks anywhere. Neither corollary applies —
-// statically or dynamically.
+// statically or dynamically — so the advice falls back to the lattice top,
+// sequentially consistent reads.
 package noneprog
 
 import "mixedmem/internal/core"

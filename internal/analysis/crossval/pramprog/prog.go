@@ -1,18 +1,23 @@
-// Package pramprog is a phase-disciplined program: single role-guarded
-// writers, barrier-separated reads. Both the static engine and the dynamic
-// checker should conclude PRAM reads suffice (Corollary 2).
+// Package pramprog is a phase-disciplined program that also uses an await:
+// single role-guarded writers, barrier-separated reads, plus an await latch
+// on the first phase's value. The phase discipline holds (Corollary 2), but
+// the await leans on the per-sender FIFO that slow memory drops, so both the
+// static engine and the dynamic checker should stop at PRAM reads rather
+// than descending to the lattice bottom.
 package pramprog
 
 import "mixedmem/internal/core"
 
 // Program is the Figure 2 shape on two locations. Recorded executions keep
 // every written value distinct, as the checker's reads-from recovery needs.
+// The await on x sits a full phase after x's write, so it never collides
+// with it — it only marks the program as await-synchronized.
 func Program(p *core.Proc) {
 	if p.ID() == 0 {
 		p.Write("x", 41)
 	}
 	p.Barrier()
-	_ = p.ReadPRAM("x")
+	p.AwaitPRAM("x", 41)
 	p.Barrier()
 	if p.ID() == 1 {
 		p.Write("y", 7)

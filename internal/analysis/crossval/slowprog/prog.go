@@ -1,0 +1,26 @@
+// Package slowprog is a phase-disciplined program whose only synchronization
+// is the barrier: single role-guarded writers, barrier-separated reads, no
+// awaits, no locks. Both the static engine and the dynamic checker should
+// conclude slow reads suffice — Corollary 2's proof survives at the lattice
+// bottom because the slow-memory relation retains barrier edges.
+package slowprog
+
+import "mixedmem/internal/core"
+
+// Program is the Figure 2 shape on two locations, read with slow reads.
+// Recorded executions keep every written value distinct, as the checker's
+// reads-from recovery needs.
+func Program(p *core.Proc) {
+	if p.ID() == 0 {
+		p.Write("x", 41)
+	}
+	p.Barrier()
+	_ = p.ReadSlow("x")
+	p.Barrier()
+	if p.ID() == 1 {
+		p.Write("y", 7)
+	}
+	p.Barrier()
+	_ = p.ReadSlow("y")
+	p.Barrier()
+}

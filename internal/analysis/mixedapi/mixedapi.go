@@ -50,13 +50,20 @@ const (
 	// OpReadDynamic is core.Process.Read, whose label is chosen at run
 	// time; the label analyzers skip it.
 	OpReadDynamic
+	// OpReadSlow is ReadSlow: the bottom of the label lattice, a read with
+	// only per-location FIFO guarantees.
+	OpReadSlow
+	// OpReadSC is ReadSC: the top of the lattice, a blocking
+	// sequentially-consistent read through the location's owner.
+	OpReadSC
 )
 
 // IsRead reports whether the op observes a location's value (reads and
 // awaits).
 func (o Op) IsRead() bool {
 	switch o {
-	case OpReadPRAM, OpReadCausal, OpAwaitCausal, OpAwaitPRAM, OpReadDynamic:
+	case OpReadPRAM, OpReadCausal, OpAwaitCausal, OpAwaitPRAM, OpReadDynamic,
+		OpReadSlow, OpReadSC:
 		return true
 	}
 	return false
@@ -86,6 +93,8 @@ var methodOps = map[string]Op{
 	"Write":      OpWrite,
 	"ReadPRAM":   OpReadPRAM,
 	"ReadCausal": OpReadCausal,
+	"ReadSlow":   OpReadSlow,
+	"ReadSC":     OpReadSC,
 	"Await":      OpAwaitCausal,
 	"AwaitPRAM":  OpAwaitPRAM,
 	"Add":        OpAdd,

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mixedmem/internal/analysis/mixedvet"
+	"mixedmem/internal/history"
 )
 
 // TestCrossPackageLabelMerge checks the driver-level pass no single package
@@ -54,9 +55,9 @@ func TestSelfApplicationClean(t *testing.T) {
 	}
 	// The examples write through computed location names (per-process slots,
 	// matrix rows), which statically could target anything — the engine must
-	// refuse every claim rather than guess.
+	// refuse every claim rather than guess, falling to the lattice top.
 	for _, a := range rep.Advice.Advice {
-		if a.Label.String() != "none" {
+		if a.Label != history.LabelSC {
 			t.Errorf("advice for %q = %v; examples have dynamic-location writes, so no static claim is sound", a.Loc, a.Label)
 		}
 	}

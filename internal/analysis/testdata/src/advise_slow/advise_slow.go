@@ -1,0 +1,32 @@
+// Fixture for the static advice engine's lattice bottom: a phase-disciplined
+// program whose only synchronization is the barrier, so slow reads suffice
+// for every location (Corollary 2 extends down the lattice — the slow-memory
+// relation retains barrier edges).
+package adviseslowfix
+
+import "mixedmem/internal/core"
+
+// stencil writes a per-role boundary cell, barriers, and lets every process
+// read both cells in the next phase — Figure 2's shape with no awaits and no
+// locks anywhere in the package.
+func stencil(p *core.Proc) {
+	if p.ID() == 0 {
+		p.Write("left", 1)
+	}
+	if p.ID() == 1 {
+		p.Write("right", 2)
+	}
+	p.Barrier()
+	_ = p.ReadSlow("left")
+	_ = p.ReadSlow("right")
+	p.Barrier()
+}
+
+// sum only Adds to "acc": commutative increments are exempt from the write
+// disciplines, so the accumulator is slow-readable too.
+func sum(p *core.Proc) {
+	p.Add("acc", 1)
+	p.Barrier()
+	_ = p.ReadSlow("acc")
+	p.Barrier()
+}

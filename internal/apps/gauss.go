@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mixedmem/internal/core"
+	"mixedmem/internal/history"
 )
 
 // SolveAsyncPRAM is the Section 7 observation turned into a program:
@@ -51,6 +52,61 @@ func SolveAsyncPRAM(p core.Process, ls *LinearSystem, rounds int) SolveResult {
 	p.Barrier()
 	for j := 0; j < ls.N; j++ {
 		x[j] = core.ReadPRAMFloat(p, xVar(j))
+	}
+	return SolveResult{X: x, Iters: rounds, Converged: true}
+}
+
+// SlowEstimateLabels labels every estimate cell of an n-variable system Slow,
+// for configuring a system that runs SolveAsyncSlow. Each cell has exactly
+// one writer (the process that owns its row), so per-location FIFO already
+// delivers each reader a monotone sequence of refinements — the full
+// per-sender ordering that PRAM adds buys nothing here.
+func SlowEstimateLabels(n int) map[string]history.Label {
+	labels := make(map[string]history.Label, n)
+	for i := 0; i < n; i++ {
+		labels[xVar(i)] = history.LabelSlow
+	}
+	return labels
+}
+
+// SolveAsyncSlow is SolveAsyncPRAM pushed to the bottom of the lattice:
+// the same chaotic relaxation, but the estimate cells are labeled Slow (see
+// SlowEstimateLabels) and every read during the sweep is a slow read.
+// Convergence survives because the Chazan–Miranker condition only needs each
+// reader's view of each cell to advance through that cell's write sequence —
+// a per-location, per-writer guarantee, which is exactly what slow memory
+// keeps. The writes also shed their vector timestamps on the wire, so this
+// is the cheapest point of the spectrum that still solves the system. A
+// single barrier collects the final estimate; the collection reads stay slow
+// because the barrier itself guarantees all prior-phase updates are applied.
+// Every process must call SolveAsyncSlow, on a system whose Labels include
+// SlowEstimateLabels(ls.N).
+func SolveAsyncSlow(p core.Process, ls *LinearSystem, rounds int) SolveResult {
+	const computeTimePerSweep = 50 * time.Microsecond
+	n := p.N()
+	per := ls.N / n
+	extra := ls.N % n
+	lo := p.ID()*per + min(p.ID(), extra)
+	size := per
+	if p.ID() < extra {
+		size++
+	}
+	hi := lo + size
+
+	x := make([]float64, ls.N)
+	for r := 0; r < rounds; r++ {
+		for j := 0; j < ls.N; j++ {
+			x[j] = core.ReadSlowFloat(p, xVar(j))
+		}
+		for i := lo; i < hi; i++ {
+			x[i] = ls.jacobiRow(i, x)
+			core.WriteFloat(p, xVar(i), x[i])
+		}
+		time.Sleep(computeTimePerSweep)
+	}
+	p.Barrier()
+	for j := 0; j < ls.N; j++ {
+		x[j] = core.ReadSlowFloat(p, xVar(j))
 	}
 	return SolveResult{X: x, Iters: rounds, Converged: true}
 }

@@ -200,6 +200,39 @@ func RunGaussSeidel(n, procs, rounds int, seed int64) (GaussSeidelResult, error)
 	}, nil
 }
 
+// RunGaussSeidelSlow is RunGaussSeidel at the bottom of the lattice: the
+// estimate cells are labeled Slow and the sweeps use slow reads
+// (apps.SolveAsyncSlow). The single-writer structure of the cells makes
+// per-location FIFO sufficient for Chazan–Miranker convergence, so the
+// result should match the PRAM run's quality while the writes travel
+// timestamp-free.
+func RunGaussSeidelSlow(n, procs, rounds int, seed int64) (GaussSeidelResult, error) {
+	ls := apps.GenDiagDominant(n, seed)
+	direct, err := ls.SolveDirect()
+	if err != nil {
+		return GaussSeidelResult{}, fmt.Errorf("gauss-seidel slow: %w", err)
+	}
+	sys, err := core.NewSystem(core.Config{Procs: procs, Labels: apps.SlowEstimateLabels(n)})
+	if err != nil {
+		return GaussSeidelResult{}, fmt.Errorf("gauss-seidel slow: %w", err)
+	}
+	defer sys.Close()
+	var final []float64
+	start := time.Now()
+	sys.Run(func(p *core.Proc) {
+		r := apps.SolveAsyncSlow(p, ls, rounds)
+		if p.ID() == 0 {
+			final = r.X
+		}
+	})
+	elapsed := time.Since(start)
+	return GaussSeidelResult{
+		N: n, Procs: procs, Rounds: rounds,
+		Error: apps.MaxAbsDiff(final, direct),
+		Time:  elapsed,
+	}, nil
+}
+
 // LatencyResult is experiment E8: mean per-operation latency on each memory.
 type LatencyResult struct {
 	// Write, PRAMRead, CausalRead are mixed-consistency op latencies.

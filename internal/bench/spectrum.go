@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mixedmem/internal/core"
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
+	"mixedmem/internal/network"
+	"mixedmem/internal/transport/tcp"
+)
+
+// SpectrumPoint is one lattice point of experiment E8S: the measured cost of
+// running a contended cell at that consistency label.
+type SpectrumPoint struct {
+	Label history.Label
+	// Write and Read are mean per-operation latencies at this point.
+	Write, Read time.Duration
+	// MsgsPerOp and BytesPerOp are fabric traffic divided by the total
+	// operation count (writes plus reads). Weak labels broadcast each
+	// write and read locally; SC pays a request/reply pair per access.
+	MsgsPerOp, BytesPerOp float64
+}
+
+// SpectrumResult is experiment E8S: the cost-of-consistency curve, one point
+// per lattice label in lattice order Slow < PRAM < Causal < SC.
+type SpectrumResult struct {
+	Procs, Ops int
+	Points     [4]SpectrumPoint
+}
+
+// String renders the curve one lattice point per line.
+func (r SpectrumResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spectrum (procs=%d ops=%d)", r.Procs, r.Ops)
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "\n    %-6s write=%-10v read=%-10v msgs/op=%.2f bytes/op=%.1f",
+			pt.Label, pt.Write, pt.Read, pt.MsgsPerOp, pt.BytesPerOp)
+	}
+	return b.String()
+}
+
+// spectrumLoc picks a location whose SC owner is not process 0, so the SC
+// point of the curve pays the full round trip rather than the self-owner
+// fast path — the cost the lattice top is defined by.
+func spectrumLoc(procs int) string {
+	for i := 0; ; i++ {
+		loc := fmt.Sprintf("cell%d", i)
+		if dsm.SCOwner(loc, procs) != 0 {
+			return loc
+		}
+	}
+}
+
+// RunLatencySpectrum measures experiment E8S on the simulated fabric: one
+// system per lattice label, all running the same single-writer workload on
+// the same contended cell, differing only in the cell's label (which selects
+// the write path) and the read label. The curve is the paper's bargain made
+// quantitative: messages and latency are flat across the weak labels — slow
+// merely sheds the timestamp bytes — and jump at SC, where every access
+// becomes a blocking round trip to the owner.
+func RunLatencySpectrum(procs, ops int, latency network.LatencyModel) (SpectrumResult, error) {
+	out := SpectrumResult{Procs: procs, Ops: ops}
+	loc := spectrumLoc(procs)
+	for i, label := range history.LatticeLabels() {
+		sys, err := core.NewSystem(core.Config{
+			Procs:   procs,
+			Latency: latency,
+			Labels:  map[string]history.Label{loc: label},
+		})
+		if err != nil {
+			return out, fmt.Errorf("spectrum %v: %w", label, err)
+		}
+		before := sys.Fabric().Stats()
+		pt, err := spectrumPoint(sys.Proc(0), label, loc, ops)
+		if err != nil {
+			sys.Close()
+			return out, err
+		}
+		after := sys.Fabric().Stats()
+		total := float64(2 * ops)
+		pt.MsgsPerOp = float64(after.MessagesSent-before.MessagesSent) / total
+		pt.BytesPerOp = float64(after.BytesSent-before.BytesSent) / total
+		out.Points[i] = pt
+		sys.Close()
+	}
+	return out, nil
+}
+
+// RunLatencySpectrumTCP is RunLatencySpectrum over loopback TCP peers: the
+// weak points stay local (their broadcasts cross the kernel asynchronously),
+// and — unlike E8's sim-only SC baseline — the SC point's round trip crosses
+// a real socket pair, so the lattice top's cost is a kernel round trip.
+func RunLatencySpectrumTCP(procs, ops int) (SpectrumResult, error) {
+	out := SpectrumResult{Procs: procs, Ops: ops}
+	loc := spectrumLoc(procs)
+	for i, label := range history.LatticeLabels() {
+		pt, err := spectrumPointTCP(procs, ops, label, loc)
+		if err != nil {
+			return out, fmt.Errorf("spectrum tcp %v: %w", label, err)
+		}
+		out.Points[i] = pt
+	}
+	return out, nil
+}
+
+// spectrumPoint runs the measured loops for one lattice point: ops writes
+// then ops reads of the cell, both from process 0.
+func spectrumPoint(p *core.Proc, label history.Label, loc string, ops int) (SpectrumPoint, error) {
+	pt := SpectrumPoint{Label: label}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		p.Write(loc, int64(i+1))
+	}
+	pt.Write = time.Since(start) / time.Duration(ops)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		p.Read(loc, label)
+	}
+	pt.Read = time.Since(start) / time.Duration(ops)
+	return pt, nil
+}
+
+func spectrumPointTCP(procs, ops int, label history.Label, loc string) (SpectrumPoint, error) {
+	var pt SpectrumPoint
+	trs, err := tcp.NewLoopback(procs, nil)
+	if err != nil {
+		return pt, fmt.Errorf("loopback: %w", err)
+	}
+	peers := make([]*core.Peer, procs)
+	defer func() {
+		for _, p := range peers {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
+	for i := range peers {
+		peers[i], err = core.NewPeer(core.PeerConfig{
+			ID: i, Transport: trs[i],
+			Labels: map[string]history.Label{loc: label},
+		})
+		if err != nil {
+			return pt, fmt.Errorf("peer %d: %w", i, err)
+		}
+	}
+	pt, err = spectrumPoint(peers[0].Proc(), label, loc, ops)
+	if err != nil {
+		return pt, err
+	}
+	// Drain in-flight broadcasts before reading traffic counters, so the
+	// per-op figures are totals rather than a race with delivery.
+	var msgs, bytes uint64
+	for _, tr := range trs {
+		tr.Flush(2 * time.Second)
+	}
+	for _, tr := range trs {
+		s := tr.Stats()
+		msgs += s.MessagesSent
+		bytes += s.BytesSent
+	}
+	total := float64(2 * ops)
+	pt.MsgsPerOp = float64(msgs) / total
+	pt.BytesPerOp = float64(bytes) / total
+	return pt, nil
+}

@@ -8,38 +8,52 @@ import (
 // definitions of entry-consistency and PRAM-consistency can be easily
 // checked by a compiler. Consequently, the above corollaries can be used to
 // speed up computations without the programmer being made aware of the
-// existence of the weaker memories.").
+// existence of the weaker memories."), generalized to the four-point label
+// lattice Slow < PRAM < Causal < SC.
 type Advice struct {
 	// Label is the weakest read label the corollaries justify:
+	// LabelSlow when the program is phase-disciplined with barrier-only
+	// synchronization (Corollary 2's condition extends down the lattice),
 	// LabelPRAM when the program is PRAM-consistent (Corollary 2),
 	// LabelCausal when it is entry-consistent (Corollary 1), and
-	// LabelNone when neither applies and no label alone guarantees
-	// sequentially consistent behavior.
+	// LabelSC when no corollary applies — sequentially consistent reads
+	// are the one point of the lattice that needs no program condition.
 	Label history.Label
 	// Rationale names the corollary applied (or why none was).
 	Rationale string
-	// PRAMViolations and EntryViolations record why the stronger
-	// recommendations were rejected, for diagnostics.
+	// SlowViolations, PRAMViolations, and EntryViolations record why the
+	// weaker recommendations were rejected, for diagnostics.
+	SlowViolations  []Violation
 	PRAMViolations  []Violation
 	EntryViolations []Violation
 }
 
 // Advise inspects a program's recorded structure and recommends the weakest
-// read label that still yields sequentially consistent behavior, per
-// Corollaries 1 and 2. locks maps each shared location to its lock for the
-// entry-consistency check; pass nil when the program uses no locks (the
-// entry-consistency condition then fails for any shared location).
+// read label that still yields sequentially consistent behavior, walking the
+// lattice bottom-up: Slow (SlowConsistent), PRAM (Corollary 2), Causal
+// (Corollary 1), then SC as the unconditional top. locks maps each shared
+// location to its lock for the entry-consistency check; pass nil when the
+// program uses no locks (the entry-consistency condition then fails for any
+// shared location).
 //
 // The check is syntactic, exactly as the paper intends for a compiler: it
-// examines the access structure (phases, lock coverage), not the read
-// values, so it can run on a profiling execution before choosing labels for
-// production runs.
+// examines the access structure (phases, synchronization kinds, lock
+// coverage), not the read values, so it can run on a profiling execution
+// before choosing labels for production runs.
 func Advise(h *history.History, locks map[string]string) Advice {
+	slowViol := SlowConsistent(h)
+	if len(slowViol) == 0 {
+		return Advice{
+			Label:     history.LabelSlow,
+			Rationale: "program is phase-disciplined with barrier-only synchronization: Corollary 2 extends to slow reads",
+		}
+	}
 	pramViol := PRAMConsistent(h)
 	if len(pramViol) == 0 {
 		return Advice{
-			Label:     history.LabelPRAM,
-			Rationale: "program is PRAM-consistent: Corollary 2 permits PRAM reads",
+			Label:          history.LabelPRAM,
+			Rationale:      "program is PRAM-consistent: Corollary 2 permits PRAM reads",
+			SlowViolations: slowViol,
 		}
 	}
 	if locks == nil {
@@ -50,12 +64,14 @@ func Advise(h *history.History, locks map[string]string) Advice {
 		return Advice{
 			Label:          history.LabelCausal,
 			Rationale:      "program is entry-consistent: Corollary 1 permits causal reads",
+			SlowViolations: slowViol,
 			PRAMViolations: pramViol,
 		}
 	}
 	return Advice{
-		Label:           history.LabelNone,
-		Rationale:       "neither corollary applies: no read label alone guarantees sequentially consistent behavior",
+		Label:           history.LabelSC,
+		Rationale:       "neither corollary applies: only sequentially consistent reads guarantee sequentially consistent behavior",
+		SlowViolations:  slowViol,
 		PRAMViolations:  pramViol,
 		EntryViolations: entryViol,
 	}

@@ -1,0 +1,238 @@
+package check
+
+import (
+	"testing"
+
+	"mixedmem/internal/history"
+)
+
+// These tests pin the two new lattice points in isolation (the litmus
+// package pins the full verdict matrix): Slow drops remote cross-location
+// program order but keeps per-location FIFO and barrier fences; SC demands a
+// single serialization for the SC-labeled reads.
+
+func analyzeLattice(t *testing.T, b *history.Builder) *history.Analysis {
+	t.Helper()
+	a, err := b.History().Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return a
+}
+
+// TestSlowAllowsMessagePassingWeakOutcome is the PRAM/Slow separation
+// witness: reading the flag fresh but the data stale is a PRAM violation but
+// a legal slow-memory outcome, because the writer's data->flag program order
+// is cross-location.
+func TestSlowAllowsMessagePassingWeakOutcome(t *testing.T) {
+	build := func(l history.Label) *history.Analysis {
+		b := history.NewBuilder(2)
+		b.Write(0, "data", 42)
+		b.Write(0, "flag", 1)
+		b.Read(1, "flag", 1, l)
+		b.Read(1, "data", 0, l)
+		return analyzeLattice(t, b)
+	}
+	if v := SlowReads(build(history.LabelSlow)); len(v) != 0 {
+		t.Fatalf("slow reads must allow the stale-data MP outcome: %v", v)
+	}
+	if v := PRAMReads(build(history.LabelPRAM)); len(v) == 0 {
+		t.Fatal("PRAM reads must forbid the stale-data MP outcome")
+	}
+}
+
+// TestSlowKeepsPerLocationFIFO: a single writer's two writes to one location
+// must still be observed in order even by slow reads.
+func TestSlowKeepsPerLocationFIFO(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Write(0, "x", 2)
+	b.Read(1, "x", 2, history.LabelSlow)
+	b.Read(1, "x", 1, history.LabelSlow)
+	if v := SlowReads(analyzeLattice(t, b)); len(v) == 0 {
+		t.Fatal("slow reads must preserve one writer's per-location FIFO")
+	}
+}
+
+// TestSlowAllowsCrossWriterReordering: writes to one location by different
+// writers have no slow-memory order, so observing them "backwards" is legal.
+func TestSlowAllowsCrossWriterReordering(t *testing.T) {
+	b := history.NewBuilder(3)
+	b.Write(0, "x", 1)
+	b.Write(1, "x", 2)
+	b.Read(2, "x", 2, history.LabelSlow)
+	b.Read(2, "x", 1, history.LabelSlow)
+	if v := SlowReads(analyzeLattice(t, b)); len(v) != 0 {
+		t.Fatalf("slow reads must allow cross-writer reordering: %v", v)
+	}
+}
+
+// TestSlowKeepsBarrierFence: the slow relation retains barrier edges, so a
+// read after the barrier must see the pre-barrier write — this is what makes
+// the phase discipline sound all the way down the lattice (SlowConsistent).
+func TestSlowKeepsBarrierFence(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Barrier(0, 1)
+	b.Barrier(1, 1)
+	b.Read(1, "x", 0, history.LabelSlow)
+	if v := SlowReads(analyzeLattice(t, b)); len(v) == 0 {
+		t.Fatal("slow reads must not see stale values across a barrier")
+	}
+}
+
+// TestSlowOrderSubsetOfPRAMOrder pins the lattice inclusion the hierarchy
+// rests on: ~>i,S is a subrelation of ~>i,P on a history exercising all the
+// edge sources (program order, reads-from, locks, barriers, awaits).
+func TestSlowOrderSubsetOfPRAMOrder(t *testing.T) {
+	b := history.NewBuilder(3)
+	b.Write(0, "data", 41)
+	b.Write(0, "data", 42)
+	b.Write(0, "flag", 1)
+	b.Await(1, "flag", 1)
+	e := b.WLockEpoch(1, "l")
+	b.Write(1, "y", 7)
+	b.WUnlockEpoch(1, "l", e)
+	b.Read(1, "data", 42, history.LabelSlow)
+	b.Barrier(0, 1)
+	b.Barrier(1, 1)
+	b.Barrier(2, 1)
+	b.Read(2, "y", 7, history.LabelSlow)
+	a := analyzeLattice(t, b)
+	n := len(a.H.Ops)
+	for proc := 0; proc < 3; proc++ {
+		slow, pram := a.SlowOrder(proc), a.PRAMOrder(proc)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if slow.Has(u, v) && !pram.Has(u, v) {
+					t.Fatalf("proc %d: edge %d->%d in SlowOrder but not PRAMOrder", proc, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestSCReadsForbidStoreBuffering: the SB weak outcome passes every local
+// label but must fail once the reads are labeled SC.
+func TestSCReadsForbidStoreBuffering(t *testing.T) {
+	build := func(l history.Label) *history.Analysis {
+		b := history.NewBuilder(2)
+		b.Write(0, "x", 1)
+		b.Read(0, "y", 0, l)
+		b.Write(1, "y", 1)
+		b.Read(1, "x", 0, l)
+		return analyzeLattice(t, b)
+	}
+	v, err := SCReads(build(history.LabelSC))
+	if err != nil {
+		t.Fatalf("SCReads: %v", err)
+	}
+	if len(v) == 0 {
+		t.Fatal("SC reads must forbid the SB weak outcome")
+	}
+	if v := Mixed(build(history.LabelSC)); len(v) == 0 {
+		t.Fatal("Mixed must surface the SC violation")
+	}
+	for _, l := range []history.Label{history.LabelSlow, history.LabelPRAM, history.LabelCausal} {
+		if v := Mixed(build(l)); len(v) != 0 {
+			t.Fatalf("SB weak outcome must pass label %v: %v", l, v)
+		}
+	}
+}
+
+// TestSCReadsAcceptInterleavableHistory: a fresh-values MP run is SC, so
+// SC-labeled reads pass.
+func TestSCReadsAcceptInterleavableHistory(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(0, "data", 42)
+	b.Write(0, "flag", 1)
+	b.Read(1, "flag", 1, history.LabelSC)
+	b.Read(1, "data", 42, history.LabelSC)
+	v, err := SCReads(analyzeLattice(t, b))
+	if err != nil {
+		t.Fatalf("SCReads: %v", err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("fresh MP outcome must serialize: %v", v)
+	}
+}
+
+// TestSCReadsIgnoreWeakerLabels: the same weak SB values carried by PRAM
+// reads do not constrain the SC serialization — only SC-labeled reads do.
+func TestSCReadsIgnoreWeakerLabels(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(0, "x", 1)
+	b.Read(0, "y", 0, history.LabelPRAM)
+	b.Write(1, "y", 1)
+	b.Read(1, "x", 0, history.LabelPRAM)
+	v, err := SCReads(analyzeLattice(t, b))
+	if err != nil {
+		t.Fatalf("SCReads: %v", err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("history without SC reads must pass SCReads: %v", v)
+	}
+}
+
+// TestMixedAcrossAllFourLabels runs one history carrying all four labels at
+// once — the mixed checker must check each read against exactly its own
+// lattice point.
+func TestMixedAcrossAllFourLabels(t *testing.T) {
+	b := history.NewBuilder(2)
+	b.Write(0, "a", 1)
+	b.Write(0, "b", 2)
+	b.Write(0, "flag", 1)
+	// A stale read of a is fine under Slow even after seeing the flag...
+	b.Read(1, "flag", 1, history.LabelSlow)
+	b.Read(1, "a", 0, history.LabelSlow)
+	// ...while the fresher labels observe the final values of b and flag.
+	b.Read(1, "b", 2, history.LabelPRAM)
+	b.Read(1, "flag", 1, history.LabelCausal)
+	b.Read(1, "b", 2, history.LabelSC)
+	if v := Mixed(analyzeLattice(t, b)); len(v) != 0 {
+		t.Fatalf("mixed four-label history flagged: %v", v)
+	}
+
+	// Relabel the stale read as PRAM: now it must be flagged.
+	b2 := history.NewBuilder(2)
+	b2.Write(0, "a", 1)
+	b2.Write(0, "b", 2)
+	b2.Write(0, "flag", 1)
+	b2.Read(1, "flag", 1, history.LabelPRAM)
+	b2.Read(1, "a", 0, history.LabelPRAM)
+	if v := Mixed(analyzeLattice(t, b2)); len(v) == 0 {
+		t.Fatal("stale PRAM read after observing the flag must be flagged")
+	}
+}
+
+// TestSlowConsistentClass pins the program class driving the Slow advice:
+// barrier-only phased programs are in, await- or lock-using ones are out.
+func TestSlowConsistentClass(t *testing.T) {
+	phased := history.NewBuilder(2)
+	phased.Write(0, "a", 1)
+	phased.Barrier(0, 1)
+	phased.Barrier(1, 1)
+	phased.Read(1, "a", 1, history.LabelSlow)
+	if v := SlowConsistent(phased.History()); len(v) != 0 {
+		t.Fatalf("barrier-only phased program rejected: %v", v)
+	}
+
+	awaiting := history.NewBuilder(2)
+	awaiting.Write(0, "a", 1)
+	awaiting.Barrier(0, 1)
+	awaiting.Barrier(1, 1)
+	awaiting.Await(1, "a", 1)
+	if v := SlowConsistent(awaiting.History()); len(v) == 0 {
+		t.Fatal("await-using program accepted for Slow")
+	}
+
+	locking := history.NewBuilder(2)
+	e := locking.WLockEpoch(0, "l")
+	locking.Write(0, "a", 1)
+	locking.WUnlockEpoch(0, "l", e)
+	locking.Barrier(0, 1)
+	locking.Barrier(1, 1)
+	if v := SlowConsistent(locking.History()); len(v) == 0 {
+		t.Fatal("lock-using program accepted for Slow")
+	}
+}

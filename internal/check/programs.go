@@ -103,6 +103,40 @@ func EntryConsistent(h *history.History, locks map[string]string) []Violation {
 	return out
 }
 
+// SlowConsistent checks the sufficient syntactic condition this repo adds
+// below Corollary 2 for the Slow point of the label lattice: the program must
+// be PRAM-consistent (the phase discipline of PRAMConsistent) and barriers
+// must be its only synchronization — no awaits and no lock operations.
+//
+// Under the phase discipline every inter-process reads-from edge crosses a
+// barrier, and barrier edges are retained by the slow-memory relation ~>i,S
+// (history.SlowOrder keeps synchronization edges touching the reader), so
+// the proof of Corollary 2 goes through with slow reads in place of PRAM
+// reads: all writes to a location sit in distinct phases, the reader's own
+// barrier chain totally orders them before any later-phase read, and within
+// a phase no location is both read and written. Awaits and locks are
+// excluded conservatively: an await under PRAM additionally delivers the
+// writer's prior writes (per-sender FIFO), a guarantee slow memory drops, so
+// their presence keeps the advice at PRAM or above.
+func SlowConsistent(h *history.History) []Violation {
+	out := PRAMConsistent(h)
+	for _, op := range h.Ops {
+		switch op.Kind {
+		case history.Await:
+			out = append(out, Violation{
+				Op:     op.ID,
+				Reason: fmt.Sprintf("%s: awaits rely on per-sender FIFO that slow memory drops", op),
+			})
+		case history.RLock, history.WLock:
+			out = append(out, Violation{
+				Op:     op.ID,
+				Reason: fmt.Sprintf("%s: lock-based programs need causal reads, not slow reads", op),
+			})
+		}
+	}
+	return out
+}
+
 // PRAMConsistent checks the sufficient syntactic condition the paper uses
 // for Corollary 2 (illustrated on Figure 2: "since no variable is both read
 // and written in the same phase, the program is PRAM-consistent"): with the

@@ -70,12 +70,46 @@ func PRAMReads(a *history.Analysis) []Violation {
 	return out
 }
 
-// Mixed checks mixed consistency per Definition 4: PRAM-labeled reads are
-// PRAM reads and Causal-labeled reads are causal reads. Awaits must match a
-// write. The returned slice is empty iff the history is mixed consistent.
+// SlowReads checks that every read labeled Slow satisfies the slow-memory
+// condition — the common read condition of Definitions 2 and 3 applied to
+// ~>i,S, the relation that keeps only each remote writer's per-location FIFO
+// (history.SlowOrder). SlowOrder(i) is a subset of PRAMOrder(i), so every
+// PRAM read is also a valid slow read; the converse fails on message-passing
+// shapes, which is the separation the litmus matrix pins.
+func SlowReads(a *history.Analysis) []Violation {
+	var out []Violation
+	for _, op := range a.H.Ops {
+		if op.Kind != history.Read || op.Label != history.LabelSlow {
+			continue
+		}
+		if v, ok := checkRead(a, op, a.SlowOrder(op.Proc)); !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Mixed checks mixed consistency per Definition 4, generalized to the label
+// lattice: Slow-labeled reads are slow reads, PRAM-labeled reads are PRAM
+// reads, Causal-labeled reads are causal reads, and the SC-labeled reads
+// jointly admit a single total order consistent with causality in which each
+// returns its location's latest write (SCReads). Awaits must match a write.
+// The returned slice is empty iff the history is mixed consistent. A history
+// too large for the SC serialization search is reported as a violation on the
+// SC reads rather than silently passed.
 func Mixed(a *history.Analysis) []Violation {
 	out := CausalReads(a)
 	out = append(out, PRAMReads(a)...)
+	out = append(out, SlowReads(a)...)
+	sc, err := SCReads(a)
+	if err != nil {
+		out = append(out, Violation{
+			Op:     -1,
+			Reason: fmt.Sprintf("SC serialization search failed: %v", err),
+		})
+	} else {
+		out = append(out, sc...)
+	}
 	out = append(out, awaitsMatched(a)...)
 	return out
 }
@@ -121,7 +155,7 @@ func GroupCausalRead(a *history.Analysis, readID int, group []int) (Violation, b
 }
 
 // checkRead applies the common read condition of Definitions 2 and 3 with
-// the supplied per-process relation (either ~>i,C or ~>i,P):
+// the supplied per-process relation (~>i,C, ~>i,P, or ~>i,S):
 //
 //   - there must exist a write w(x)v related to the read (automatic via the
 //     reads-from edge when the value was written; reads of InitialValue with

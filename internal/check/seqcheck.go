@@ -31,7 +31,57 @@ func SequentiallyConsistent(a *history.Analysis) (bool, []int, error) {
 	return sequentiallyConsistentLimit(a, DefaultStateLimit)
 }
 
+// SCReads checks the SC point of the label lattice on a mixed history: the
+// SC-labeled reads must jointly admit a single total order of all operations,
+// consistent with the causality relation, in which every SC-labeled read and
+// every await returns its location's most recent write. Reads carrying weaker
+// labels participate in the order but do not constrain memory values there —
+// they are checked against their own label's relation by SlowReads,
+// PRAMReads, and CausalReads. On a history whose reads are all SC-labeled
+// this coincides with SequentiallyConsistent. A failed search returns one
+// violation naming the SC reads; an exhausted state budget returns
+// ErrSearchLimit.
+func SCReads(a *history.Analysis) ([]Violation, error) {
+	var scIDs []int
+	for _, op := range a.H.Ops {
+		if op.Kind == history.Read && op.Label == history.LabelSC {
+			scIDs = append(scIDs, op.ID)
+		}
+	}
+	if len(scIDs) == 0 {
+		return nil, nil
+	}
+	constrains := func(op history.Op) bool {
+		return op.Kind == history.Await ||
+			(op.Kind == history.Read && op.Label == history.LabelSC)
+	}
+	ok, _, err := serializationSearch(a, constrains, DefaultStateLimit)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return nil, nil
+	}
+	return []Violation{{
+		Op:      scIDs[0],
+		Reason:  "no total order consistent with causality serializes the SC-labeled reads",
+		Related: scIDs,
+	}}, nil
+}
+
 func sequentiallyConsistentLimit(a *history.Analysis, limit int) (bool, []int, error) {
+	all := func(op history.Op) bool {
+		return op.Kind == history.Read || op.Kind == history.Await
+	}
+	return serializationSearch(a, all, limit)
+}
+
+// serializationSearch looks for a total order of the history's operations
+// respecting the causality relation in which every operation selected by
+// constrains returns the most recent write to its location (or InitialValue).
+// Unselected reads are scheduled freely: they occupy their program-order slot
+// but accept any memory contents.
+func serializationSearch(a *history.Analysis, constrains func(history.Op) bool, limit int) (bool, []int, error) {
 	n := len(a.H.Ops)
 	if n == 0 {
 		return true, nil, nil
@@ -132,7 +182,7 @@ func sequentiallyConsistentLimit(a *history.Analysis, limit int) (bool, []int, e
 			if !ready {
 				continue
 			}
-			if op.Kind == history.Read || op.Kind == history.Await {
+			if constrains(op) {
 				if memValue(op.Loc) != op.Value {
 					continue
 				}

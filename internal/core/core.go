@@ -51,6 +51,16 @@ type Process interface {
 	ReadPRAM(loc string) int64
 	// ReadCausal performs a Causal-labeled read of loc (Definition 2).
 	ReadCausal(loc string) int64
+	// ReadSlow performs a Slow-labeled read of loc — the weakest point of
+	// the label lattice, guaranteeing only per-location, per-writer FIFO.
+	// Meaningful for locations labeled Slow in Config.Labels; elsewhere it
+	// reads the same replica state as ReadPRAM.
+	ReadSlow(loc string) int64
+	// ReadSC performs an SC-labeled read of loc — the strongest point of
+	// the lattice, a blocking round trip to the location's owner. Only
+	// valid for locations labeled SC in Config.Labels (the sequentially
+	// consistent baseline serves it for every location).
+	ReadSC(loc string) int64
 	// Await blocks until loc holds value (Section 3.1.3), gated on the
 	// causal view: when it returns, every update the matched write
 	// transitively depends on has been applied locally, so causal reads
@@ -92,6 +102,8 @@ type ThreadOps interface {
 	Write(loc string, value int64)
 	ReadPRAM(loc string) int64
 	ReadCausal(loc string) int64
+	ReadSlow(loc string) int64
+	ReadSC(loc string) int64
 	Await(loc string, value int64)
 	AwaitPRAM(loc string, value int64)
 	Add(loc string, delta int64)
@@ -140,6 +152,14 @@ type Config struct {
 	// consistency label) so LearnedScope can derive a Placement from a
 	// profiling run.
 	TrackAccess bool
+	// Labels assigns lattice points to individual locations
+	// (dsm.Config.Labels): Slow locations take the timestamp-elided
+	// per-sender-FIFO fast path, SC locations are served by a blocking
+	// central-owner protocol, PRAM and Causal document intent on the
+	// default broadcast path. Unlabeled locations behave as before
+	// (causal-capable broadcast). Every process of a system shares this
+	// map. See dsm.Config.Labels for the soundness contracts.
+	Labels map[string]history.Label
 	// Batch configures the per-destination update outbox (dsm.BatchConfig):
 	// writes enqueue into per-peer batches that flush on thresholds, a
 	// linger timer, and every synchronization boundary. The zero value
@@ -209,7 +229,7 @@ func NewSystem(cfg Config) (*System, error) {
 		node, err := dsm.NewNode(dsm.Config{
 			ID: i, N: cfg.Procs, Transport: fabric, Trace: trace,
 			Handler: d.Handle, PRAMOnly: cfg.PRAMOnly, Scope: cfg.Placement,
-			TrackAccess: cfg.TrackAccess, Batch: cfg.Batch,
+			TrackAccess: cfg.TrackAccess, Batch: cfg.Batch, Labels: cfg.Labels,
 		})
 		if err != nil {
 			fabric.Close()
@@ -332,13 +352,27 @@ func (p *Proc) ReadPRAM(loc string) int64 { return p.node.ReadPRAM(loc) }
 // ReadCausal performs a causal read of loc.
 func (p *Proc) ReadCausal(loc string) int64 { return p.node.ReadCausal(loc) }
 
+// ReadSlow performs a slow read of loc (per-location FIFO only).
+func (p *Proc) ReadSlow(loc string) int64 { return p.node.ReadSlow(loc) }
+
+// ReadSC performs a sequentially consistent read of loc through its owner.
+// Only valid for locations labeled SC in Config.Labels.
+func (p *Proc) ReadSC(loc string) int64 { return p.node.ReadSC(loc) }
+
 // Read performs a read with the given label, for code that selects the
-// consistency level dynamically.
+// consistency level dynamically. LabelNone reads as PRAM, matching the
+// historical default of this method.
 func (p *Proc) Read(loc string, label history.Label) int64 {
-	if label == history.LabelCausal {
+	switch label {
+	case history.LabelCausal:
 		return p.ReadCausal(loc)
+	case history.LabelSlow:
+		return p.ReadSlow(loc)
+	case history.LabelSC:
+		return p.ReadSC(loc)
+	default:
+		return p.ReadPRAM(loc)
 	}
-	return p.ReadPRAM(loc)
 }
 
 // Await blocks until loc holds value in the causal view.
@@ -409,4 +443,10 @@ func ReadPRAMFloat(p Process, loc string) float64 {
 // read.
 func ReadCausalFloat(p Process, loc string) float64 {
 	return math.Float64frombits(uint64(p.ReadCausal(loc)))
+}
+
+// ReadSlowFloat reads a float64 stored with WriteFloat using a slow read —
+// per-location FIFO only, the weakest point of the lattice.
+func ReadSlowFloat(p Process, loc string) float64 {
+	return math.Float64frombits(uint64(p.ReadSlow(loc)))
 }

@@ -35,6 +35,9 @@ type PeerConfig struct {
 	// TrackAccess records this peer's read accesses for scope learning, as
 	// in Config.TrackAccess.
 	TrackAccess bool
+	// Labels assigns lattice points to individual locations, as in
+	// Config.Labels. All peers of a deployment must agree on the map.
+	Labels map[string]history.Label
 	// Trace, when non-nil, records this peer's memory operations into the
 	// given history builder (one process's slice of a recorded history).
 	Trace *history.Builder
@@ -77,7 +80,7 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		ID: cfg.ID, N: n, Transport: cfg.Transport,
 		Handler: d.Handle, PRAMOnly: cfg.PRAMOnly,
 		Scope: cfg.Scope, TrackAccess: cfg.TrackAccess,
-		Trace: cfg.Trace, Batch: cfg.Batch,
+		Trace: cfg.Trace, Batch: cfg.Batch, Labels: cfg.Labels,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: peer node: %w", err)

@@ -29,6 +29,13 @@ func (t *Thread) ReadPRAM(loc string) int64 { return t.h.ReadPRAM(loc) }
 // ReadCausal performs a causal read on this thread.
 func (t *Thread) ReadCausal(loc string) int64 { return t.h.ReadCausal(loc) }
 
+// ReadSlow performs a slow read on this thread.
+func (t *Thread) ReadSlow(loc string) int64 { return t.h.ReadSlow(loc) }
+
+// ReadSC performs a sequentially consistent read on this thread (a blocking
+// round trip to the location's owner).
+func (t *Thread) ReadSC(loc string) int64 { return t.h.ReadSC(loc) }
+
 // Await blocks until loc holds value in the causal view.
 func (t *Thread) Await(loc string, value int64) { t.h.AwaitCausal(loc, value) }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"mixedmem/internal/history"
 	"mixedmem/internal/network"
 	"mixedmem/internal/transport"
 	"mixedmem/internal/vclock"
@@ -205,6 +206,11 @@ type outboxDest struct {
 	// prevSeq is the causal chain pointer captured when the batch started.
 	causal  bool
 	prevSeq uint64
+	// slow marks a slow-label batch (default mode): entries are
+	// timestamp-elided and the receiver delivers the whole batch on the
+	// sender's FIFO alone, so slow and stamped entries must never share a
+	// batch — outboxAdd flushes on a label-class change.
+	slow bool
 	// deps is the address-matrix snapshot of the batch's latest covered
 	// write, captured at enqueue time (shared with the write's other
 	// destinations; receivers only merge from it). depsEpoch records
@@ -247,13 +253,20 @@ func newOutboxDest(maxUpdates int) *outboxDest {
 // wait.
 func (n *Node) outboxAddLocked(j int, u Update, causal bool, deps vclock.Matrix) {
 	ob := n.outbox[j]
-	if ob.count > 0 && n.scopedCausal &&
-		(ob.causal != causal || (ob.causal && ob.depsEpoch != n.addrEpoch)) {
-		n.flushDestLocked(j, ob)
+	slow := !n.pramOnly && !n.scopedCausal && u.Label == history.LabelSlow
+	if ob.count > 0 {
+		switch {
+		case ob.slow != slow:
+			n.flushDestLocked(j, ob)
+		case n.scopedCausal &&
+			(ob.causal != causal || (ob.causal && ob.depsEpoch != n.addrEpoch)):
+			n.flushDestLocked(j, ob)
+		}
 	}
 	if ob.count == 0 {
 		ob.firstSeq = u.Seq
 		ob.causal = causal
+		ob.slow = slow
 		if causal && n.scopedCausal {
 			ob.prevSeq = n.prevBuf[j]
 		}
@@ -414,6 +427,9 @@ type deliveryGroup struct {
 	// message and other groups — merge from it, never mutate it.
 	prevSeq uint64
 	deps    vclock.Matrix
+	// slow marks a slow-label group: timestamp-elided, deliverable on the
+	// sender's FIFO alone (no cross-sender wait), never fence-anchored.
+	slow bool
 	// one holds the update when batch is nil (the common singleton case,
 	// kept inline to avoid a per-update slice allocation).
 	one   Update
@@ -433,6 +449,12 @@ type deliveryGroup struct {
 // updates addressed to this node — must be covered by what the causal view
 // has applied from every other sender.
 func (n *Node) groupDeliverableLocked(g deliveryGroup) bool {
+	if g.slow {
+		// Slow memory: per-sender, per-location FIFO only. The group is
+		// deliverable as soon as it is next in the sender's stream; it never
+		// waits on other senders (it carries no timestamp to wait with).
+		return n.causalApplied.get(g.from)+1 == g.firstSeq
+	}
 	if g.deps != nil {
 		if n.causalApplied.get(g.from) != g.prevSeq {
 			return false

@@ -3,6 +3,7 @@ package dsm
 import (
 	"fmt"
 
+	"mixedmem/internal/history"
 	"mixedmem/internal/transport"
 	"mixedmem/internal/vclock"
 )
@@ -11,11 +12,14 @@ import (
 // transports (internal/transport/tcp) can carry memory updates between OS
 // processes. Layout, all big-endian:
 //
-//	u32 From | u64 Seq | u8 Op | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS |
+//	u32 From | u64 Seq | u8 Op | u8 Label | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS |
 //	u32 depsN | [ u64 PrevSeq | u32 nAct | nAct*u32 ids | nAct*nAct*u64 sub ]
 //
-// A PRAMOnly or timestamp-elided update has tsLen 0 and decodes with a nil
-// timestamp, exactly like the in-process value it mirrors. depsN is 0 unless
+// Label is the location's lattice point (history.Label); LabelSlow marks a
+// timestamp-elided update delivered on the sender's FIFO alone (see
+// Update.Label). A PRAMOnly or timestamp-elided update has tsLen 0 and
+// decodes with a nil timestamp, exactly like the in-process value it
+// mirrors. depsN is 0 unless
 // the update carries scoped-causal metadata, in which case the chain pointer
 // and the dependency matrix follow. The matrix ships sparsely: only the
 // submatrix over its active indices (rows or columns with a nonzero entry)
@@ -99,6 +103,7 @@ func (updateCodec) Encode(dst []byte, payload any) ([]byte, error) {
 	dst = transport.AppendUint32(dst, uint32(u.From))
 	dst = transport.AppendUint64(dst, u.Seq)
 	dst = append(dst, byte(u.Op))
+	dst = append(dst, byte(u.Label))
 	dst = transport.AppendString(dst, u.Loc)
 	dst = transport.AppendUint64(dst, uint64(u.Value))
 	dst = transport.AppendUint32(dst, uint32(u.TS.Len()))
@@ -109,10 +114,11 @@ func (updateCodec) Encode(dst []byte, payload any) ([]byte, error) {
 func (updateCodec) Decode(data []byte) (any, error) {
 	d := transport.NewDecoder(data)
 	u := Update{
-		From: int(d.Uint32()),
-		Seq:  d.Uint64(),
-		Op:   UpdateOp(d.Byte()),
-		Loc:  d.String(),
+		From:  int(d.Uint32()),
+		Seq:   d.Uint64(),
+		Op:    UpdateOp(d.Byte()),
+		Label: history.Label(d.Byte()),
+		Loc:   d.String(),
 	}
 	u.Value = int64(d.Uint64())
 	if n := int(d.Uint32()); n > 0 && d.Err() == nil {
@@ -145,7 +151,7 @@ func (updateCodec) Decode(data []byte) (any, error) {
 //
 //	u32 From | u64 FirstSeq | u64 Count |
 //	u32 depsN | [ u64 PrevSeq | u32 nAct | nAct*u32 ids | nAct*nAct*u64 sub ] |
-//	u32 nEntries | nEntries * ( u64 Seq | u8 Op | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS )
+//	u32 nEntries | nEntries * ( u64 Seq | u8 Op | u8 Label | str Loc | u64 Value | u32 tsLen | tsLen*u64 TS )
 //
 // A scoped causal batch hoists its dependency metadata into the header
 // (depsN > 0), encoded sparsely over the matrix's active indices exactly as
@@ -167,6 +173,7 @@ func (batchCodec) Encode(dst []byte, payload any) ([]byte, error) {
 	for _, u := range b.Updates {
 		dst = transport.AppendUint64(dst, u.Seq)
 		dst = append(dst, byte(u.Op))
+		dst = append(dst, byte(u.Label))
 		dst = transport.AppendString(dst, u.Loc)
 		dst = transport.AppendUint64(dst, uint64(u.Value))
 		dst = transport.AppendUint32(dst, uint32(u.TS.Len()))
@@ -175,9 +182,9 @@ func (batchCodec) Encode(dst []byte, payload any) ([]byte, error) {
 	return dst, nil
 }
 
-// minBatchEntry is the smallest possible encoded entry: seq + op + empty
-// location + value + zero-length timestamp.
-const minBatchEntry = 8 + 1 + 4 + 8 + 4
+// minBatchEntry is the smallest possible encoded entry: seq + op + label +
+// empty location + value + zero-length timestamp.
+const minBatchEntry = 8 + 1 + 1 + 4 + 8 + 4
 
 func (batchCodec) Decode(data []byte) (any, error) {
 	d := transport.NewDecoder(data)
@@ -206,10 +213,11 @@ func (batchCodec) Decode(data []byte) (any, error) {
 	}
 	for i := 0; i < nEntries && d.Err() == nil; i++ {
 		u := Update{
-			From: b.From,
-			Seq:  d.Uint64(),
-			Op:   UpdateOp(d.Byte()),
-			Loc:  d.String(),
+			From:  b.From,
+			Seq:   d.Uint64(),
+			Op:    UpdateOp(d.Byte()),
+			Label: history.Label(d.Byte()),
+			Loc:   d.String(),
 		}
 		u.Value = int64(d.Uint64())
 		tsLen := int(d.Uint32())

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"mixedmem/internal/history"
 	"mixedmem/internal/transport"
 	"mixedmem/internal/vclock"
 )
@@ -29,7 +30,12 @@ func FuzzBatchCodecRoundTrip(f *testing.F) {
 			{From: 1, Seq: 3, Op: OpAddFloat, Loc: "t", Value: 1},
 		}}
 	scoped.Deps.Set(0, 1, 3)
-	seedBatches = append(seedBatches, scoped)
+	seedBatches = append(seedBatches, scoped,
+		// A slow-labeled batch: label-homogeneous, timestamp-elided frames.
+		UpdateBatch{From: 2, FirstSeq: 7, Count: 2, Updates: []Update{
+			{From: 2, Seq: 7, Op: OpSet, Loc: "cell", Value: 1, Label: history.LabelSlow},
+			{From: 2, Seq: 8, Op: OpSet, Loc: "cell", Value: 2, Label: history.LabelSlow},
+		}})
 	for _, b := range seedBatches {
 		enc, err := transport.EncodePayload(nil, KindUpdateBatch, b)
 		if err != nil {
@@ -75,7 +81,11 @@ func FuzzUpdateCodecRoundTrip(f *testing.F) {
 	scoped := Update{From: 1, Seq: 5, Op: OpSet, Loc: "s", Value: 2, PrevSeq: 4,
 		Deps: vclock.NewMatrix(2)}
 	scoped.Deps.Set(1, 1, 5)
-	seeds = append(seeds, scoped)
+	seeds = append(seeds, scoped,
+		// Label-tagged frames: a timestamp-elided slow update and a causal
+		// one with a vector timestamp.
+		Update{From: 2, Seq: 9, Op: OpSet, Loc: "slowcell", Value: 3, Label: history.LabelSlow},
+		Update{From: 0, Seq: 2, Op: OpSet, Loc: "c", Value: 8, Label: history.LabelCausal, TS: vclock.VC{2, 0, 0}})
 	for _, u := range seeds {
 		enc, err := transport.EncodePayload(nil, KindUpdate, u)
 		if err != nil {
@@ -104,6 +114,81 @@ func FuzzUpdateCodecRoundTrip(f *testing.F) {
 		}
 		if !reflect.DeepEqual(dec, dec2) {
 			t.Fatalf("round trip changed the update:\n%+v\n%+v", dec, dec2)
+		}
+	})
+}
+
+// FuzzSCRequestCodecRoundTrip drives the sc-req wire codec — the SC lattice
+// point's owner-protocol request frame — with arbitrary bytes: never panic,
+// and every accepted input must round-trip.
+func FuzzSCRequestCodecRoundTrip(f *testing.F) {
+	seeds := []SCRequest{
+		{ReqID: 1, From: 0, Op: 0, Loc: "cell", Value: 0},     // a read
+		{ReqID: 9, From: 2, Op: OpSet, Loc: "x", Value: -7},   // a write
+		{ReqID: 3, From: 1, Op: OpAdd, Loc: "ctr", Value: 40}, // a counter op
+	}
+	for _, r := range seeds {
+		enc, err := transport.EncodePayload(nil, KindSCRequest, r)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := transport.DecodePayload(KindSCRequest, data)
+		if err != nil || dec == nil {
+			return
+		}
+		r, ok := dec.(SCRequest)
+		if !ok {
+			t.Fatalf("decoded %T, want SCRequest", dec)
+		}
+		enc, err := transport.EncodePayload(nil, KindSCRequest, r)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded sc-req failed: %v", err)
+		}
+		dec2, err := transport.DecodePayload(KindSCRequest, enc)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded sc-req failed: %v", err)
+		}
+		if !reflect.DeepEqual(dec, dec2) {
+			t.Fatalf("round trip changed the request:\n%+v\n%+v", dec, dec2)
+		}
+	})
+}
+
+// FuzzSCReplyCodecRoundTrip is the sc-rep analogue.
+func FuzzSCReplyCodecRoundTrip(f *testing.F) {
+	for _, r := range []SCReply{{ReqID: 1, Value: 42}, {ReqID: 8, Value: -1}} {
+		enc, err := transport.EncodePayload(nil, KindSCReply, r)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := transport.DecodePayload(KindSCReply, data)
+		if err != nil || dec == nil {
+			return
+		}
+		r, ok := dec.(SCReply)
+		if !ok {
+			t.Fatalf("decoded %T, want SCReply", dec)
+		}
+		enc, err := transport.EncodePayload(nil, KindSCReply, r)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded sc-rep failed: %v", err)
+		}
+		dec2, err := transport.DecodePayload(KindSCReply, enc)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded sc-rep failed: %v", err)
+		}
+		if !reflect.DeepEqual(dec, dec2) {
+			t.Fatalf("round trip changed the reply:\n%+v\n%+v", dec, dec2)
 		}
 	})
 }

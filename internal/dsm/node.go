@@ -99,6 +99,14 @@ type Update struct {
 	Seq uint64
 	// Op selects set or add semantics.
 	Op UpdateOp
+	// Label tags the update with its location's lattice point
+	// (Config.Labels). LabelSlow is semantic: it marks a timestamp-elided
+	// update whose causal-view delivery waits only on the sender's own
+	// per-location FIFO, never on cross-sender dependencies — the slow-memory
+	// contract. Every other value (including LabelNone for unlabeled
+	// locations) is informational: the receiver's handling is driven by the
+	// causal metadata the update carries.
+	Label history.Label
 	// Loc is the memory location.
 	Loc string
 	// Value is the written value or the addend.
@@ -125,13 +133,13 @@ type Update struct {
 }
 
 // encodedSize models the wire size of an update for the latency model,
-// mirroring updateCodec's layout byte for byte: From, Seq, Op, the
-// length-prefixed location, Value, the length-prefixed timestamp, the u32
-// depsN prefix the codec always writes (even when zero), and — for
+// mirroring updateCodec's layout byte for byte: From, Seq, Op, the label
+// tag, the length-prefixed location, Value, the length-prefixed timestamp,
+// the u32 depsN prefix the codec always writes (even when zero), and — for
 // scoped-causal updates — the chain pointer and the sparse matrix (whose
 // size tracks the active peers, not the cluster dimension).
 func (u Update) encodedSize() int {
-	s := 4 + 8 + 1 + (4 + len(u.Loc)) + 8 + (4 + u.TS.EncodedSize()) + 4
+	s := 4 + 8 + 1 + 1 + (4 + len(u.Loc)) + 8 + (4 + u.TS.EncodedSize()) + 4
 	if u.Deps != nil {
 		s += 8 + u.Deps.ActiveEncodedSize()
 	}
@@ -181,6 +189,30 @@ type Config struct {
 	// barrier count-vector protocol works unchanged because it counts
 	// per-destination sends. See ScopeMap for the registration contract.
 	Scope *ScopeMap
+	// Labels maps locations to points of the consistency lattice
+	// Slow < PRAM < Causal < SC, selecting both the propagation protocol of
+	// the location's writes and the read each Node.Read of it performs:
+	//
+	//   - LabelSlow: writes are timestamp-elided and the location's
+	//     causal-view delivery waits only on the sender's own FIFO — the
+	//     slow-memory contract (per-location per-writer order, nothing
+	//     across locations). Reads take the lock-free local path and never
+	//     raise the observation fence. Like a PRAM-registered scoped
+	//     location, a Slow location must feed no causal chain: no later
+	//     causal read may depend on what its reads observed.
+	//   - LabelPRAM: writes propagate with full causal metadata (so the
+	//     observation fence stays sound); reads are PRAM reads.
+	//   - LabelCausal: the default — identical to an unlabeled location.
+	//   - LabelSC: the location lives at its owner replica (a deterministic
+	//     hash of the location name) and every access is a blocking round
+	//     trip there, the central-server protocol of sequential consistency.
+	//     SC locations never broadcast; replicas other than the owner hold
+	//     no copy, so only SC accesses may touch them.
+	//
+	// Every node of a system must be built with the same map. Locations
+	// absent from the map default to Causal. A label must be one of the four
+	// lattice points; SC locations must not appear in Scope.
+	Labels map[string]history.Label
 	// TrackAccess records every location this node reads and with which
 	// labels, so a profiling run can learn a ScopeMap for the workload
 	// (Accessed / core.System.LearnedScope).
@@ -195,6 +227,9 @@ type Stats struct {
 	Writes      uint64
 	PRAMReads   uint64
 	CausalReads uint64
+	SlowReads   uint64
+	SCReads     uint64
+	SCWrites    uint64
 	Awaits      uint64
 	// Blocked is the total time spent waiting in Await, WaitReceived,
 	// WaitCausalApplied, and invalidation stalls.
@@ -252,6 +287,7 @@ type shard struct {
 
 	pramReads   atomic.Uint64
 	causalReads atomic.Uint64
+	slowReads   atomic.Uint64
 }
 
 // lookup returns the location's cell, or nil if it was never written.
@@ -421,6 +457,8 @@ type Node struct {
 	logOn    bool
 
 	statWrites    atomic.Uint64
+	statSCReads   atomic.Uint64
+	statSCWrites  atomic.Uint64
 	statAwaits    atomic.Uint64
 	statMalformed atomic.Uint64
 	statBlocked   atomic.Int64 // nanoseconds
@@ -451,6 +489,19 @@ type Node struct {
 	// write can bump the whole matrix before snapshotting it without
 	// allocating. Guarded by clockMu.
 	prevBuf []uint64
+
+	// labels is the per-location lattice configuration (Config.Labels);
+	// immutable after NewNode, nil when every location defaults to Causal.
+	labels map[string]history.Label
+	// SC central-owner protocol state: scWaiting holds the reply channels of
+	// in-flight round trips keyed by request ID (guarded by scMu), scStore
+	// holds the authoritative copies of the SC locations this node owns
+	// (guarded by scMu; only the owner ever touches a location's entry), and
+	// scSeq numbers outgoing requests.
+	scMu      sync.Mutex
+	scStore   map[string]int64
+	scWaiting map[uint64]chan int64
+	scSeq     atomic.Uint64
 
 	// track is the access log when Config.TrackAccess is set; trackMu
 	// guards it (the map reference itself is immutable after NewNode).
@@ -490,6 +541,18 @@ func NewNode(cfg Config) (*Node, error) {
 			return nil, err
 		}
 	}
+	for loc, l := range cfg.Labels {
+		switch l {
+		case history.LabelSlow, history.LabelPRAM, history.LabelCausal, history.LabelSC:
+		default:
+			return nil, fmt.Errorf("dsm: location %q labeled %v: labels must name a lattice point", loc, l)
+		}
+		if l == history.LabelSC && cfg.Scope != nil {
+			if _, scoped := cfg.Scope.Readers[loc]; scoped {
+				return nil, fmt.Errorf("dsm: SC location %q cannot be scoped: it never broadcasts", loc)
+			}
+		}
+	}
 	node := &Node{
 		id:            cfg.ID,
 		pramOnly:      cfg.PRAMOnly,
@@ -520,6 +583,13 @@ func NewNode(cfg Config) (*Node, error) {
 			node.prevBuf = make([]uint64, cfg.N)
 		}
 	}
+	if len(cfg.Labels) > 0 {
+		node.labels = make(map[string]history.Label, len(cfg.Labels))
+		for loc, l := range cfg.Labels {
+			node.labels[loc] = l
+		}
+	}
+	node.scWaiting = make(map[uint64]chan int64)
 	if cfg.TrackAccess {
 		node.track = make(map[string]AccessKind)
 	}
@@ -553,6 +623,15 @@ func (n *Node) Trace() *history.Builder { return n.trace }
 
 func (n *Node) shard(loc string) *shard { return &n.shards[shardIndex(loc)] }
 
+// labelOf returns the location's configured lattice point, LabelNone when the
+// location is unlabeled (which every path treats as Causal, the default).
+func (n *Node) labelOf(loc string) history.Label {
+	if n.labels == nil {
+		return history.LabelNone
+	}
+	return n.labels[loc]
+}
+
 func (n *Node) trackAccess(loc string, kind AccessKind) {
 	n.trackMu.Lock()
 	n.track[loc] |= kind
@@ -582,6 +661,18 @@ func (n *Node) recvLoop() {
 				continue
 			}
 			n.applyBatch(b)
+			continue
+		}
+		if m.Kind == KindSCRequest {
+			if r, ok := m.Payload.(SCRequest); ok {
+				n.handleSCRequest(r)
+			}
+			continue
+		}
+		if m.Kind == KindSCReply {
+			if r, ok := m.Payload.(SCReply); ok {
+				n.handleSCReply(r)
+			}
 			continue
 		}
 		if n.handle != nil {
@@ -652,6 +743,18 @@ func (n *Node) applyRemote(u Update) {
 			})
 			n.drainCausalLocked()
 		}
+	case u.Label == history.LabelSlow:
+		// Slow update: timestamp-elided, delivered to the causal view on the
+		// sender's own FIFO alone (groupDeliverableLocked's slow case). No
+		// fence anchor is stored — slow reads never raise the observation
+		// fence, and the label contract says no causal read depends on what
+		// a slow location's reads observed.
+		applyCell(&c.pram, u)
+		n.pending = append(n.pending, deliveryGroup{
+			from: u.From, firstSeq: u.Seq, lastSeq: u.Seq,
+			count: 1, one: u, slow: true,
+		})
+		n.drainCausalLocked()
 	default:
 		// Causal view: buffer as a singleton group, then drain everything
 		// deliverable.
@@ -693,7 +796,12 @@ func (n *Node) applyBatch(b UpdateBatch) {
 	// with the fault recorded in Stats.
 	elided := n.pramOnly || (n.scopedCausal && b.Deps == nil)
 	malformed := n.scopedCausal && b.Deps != nil && b.Deps.Len() != n.n
-	anchor := !elided && !malformed
+	// Slow batches are label-homogeneous at the sender (the outbox flushes
+	// on a label-class change), timestamp-elided, and deliver to the causal
+	// view on the sender's FIFO alone; like singleton slow updates they
+	// never anchor the observation fence.
+	slow := !n.pramOnly && !n.scopedCausal && b.Updates[0].Label == history.LabelSlow
+	anchor := !elided && !malformed && !slow
 	var maxSeq uint64
 	var maxTS vclock.VC
 	for _, u := range b.Updates {
@@ -721,6 +829,16 @@ func (n *Node) applyBatch(b UpdateBatch) {
 		n.causalRecvd[b.From] += b.Count
 		n.statMalformed.Add(b.Count)
 		putUpdateSlice(b.Updates)
+	case slow:
+		n.pending = append(n.pending, deliveryGroup{
+			from:     b.From,
+			firstSeq: b.FirstSeq,
+			lastSeq:  maxSeq,
+			count:    b.Count,
+			batch:    b.Updates,
+			slow:     true,
+		})
+		n.drainCausalLocked()
 	case n.scopedCausal:
 		n.pending = append(n.pending, deliveryGroup{
 			from:     b.From,
@@ -766,7 +884,12 @@ func (n *Node) drainCausalLocked() {
 						n.applyCausal(u)
 					}
 				}
-				if g.deps != nil {
+				switch {
+				case g.slow:
+					// Slow group: the sender's FIFO position advances; the
+					// group carries no cross-sender knowledge to absorb.
+					n.causalApplied.set(g.from, g.lastSeq)
+				case g.deps != nil:
 					// Scoped-causal: advance the sender's chain to the
 					// group's last addressed sequence number and absorb the
 					// shipped dependency knowledge. The epoch bump tells the
@@ -775,7 +898,7 @@ func (n *Node) drainCausalLocked() {
 					n.causalApplied.set(g.from, g.lastSeq)
 					n.addr.Merge(g.deps)
 					n.addrEpoch++
-				} else {
+				default:
 					n.causalApplied.merge(g.ts)
 				}
 				n.causalRecvd[g.from] += g.count
@@ -800,11 +923,16 @@ func (n *Node) applyCausal(u Update) {
 	sh.wake()
 }
 
-// Write stores value at loc in both local views and broadcasts the update.
-// It is non-blocking: the response is local and the update propagates
-// asynchronously, as the paper's interface permits (Section 3).
+// Write stores value at loc. For broadcast labels (everything but SC) it is
+// non-blocking: the response is local and the update propagates
+// asynchronously, as the paper's interface permits (Section 3). A write to an
+// SC-labeled location is a blocking round trip to the location's owner.
 func (n *Node) Write(loc string, value int64) {
-	n.broadcastUpdate(OpSet, loc, value)
+	if n.labelOf(loc) == history.LabelSC {
+		n.scApply(OpSet, loc, value)
+	} else {
+		n.broadcastUpdate(OpSet, loc, value)
+	}
 	if n.trace != nil {
 		n.trace.AppendOp(history.Op{
 			Proc: n.id, Kind: history.Write, Loc: loc, Value: value,
@@ -816,6 +944,10 @@ func (n *Node) Write(loc string, value int64) {
 // object (Section 5.3). Counter operations are not recorded in traces: they
 // are operations of an abstract data type, not reads/writes.
 func (n *Node) Add(loc string, delta int64) {
+	if n.labelOf(loc) == history.LabelSC {
+		n.scApply(OpAdd, loc, delta)
+		return
+	}
 	n.broadcastUpdate(OpAdd, loc, delta)
 }
 
@@ -823,10 +955,18 @@ func (n *Node) Add(loc string, delta int64) {
 // Float64bits-encoded value: the counter-object view of the Cholesky column
 // updates (Section 5.3).
 func (n *Node) AddFloat(loc string, delta float64) {
+	if n.labelOf(loc) == history.LabelSC {
+		n.scApply(OpAddFloat, loc, int64(math.Float64bits(delta)))
+		return
+	}
 	n.broadcastUpdate(OpAddFloat, loc, int64(math.Float64bits(delta)))
 }
 
 func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
+	label := n.labelOf(loc)
+	// A slow update is timestamp-elided and never fence-anchored: the label
+	// contract (Config.Labels) drops every cross-location obligation.
+	slow := label == history.LabelSlow && !n.pramOnly
 	n.clockMu.Lock()
 	seq := n.deps.get(n.id) + 1
 	n.deps.set(n.id, seq)
@@ -834,12 +974,13 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 		From:  n.id,
 		Seq:   seq,
 		Op:    op,
+		Label: label,
 		Loc:   loc,
 		Value: value,
 	}
 	sh := n.shard(loc)
 	c := sh.cellFor(loc)
-	if !n.pramOnly {
+	if !n.pramOnly && !slow {
 		c.last.Store(packLast(n.id, seq))
 	}
 	applyCell(&c.pram, u)
@@ -861,7 +1002,7 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 	case n.scopeTargets != nil:
 		n.sendScopedLocked(u)
 	case n.batch.Enabled:
-		if !n.pramOnly {
+		if !n.pramOnly && !slow {
 			u.TS = n.deps.clone()
 		}
 		n.outboxMu.Lock()
@@ -874,7 +1015,7 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 		}
 		n.outboxMu.Unlock()
 	default:
-		if !n.pramOnly {
+		if !n.pramOnly && !slow {
 			u.TS = n.deps.clone()
 		}
 		for j := 0; j < n.n; j++ {
@@ -952,6 +1093,60 @@ func (n *Node) sendScopedLocked(u Update) {
 			Payload: cu, Size: cu.encodedSize(),
 		})
 	}
+}
+
+// Read performs the read the location's configured lattice point calls for:
+// a slow read for LabelSlow, a PRAM read for LabelPRAM, an owner round trip
+// for LabelSC, and a causal read for LabelCausal and unlabeled locations.
+// Programs written against Read move along the lattice by reconfiguring
+// Config.Labels alone.
+func (n *Node) Read(loc string) int64 {
+	switch n.labelOf(loc) {
+	case history.LabelSlow:
+		return n.ReadSlow(loc)
+	case history.LabelPRAM:
+		return n.ReadPRAM(loc)
+	case history.LabelSC:
+		return n.ReadSC(loc)
+	default:
+		return n.ReadCausal(loc)
+	}
+}
+
+// ReadSlow returns loc's most recent locally applied value without raising
+// the observation fence: the slow-memory read (Hutto & Ahamad's slow memory,
+// the bottom of the label lattice). It guarantees only that one writer's
+// writes to this location are observed in order — the transport's FIFO
+// channels and receive-order application give exactly that — and imposes no
+// obligation on any later read of any other location.
+func (n *Node) ReadSlow(loc string) int64 {
+	v := n.readSlowValue(loc)
+	if n.trace != nil {
+		n.trace.AppendOp(history.Op{
+			Proc: n.id, Kind: history.Read, Loc: loc, Value: v, Label: history.LabelSlow,
+		})
+	}
+	return v
+}
+
+// readSlowValue is ReadSlow without trace recording: the lock-free local
+// lookup alone. Unlike readPRAMValue it never loads the cell's last-writer
+// anchor — a slow read creates no observation-fence entry, so it can never
+// make a later causal read wait.
+func (n *Node) readSlowValue(loc string) int64 {
+	sh := n.shard(loc)
+	if n.track != nil {
+		n.trackAccess(loc, AccessPRAM)
+	}
+	if sh.invalidLen.Load() != 0 {
+		n.waitValid(sh, loc, false)
+	}
+	var v int64
+	if c := sh.lookup(loc); c != nil {
+		v = c.pram.Load()
+	}
+	sh.slowReads.Add(1)
+	return v
 }
 
 // ReadPRAM returns loc's value in the PRAM view: the most recent locally
@@ -1340,6 +1535,8 @@ func (n *Node) Invalidate(loc string, from int, seq uint64) {
 func (n *Node) Stats() Stats {
 	s := Stats{
 		Writes:           n.statWrites.Load(),
+		SCReads:          n.statSCReads.Load(),
+		SCWrites:         n.statSCWrites.Load(),
 		Awaits:           n.statAwaits.Load(),
 		Blocked:          time.Duration(n.statBlocked.Load()),
 		MalformedUpdates: n.statMalformed.Load(),
@@ -1347,6 +1544,7 @@ func (n *Node) Stats() Stats {
 	for i := range n.shards {
 		s.PRAMReads += n.shards[i].pramReads.Load()
 		s.CausalReads += n.shards[i].causalReads.Load()
+		s.SlowReads += n.shards[i].slowReads.Load()
 	}
 	return s
 }

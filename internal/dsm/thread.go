@@ -50,6 +50,22 @@ func (h ThreadHandle) ReadCausal(loc string) int64 {
 	return v
 }
 
+// ReadSlow performs a slow read, recorded on this thread.
+func (h ThreadHandle) ReadSlow(loc string) int64 {
+	v := h.n.readSlowValue(loc)
+	h.record(history.Op{Kind: history.Read, Loc: loc, Value: v, Label: history.LabelSlow})
+	return v
+}
+
+// ReadSC performs a sequentially consistent read through the location's
+// owner, recorded on this thread.
+func (h ThreadHandle) ReadSC(loc string) int64 {
+	v := h.n.scRoundTrip(0, loc, 0)
+	h.n.statSCReads.Add(1)
+	h.record(history.Op{Kind: history.Read, Loc: loc, Value: v, Label: history.LabelSC})
+	return v
+}
+
 // AwaitPRAM blocks until loc holds value in the PRAM view.
 func (h ThreadHandle) AwaitPRAM(loc string, value int64) {
 	h.n.awaitValue(loc, value, false)

@@ -100,9 +100,11 @@ type Analysis struct {
 	// Causality is ~>: the transitive closure of PO, RF, and Sync.
 	Causality *Relation
 
-	// pramOrder caches ~>i,P per process; causalView caches ~>i,C.
+	// pramOrder caches ~>i,P per process; causalView caches ~>i,C;
+	// slowOrder caches ~>i,S.
 	pramOrder  map[int]*Relation
 	causalView map[int]*Relation
+	slowOrder  map[int]*Relation
 }
 
 // Analyze validates well-formedness and computes the derived relations. It
@@ -117,6 +119,7 @@ func (h *History) Analyze() (*Analysis, error) {
 		H:          h,
 		pramOrder:  make(map[int]*Relation),
 		causalView: make(map[int]*Relation),
+		slowOrder:  make(map[int]*Relation),
 	}
 
 	a.PO = h.programOrder()
@@ -535,5 +538,71 @@ func (a *Analysis) PRAMOrder(proc int) *Relation {
 	}
 	r := rel.Restrict(keep)
 	a.pramOrder[proc] = r
+	return r
+}
+
+// SlowOrder returns ~>i,S for process proc: the observable relation of the
+// Slow label, the lattice point below PRAM (Hutto & Ahamad's slow memory).
+// The construction mirrors PRAMOrder with one relaxation: instead of the full
+// program order of every process, the base order keeps
+//
+//   - all program-order edges of proc itself, and
+//   - for every other process, only the program-order edges between memory
+//     operations on the same location (the per-writer per-location FIFO).
+//
+// Synchronization edges (transitively reduced) and reads-from edges with an
+// endpoint at proc are retained exactly as in Definition 3, so barriers and
+// lock grant order still fence across locations; what Slow gives up is a
+// remote writer's cross-location program order — w_j(x)v -> w_j(y)u no longer
+// forces proc to observe x's new value before y's. SlowOrder(proc) is a
+// subset of PRAMOrder(proc), so every PRAM-consistent history is
+// Slow-consistent (the lattice inclusion the litmus hierarchy test pins).
+func (a *Analysis) SlowOrder(proc int) *Relation {
+	if r, ok := a.slowOrder[proc]; ok {
+		return r
+	}
+	touches := func(id int) bool { return a.H.Ops[id].Proc == proc }
+
+	reduced := NewRelation(len(a.H.Ops))
+	reduced.Union(a.LockOrder.TransitiveReduce())
+	reduced.Union(a.BarrierOrder.TransitiveReduce())
+	reduced.Union(a.AwaitOrder.TransitiveReduce())
+
+	syncI := reduced.RestrictEndpoint(touches)
+	rfI := a.RF.RestrictEndpoint(touches)
+
+	// The per-process slow base order: proc's own program order in full,
+	// other processes' program order only between same-location memory ops.
+	// a.PO is transitively closed, so the same-location restriction keeps
+	// w_j(x)1 -> w_j(x)2 even with unrelated operations interleaved.
+	slowPO := NewRelation(len(a.H.Ops))
+	for u := 0; u < len(a.H.Ops); u++ {
+		for v := 0; v < len(a.H.Ops); v++ {
+			if !a.PO.Has(u, v) {
+				continue
+			}
+			ou, ov := a.H.Ops[u], a.H.Ops[v]
+			if ou.Proc == proc {
+				slowPO.Add(u, v)
+				continue
+			}
+			if ou.Loc != "" && ou.Loc == ov.Loc {
+				slowPO.Add(u, v)
+			}
+		}
+	}
+
+	rel := NewRelation(len(a.H.Ops))
+	rel.Union(slowPO)
+	rel.Union(syncI)
+	rel.Union(rfI)
+	rel.TransitiveClose()
+
+	keep := func(id int) bool {
+		op := a.H.Ops[id]
+		return op.Kind != Read || op.Proc == proc
+	}
+	r := rel.Restrict(keep)
+	a.slowOrder[proc] = r
 	return r
 }

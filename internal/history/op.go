@@ -58,8 +58,20 @@ func (k OpKind) IsSync() bool {
 	return k.IsLock() || k == Barrier || k == Await
 }
 
-// Label classifies a read operation as PRAM or Causal (Definition 4). Writes
-// and synchronization operations carry LabelNone.
+// Label classifies a read operation by the consistency condition it demands.
+// The paper's Definition 4 introduces the PRAM/Causal pair; the runtime
+// generalizes it to a four-point lattice
+//
+//	Slow < PRAM < Causal < SC
+//
+// ordered by strength: a Slow read is guaranteed only per-location per-writer
+// FIFO (Hutto & Ahamad's slow memory), a PRAM read additionally respects each
+// writer's cross-location program order, a Causal read respects transitive
+// causality, and an SC read participates in a single global total order
+// consistent with program order. Writes and synchronization operations carry
+// LabelNone. The constant values of the original pair are preserved for wire
+// and fixture compatibility; use Rank for lattice comparisons, not the raw
+// constant values.
 type Label int
 
 // Read labels.
@@ -67,6 +79,8 @@ const (
 	LabelNone Label = iota
 	LabelPRAM
 	LabelCausal
+	LabelSlow
+	LabelSC
 )
 
 // String names the label.
@@ -78,9 +92,40 @@ func (l Label) String() string {
 		return "PRAM"
 	case LabelCausal:
 		return "Causal"
+	case LabelSlow:
+		return "Slow"
+	case LabelSC:
+		return "SC"
 	default:
 		return "label(" + strconv.Itoa(int(l)) + ")"
 	}
+}
+
+// Rank orders labels by guarantee strength on the lattice
+// Slow(0) < PRAM(1) < Causal(2) < SC(3). LabelNone ranks below Slow: it
+// promises nothing. Stronger labels admit strictly fewer histories.
+func (l Label) Rank() int {
+	switch l {
+	case LabelSlow:
+		return 1
+	case LabelPRAM:
+		return 2
+	case LabelCausal:
+		return 3
+	case LabelSC:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Stronger reports whether l sits strictly above other on the lattice.
+func (l Label) Stronger(other Label) bool { return l.Rank() > other.Rank() }
+
+// LatticeLabels lists the four lattice points from weakest to strongest —
+// the order every spectrum sweep and verdict table iterates in.
+func LatticeLabels() [4]Label {
+	return [4]Label{LabelSlow, LabelPRAM, LabelCausal, LabelSC}
 }
 
 // Op is one operation of a history. The zero value is not a valid operation;

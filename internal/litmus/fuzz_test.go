@@ -1,0 +1,131 @@
+package litmus
+
+import (
+	"fmt"
+	"testing"
+
+	"mixedmem/internal/check"
+	"mixedmem/internal/core"
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
+)
+
+// FuzzScopedVerdictMatchesBroadcast fuzzes barrier-phased SPMD programs over
+// the weak half of the lattice and checks that scoped placement never
+// changes the verdict. The fuzz input picks a read label (slow, PRAM or
+// causal) for each of three processes and a round count; every round each
+// process writes its own location, crosses a barrier, and reads the other
+// two locations at its label. Barrier-phased programs are consistent at
+// every lattice point, so on both the broadcast and the scoped run every
+// read must observe the value written this round and the recorded history
+// must pass the mixed-consistency check — and the two observation vectors
+// must be identical.
+//
+// The broadcast run additionally labels slow processes' own locations Slow
+// in Config.Labels, driving their writes down the timestamp-elided path; the
+// scoped run registers each location with exactly its two cross-process
+// readers, causal-registered only where the reader's label demands it. SC is
+// deliberately absent: its central-owner routing is orthogonal to placement
+// (the hashed owner need not be a registered reader) and is pinned by the
+// runtime matrix tests instead.
+func FuzzScopedVerdictMatchesBroadcast(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0}) // one of each weak label, one round
+	f.Add([]byte{0, 0, 0, 1}) // all slow, two rounds
+	f.Add([]byte{2, 2, 2, 0}) // all causal, one round
+	f.Add([]byte{1, 0, 2, 1}) // mixed again, two rounds
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const procs = 3
+		if len(data) < procs+1 {
+			t.Skip("need a label byte per process plus a round byte")
+		}
+		weak := []history.Label{history.LabelSlow, history.LabelPRAM, history.LabelCausal}
+		labels := make([]history.Label, procs)
+		for i := range labels {
+			labels[i] = weak[int(data[i])%len(weak)]
+		}
+		rounds := 1 + int(data[procs])%2
+
+		locOf := func(i int) string { return fmt.Sprintf("a%d", i) }
+		expect := func(r, writer int) int64 { return int64((r+1)*1000 + writer) }
+
+		run := func(scoped bool) []int64 {
+			cfg := core.Config{Procs: procs, Record: true}
+			if scoped {
+				readers := make(map[string][]int)
+				causal := make(map[string][]int)
+				for i := 0; i < procs; i++ {
+					loc := locOf(i)
+					for j := 0; j < procs; j++ {
+						if j == i {
+							continue
+						}
+						readers[loc] = append(readers[loc], j)
+						if labels[j] == history.LabelCausal {
+							causal[loc] = append(causal[loc], j)
+						}
+					}
+				}
+				cfg.Placement = &dsm.ScopeMap{Readers: readers, CausalReaders: causal}
+			} else {
+				for i := 0; i < procs; i++ {
+					if labels[i] == history.LabelSlow {
+						if cfg.Labels == nil {
+							cfg.Labels = make(map[string]history.Label)
+						}
+						cfg.Labels[locOf(i)] = history.LabelSlow
+					}
+				}
+			}
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				t.Fatalf("NewSystem(scoped=%v): %v", scoped, err)
+			}
+			defer sys.Close()
+			got := make([]int64, rounds*procs*procs)
+			sys.Run(func(p *core.Proc) {
+				for r := 0; r < rounds; r++ {
+					p.Write(locOf(p.ID()), expect(r, p.ID()))
+					p.Barrier()
+					for j := 0; j < procs; j++ {
+						if j == p.ID() {
+							continue
+						}
+						got[(r*procs+p.ID())*procs+j] = p.Read(locOf(j), labels[p.ID()])
+					}
+					p.Barrier()
+				}
+			})
+			a, err := sys.History().Analyze()
+			if err != nil {
+				t.Fatalf("Analyze(scoped=%v): %v", scoped, err)
+			}
+			if v := check.Mixed(a); len(v) != 0 {
+				t.Fatalf("scoped=%v labels=%v rounds=%d: barrier-phased program flagged inconsistent: %v",
+					scoped, labels, rounds, v)
+			}
+			return got
+		}
+
+		broadcast := run(false)
+		scopedGot := run(true)
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < procs; i++ {
+				for j := 0; j < procs; j++ {
+					if j == i {
+						continue
+					}
+					idx := (r*procs+i)*procs + j
+					want := expect(r, j)
+					if broadcast[idx] != want {
+						t.Errorf("broadcast labels=%v round %d: proc %d read %s = %d, want %d",
+							labels, r, i, locOf(j), broadcast[idx], want)
+					}
+					if scopedGot[idx] != broadcast[idx] {
+						t.Errorf("labels=%v round %d: scoped proc %d read %s = %d, broadcast saw %d",
+							labels, r, i, locOf(j), scopedGot[idx], broadcast[idx])
+					}
+				}
+			}
+		}
+	})
+}

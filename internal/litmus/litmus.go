@@ -1,20 +1,21 @@
 // Package litmus is a library of classic shared-memory litmus tests
 // expressed as histories of the paper's formal model, each annotated with
-// its expected verdict under the three consistency conditions the paper
-// relates: PRAM reads (Definition 3), causal reads (Definition 2), and
-// sequential consistency (Definition 1).
+// its expected verdict at every point of the consistency lattice: slow
+// memory (per-writer per-location FIFO only), PRAM reads (Definition 3),
+// causal reads (Definition 2), and sequential consistency (Definition 1).
 //
 // The suite serves two purposes. It documents, in executable form, exactly
-// where the conditions separate — the hierarchy SC ⊂ causal ⊂ PRAM means
-// every SC-allowed history is causal-allowed and every causal-allowed
-// history is PRAM-allowed, and the suite contains witnesses for both strict
-// inclusions. And it is a regression battery for the checkers in
-// internal/check: each test is evaluated under all three conditions and
-// compared with the annotation.
+// where the conditions separate — the hierarchy SC ⊂ causal ⊂ PRAM ⊂ slow
+// means every SC-allowed history is causal-allowed, every causal-allowed
+// history is PRAM-allowed, and every PRAM-allowed history is slow-allowed;
+// the suite contains witnesses for all three strict inclusions. And it is a
+// regression battery for the checkers in internal/check: each test is
+// evaluated at all four lattice points and compared with the annotation.
 package litmus
 
 import (
 	"fmt"
+	"strings"
 
 	"mixedmem/internal/check"
 	"mixedmem/internal/history"
@@ -47,19 +48,28 @@ type Test struct {
 	// Build constructs the history. Reads carry the label under test, set
 	// by the driver through the label argument.
 	Build func(label history.Label) *history.History
-	// PRAM, Causal, SC are the expected verdicts under PRAM reads, causal
-	// reads, and sequential consistency.
-	PRAM, Causal, SC Verdict
+	// Slow, PRAM, Causal, SC are the expected verdicts under slow reads,
+	// PRAM reads, causal reads, and sequential consistency — the four
+	// points of the label lattice, weakest first.
+	Slow, PRAM, Causal, SC Verdict
 }
 
-// Evaluate runs the test's history through the three checkers and returns
-// the observed verdicts.
-func (t Test) Evaluate() (pram, causal, sc Verdict, err error) {
+// Evaluate runs the test's history through the four checkers and returns
+// the observed verdicts, lattice order weakest first.
+func (t Test) Evaluate() (slow, pram, causal, sc Verdict, err error) {
+	// Slow verdict: label reads slow.
+	hs := t.Build(history.LabelSlow)
+	as, err := hs.Analyze()
+	if err != nil {
+		return false, false, false, false, fmt.Errorf("litmus %s: %w", t.Name, err)
+	}
+	slow = Verdict(len(check.SlowReads(as)) == 0)
+
 	// PRAM verdict: label reads PRAM.
 	hp := t.Build(history.LabelPRAM)
 	ap, err := hp.Analyze()
 	if err != nil {
-		return false, false, false, fmt.Errorf("litmus %s: %w", t.Name, err)
+		return false, false, false, false, fmt.Errorf("litmus %s: %w", t.Name, err)
 	}
 	pram = Verdict(len(check.PRAMReads(ap)) == 0)
 
@@ -67,17 +77,31 @@ func (t Test) Evaluate() (pram, causal, sc Verdict, err error) {
 	hc := t.Build(history.LabelCausal)
 	ac, err := hc.Analyze()
 	if err != nil {
-		return false, false, false, fmt.Errorf("litmus %s: %w", t.Name, err)
+		return false, false, false, false, fmt.Errorf("litmus %s: %w", t.Name, err)
 	}
 	causal = Verdict(len(check.CausalReads(ac)) == 0)
 
 	// SC verdict on the same history.
 	ok, _, err := check.SequentiallyConsistent(ac)
 	if err != nil {
-		return false, false, false, fmt.Errorf("litmus %s: SC: %w", t.Name, err)
+		return false, false, false, false, fmt.Errorf("litmus %s: SC: %w", t.Name, err)
 	}
 	sc = Verdict(ok)
-	return pram, causal, sc, nil
+	return slow, pram, causal, sc, nil
+}
+
+// Table renders the suite's verdict matrix as a fixed-width text table, one
+// row per litmus test and one column per lattice point, weakest first. The
+// annotations it prints are the ones TestSuiteVerdicts checks against the
+// checkers, so the rendered table is pinned executable documentation (CI
+// publishes it as the conformance artifact).
+func Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-10s %-10s %-10s %-10s\n", "test", "slow", "pram", "causal", "sc")
+	for _, t := range Suite() {
+		fmt.Fprintf(&b, "%-18s %-10v %-10v %-10v %-10v\n", t.Name, t.Slow, t.PRAM, t.Causal, t.SC)
+	}
+	return b.String()
 }
 
 // Suite returns the full litmus battery.
@@ -96,7 +120,7 @@ func Suite() []Test {
 				b.Read(1, "x", 0, l)
 				return b.History()
 			},
-			PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
+			Slow: Allowed, PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "MP+fresh",
@@ -109,7 +133,7 @@ func Suite() []Test {
 				b.Read(1, "x", 1, l)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Allowed, SC: Allowed,
+			Slow: Allowed, PRAM: Allowed, Causal: Allowed, SC: Allowed,
 		},
 		{
 			Name:        "SB",
@@ -125,7 +149,7 @@ func Suite() []Test {
 				b.Read(1, "x", 0, l)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Allowed, SC: Forbidden,
+			Slow: Allowed, PRAM: Allowed, Causal: Allowed, SC: Forbidden,
 		},
 		{
 			Name:        "WRC",
@@ -141,7 +165,7 @@ func Suite() []Test {
 				b.Read(2, "x", 0, l)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Forbidden, SC: Forbidden,
+			Slow: Allowed, PRAM: Allowed, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "IRIW",
@@ -159,7 +183,7 @@ func Suite() []Test {
 				b.Read(3, "x", 0, l)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Allowed, SC: Forbidden,
+			Slow: Allowed, PRAM: Allowed, Causal: Allowed, SC: Forbidden,
 		},
 		{
 			Name:        "CoRR",
@@ -174,7 +198,7 @@ func Suite() []Test {
 				b.Read(1, "x", 1, l)
 				return b.History()
 			},
-			PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
+			Slow: Forbidden, PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "CoRR-cross",
@@ -189,7 +213,7 @@ func Suite() []Test {
 				b.Read(3, "x", 1, l)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Allowed, SC: Forbidden,
+			Slow: Allowed, PRAM: Allowed, Causal: Allowed, SC: Forbidden,
 		},
 		{
 			Name:        "LB-values",
@@ -200,7 +224,7 @@ func Suite() []Test {
 				b.Write(1, "x", 1)
 				return b.History()
 			},
-			PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
+			Slow: Forbidden, PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "Await-MP",
@@ -215,7 +239,7 @@ func Suite() []Test {
 				b.Read(1, "x", 0, l)
 				return b.History()
 			},
-			PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
+			Slow: Allowed, PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "Await-WRC",
@@ -233,7 +257,7 @@ func Suite() []Test {
 				b.Read(2, "x", 0, l)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Forbidden, SC: Forbidden,
+			Slow: Allowed, PRAM: Allowed, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "Lock-handoff",
@@ -248,7 +272,7 @@ func Suite() []Test {
 				b.WUnlockEpoch(1, "lk", e1)
 				return b.History()
 			},
-			PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
+			Slow: Allowed, PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "Lock-chain",
@@ -272,7 +296,7 @@ func Suite() []Test {
 				b.WUnlockEpoch(2, "lk", e2)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Forbidden, SC: Forbidden,
+			Slow: Allowed, PRAM: Allowed, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "Barrier-MP",
@@ -285,7 +309,7 @@ func Suite() []Test {
 				b.Read(1, "x", 0, l)
 				return b.History()
 			},
-			PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
+			Slow: Forbidden, PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "Barrier-fresh",
@@ -300,7 +324,7 @@ func Suite() []Test {
 				b.Read(1, "x", 1, l)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Allowed, SC: Allowed,
+			Slow: Allowed, PRAM: Allowed, Causal: Allowed, SC: Allowed,
 		},
 		{
 			Name:        "2P-equivalence",
@@ -318,7 +342,7 @@ func Suite() []Test {
 				b.Read(0, "z", 0, l) // touch a third location, still fine
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Allowed, SC: Allowed,
+			Slow: Allowed, PRAM: Allowed, Causal: Allowed, SC: Allowed,
 		},
 		{
 			Name:        "SB+barrier",
@@ -335,7 +359,7 @@ func Suite() []Test {
 				b.Read(1, "x", 0, l)
 				return b.History()
 			},
-			PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
+			Slow: Forbidden, PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "SB+barrier-fresh",
@@ -350,7 +374,7 @@ func Suite() []Test {
 				b.Read(1, "x", 1, l)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Allowed, SC: Allowed,
+			Slow: Allowed, PRAM: Allowed, Causal: Allowed, SC: Allowed,
 		},
 		{
 			Name:        "WWC",
@@ -369,7 +393,7 @@ func Suite() []Test {
 				b.Read(2, "x", 1, l)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Forbidden, SC: Forbidden,
+			Slow: Allowed, PRAM: Allowed, Causal: Forbidden, SC: Forbidden,
 		},
 		{
 			Name:        "MP-locks-fresh",
@@ -384,7 +408,7 @@ func Suite() []Test {
 				b.WUnlockEpoch(1, "lk", e1)
 				return b.History()
 			},
-			PRAM: Allowed, Causal: Allowed, SC: Allowed,
+			Slow: Allowed, PRAM: Allowed, Causal: Allowed, SC: Allowed,
 		},
 		{
 			Name:        "2P-stale",
@@ -398,7 +422,7 @@ func Suite() []Test {
 				b.Read(1, "x", 0, l)
 				return b.History()
 			},
-			PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
+			Slow: Forbidden, PRAM: Forbidden, Causal: Forbidden, SC: Forbidden,
 		},
 	}
 }

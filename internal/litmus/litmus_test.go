@@ -1,20 +1,25 @@
 package litmus
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"mixedmem/internal/history"
 )
 
-// TestSuiteVerdicts evaluates every litmus test under all three conditions
+// TestSuiteVerdicts evaluates every litmus test at all four lattice points
 // and compares with its annotation.
 func TestSuiteVerdicts(t *testing.T) {
 	for _, tt := range Suite() {
 		tt := tt
 		t.Run(tt.Name, func(t *testing.T) {
-			pram, causal, sc, err := tt.Evaluate()
+			slow, pram, causal, sc, err := tt.Evaluate()
 			if err != nil {
 				t.Fatalf("Evaluate: %v", err)
+			}
+			if slow != tt.Slow {
+				t.Errorf("slow verdict = %v, want %v (%s)", slow, tt.Slow, tt.Description)
 			}
 			if pram != tt.PRAM {
 				t.Errorf("PRAM verdict = %v, want %v (%s)", pram, tt.PRAM, tt.Description)
@@ -29,9 +34,9 @@ func TestSuiteVerdicts(t *testing.T) {
 	}
 }
 
-// TestHierarchy checks the inclusion SC ⊆ causal ⊆ PRAM on the annotations
-// themselves: anything SC-allowed must be causal-allowed, anything
-// causal-allowed must be PRAM-allowed.
+// TestHierarchy checks the inclusion SC ⊆ causal ⊆ PRAM ⊆ slow on the
+// annotations themselves: anything admitted by a stronger condition must be
+// admitted by every weaker one.
 func TestHierarchy(t *testing.T) {
 	for _, tt := range Suite() {
 		if tt.SC == Allowed && tt.Causal == Forbidden {
@@ -40,15 +45,21 @@ func TestHierarchy(t *testing.T) {
 		if tt.Causal == Allowed && tt.PRAM == Forbidden {
 			t.Errorf("%s: causal-allowed but PRAM-forbidden breaks the hierarchy", tt.Name)
 		}
+		if tt.PRAM == Allowed && tt.Slow == Forbidden {
+			t.Errorf("%s: PRAM-allowed but slow-forbidden breaks the hierarchy", tt.Name)
+		}
 	}
 }
 
-// TestStrictSeparationWitnesses ensures the suite contains witnesses for
-// both strict inclusions: a history causal-forbidden but PRAM-allowed, and
-// one SC-forbidden but causal-allowed.
+// TestStrictSeparationWitnesses ensures the suite contains witnesses for all
+// three strict inclusions: a history PRAM-forbidden but slow-allowed, one
+// causal-forbidden but PRAM-allowed, and one SC-forbidden but causal-allowed.
 func TestStrictSeparationWitnesses(t *testing.T) {
-	var pramOnly, causalOnly bool
+	var slowOnly, pramOnly, causalOnly bool
 	for _, tt := range Suite() {
+		if tt.Slow == Allowed && tt.PRAM == Forbidden {
+			slowOnly = true
+		}
 		if tt.PRAM == Allowed && tt.Causal == Forbidden {
 			pramOnly = true
 		}
@@ -56,11 +67,41 @@ func TestStrictSeparationWitnesses(t *testing.T) {
 			causalOnly = true
 		}
 	}
+	if !slowOnly {
+		t.Error("no witness separating slow from PRAM")
+	}
 	if !pramOnly {
 		t.Error("no witness separating PRAM from causal")
 	}
 	if !causalOnly {
 		t.Error("no witness separating causal from SC")
+	}
+}
+
+// TestSpectrumAnchors pins the acceptance anchors of the verdict matrix by
+// name: store buffering is forbidden under SC but allowed under PRAM (and
+// everything weaker), and message passing separates slow from PRAM — the
+// per-writer cross-location FIFO is exactly what the slow label drops.
+func TestSpectrumAnchors(t *testing.T) {
+	byName := make(map[string]Test)
+	for _, tt := range Suite() {
+		byName[tt.Name] = tt
+	}
+	sb, ok := byName["SB"]
+	if !ok {
+		t.Fatal("suite lost the SB test")
+	}
+	if sb.SC != Forbidden || sb.PRAM != Allowed || sb.Slow != Allowed {
+		t.Errorf("SB verdicts (slow=%v pram=%v sc=%v) lost the store-buffering anchor",
+			sb.Slow, sb.PRAM, sb.SC)
+	}
+	mp, ok := byName["MP"]
+	if !ok {
+		t.Fatal("suite lost the MP test")
+	}
+	if mp.Slow != Allowed || mp.PRAM != Forbidden {
+		t.Errorf("MP verdicts (slow=%v pram=%v) lost the slow/PRAM separation anchor",
+			mp.Slow, mp.PRAM)
 	}
 }
 
@@ -72,10 +113,10 @@ func TestVerdictString(t *testing.T) {
 }
 
 // TestSuiteHistoriesWellFormed double-checks every built history analyzes
-// cleanly under both labels.
+// cleanly at every lattice point.
 func TestSuiteHistoriesWellFormed(t *testing.T) {
 	for _, tt := range Suite() {
-		for _, l := range []history.Label{history.LabelPRAM, history.LabelCausal} {
+		for _, l := range history.LatticeLabels() {
 			if _, err := tt.Build(l).Analyze(); err != nil {
 				t.Errorf("%s (%v): %v", tt.Name, l, err)
 			}
@@ -91,5 +132,31 @@ func TestSuiteNamesUnique(t *testing.T) {
 			t.Errorf("duplicate test name %q", tt.Name)
 		}
 		seen[tt.Name] = true
+	}
+}
+
+// TestGoldenVerdictTable pins the rendered verdict matrix byte-for-byte
+// against the checked-in golden file — the conformance artifact CI uploads.
+// Update the golden with -update when the suite intentionally changes.
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestGoldenVerdictTable(t *testing.T) {
+	got := Table()
+	path := filepath.Join("testdata", "verdicts.golden")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("verdict table drifted from golden %s:\n--- got ---\n%s--- want ---\n%s",
+			path, got, want)
 	}
 }

@@ -383,6 +383,14 @@ func (p *Proc) ReadPRAM(loc string) int64 { return p.rpc(kindRead, loc, 0, 0) }
 // ReadCausal reads loc (same round trip as ReadPRAM).
 func (p *Proc) ReadCausal(loc string) int64 { return p.rpc(kindRead, loc, 0, 0) }
 
+// ReadSlow reads loc. The central server is sequentially consistent, which
+// lies above every weaker lattice point: a slow read is trivially served by
+// the same round trip.
+func (p *Proc) ReadSlow(loc string) int64 { return p.rpc(kindRead, loc, 0, 0) }
+
+// ReadSC reads loc — here the native consistency level of every location.
+func (p *Proc) ReadSC(loc string) int64 { return p.rpc(kindRead, loc, 0, 0) }
+
 // Await blocks until loc holds value; the server parks the request.
 func (p *Proc) Await(loc string, value int64) { p.rpc(kindAwait, loc, value, 0) }
 
