@@ -12,6 +12,7 @@
 //	mixedbench -exp e8s                 # per-label cost curve (also tcp)
 //	mixedbench -exp a3 -transport tcp   # placement ablation over real TCP
 //	mixedbench -exp s1                  # serving tail-latency sweep (also tcp)
+//	mixedbench -exp s1 -trace s1.mxtr   # + per-node event traces, for mixedtrace
 //
 // Output is one section per experiment with the measured rows and the
 // paper's corresponding claim, so EXPERIMENTS.md can be checked against a
@@ -32,6 +33,7 @@ import (
 	"mixedmem/internal/bench"
 	"mixedmem/internal/dsm"
 	"mixedmem/internal/network"
+	"mixedmem/internal/obs"
 	"mixedmem/internal/syncmgr"
 )
 
@@ -51,6 +53,8 @@ type config struct {
 	jsonOut   bool
 	transport string
 	batch     int
+	trace     string
+	traceCap  int
 	latency   network.LatencyModel
 
 	out io.Writer
@@ -111,8 +115,15 @@ func runTo(args []string, out io.Writer) error {
 		"message transport: sim (simulated fabric) or tcp (real kernel sockets; e8 and a3 only)")
 	fs.IntVar(&cfg.batch, "batch", 32,
 		"update-outbox batch size for e6's batched rows (MaxUpdates threshold)")
+	fs.StringVar(&cfg.trace, "trace", "",
+		"write the s1 sweep's merged event trace to this file (enables per-node tracers; mixedtrace reads it)")
+	fs.IntVar(&cfg.traceCap, "trace-cap", 1<<15,
+		"per-node tracer ring capacity used with -trace (slots, rounded up to a power of two)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cfg.trace != "" && cfg.exp != "s1" {
+		return fmt.Errorf("-trace is served by the s1 experiment: run with -exp s1")
 	}
 	if cfg.batch < 1 {
 		return fmt.Errorf("-batch %d: batch size must be at least 1", cfg.batch)
@@ -279,6 +290,9 @@ func runS1(cfg *config) error {
 		Seed:    cfg.seed,
 		Latency: cfg.latency,
 	}
+	if cfg.trace != "" {
+		opt.TraceCapacity = cfg.traceCap
+	}
 	if cfg.quick {
 		opt.Workers = 2
 		opt.Ops, opt.Warmup = 60, 12
@@ -299,6 +313,15 @@ func runS1(cfg *config) error {
 	}
 	if err := cfg.emit(r); err != nil {
 		return err
+	}
+	if cfg.trace != "" {
+		if err := os.WriteFile(cfg.trace, obs.EncodeTrace(r.Traces), 0o644); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if !cfg.jsonOut {
+			fmt.Fprintf(cfg.out, "  trace: %d snapshots -> %s (read with mixedtrace)\n",
+				len(r.Traces), cfg.trace)
+		}
 	}
 	cfg.claim("claim (Sections 5-6, serving restatement): labeling session state as causal",
 		"scopes (partial replication) and aggregates as PRAM counter objects cuts",

@@ -21,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -31,6 +34,7 @@ import (
 	"mixedmem/internal/dsm"
 	"mixedmem/internal/hist"
 	"mixedmem/internal/history"
+	"mixedmem/internal/obs"
 	"mixedmem/internal/syncmgr"
 	"mixedmem/internal/transport"
 	"mixedmem/internal/transport/tcp"
@@ -58,6 +62,9 @@ func run(args []string, out io.Writer) error {
 		manager = fs.Int("manager", 0, "node hosting the lock and barrier managers")
 		batch   = fs.Int("batch", 0, "update outbox width: coalesce up to this many writes per frame (0 = off)")
 		metrics = fs.Bool("metrics", false, "exchange per-node transport stats through the DSM and print merged fleet-wide totals at exit (must be set on every node)")
+		obsAddr = fs.String("obs", "", "serve the unified metrics registry as JSON at http://ADDR/metrics, alongside net/http/pprof")
+		traceN  = fs.Int("trace", 0, "event-tracer ring capacity in slots (0 = tracing off; same on every node)")
+		traceTo = fs.String("trace-out", "", "drain every node's tracer ring through the DSM at exit and write the merged trace to this file (requires -trace on every node; mixedtrace reads it)")
 		verbose = fs.Bool("v", false, "log transport supervisor events")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,8 +111,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *traceTo != "" && *traceN <= 0 {
+		return fmt.Errorf("-trace-out needs -trace N (a ring capacity) on every node")
+	}
 	pcfg := core.PeerConfig{
 		ID: *id, Transport: tr, Propagation: mode, ManagerProc: *manager,
+		TraceCapacity: *traceN,
 	}
 	if *batch > 0 {
 		pcfg.Batch = dsm.BatchConfig{Enabled: true, MaxUpdates: *batch}
@@ -126,6 +137,25 @@ func run(args []string, out io.Writer) error {
 	// otherwise strand the others.
 	defer peer.Close()
 	defer tr.Flush(5 * time.Second)
+
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return fmt.Errorf("-obs %s: %w", *obsAddr, err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", peer.Registry())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(out, "node %d: obs endpoint on http://%s (/metrics, /debug/pprof/)\n",
+			*id, ln.Addr())
+	}
 
 	start := time.Now()
 	var verr error
@@ -148,6 +178,22 @@ func run(args []string, out io.Writer) error {
 	s := peer.NetStats()
 	fmt.Fprintf(out, "node %d: done in %v; sent %d msgs / %d bytes\n",
 		*id, time.Since(start).Round(time.Millisecond), s.MessagesSent, s.BytesSent)
+	if *traceTo != "" {
+		snap := peer.Tracer().Snapshot()
+		snap.Tag = *app
+		if *app == "session" {
+			snap.Tag = *app + "/" + sessionMode.String()
+		}
+		snaps, err := drainFleetTrace(peer.Proc(), snap)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceTo, obs.EncodeTrace(snaps), 0o644); err != nil {
+			return fmt.Errorf("write fleet trace: %w", err)
+		}
+		fmt.Fprintf(out, "node %d: fleet trace: %d node snapshots -> %s (read with mixedtrace)\n",
+			*id, len(snaps), *traceTo)
+	}
 	if *metrics {
 		hists := map[string]*hist.Histogram{}
 		if sessionRes != nil {
@@ -277,6 +323,46 @@ func readFleetHist(p core.Process, name string) (*hist.Histogram, error) {
 		}
 	}
 	return merged, nil
+}
+
+// drainFleetTrace merges every node's tracer ring through the memory
+// itself — the trace analogue of printFleetMetrics: each node snapshots
+// its ring before calling this, packs the encoded snapshot into int64
+// cells, and writes them under obs/<id>/...; a barrier guarantees every
+// cell is applied everywhere before release; then each node reads all
+// nodes' cells back and decodes the fleet's snapshots. The drain's own
+// writes postdate the snapshots, so the exchange never traces itself.
+// Every node must run with -trace-out or the extra barrier deadlocks the
+// fleet. A busy ring encodes to tens of thousands of cells, so run the
+// fleet with -batch to coalesce the drain's writes into wide frames.
+func drainFleetTrace(p core.Process, snap *obs.Snapshot) ([]*obs.Snapshot, error) {
+	me := strconv.Itoa(p.ID())
+	cells := obs.BytesToCells(obs.AppendSnapshot(nil, snap))
+	p.Write("obs/"+me+"/n", int64(len(cells)))
+	for i, c := range cells {
+		p.Write("obs/"+me+"/"+strconv.Itoa(i), c)
+	}
+	p.Barrier()
+
+	var snaps []*obs.Snapshot
+	for id := 0; id < p.N(); id++ {
+		prefix := "obs/" + strconv.Itoa(id) + "/"
+		n := p.ReadPRAM(prefix + "n")
+		cells := make([]int64, n)
+		for i := range cells {
+			cells[i] = p.ReadPRAM(prefix + strconv.Itoa(i))
+		}
+		data, err := obs.CellsToBytes(cells)
+		if err != nil {
+			return nil, fmt.Errorf("trace cells from node %d: %w", id, err)
+		}
+		s, _, err := obs.DecodeSnapshot(data)
+		if err != nil {
+			return nil, fmt.Errorf("trace snapshot from node %d: %w", id, err)
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps, nil
 }
 
 func parsePropagation(s string) (syncmgr.PropagationMode, error) {

@@ -1,0 +1,123 @@
+// Command mixedtrace is the causal-path latency explainer: it reads a
+// merged event trace (written by `mixedbench -exp s1 -trace FILE` or any
+// caller of obs.EncodeTrace), walks the happens-before chain behind every
+// sampled write-visibility probe — write issue, outbox, wire, apply,
+// causal dependency wait, wakeup — and prints a per-run table attributing
+// the p50/p99 of each end-to-end interval to those segments.
+//
+// Usage:
+//
+//	mixedtrace s1.mxtr                    # per-tag attribution table
+//	mixedtrace -probe all s1.mxtr         # explain every awaited location
+//	mixedtrace -probe sess/ s1.mxtr       # explain awaits under a prefix
+//	mixedtrace -chrome out.json s1.mxtr   # also emit a Perfetto-loadable trace
+//	mixedtrace -min-attr 0.95 s1.mxtr     # CI gate: fail below 95% attribution
+//
+// The -min-attr gate is the acceptance bar CI runs on a seeded S1 trace:
+// every complete sample's interval must telescope into named segments
+// covering at least the given fraction, and no sample may be incomplete
+// (an incomplete sample means the ring wrapped over a chain anchor —
+// resize the ring, don't lower the gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mixedmem/internal/apps"
+	"mixedmem/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mixedtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mixedtrace", flag.ContinueOnError)
+	probe := fs.String("probe", "",
+		"probed locations: empty for the serving write-visibility flags, 'all' for every awaited location, anything else as a location prefix")
+	chrome := fs.String("chrome", "",
+		"also write the merged trace as Perfetto-loadable Chrome trace-event JSON to this file")
+	minAttr := fs.Float64("min-attr", 0,
+		"fail unless every run attributes at least this fraction of each sampled interval (0 disables the gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: mixedtrace [flags] TRACEFILE...")
+	}
+	if *minAttr < 0 || *minAttr > 1 {
+		return fmt.Errorf("-min-attr %v out of [0,1]", *minAttr)
+	}
+
+	var snaps []*obs.Snapshot
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		s, err := obs.DecodeTrace(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		snaps = append(snaps, s...)
+	}
+	var dropped uint64
+	for _, s := range snaps {
+		dropped += s.Dropped
+	}
+	fmt.Fprintf(out, "trace: %d node snapshots, %d events dropped by ring wrap\n",
+		len(snaps), dropped)
+
+	var pred func(string) bool
+	switch {
+	case *probe == "":
+		pred = apps.IsVisFlagLoc
+	case *probe == "all":
+		pred = nil
+	default:
+		prefix := *probe
+		pred = func(loc string) bool { return strings.HasPrefix(loc, prefix) }
+	}
+	ex := obs.Explain(snaps, pred)
+	if len(ex.SamplesOut) == 0 {
+		return fmt.Errorf("no awaited locations matched the probe predicate %q", *probe)
+	}
+	ex.WriteTable(out)
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, snaps); err != nil {
+			f.Close()
+			return fmt.Errorf("chrome export: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "chrome trace: %s (load in Perfetto / chrome://tracing)\n", *chrome)
+	}
+
+	if *minAttr > 0 {
+		for _, b := range ex.Breakdowns {
+			if b.Incomplete > 0 {
+				return fmt.Errorf("%s: %d of %d samples incomplete (ring wrapped over chain anchors)",
+					b.Tag, b.Incomplete, b.Samples)
+			}
+			if b.MinAttribution < *minAttr {
+				return fmt.Errorf("%s: attribution %.3f below the %.3f gate",
+					b.Tag, b.MinAttribution, *minAttr)
+			}
+		}
+		fmt.Fprintf(out, "attribution gate passed: every run >= %.1f%%\n", *minAttr*100)
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"mixedmem/internal/core"
@@ -180,6 +181,33 @@ func (c SessionConfig) WithDefaults() SessionConfig {
 // one-shot (written once); aggregates are counter objects.
 func sessionLoc(sid, key int) string {
 	return "sess/" + strconv.Itoa(sid) + "/k" + strconv.Itoa(key)
+}
+
+// VisLocPrefix is the namespace of the write-visibility probe locations:
+// "vis/<proc>/<worker>/t<k>" carries the publish timestamp and
+// "vis/<proc>/<worker>/f<k>" the awaited one-shot flag.
+const VisLocPrefix = "vis/"
+
+// IsVisFlagLoc reports whether loc is a visibility-probe flag location —
+// the locations probers Await. The causal-path explainer (internal/obs)
+// uses this predicate to select exactly the write-visibility probes out of
+// a trace, so latency attribution skips session and aggregate awaits.
+func IsVisFlagLoc(loc string) bool {
+	if !strings.HasPrefix(loc, VisLocPrefix) {
+		return false
+	}
+	i := strings.LastIndexByte(loc, '/')
+	return i >= 0 && i+1 < len(loc) && loc[i+1] == 'f'
+}
+
+// IsVisTimeLoc reports whether loc is a visibility-probe timestamp
+// location, the companion of IsVisFlagLoc.
+func IsVisTimeLoc(loc string) bool {
+	if !strings.HasPrefix(loc, VisLocPrefix) {
+		return false
+	}
+	i := strings.LastIndexByte(loc, '/')
+	return i >= 0 && i+1 < len(loc) && loc[i+1] == 't'
 }
 
 func visTimeLoc(proc, worker, flag int) string {

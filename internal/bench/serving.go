@@ -9,6 +9,7 @@ import (
 	"mixedmem/internal/core"
 	"mixedmem/internal/hist"
 	"mixedmem/internal/network"
+	"mixedmem/internal/obs"
 )
 
 // Experiment S1: the serving subsystem. The session/KV front-end runs under
@@ -52,6 +53,11 @@ type ServingResult struct {
 	Seed                        int64
 	// Cells holds one entry per (rate, mode), rates outer, modes inner.
 	Cells []ServingCell
+	// Traces holds one tracer snapshot per (cell, process) when the sweep
+	// ran with ServingOptions.TraceCapacity set: every snapshot of a cell
+	// shares a Tag of the form "<transport>/<mode>@<load>", which is how
+	// the causal-path explainer groups a fleet's rings into one run.
+	Traces []*obs.Snapshot
 }
 
 // String renders the result as a report table.
@@ -87,6 +93,12 @@ type ServingOptions struct {
 	Latency network.LatencyModel
 	// Seed fixes the workload.
 	Seed int64
+	// TraceCapacity, when positive, runs every cell with per-node event
+	// tracers of this ring size (core.Config.TraceCapacity) and collects
+	// the per-process snapshots into ServingResult.Traces. Size the ring to
+	// the cell (a slot per event; a traced write costs a handful) or the
+	// oldest chain anchors wrap and the explainer reports incompletes.
+	TraceCapacity int
 }
 
 func (o ServingOptions) withDefaults() ServingOptions {
@@ -130,6 +142,15 @@ func (o ServingOptions) sessionConfig(mode apps.SessionMode, rate float64) apps.
 	}
 }
 
+// servingTag names one cell's trace run: transport, mode, and load point.
+func servingTag(transport string, cfg apps.SessionConfig) string {
+	load := "closed"
+	if cfg.Rate > 0 {
+		load = fmt.Sprintf("%.0frps", cfg.Rate)
+	}
+	return fmt.Sprintf("%s/%s@%s", transport, cfg.Mode, load)
+}
+
 // mergeServingCell folds per-process results into one cell.
 func mergeServingCell(cfg apps.SessionConfig, results []*apps.SessionProcResult) ServingCell {
 	read, write, vis := hist.New(), hist.New(), hist.New()
@@ -163,10 +184,11 @@ func RunServing(opt ServingOptions) (ServingResult, error) {
 		for _, mode := range o.Modes {
 			cfg := o.sessionConfig(mode, rate)
 			sys, err := core.NewSystem(core.Config{
-				Procs:     o.Procs,
-				Latency:   o.Latency,
-				Seed:      o.Seed,
-				Placement: apps.SessionScope(cfg),
+				Procs:         o.Procs,
+				Latency:       o.Latency,
+				Seed:          o.Seed,
+				Placement:     apps.SessionScope(cfg),
+				TraceCapacity: o.TraceCapacity,
 			})
 			if err != nil {
 				return out, fmt.Errorf("serving (%v, rate %.0f): %w", mode, rate, err)
@@ -180,6 +202,14 @@ func RunServing(opt ServingOptions) (ServingResult, error) {
 			})
 			elapsed := time.Since(start)
 			msgs := sys.NetStats().PerKind[dsmUpdateKind]
+			if o.TraceCapacity > 0 {
+				tag := servingTag("sim", cfg)
+				for i := 0; i < o.Procs; i++ {
+					s := sys.Proc(i).Tracer().Snapshot()
+					s.Tag = tag
+					out.Traces = append(out.Traces, s)
+				}
+			}
 			sys.Close()
 			for _, err := range verifyErrs {
 				if err != nil {

@@ -7,6 +7,7 @@ import (
 	"mixedmem/internal/apps"
 	"mixedmem/internal/core"
 	"mixedmem/internal/history"
+	"mixedmem/internal/obs"
 	"mixedmem/internal/transport/tcp"
 )
 
@@ -126,11 +127,14 @@ func runPlacementCaseTCP(mode placementMode, prob *apps.EMProblem, refE []float6
 	return msgs, elapsed, exact, nil
 }
 
-// runServingCellTCP runs one S1 cell over loopback TCP peers.
-func runServingCellTCP(cfg apps.SessionConfig) (ServingCell, uint64, time.Duration, error) {
+// runServingCellTCP runs one S1 cell over loopback TCP peers. With a
+// positive traceCap every peer carries an event tracer; the per-peer
+// snapshots (untagged — the caller tags the run) come back alongside the
+// cell.
+func runServingCellTCP(cfg apps.SessionConfig, traceCap int) (ServingCell, uint64, time.Duration, []*obs.Snapshot, error) {
 	trs, err := tcp.NewLoopback(cfg.Procs, nil)
 	if err != nil {
-		return ServingCell{}, 0, 0, fmt.Errorf("loopback: %w", err)
+		return ServingCell{}, 0, 0, nil, fmt.Errorf("loopback: %w", err)
 	}
 	peers := make([]*core.Peer, cfg.Procs)
 	defer func() {
@@ -145,9 +149,11 @@ func runServingCellTCP(cfg apps.SessionConfig) (ServingCell, uint64, time.Durati
 	}()
 	scope := apps.SessionScope(cfg)
 	for i := range peers {
-		peers[i], err = core.NewPeer(core.PeerConfig{ID: i, Transport: trs[i], Scope: scope})
+		peers[i], err = core.NewPeer(core.PeerConfig{
+			ID: i, Transport: trs[i], Scope: scope, TraceCapacity: traceCap,
+		})
 		if err != nil {
-			return ServingCell{}, 0, 0, fmt.Errorf("peer %d: %w", i, err)
+			return ServingCell{}, 0, 0, nil, fmt.Errorf("peer %d: %w", i, err)
 		}
 	}
 	results := make([]*apps.SessionProcResult, cfg.Procs)
@@ -167,14 +173,20 @@ func runServingCellTCP(cfg apps.SessionConfig) (ServingCell, uint64, time.Durati
 	elapsed := time.Since(start)
 	for _, err := range verifyErrs {
 		if err != nil {
-			return ServingCell{}, 0, 0, err
+			return ServingCell{}, 0, 0, nil, err
 		}
 	}
 	var msgs uint64
 	for _, tr := range trs {
 		msgs += tr.Stats().PerKind[dsmUpdateKind]
 	}
-	return mergeServingCell(cfg, results), msgs, elapsed, nil
+	var snaps []*obs.Snapshot
+	if traceCap > 0 {
+		for _, p := range peers {
+			snaps = append(snaps, p.Tracer().Snapshot())
+		}
+	}
+	return mergeServingCell(cfg, results), msgs, elapsed, snaps, nil
 }
 
 // RunServingTCP is S1 over real sockets: the same sweep as RunServing, but
@@ -192,13 +204,18 @@ func RunServingTCP(opt ServingOptions) (ServingResult, error) {
 	for _, rate := range o.Rates {
 		for _, mode := range o.Modes {
 			cfg := o.sessionConfig(mode, rate)
-			cell, msgs, elapsed, err := runServingCellTCP(cfg)
+			cell, msgs, elapsed, snaps, err := runServingCellTCP(cfg, o.TraceCapacity)
 			if err != nil {
 				return out, fmt.Errorf("serving tcp (%v, rate %.0f): %w", mode, rate, err)
 			}
 			cell.UpdateMsgs = msgs
 			cell.Elapsed = elapsed
 			out.Cells = append(out.Cells, cell)
+			tag := servingTag("tcp", cfg)
+			for _, s := range snaps {
+				s.Tag = tag
+				out.Traces = append(out.Traces, s)
+			}
 		}
 	}
 	return out, nil

@@ -33,6 +33,7 @@ import (
 	"mixedmem/internal/dsm"
 	"mixedmem/internal/history"
 	"mixedmem/internal/network"
+	"mixedmem/internal/obs"
 	"mixedmem/internal/syncmgr"
 	"mixedmem/internal/transport"
 )
@@ -165,6 +166,12 @@ type Config struct {
 	// linger timer, and every synchronization boundary. The zero value
 	// sends one message per write per destination, as before.
 	Batch dsm.BatchConfig
+	// TraceCapacity, when positive, gives every node an event tracer
+	// (internal/obs) with a ring of this many slots (rounded up to a power
+	// of two, minimum 64). Zero disables tracing entirely — the hot paths
+	// then carry only a nil check. Per-node snapshots come back through
+	// Proc.Tracer.
+	TraceCapacity int
 }
 
 // System is a running mixed-consistency memory over Procs processes.
@@ -226,10 +233,15 @@ func NewSystem(cfg Config) (*System, error) {
 	for i := 0; i < cfg.Procs; i++ {
 		d := syncmgr.NewDispatcher()
 		dispatchers[i] = d
+		var tracer *obs.Tracer
+		if cfg.TraceCapacity > 0 {
+			tracer = obs.NewTracer(i, cfg.TraceCapacity)
+		}
 		node, err := dsm.NewNode(dsm.Config{
 			ID: i, N: cfg.Procs, Transport: fabric, Trace: trace,
 			Handler: d.Handle, PRAMOnly: cfg.PRAMOnly, Scope: cfg.Placement,
 			TrackAccess: cfg.TrackAccess, Batch: cfg.Batch, Labels: cfg.Labels,
+			Tracer: tracer,
 		})
 		if err != nil {
 			fabric.Close()
@@ -417,6 +429,11 @@ func (p *Proc) AddFloat(loc string, delta float64) { p.node.AddFloat(loc, delta)
 // awaits, locks, and barriers, which all flush implicitly) call it before
 // signaling.
 func (p *Proc) FlushUpdates() { p.node.FlushUpdates() }
+
+// Tracer returns the process's event tracer, or nil when the system was
+// built without Config.TraceCapacity. Snapshot it after the workload (or at
+// any quiescent point) to feed the obs explainer and exporters.
+func (p *Proc) Tracer() *obs.Tracer { return p.node.Tracer() }
 
 // MemStats returns the process's memory-operation counters.
 func (p *Proc) MemStats() dsm.Stats { return p.node.Stats() }

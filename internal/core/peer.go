@@ -5,6 +5,7 @@ import (
 
 	"mixedmem/internal/dsm"
 	"mixedmem/internal/history"
+	"mixedmem/internal/obs"
 	"mixedmem/internal/syncmgr"
 	"mixedmem/internal/transport"
 )
@@ -46,6 +47,9 @@ type PeerConfig struct {
 	// batching is enabled only as a matter of symmetry — the receive path
 	// handles single updates and batches regardless.
 	Batch dsm.BatchConfig
+	// TraceCapacity, when positive, gives this peer's node an event tracer
+	// ring of that many slots, as in Config.TraceCapacity.
+	TraceCapacity int
 }
 
 // Peer is one process's slice of a distributed mixed-consistency system: a
@@ -76,11 +80,16 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		mode = syncmgr.Lazy
 	}
 	d := syncmgr.NewDispatcher()
+	var tracer *obs.Tracer
+	if cfg.TraceCapacity > 0 {
+		tracer = obs.NewTracer(cfg.ID, cfg.TraceCapacity)
+	}
 	node, err := dsm.NewNode(dsm.Config{
 		ID: cfg.ID, N: n, Transport: cfg.Transport,
 		Handler: d.Handle, PRAMOnly: cfg.PRAMOnly,
 		Scope: cfg.Scope, TrackAccess: cfg.TrackAccess,
 		Trace: cfg.Trace, Batch: cfg.Batch, Labels: cfg.Labels,
+		Tracer: tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: peer node: %w", err)
@@ -106,6 +115,22 @@ func (p *Peer) Proc() *Proc { return p.proc }
 // NetStats returns the transport's message accounting (local sends only on
 // distributed backends).
 func (p *Peer) NetStats() transport.Stats { return p.tr.Stats() }
+
+// Tracer returns the peer's event tracer, or nil when built without
+// PeerConfig.TraceCapacity.
+func (p *Peer) Tracer() *obs.Tracer { return p.proc.Tracer() }
+
+// Registry builds the peer's unified metrics registry: the same sections as
+// Proc-level registries (mem, sync, trace) plus this peer's transport
+// accounting under "net" — including TCP link diagnostics when the
+// transport is the tcp backend. `mixednode -obs` serves it as JSON.
+func (p *Peer) Registry() *obs.Registry {
+	r := obs.NewRegistry()
+	registerProcSections(r, p.proc)
+	tr := p.tr
+	r.Register("net", func() any { return NetMetricsOf(tr) })
+	return r
+}
 
 // Close shuts down the transport and the node.
 func (p *Peer) Close() {

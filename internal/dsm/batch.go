@@ -6,6 +6,7 @@ import (
 
 	"mixedmem/internal/history"
 	"mixedmem/internal/network"
+	"mixedmem/internal/obs"
 	"mixedmem/internal/transport"
 	"mixedmem/internal/vclock"
 )
@@ -199,8 +200,12 @@ type outboxDest struct {
 	// to the sets around them.
 	setIdx   map[string]int
 	firstSeq uint64
-	count    uint64
-	bytes    int
+	// lastSeq is the highest covered sequence number (coalescing can park it
+	// at any entry index, so it is tracked at enqueue time); the flush trace
+	// event ships the inclusive [firstSeq, lastSeq] range.
+	lastSeq uint64
+	count   uint64
+	bytes   int
 	// causal marks the pending batch's kind under scoped placement (batches
 	// are kind-homogeneous; outboxAdd flushes on a kind change), and
 	// prevSeq is the causal chain pointer captured when the batch started.
@@ -276,6 +281,7 @@ func (n *Node) outboxAddLocked(j int, u Update, causal bool, deps vclock.Matrix)
 		ob.depsEpoch = n.addrEpoch
 	}
 	ob.count++
+	ob.lastSeq = u.Seq
 	coalesced := false
 	if u.Op == OpSet && !n.batch.NoCoalesce {
 		if i, ok := ob.setIdx[u.Loc]; ok {
@@ -293,6 +299,10 @@ func (n *Node) outboxAddLocked(j int, u Update, causal bool, deps vclock.Matrix)
 	if !coalesced {
 		ob.entries = append(ob.entries, u)
 		ob.bytes += u.encodedSize()
+	}
+	if n.obs != nil {
+		n.obs.RecordLoc(obs.EvEnqueue, uint8(u.Label), uint16(j), u.Loc, u.Seq,
+			uint64(len(ob.entries)), 0)
 	}
 	if len(ob.entries) >= n.batch.MaxUpdates || ob.bytes >= n.batch.MaxBytes {
 		n.flushDestLocked(j, ob)
@@ -340,6 +350,9 @@ func (n *Node) flushDestLocked(j int, ob *outboxDest) {
 			From: n.id, To: j, Kind: KindUpdateBatch,
 			Payload: b, Size: b.encodedSize(),
 		})
+	}
+	if n.obs != nil {
+		n.obs.Record(obs.EvFlush, 0, uint16(j), obs.NoLoc, ob.firstSeq, ob.lastSeq, ob.count)
 	}
 	ob.entries = ob.entries[:0]
 	clear(ob.setIdx)
@@ -434,6 +447,10 @@ type deliveryGroup struct {
 	// kept inline to avoid a per-update slice allocation).
 	one   Update
 	batch []Update
+	// parkedAt is the UnixNano at which the tracer saw the group miss its
+	// delivery condition (0 = never parked, or tracing off); it times the
+	// dep-wait trace span and is unused otherwise.
+	parkedAt int64
 }
 
 // groupDeliverableLocked is the causal-broadcast condition generalized to a

@@ -64,6 +64,7 @@ import (
 
 	"mixedmem/internal/history"
 	"mixedmem/internal/network"
+	"mixedmem/internal/obs"
 	"mixedmem/internal/transport"
 	"mixedmem/internal/vclock"
 )
@@ -220,6 +221,12 @@ type Config struct {
 	// Batch configures the per-destination update outbox. The zero value
 	// keeps the original behavior: one message per write per destination.
 	Batch BatchConfig
+	// Tracer, when non-nil, records protocol events (write issue, outbox
+	// enqueue/flush, receive, apply, delivery-group release, waits, SC round
+	// trips) into the node's fixed-capacity ring for offline happens-before
+	// reconstruction. Nil — the default — compiles every record site down to
+	// a nil check; the hot paths stay allocation-free either way.
+	Tracer *obs.Tracer
 }
 
 // Stats counts a node's memory activity.
@@ -232,8 +239,21 @@ type Stats struct {
 	SCWrites    uint64
 	Awaits      uint64
 	// Blocked is the total time spent waiting in Await, WaitReceived,
-	// WaitCausalApplied, and invalidation stalls.
+	// WaitCausalApplied, SC round trips, and invalidation stalls. It is
+	// split by cause into the four fields below, which sum to it exactly:
+	// every wait site adds the same measured interval to its cause counter
+	// and to the aggregate.
 	Blocked time.Duration
+	// BlockedAwait is the Await/AwaitAtLeast portion of Blocked.
+	BlockedAwait time.Duration
+	// BlockedCausalWait covers the causal-machinery waits: observation-fence
+	// raises on causal reads, WaitReceived, and WaitCausalApplied.
+	BlockedCausalWait time.Duration
+	// BlockedSC is the time spent inside SC owner round trips.
+	BlockedSC time.Duration
+	// BlockedInvalidation is the time reads stalled on lock-protocol
+	// invalidations awaiting their update.
+	BlockedInvalidation time.Duration
 	// MalformedUpdates counts received scoped-causal updates whose
 	// dependency matrix did not match the system size — a misconfigured or
 	// corrupt peer. Such updates reach the PRAM view only; they are counted
@@ -461,7 +481,18 @@ type Node struct {
 	statSCWrites  atomic.Uint64
 	statAwaits    atomic.Uint64
 	statMalformed atomic.Uint64
-	statBlocked   atomic.Int64 // nanoseconds
+	statBlocked   atomic.Int64 // nanoseconds; equals the sum of the causes
+	// Per-cause blocked time (nanoseconds). Every wait site adds the same
+	// interval to exactly one cause and to statBlocked, so the causes
+	// partition the aggregate.
+	statBlockedAwait  atomic.Int64
+	statBlockedCausal atomic.Int64
+	statBlockedSC     atomic.Int64
+	statBlockedInval  atomic.Int64
+
+	// obs is the event tracer (Config.Tracer); nil means tracing is off and
+	// every record site is a single predictable-branch nil check.
+	obs *obs.Tracer
 
 	pramOnly bool
 	// scopeTargets holds the compiled per-location destination lists when
@@ -566,6 +597,7 @@ func NewNode(cfg Config) (*Node, error) {
 		causalRecvd:   make([]uint64, cfg.N),
 		sent:          make([]uint64, cfg.N),
 		recvd:         make([]uint64, cfg.N),
+		obs:           cfg.Tracer,
 		done:          make(chan struct{}),
 	}
 	for i := range node.shards {
@@ -617,6 +649,11 @@ func (n *Node) N() int { return n.n }
 // Transport returns the underlying message substrate (for synchronization
 // protocols).
 func (n *Node) Transport() transport.Transport { return n.fabric }
+
+// Tracer returns the node's event tracer (Config.Tracer), or nil when
+// tracing is off. Synchronization clients and collectors share it so one
+// ring per node carries the whole protocol timeline.
+func (n *Node) Tracer() *obs.Tracer { return n.obs }
 
 // Trace returns the history builder, or nil when not recording.
 func (n *Node) Trace() *history.Builder { return n.trace }
@@ -708,6 +745,9 @@ func applyCell(v *atomic.Int64, u Update) {
 // PRAM-registered reader: it carries no causal obligations, so it never
 // enters the causal view and never raises the observation fence.
 func (n *Node) applyRemote(u Update) {
+	if n.obs != nil {
+		n.obs.RecordLoc(obs.EvRecv, uint8(u.Label), uint16(u.From), u.Loc, u.Seq, 0, 0)
+	}
 	n.clockMu.Lock()
 	sh := n.shard(u.Loc)
 	c := sh.cellFor(u.Loc)
@@ -766,6 +806,9 @@ func (n *Node) applyRemote(u Update) {
 		})
 		n.drainCausalLocked()
 	}
+	if n.obs != nil {
+		n.obs.RecordLoc(obs.EvApply, uint8(u.Label), uint16(u.From), u.Loc, u.Seq, 0, 0)
+	}
 	n.deps.set(u.From, u.Seq)
 	n.recvd[u.From]++
 	n.clockCond.Broadcast()
@@ -785,6 +828,18 @@ func (n *Node) applyRemote(u Update) {
 func (n *Node) applyBatch(b UpdateBatch) {
 	if len(b.Updates) == 0 {
 		return
+	}
+	if n.obs != nil {
+		// The highest-seq entry can sit anywhere in the batch (coalescing
+		// replaces in place), so the covered range's last seq is a scan.
+		last := b.Updates[0].Seq
+		for _, u := range b.Updates {
+			if u.Seq > last {
+				last = u.Seq
+			}
+		}
+		n.obs.Record(obs.EvRecvBatch, uint8(b.Updates[0].Label), uint16(b.From),
+			obs.NoLoc, b.FirstSeq, last, b.Count)
 	}
 	n.clockMu.Lock()
 	// Scoped batches are kind-segregated at the sender: a batch with no
@@ -812,6 +867,9 @@ func (n *Node) applyBatch(b UpdateBatch) {
 		}
 		applyCell(&c.pram, u)
 		sh.wake()
+		if n.obs != nil {
+			n.obs.RecordLoc(obs.EvApply, uint8(u.Label), uint16(b.From), u.Loc, u.Seq, 0, 0)
+		}
 		if u.Seq > maxSeq {
 			maxSeq = u.Seq
 			maxTS = u.TS
@@ -905,8 +963,22 @@ func (n *Node) drainCausalLocked() {
 				if g.batch != nil {
 					putUpdateSlice(g.batch)
 				}
+				if n.obs != nil {
+					if g.parkedAt != 0 {
+						parked := time.Now().UnixNano() - g.parkedAt
+						n.obs.Record(obs.EvDepWaitEnd, 0, uint16(g.from), obs.NoLoc,
+							g.firstSeq, uint64(parked), 0)
+					}
+					n.obs.Record(obs.EvGroupRelease, 0, uint16(g.from), obs.NoLoc,
+						g.firstSeq, g.lastSeq, g.count)
+				}
 				progressed = true
 			} else {
+				if n.obs != nil && g.parkedAt == 0 {
+					g.parkedAt = time.Now().UnixNano()
+					n.obs.Record(obs.EvDepWaitBegin, 0, uint16(g.from), obs.NoLoc,
+						g.firstSeq, 0, 0)
+				}
 				kept = append(kept, g)
 			}
 		}
@@ -993,6 +1065,9 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 	if n.logOn {
 		n.writeLog = append(n.writeLog, WriteRecord{Loc: loc, Seq: seq})
 	}
+	if n.obs != nil {
+		n.obs.RecordLoc(obs.EvWriteIssue, uint8(label), 0, loc, seq, uint64(n.n-1), 0)
+	}
 	// Send while holding the clock lock so per-sender sequence numbers hit
 	// the fabric in order even under concurrent writers; fabric sends never
 	// block. With the outbox enabled, "send" means enqueue into the
@@ -1024,6 +1099,15 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 			}
 		}
 		_ = n.fabric.Broadcast(n.id, KindUpdate, u, u.encodedSize())
+		if n.obs != nil {
+			// Unbatched sends leave the node here: one flush per peer with a
+			// single-seq range, so the chain works without an outbox.
+			for j := 0; j < n.n; j++ {
+				if j != n.id {
+					n.obs.Record(obs.EvFlush, uint8(label), uint16(j), obs.NoLoc, seq, seq, 1)
+				}
+			}
+		}
 	}
 	n.statWrites.Add(1)
 	n.clockCond.Broadcast()
@@ -1061,6 +1145,9 @@ func (n *Node) sendScopedLocked(u Update) {
 				From: n.id, To: j, Kind: KindUpdate,
 				Payload: u, Size: u.encodedSize(),
 			})
+			if n.obs != nil {
+				n.obs.Record(obs.EvFlush, uint8(u.Label), uint16(j), obs.NoLoc, u.Seq, u.Seq, 1)
+			}
 		}
 	}
 	if len(ent.causal) == 0 {
@@ -1092,6 +1179,9 @@ func (n *Node) sendScopedLocked(u Update) {
 			From: n.id, To: j, Kind: KindUpdate,
 			Payload: cu, Size: cu.encodedSize(),
 		})
+		if n.obs != nil {
+			n.obs.Record(obs.EvFlush, uint8(u.Label), uint16(j), obs.NoLoc, u.Seq, u.Seq, 1)
+		}
 	}
 }
 
@@ -1226,7 +1316,7 @@ func (n *Node) readCausalValue(loc string) int64 {
 		n.waitValid(sh, loc, true)
 	}
 	if !n.fenceCovered() {
-		n.waitFence()
+		n.waitFence(loc)
 	}
 	var v int64
 	if c := sh.lookup(loc); c != nil {
@@ -1250,15 +1340,21 @@ func (n *Node) fenceCovered() bool {
 }
 
 // waitFence blocks until the causal view has applied every update the
-// observation fence covers.
-func (n *Node) waitFence() {
+// observation fence covers. loc is the causal read that tripped it, for
+// the trace alone.
+func (n *Node) waitFence(loc string) {
 	start := time.Now()
 	n.clockMu.Lock()
 	for !n.closed.Load() && !n.fenceCovered() {
 		n.clockCond.Wait()
 	}
 	n.clockMu.Unlock()
-	n.statBlocked.Add(int64(time.Since(start)))
+	d := int64(time.Since(start))
+	n.statBlocked.Add(d)
+	n.statBlockedCausal.Add(d)
+	if n.obs != nil {
+		n.obs.RecordLoc(obs.EvFenceWait, 0, 0, loc, 0, uint64(d), 0)
+	}
 }
 
 // waitValid blocks while loc is invalidated and the required update has not
@@ -1291,7 +1387,12 @@ func (n *Node) waitValid(sh *shard, loc string, causalView bool) {
 	delete(sh.invalid, loc)
 	sh.invalidLen.Store(int32(len(sh.invalid)))
 	sh.mu.Unlock()
-	n.statBlocked.Add(int64(time.Since(start)))
+	d := int64(time.Since(start))
+	n.statBlocked.Add(d)
+	n.statBlockedInval.Add(d)
+	if n.obs != nil {
+		n.obs.RecordLoc(obs.EvInvalWait, 0, uint16(inv.from), loc, inv.seq, uint64(d), 0)
+	}
 }
 
 // AwaitPRAM blocks until loc holds value in the PRAM view — the busy-wait
@@ -1345,6 +1446,9 @@ func (n *Node) awaitValue(loc string, value int64, causalView bool) {
 	n.FlushUpdates()
 	sh := n.shard(loc)
 	start := time.Now()
+	if n.obs != nil {
+		n.obs.RecordLoc(obs.EvAwaitBegin, 0, 0, loc, 0, uint64(value), 0)
+	}
 	sh.mu.Lock()
 	sh.waiters.Add(1)
 	for !n.closed.Load() {
@@ -1373,7 +1477,21 @@ func (n *Node) awaitValue(loc string, value int64, causalView bool) {
 		}
 	}
 	n.statAwaits.Add(1)
-	n.statBlocked.Add(int64(time.Since(start)))
+	d := int64(time.Since(start))
+	n.statBlocked.Add(d)
+	n.statBlockedAwait.Add(d)
+	if n.obs != nil {
+		// Anchor the wakeup to the matched write (the PRAM last-writer): the
+		// explainer chains from it back to the writer's issue event. Zero
+		// means the location was never anchored (slow/elided writes); the
+		// explainer skips those.
+		var packed uint64
+		if c := sh.lookup(loc); c != nil {
+			packed = c.last.Load()
+		}
+		n.obs.RecordLoc(obs.EvAwaitEnd, uint8(n.labelOf(loc)), uint16(packed>>seqBits),
+			loc, packed&seqMask, uint64(d), 0)
+	}
 }
 
 // SentCounts returns a copy of the cumulative per-destination update counts,
@@ -1411,7 +1529,12 @@ func (n *Node) WaitReceived(min []uint64) {
 	for !n.countsReachedLocked(min) && !n.closed.Load() {
 		n.clockCond.Wait()
 	}
-	n.statBlocked.Add(int64(time.Since(start)))
+	d := int64(time.Since(start))
+	n.statBlocked.Add(d)
+	n.statBlockedCausal.Add(d)
+	if n.obs != nil {
+		n.obs.Record(obs.EvWaitCounts, 0, 0, obs.NoLoc, 0, uint64(d), 0)
+	}
 }
 
 func (n *Node) countsReachedLocked(min []uint64) bool {
@@ -1442,7 +1565,12 @@ func (n *Node) WaitCausalApplied(min []uint64) {
 	for !n.causalCountsReachedLocked(min) && !n.closed.Load() {
 		n.clockCond.Wait()
 	}
-	n.statBlocked.Add(int64(time.Since(start)))
+	d := int64(time.Since(start))
+	n.statBlocked.Add(d)
+	n.statBlockedCausal.Add(d)
+	if n.obs != nil {
+		n.obs.Record(obs.EvWaitCounts, 0, 0, obs.NoLoc, 0, uint64(d), 1)
+	}
 }
 
 func (n *Node) causalCountsReachedLocked(min []uint64) bool {
@@ -1534,12 +1662,16 @@ func (n *Node) Invalidate(loc string, from int, seq uint64) {
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
 	s := Stats{
-		Writes:           n.statWrites.Load(),
-		SCReads:          n.statSCReads.Load(),
-		SCWrites:         n.statSCWrites.Load(),
-		Awaits:           n.statAwaits.Load(),
-		Blocked:          time.Duration(n.statBlocked.Load()),
-		MalformedUpdates: n.statMalformed.Load(),
+		Writes:              n.statWrites.Load(),
+		SCReads:             n.statSCReads.Load(),
+		SCWrites:            n.statSCWrites.Load(),
+		Awaits:              n.statAwaits.Load(),
+		Blocked:             time.Duration(n.statBlocked.Load()),
+		BlockedAwait:        time.Duration(n.statBlockedAwait.Load()),
+		BlockedCausalWait:   time.Duration(n.statBlockedCausal.Load()),
+		BlockedSC:           time.Duration(n.statBlockedSC.Load()),
+		BlockedInvalidation: time.Duration(n.statBlockedInval.Load()),
+		MalformedUpdates:    n.statMalformed.Load(),
 	}
 	for i := range n.shards {
 		s.PRAMReads += n.shards[i].pramReads.Load()

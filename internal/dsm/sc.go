@@ -7,6 +7,7 @@ import (
 
 	"mixedmem/internal/history"
 	"mixedmem/internal/network"
+	"mixedmem/internal/obs"
 	"mixedmem/internal/transport"
 )
 
@@ -142,18 +143,31 @@ func (n *Node) scRoundTrip(op UpdateOp, loc string, value int64) int64 {
 	n.scWaiting[req.ReqID] = ch
 	n.scMu.Unlock()
 	start := time.Now()
+	if n.obs != nil {
+		n.obs.RecordLoc(obs.EvSCRequest, uint8(history.LabelSC), uint16(owner), loc, req.ReqID, 0, 0)
+	}
 	_ = n.fabric.Send(network.Message{
 		From: n.id, To: owner, Kind: KindSCRequest,
 		Payload: req, Size: req.encodedSize(),
 	})
 	select {
 	case v := <-ch:
-		n.statBlocked.Add(int64(time.Since(start)))
+		n.scBlocked(owner, loc, req.ReqID, time.Since(start))
 		return v
 	case <-n.done:
 		// The node is shutting down; the reply will never arrive.
-		n.statBlocked.Add(int64(time.Since(start)))
+		n.scBlocked(owner, loc, req.ReqID, time.Since(start))
 		return 0
+	}
+}
+
+// scBlocked accounts one SC round trip's blocked interval to the aggregate
+// and per-cause counters and records the reply event.
+func (n *Node) scBlocked(owner int, loc string, reqID uint64, d time.Duration) {
+	n.statBlocked.Add(int64(d))
+	n.statBlockedSC.Add(int64(d))
+	if n.obs != nil {
+		n.obs.RecordLoc(obs.EvSCReply, uint8(history.LabelSC), uint16(owner), loc, reqID, uint64(d), 0)
 	}
 }
 

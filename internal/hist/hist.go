@@ -146,6 +146,21 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return bucketMid(numBuckets - 1)
 }
 
+// Clone returns an independent deep copy of h. Histograms are not safe for
+// concurrent mutation; the snapshot-then-merge pattern — each strand
+// records into a private histogram, a collector Clones or Merges them at a
+// quiescent point — is how they cross goroutines.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		counts: append([]int64(nil), h.counts...),
+		total:  h.total,
+		sum:    h.sum,
+		min:    h.min,
+		max:    h.max,
+	}
+	return c
+}
+
 // Merge adds o's samples into h. Bucket counts add, so the result reports
 // exactly the percentiles of the pooled sample set (merge is associative
 // and commutative).

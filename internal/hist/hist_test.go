@@ -218,3 +218,64 @@ func TestQuantileEmptyAndClamped(t *testing.T) {
 		t.Fatal("negative sample did not clamp to zero")
 	}
 }
+
+// TestCloneIndependentAndMergeDeterministic pins the Clone contract (deep
+// copy: mutating the clone or the original never shows through) and merge
+// determinism over clones: merging per-strand histograms in any order into
+// any number of intermediate clones reports identical summaries.
+func TestCloneIndependentAndMergeDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	strands := make([]*Histogram, 4)
+	for i := range strands {
+		strands[i] = New()
+		for k := 0; k < 2000; k++ {
+			strands[i].Record(int64(math.Exp(r.Float64() * 22)))
+		}
+	}
+
+	c := strands[0].Clone()
+	if c.Count() != strands[0].Count() || c.Quantile(0.99) != strands[0].Quantile(0.99) {
+		t.Fatalf("clone differs from original: %v vs %v", c.Summary(), strands[0].Summary())
+	}
+	c.Record(1 << 40)
+	if strands[0].Max() == c.Max() {
+		t.Fatal("clone aliases the original's buckets")
+	}
+	before := strands[0].Summary()
+	strands[0].Record(1)
+	if got := c.Count(); got != before.Count+1 {
+		// c was cloned before the extra Record(1<<40) above plus has its own
+		// sample; the original's later Record must not show through.
+		t.Fatalf("original mutation visible in clone: count %d", got)
+	}
+
+	// Merge determinism: forward order, reverse order, and pairwise-tree
+	// merges over clones all agree exactly.
+	forward := New()
+	for _, s := range strands {
+		forward.Merge(s.Clone())
+	}
+	reverse := New()
+	for i := len(strands) - 1; i >= 0; i-- {
+		reverse.Merge(strands[i].Clone())
+	}
+	left, right := New(), New()
+	left.Merge(strands[0].Clone())
+	left.Merge(strands[1].Clone())
+	right.Merge(strands[2].Clone())
+	right.Merge(strands[3].Clone())
+	tree := left.Clone()
+	tree.Merge(right)
+
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		a, b, c := forward.Quantile(q), reverse.Quantile(q), tree.Quantile(q)
+		if a != b || a != c {
+			t.Fatalf("q=%v: merge order changed the answer: %d %d %d", q, a, b, c)
+		}
+	}
+	if forward.Count() != reverse.Count() || forward.Count() != tree.Count() ||
+		forward.Sum() != tree.Sum() || forward.Min() != tree.Min() || forward.Max() != tree.Max() {
+		t.Fatalf("merge aggregates diverge: %v %v %v",
+			forward.Summary(), reverse.Summary(), tree.Summary())
+	}
+}

@@ -85,6 +85,12 @@ type Config struct {
 }
 
 // Stats is a snapshot of fabric accounting.
+//
+// Copy-on-read contract: every producer (Fabric.Stats, the tcp transport's
+// Stats) builds the slice and maps fresh on each call, so a snapshot is
+// never aliased by live counters — callers may hold, mutate, or hand it to
+// another goroutine freely while traffic continues. Clone extends the same
+// guarantee to copies of a snapshot.
 type Stats struct {
 	// MessagesSent and BytesSent are totals across all nodes.
 	MessagesSent uint64
@@ -97,6 +103,28 @@ type Stats struct {
 	// experiments read it to separate frame-count savings from payload
 	// growth: a batch frame is one message but carries many updates' bytes.
 	PerKindBytes map[string]uint64
+}
+
+// Clone returns a deep copy: the slice and both maps are duplicated, so
+// mutating either snapshot never shows through the other.
+func (s Stats) Clone() Stats {
+	out := s
+	if s.PerNodeSent != nil {
+		out.PerNodeSent = append([]uint64(nil), s.PerNodeSent...)
+	}
+	if s.PerKind != nil {
+		out.PerKind = make(map[string]uint64, len(s.PerKind))
+		for k, v := range s.PerKind {
+			out.PerKind[k] = v
+		}
+	}
+	if s.PerKindBytes != nil {
+		out.PerKindBytes = make(map[string]uint64, len(s.PerKindBytes))
+		for k, v := range s.PerKindBytes {
+			out.PerKindBytes[k] = v
+		}
+	}
+	return out
 }
 
 // String formats the stats compactly for experiment output.

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The Chrome exporter renders a merged trace in the Chrome trace-event
+// JSON format Perfetto loads directly: one process track per (tag, node),
+// wait intervals as complete ("X") slices reconstructed from the waited
+// nanoseconds their end events carry, point events as instants, flow
+// arrows ("s"/"f") binding each outbox flush to the matching receive on
+// the destination node, and counter ("C") tracks for outbox depth and
+// cumulative blocked time.
+
+// chromeEvent is one trace-event record; fields follow the Chrome
+// trace-event format spec.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	ID    string         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// waitSlice maps end-of-wait event types to the slice name rendered for
+// the interval their A field (waited nanoseconds) reconstructs.
+var waitSlice = map[EventType]string{
+	EvAwaitEnd:    "await",
+	EvDepWaitEnd:  "dep-wait",
+	EvFenceWait:   "fence-wait",
+	EvInvalWait:   "inval-wait",
+	EvWaitCounts:  "wait-counts",
+	EvSCReply:     "sc-round-trip",
+	EvLockAcquire: "lock-wait",
+	EvBarrierExit: "barrier",
+}
+
+// WriteChromeTrace renders the snapshots as one Perfetto-loadable JSON
+// document. Timestamps are shifted so the earliest event is t=0.
+func WriteChromeTrace(w io.Writer, snaps []*Snapshot) error {
+	var base int64
+	for _, s := range snaps {
+		for _, e := range s.Events {
+			if base == 0 || e.Time < base {
+				base = e.Time
+			}
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	// Stable pid assignment: tags sorted, nodes within a tag by ID.
+	type track struct {
+		tag  string
+		node int
+	}
+	var tracks []track
+	for _, s := range snaps {
+		tracks = append(tracks, track{s.Tag, s.Node})
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].tag != tracks[j].tag {
+			return tracks[i].tag < tracks[j].tag
+		}
+		return tracks[i].node < tracks[j].node
+	})
+	pids := map[track]int{}
+	for _, t := range tracks {
+		if _, ok := pids[t]; !ok {
+			pids[t] = len(pids) + 1
+		}
+	}
+
+	doc := chromeTrace{DisplayTimeUnit: "ns"}
+	emit := func(e chromeEvent) { doc.TraceEvents = append(doc.TraceEvents, e) }
+
+	for tr, pid := range pids {
+		name := fmt.Sprintf("node %d", tr.node)
+		if tr.tag != "" {
+			name = fmt.Sprintf("%s · node %d", tr.tag, tr.node)
+		}
+		emit(chromeEvent{Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": name}})
+	}
+
+	for _, s := range snaps {
+		pid := pids[track{s.Tag, s.Node}]
+		var blockedNS uint64
+		for _, e := range s.Events {
+			args := map[string]any{"seq": e.Seq}
+			if loc := s.LocName(e.Loc); loc != "" {
+				args["loc"] = loc
+			}
+			switch {
+			case waitSlice[e.Type] != "":
+				d := e.A
+				if e.Type == EvAwaitEnd || e.Type == EvSCReply {
+					args["writer"] = e.Peer
+				}
+				emit(chromeEvent{Name: waitSlice[e.Type], Phase: "X", Cat: "wait",
+					TS: us(e.Time - int64(d)), Dur: float64(d) / 1e3,
+					PID: pid, TID: 1, Args: args})
+				blockedNS += d
+				emit(chromeEvent{Name: "blocked (ms)", Phase: "C", TS: us(e.Time),
+					PID: pid, TID: 0,
+					Args: map[string]any{"blocked": float64(blockedNS) / 1e6}})
+			case e.Type == EvFlush:
+				args["last"] = e.A
+				args["count"] = e.B
+				// A 1µs stub slice anchors the outgoing flow arrow.
+				emit(chromeEvent{Name: "flush", Phase: "X", Cat: "msg",
+					TS: us(e.Time), Dur: 1, PID: pid, TID: 2, Args: args})
+				emit(chromeEvent{Name: "msg", Phase: "s", Cat: "msg",
+					ID: flowID(s.Node, int(e.Peer), e.Seq),
+					TS: us(e.Time), PID: pid, TID: 2})
+				emit(chromeEvent{Name: "outbox depth", Phase: "C", TS: us(e.Time),
+					PID: pid, TID: 0, Args: map[string]any{"pending": 0}})
+			case e.Type == EvRecv || e.Type == EvRecvBatch:
+				if e.Type == EvRecvBatch {
+					args["last"] = e.A
+					args["count"] = e.B
+				}
+				args["from"] = e.Peer
+				emit(chromeEvent{Name: e.Type.String(), Phase: "X", Cat: "msg",
+					TS: us(e.Time), Dur: 1, PID: pid, TID: 2, Args: args})
+				emit(chromeEvent{Name: "msg", Phase: "f", BP: "e", Cat: "msg",
+					ID: flowID(int(e.Peer), s.Node, e.Seq),
+					TS: us(e.Time), PID: pid, TID: 2})
+			case e.Type == EvEnqueue:
+				args["dest"] = e.Peer
+				emit(chromeEvent{Name: "enqueue", Phase: "i", Scope: "t",
+					Cat: "msg", TS: us(e.Time), PID: pid, TID: 2, Args: args})
+				emit(chromeEvent{Name: "outbox depth", Phase: "C", TS: us(e.Time),
+					PID: pid, TID: 0, Args: map[string]any{"pending": e.A}})
+			default:
+				if e.Peer != 0 {
+					args["peer"] = e.Peer
+				}
+				emit(chromeEvent{Name: e.Type.String(), Phase: "i", Scope: "t",
+					Cat: "event", TS: us(e.Time), PID: pid, TID: 1, Args: args})
+			}
+		}
+	}
+
+	sort.SliceStable(doc.TraceEvents, func(i, j int) bool {
+		return doc.TraceEvents[i].TS < doc.TraceEvents[j].TS
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// flowID names the flow arrow of one flushed batch: sender, receiver, and
+// first covered seq identify it on both ends.
+func flowID(from, to int, firstSeq uint64) string {
+	return fmt.Sprintf("%d-%d-%d", from, to, firstSeq)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sampleSnapshot() *Snapshot {
+	s := &Snapshot{
+		Tag:      "causal-scoped/r4000",
+		Node:     2,
+		Capacity: 4096,
+		Recorded: 41,
+		Dropped:  0,
+		Locs:     []string{"sess/0/k1", "vis/0/0/f0"},
+	}
+	s.Events = []Event{
+		{Index: 0, Time: 1723372800000000000, Type: EvWriteIssue, Label: 2, Loc: 0, Seq: 1, A: 3},
+		{Index: 1, Time: 1723372800000000100, Type: EvEnqueue, Peer: 1, Loc: 0, Seq: 1, A: 1},
+		{Index: 2, Time: 1723372800000000400, Type: EvFlush, Peer: 1, Seq: 1, A: 1, B: 1},
+		{Index: 3, Time: 1723372800000000900, Type: EvAwaitEnd, Peer: 1, Loc: 1, Seq: 1, A: 700},
+	}
+	return s
+}
+
+// TestSnapshotCodecRoundTrip pins the wire form: encode → decode is the
+// identity on snapshots, including multi-snapshot traces and the packed
+// cell transport.
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	enc := AppendSnapshot(nil, s)
+	dec, n, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if dec.Tag != s.Tag || dec.Node != s.Node || dec.Capacity != s.Capacity ||
+		dec.Recorded != s.Recorded || dec.Dropped != s.Dropped {
+		t.Fatalf("header changed: %+v vs %+v", dec, s)
+	}
+	if !reflect.DeepEqual(dec.Locs, s.Locs) || !reflect.DeepEqual(dec.Events, s.Events) {
+		t.Fatalf("payload changed:\n%+v\n%+v", dec, s)
+	}
+
+	// A merged trace of two snapshots decodes back to both.
+	s2 := sampleSnapshot()
+	s2.Node = 3
+	s2.Tag = "broadcast/r1000"
+	trace := EncodeTrace([]*Snapshot{s, s2})
+	snaps, err := DecodeTrace(trace)
+	if err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	if len(snaps) != 2 || snaps[0].Node != 2 || snaps[1].Node != 3 {
+		t.Fatalf("trace decoded to %+v", snaps)
+	}
+
+	// Cell transport: bytes → int64 cells → bytes is the identity for
+	// every length mod 8.
+	for cut := 0; cut < 9 && cut < len(enc); cut++ {
+		data := enc[:len(enc)-cut]
+		back, err := CellsToBytes(BytesToCells(data))
+		if err != nil {
+			t.Fatalf("cells round trip (cut %d): %v", cut, err)
+		}
+		if !reflect.DeepEqual(back, data) {
+			t.Fatalf("cells changed the bytes at cut %d", cut)
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption spot-checks the decoder's rejection paths:
+// truncation at every prefix, bad magic, and hostile length claims must
+// error out, never panic or over-allocate.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := AppendSnapshot(nil, sampleSnapshot())
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeSnapshot(enc[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", i)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, _, err := DecodeSnapshot(bad); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+	if _, err := CellsToBytes([]int64{1 << 40, 0}); err == nil {
+		t.Fatalf("hostile cell length accepted")
+	}
+	if _, err := CellsToBytes(nil); err == nil {
+		t.Fatalf("empty cell stream accepted")
+	}
+}

@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// The explainer answers "where did this write-visibility latency go": for
+// each Await that matched a probed location, it walks the happens-before
+// chain the trace recorded — write issue on the writer, outbox enqueue and
+// flush toward the reader, receive, receive-order apply, causal
+// delivery-group release, await wakeup — and attributes the end-to-end
+// interval to the named segment ending at each chain point. The chain
+// timestamps telescope, so a sample whose events all survived in the ring
+// is attributed exactly 100%; when the ring wrapped over an interior
+// event, its interval merges into the following segment (the attribution
+// stays exact), and when the write-issue anchor itself is gone the sample
+// is reported as incomplete rather than guessed at.
+
+// Segment indices, in chain order. Each segment is the interval ending at
+// the named chain point.
+const (
+	SegIssue   = iota // write issue → outbox enqueue (local issue work)
+	SegOutbox         // enqueue → flush (batching / linger delay)
+	SegWire           // flush → receive on the reader (encode, wire, inbox)
+	SegApply          // receive → receive-order apply
+	SegDepWait        // apply → causal delivery-group release
+	SegWakeup         // release → await wakeup on the reader strand
+	NumSegments
+)
+
+// SegmentNames names the chain segments in order.
+var SegmentNames = [NumSegments]string{
+	"issue", "outbox", "wire", "apply", "dep-wait", "wakeup",
+}
+
+// Sample is one explained write-visibility interval: an await on a probed
+// location, matched to the write it observed.
+type Sample struct {
+	Tag    string
+	Loc    string
+	Writer int
+	Reader int
+	Seq    uint64
+	// Total is awaitEnd − writeIssue; Segments telescope over it.
+	Total    time.Duration
+	Segments [NumSegments]time.Duration
+	// Complete reports that both chain anchors (the write-issue event on
+	// the writer and the await-end event on the reader) survived in their
+	// rings. Incomplete samples carry only Total = 0.
+	Complete bool
+}
+
+// Attributed is the summed segment time: equal to Total for complete
+// samples by construction.
+func (s *Sample) Attributed() time.Duration {
+	var sum time.Duration
+	for _, d := range s.Segments {
+		sum += d
+	}
+	return sum
+}
+
+// Breakdown aggregates the samples of one tag (one run / label
+// configuration).
+type Breakdown struct {
+	Tag        string
+	Samples    int
+	Incomplete int
+	// MinAttribution is the minimum attributed fraction over complete
+	// samples (1.0 when every chain telescoped fully).
+	MinAttribution float64
+	// TotalP50/P99 summarize the end-to-end interval; SegP50/SegP99 the
+	// per-segment intervals.
+	TotalP50, TotalP99 time.Duration
+	SegP50, SegP99     [NumSegments]time.Duration
+}
+
+// Explanation is the full result: one breakdown per tag, in tag order,
+// plus the raw samples.
+type Explanation struct {
+	Breakdowns []Breakdown
+	SamplesOut []Sample
+}
+
+// Explain walks every await-end event on a location accepted by probeLoc
+// and attributes its latency. Snapshots sharing a Tag are treated as one
+// run; an empty probeLoc accepts every awaited location.
+func Explain(snaps []*Snapshot, probeLoc func(string) bool) *Explanation {
+	if probeLoc == nil {
+		probeLoc = func(string) bool { return true }
+	}
+	byTag := map[string][]*Snapshot{}
+	var tags []string
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if _, ok := byTag[s.Tag]; !ok {
+			tags = append(tags, s.Tag)
+		}
+		byTag[s.Tag] = append(byTag[s.Tag], s)
+	}
+	sort.Strings(tags)
+
+	out := &Explanation{}
+	for _, tag := range tags {
+		samples := explainRun(byTag[tag], probeLoc)
+		out.SamplesOut = append(out.SamplesOut, samples...)
+		out.Breakdowns = append(out.Breakdowns, summarize(tag, samples))
+	}
+	return out
+}
+
+// rangeEvent is a batch-shaped event covering seqs [First, Last]
+// (inclusive; scoped placement leaves holes inside the range, which is
+// why batch events carry the last seq explicitly rather than a count).
+type rangeEvent struct {
+	First, Last uint64
+	Time        int64
+}
+
+// findRange returns the time of the earliest range covering seq, or 0.
+// Ranges are scanned in record order, so the first hit is the earliest.
+func findRange(rs []rangeEvent, seq uint64) int64 {
+	for _, r := range rs {
+		if r.First <= seq && seq <= r.Last {
+			return r.Time
+		}
+	}
+	return 0
+}
+
+type pairKey struct {
+	node int
+	peer uint16
+	seq  uint64
+}
+
+type seqKey struct {
+	node int
+	seq  uint64
+}
+
+func explainRun(snaps []*Snapshot, probeLoc func(string) bool) []Sample {
+	// Index the chain events. Writer side keyed by (writer, seq) or
+	// (writer, dest, seq); reader side keyed by (reader, from, seq).
+	issue := map[seqKey]int64{}
+	enq := map[pairKey]int64{}
+	flush := map[pairKey][]rangeEvent{}   // key.seq unused (0)
+	recv := map[pairKey][]rangeEvent{}    // ranges from sender key.peer
+	apply := map[pairKey]int64{}          //
+	release := map[pairKey][]rangeEvent{} //
+	type await struct {
+		snap *Snapshot
+		ev   Event
+	}
+	var awaits []await
+
+	for _, s := range snaps {
+		for _, e := range s.Events {
+			switch e.Type {
+			case EvWriteIssue:
+				k := seqKey{s.Node, e.Seq}
+				if _, ok := issue[k]; !ok {
+					issue[k] = e.Time
+				}
+			case EvEnqueue:
+				k := pairKey{s.Node, e.Peer, e.Seq}
+				if _, ok := enq[k]; !ok {
+					enq[k] = e.Time
+				}
+			case EvFlush:
+				k := pairKey{s.Node, e.Peer, 0}
+				flush[k] = append(flush[k], rangeEvent{e.Seq, e.A, e.Time})
+			case EvRecv:
+				k := pairKey{s.Node, e.Peer, 0}
+				recv[k] = append(recv[k], rangeEvent{e.Seq, e.Seq, e.Time})
+			case EvRecvBatch:
+				k := pairKey{s.Node, e.Peer, 0}
+				recv[k] = append(recv[k], rangeEvent{e.Seq, e.A, e.Time})
+			case EvApply:
+				k := pairKey{s.Node, e.Peer, e.Seq}
+				if _, ok := apply[k]; !ok {
+					apply[k] = e.Time
+				}
+			case EvGroupRelease:
+				k := pairKey{s.Node, e.Peer, 0}
+				release[k] = append(release[k], rangeEvent{e.Seq, e.A, e.Time})
+			case EvAwaitEnd:
+				if e.Seq == 0 {
+					break // never anchored: no matched write to chain from
+				}
+				if loc := s.LocName(e.Loc); loc != "" && probeLoc(loc) {
+					awaits = append(awaits, await{s, e})
+				}
+			}
+		}
+	}
+
+	samples := make([]Sample, 0, len(awaits))
+	for _, aw := range awaits {
+		e := aw.ev
+		writer := int(e.Peer)
+		sm := Sample{
+			Tag:    aw.snap.Tag,
+			Loc:    aw.snap.LocName(e.Loc),
+			Writer: writer,
+			Reader: aw.snap.Node,
+			Seq:    e.Seq,
+		}
+		t0, ok := issue[seqKey{writer, e.Seq}]
+		if !ok {
+			samples = append(samples, sm) // incomplete: issue anchor gone
+			continue
+		}
+		reader := uint16(aw.snap.Node)
+		// Chain points in order; zero = event missing (merged into the
+		// next found segment).
+		points := [NumSegments]int64{
+			enq[pairKey{writer, reader, e.Seq}],
+			findRange(flush[pairKey{writer, reader, 0}], e.Seq),
+			findRange(recv[pairKey{aw.snap.Node, uint16(writer), 0}], e.Seq),
+			apply[pairKey{aw.snap.Node, uint16(writer), e.Seq}],
+			findRange(release[pairKey{aw.snap.Node, uint16(writer), 0}], e.Seq),
+			e.Time,
+		}
+		sm.Complete = true
+		sm.Total = time.Duration(e.Time - t0)
+		if sm.Total < 0 {
+			sm.Total = 0
+		}
+		prev := t0
+		for i, pt := range points {
+			if pt == 0 {
+				continue // merged into the next segment
+			}
+			if pt < prev {
+				pt = prev // clamp wall-clock jitter
+			}
+			if pt > e.Time {
+				pt = e.Time
+			}
+			sm.Segments[i] = time.Duration(pt - prev)
+			prev = pt
+		}
+		samples = append(samples, sm)
+	}
+	return samples
+}
+
+func summarize(tag string, samples []Sample) Breakdown {
+	b := Breakdown{Tag: tag, Samples: len(samples), MinAttribution: 1}
+	var totals []time.Duration
+	var segs [NumSegments][]time.Duration
+	for i := range samples {
+		s := &samples[i]
+		if !s.Complete {
+			b.Incomplete++
+			continue
+		}
+		totals = append(totals, s.Total)
+		for j, d := range s.Segments {
+			segs[j] = append(segs[j], d)
+		}
+		frac := 1.0
+		if s.Total > 0 {
+			frac = float64(s.Attributed()) / float64(s.Total)
+		}
+		if frac < b.MinAttribution {
+			b.MinAttribution = frac
+		}
+	}
+	if b.Samples == b.Incomplete && b.Samples > 0 {
+		b.MinAttribution = 0
+	}
+	b.TotalP50, b.TotalP99 = quantiles(totals)
+	for j := range segs {
+		b.SegP50[j], b.SegP99[j] = quantiles(segs[j])
+	}
+	return b
+}
+
+// quantiles reports exact p50/p99 of the (small) sample set by sorting.
+func quantiles(ds []time.Duration) (p50, p99 time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+// WriteTable renders the per-tag segment breakdown as the fixed-width
+// table `mixedtrace` prints and CI archives.
+func (e *Explanation) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %8s %6s %8s", "tag", "samples", "attr", "total")
+	for _, n := range SegmentNames {
+		fmt.Fprintf(w, " %16s", n)
+	}
+	fmt.Fprintln(w)
+	for _, b := range e.Breakdowns {
+		fmt.Fprintf(w, "%-28s %8d %5.1f%% %8s", b.Tag, b.Samples, b.MinAttribution*100,
+			fmtDur(b.TotalP99))
+		for j := range SegmentNames {
+			fmt.Fprintf(w, " %7s/%8s", fmtDur(b.SegP50[j]), fmtDur(b.SegP99[j]))
+		}
+		fmt.Fprintln(w)
+		if b.Incomplete > 0 {
+			fmt.Fprintf(w, "%-28s %8d samples incomplete (ring wrapped over their chain anchors)\n",
+				"", b.Incomplete)
+		}
+	}
+	fmt.Fprintf(w, "(total column is p99 end-to-end; segment columns are p50/p99)\n")
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chainSnapshots builds the minimal two-node trace of one write-visibility
+// sample: node 0 writes seq 5 (issue 1000ns, enqueue 1200, flush 2000),
+// node 1 observes it (recv 2500, apply 2600, release 2800, await-end
+// 3000).
+func chainSnapshots() []*Snapshot {
+	writer := &Snapshot{Tag: "run", Node: 0, Locs: []string{"vis/0/0/f0"}, Events: []Event{
+		{Index: 0, Time: 1000, Type: EvWriteIssue, Loc: 0, Seq: 5},
+		{Index: 1, Time: 1200, Type: EvEnqueue, Peer: 1, Loc: 0, Seq: 5, A: 1},
+		{Index: 2, Time: 2000, Type: EvFlush, Peer: 1, Seq: 5, A: 5, B: 1},
+	}}
+	reader := &Snapshot{Tag: "run", Node: 1, Locs: []string{"vis/0/0/f0"}, Events: []Event{
+		{Index: 0, Time: 2500, Type: EvRecvBatch, Peer: 0, Seq: 5, A: 5, B: 1},
+		{Index: 1, Time: 2600, Type: EvApply, Peer: 0, Seq: 5, Loc: 0},
+		{Index: 2, Time: 2800, Type: EvGroupRelease, Peer: 0, Seq: 5, A: 5, B: 1},
+		{Index: 3, Time: 3000, Type: EvAwaitEnd, Peer: 0, Seq: 5, Loc: 0, A: 900},
+	}}
+	return []*Snapshot{writer, reader}
+}
+
+func isVis(loc string) bool { return strings.HasPrefix(loc, "vis/") }
+
+// TestExplainFullChain pins exact telescoping attribution: with every
+// chain event present, the six segments sum to precisely the end-to-end
+// interval.
+func TestExplainFullChain(t *testing.T) {
+	ex := Explain(chainSnapshots(), isVis)
+	if len(ex.SamplesOut) != 1 || len(ex.Breakdowns) != 1 {
+		t.Fatalf("got %d samples, %d breakdowns", len(ex.SamplesOut), len(ex.Breakdowns))
+	}
+	s := ex.SamplesOut[0]
+	if !s.Complete {
+		t.Fatalf("sample incomplete: %+v", s)
+	}
+	if s.Writer != 0 || s.Reader != 1 || s.Seq != 5 || s.Loc != "vis/0/0/f0" {
+		t.Fatalf("sample identity = %+v", s)
+	}
+	want := [NumSegments]time.Duration{200, 800, 500, 100, 200, 200}
+	if s.Segments != want {
+		t.Fatalf("segments = %v, want %v", s.Segments, want)
+	}
+	if s.Total != 2000 || s.Attributed() != s.Total {
+		t.Fatalf("total = %v attributed = %v", s.Total, s.Attributed())
+	}
+	b := ex.Breakdowns[0]
+	if b.MinAttribution != 1 || b.Samples != 1 || b.Incomplete != 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}
+
+// TestExplainMissingInterior drops an interior chain event (the flush):
+// its interval must merge into the following segment and attribution stay
+// exact — the soundness contract for rings that wrapped over interior
+// events.
+func TestExplainMissingInterior(t *testing.T) {
+	snaps := chainSnapshots()
+	var kept []Event
+	for _, e := range snaps[0].Events {
+		if e.Type != EvFlush {
+			kept = append(kept, e)
+		}
+	}
+	snaps[0].Events = kept
+
+	ex := Explain(snaps, isVis)
+	s := ex.SamplesOut[0]
+	if !s.Complete {
+		t.Fatalf("sample incomplete: %+v", s)
+	}
+	// outbox has no end point; enqueue→recv (1300ns) lands in wire.
+	want := [NumSegments]time.Duration{200, 0, 1300, 100, 200, 200}
+	if s.Segments != want {
+		t.Fatalf("segments = %v, want %v", s.Segments, want)
+	}
+	if s.Attributed() != s.Total {
+		t.Fatalf("attribution broke: %v of %v", s.Attributed(), s.Total)
+	}
+}
+
+// TestExplainTruncatedAnchor drops the write-issue anchor, as a wrapped
+// writer ring would: the sample must be reported incomplete, not guessed.
+func TestExplainTruncatedAnchor(t *testing.T) {
+	snaps := chainSnapshots()
+	snaps[0].Events = snaps[0].Events[1:] // drop EvWriteIssue
+	ex := Explain(snaps, isVis)
+	if len(ex.SamplesOut) != 1 {
+		t.Fatalf("got %d samples", len(ex.SamplesOut))
+	}
+	if s := ex.SamplesOut[0]; s.Complete || s.Total != 0 {
+		t.Fatalf("truncated sample not flagged: %+v", s)
+	}
+	b := ex.Breakdowns[0]
+	if b.Incomplete != 1 || b.MinAttribution != 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}
+
+// TestExplainGroupsByTag checks that snapshots of different runs never
+// cross-match: same node IDs and seqs, different tags.
+func TestExplainGroupsByTag(t *testing.T) {
+	a := chainSnapshots()
+	b := chainSnapshots()
+	for _, s := range b {
+		s.Tag = "other"
+	}
+	// Shift run b's clocks so cross-matching would corrupt attribution.
+	for _, s := range b {
+		for i := range s.Events {
+			s.Events[i].Time += 50000
+		}
+	}
+	ex := Explain(append(a, b...), isVis)
+	if len(ex.Breakdowns) != 2 || len(ex.SamplesOut) != 2 {
+		t.Fatalf("got %d breakdowns, %d samples", len(ex.Breakdowns), len(ex.SamplesOut))
+	}
+	for _, s := range ex.SamplesOut {
+		if !s.Complete || s.Attributed() != s.Total || s.Total != 2000 {
+			t.Fatalf("cross-tag contamination: %+v", s)
+		}
+	}
+}
+
+// TestWriteTable smoke-tests the rendered breakdown table.
+func TestWriteTable(t *testing.T) {
+	ex := Explain(chainSnapshots(), isVis)
+	var buf bytes.Buffer
+	ex.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range append([]string{"tag", "run"}, SegmentNames[:]...) {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChromeExport checks the exporter produces valid JSON with the
+// expected track metadata, flow endpoints, and counter samples.
+func TestChromeExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, chainSnapshots()); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phases[e["ph"].(string)]++
+	}
+	if phases["M"] != 2 {
+		t.Fatalf("want 2 process-name metadata events, got %d", phases["M"])
+	}
+	if phases["s"] != 1 || phases["f"] != 1 {
+		t.Fatalf("want one flow start and one flow end, got %+v", phases)
+	}
+	if phases["C"] == 0 || phases["X"] == 0 {
+		t.Fatalf("missing counter or slice events: %+v", phases)
+	}
+}

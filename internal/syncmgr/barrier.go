@@ -7,6 +7,7 @@ import (
 	"mixedmem/internal/dsm"
 	"mixedmem/internal/history"
 	"mixedmem/internal/network"
+	"mixedmem/internal/obs"
 	"mixedmem/internal/transport"
 )
 
@@ -203,6 +204,9 @@ func (c *BarrierClient) barrier(group string, k int, members []int) {
 	c.mu.Unlock()
 
 	start := time.Now()
+	if tr := c.node.Tracer(); tr != nil {
+		tr.RecordLoc(obs.EvBarrierEnter, 0, 0, group, uint64(k), 0, 0)
+	}
 	// Barrier arrival is a synchronization boundary: SentCounts flushes the
 	// node's update outbox and snapshots the counts under one lock, so every
 	// update the reported vector promises is on the wire before the manager
@@ -234,10 +238,14 @@ func (c *BarrierClient) barrier(group string, k int, members []int) {
 	c.node.WaitReceived(rel.Expected)
 	c.node.WaitCausalApplied(rel.Expected)
 
+	wait := time.Since(start)
 	c.mu.Lock()
 	c.stats.Barriers++
-	c.stats.Wait += time.Since(start)
+	c.stats.Wait += wait
 	c.mu.Unlock()
+	if tr := c.node.Tracer(); tr != nil {
+		tr.RecordLoc(obs.EvBarrierExit, 0, 0, group, uint64(k), uint64(wait), 0)
+	}
 
 	if tr := c.node.Trace(); tr != nil {
 		tr.AppendOp(history.Op{

@@ -7,6 +7,7 @@ import (
 	"mixedmem/internal/dsm"
 	"mixedmem/internal/history"
 	"mixedmem/internal/network"
+	"mixedmem/internal/obs"
 	"mixedmem/internal/transport"
 )
 
@@ -375,11 +376,20 @@ func (c *Client) acquire(name string, mode LockMode) lockGrant {
 			c.node.Invalidate(loc, stamp.From, stamp.Seq)
 		}
 	}
+	wait := time.Since(start)
 	c.mu.Lock()
 	c.stats.Acquires++
-	c.stats.AcquireWait += time.Since(start)
+	c.stats.AcquireWait += wait
 	c.epochs[name] = g.Epoch
 	c.mu.Unlock()
+	if tr := c.node.Tracer(); tr != nil {
+		var wmode uint64
+		if mode == WriteMode {
+			wmode = 1
+		}
+		tr.RecordLoc(obs.EvLockAcquire, 0, uint16(c.manager), name,
+			uint64(g.Epoch), uint64(wait), wmode)
+	}
 	return g
 }
 
@@ -415,6 +425,13 @@ func (c *Client) release(name string, mode LockMode, writeSet map[string]writeSt
 		From: c.node.ID(), To: c.manager, Kind: KindLockRel,
 		Payload: rel, Size: rel.size(),
 	})
+	if tr := c.node.Tracer(); tr != nil {
+		var wmode uint64
+		if mode == WriteMode {
+			wmode = 1
+		}
+		tr.RecordLoc(obs.EvLockRelease, 0, uint16(c.manager), name, 0, 0, wmode)
+	}
 }
 
 // WLock acquires the write lock on name, blocking until granted and until

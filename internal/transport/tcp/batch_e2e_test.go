@@ -1,4 +1,4 @@
-package tcp
+package tcp_test
 
 import (
 	"strconv"
@@ -8,6 +8,7 @@ import (
 
 	"mixedmem/internal/core"
 	"mixedmem/internal/dsm"
+	"mixedmem/internal/transport/tcp"
 )
 
 // TestBatchedReplayOverTCP proves the tentpole claim end to end: with the
@@ -28,7 +29,7 @@ func TestBatchedReplayOverTCP(t *testing.T) {
 		writesPerRnd = 8
 		outboxWidth  = 8
 	)
-	trs, err := NewLoopback(2, nil)
+	trs, err := tcp.NewLoopback(2, nil)
 	if err != nil {
 		t.Fatalf("NewLoopback: %v", err)
 	}

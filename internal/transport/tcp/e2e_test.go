@@ -1,4 +1,4 @@
-package tcp
+package tcp_test
 
 import (
 	"sync"
@@ -7,15 +7,16 @@ import (
 
 	"mixedmem/internal/apps"
 	"mixedmem/internal/core"
+	"mixedmem/internal/transport/tcp"
 )
 
 // newPeersT builds an n-process distributed deployment over loopback TCP:
 // one core.Peer per node, each backed by its own *Transport, exactly as n
 // separate OS processes would be wired (cmd/mixednode does the same, minus
 // the shared address space).
-func newPeersT(t *testing.T, n int) ([]*core.Peer, []*Transport) {
+func newPeersT(t *testing.T, n int) ([]*core.Peer, []*tcp.Transport) {
 	t.Helper()
-	trs, err := NewLoopback(n, nil)
+	trs, err := tcp.NewLoopback(n, nil)
 	if err != nil {
 		t.Fatalf("NewLoopback(%d): %v", n, err)
 	}

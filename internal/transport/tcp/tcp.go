@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mixedmem/internal/obs"
 	"mixedmem/internal/transport"
 )
 
@@ -89,6 +90,11 @@ type Config struct {
 	// Logf, when non-nil, receives supervisor diagnostics (dial failures,
 	// decode errors). Silent by default.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records transport resilience events —
+	// reconnects with their replay counts, in-flight frames parked by a
+	// racing ack — into the node's trace ring (internal/obs). Nil, the
+	// default, compiles each site down to a nil check.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fill() {
@@ -178,6 +184,9 @@ type peer struct {
 	next   int
 	conn   net.Conn
 	closed bool
+	// tracer is the transport's Config.Tracer (nil = off), cached here so
+	// ack handling can record frame-park events without a back-pointer.
+	tracer *obs.Tracer
 	// inflightHi is the absolute sequence of the last frame the writer
 	// goroutine is currently handing to the kernel (0 when idle). An ack can
 	// cover an in-flight frame — after a reconnect the receiver re-acks
@@ -244,7 +253,7 @@ func New(cfg Config) (*Transport, error) {
 		if j == cfg.ID {
 			continue
 		}
-		p := &peer{to: j, addr: cfg.Peers[j]}
+		p := &peer{to: j, addr: cfg.Peers[j], tracer: cfg.Tracer}
 		p.cond = sync.NewCond(&p.mu)
 		t.peers[j] = p
 		t.wg.Add(1)
@@ -505,6 +514,10 @@ func (p *peer) advanceAck(cum uint64) {
 		p.buf[i] = nil
 		if seq := p.base + uint64(i) + 1; p.inflightHi != 0 && seq <= p.inflightHi {
 			p.held = append(p.held, f)
+			if p.tracer != nil {
+				p.tracer.Record(obs.EvFramePark, 0, uint16(p.to), obs.NoLoc,
+					seq, uint64(len(p.held)), 0)
+			}
 		} else {
 			transport.PutBuf(f)
 		}
@@ -566,6 +579,12 @@ func (t *Transport) runPeer(p *peer) {
 		p.conn = conn
 		if p.next > 0 {
 			t.replayed.Add(uint64(p.next))
+		}
+		if t.cfg.Tracer != nil {
+			// A counts the frames that will be re-sent as duplicates (same
+			// semantics as the Replayed diag counter).
+			t.cfg.Tracer.Record(obs.EvReconnect, 0, uint16(p.to), obs.NoLoc,
+				t.dials.Load(), uint64(p.next), 0)
 		}
 		p.next = 0 // replay everything unacked on the fresh connection
 		p.cond.Broadcast()
