@@ -12,12 +12,20 @@
 //	mixedtrace -probe sess/ s1.mxtr       # explain awaits under a prefix
 //	mixedtrace -chrome out.json s1.mxtr   # also emit a Perfetto-loadable trace
 //	mixedtrace -min-attr 0.95 s1.mxtr     # CI gate: fail below 95% attribution
+//	mixedtrace -check s1.mxtr             # replay the discipline checker
 //
 // The -min-attr gate is the acceptance bar CI runs on a seeded S1 trace:
 // every complete sample's interval must telescope into named segments
 // covering at least the given fraction, and no sample may be incomplete
 // (an incomplete sample means the ring wrapped over a chain anchor —
 // resize the ring, don't lower the gate).
+//
+// -check replays the trace through the dynamic discipline checker
+// (internal/obs/tracecheck): lock pairing per name, plain writes under
+// read locks, barrier-phase write placement for PRAM/Slow locations, and
+// awaits that never matched. It prints each violation and fails if there
+// are any — the dynamic side of the static/dynamic cross-validation, and
+// a standalone mode: no probe or attribution table is required.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 
 	"mixedmem/internal/apps"
 	"mixedmem/internal/obs"
+	"mixedmem/internal/obs/tracecheck"
 )
 
 func main() {
@@ -46,6 +55,8 @@ func run(args []string, out io.Writer) error {
 		"also write the merged trace as Perfetto-loadable Chrome trace-event JSON to this file")
 	minAttr := fs.Float64("min-attr", 0,
 		"fail unless every run attributes at least this fraction of each sampled interval (0 disables the gate)")
+	check := fs.Bool("check", false,
+		"replay the trace through the dynamic discipline checker and fail on any violation (skips the attribution table)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +85,21 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "trace: %d node snapshots, %d events dropped by ring wrap\n",
 		len(snaps), dropped)
+
+	if *check {
+		res := tracecheck.Check(snaps)
+		fmt.Fprintf(out, "check: %d nodes judged, %d skipped (ring wrap), %d writes checked, phase rule %s\n",
+			res.NodesChecked, res.NodesSkipped, res.WritesChecked,
+			map[bool]string{true: "applied", false: "not applicable (no global barrier)"}[res.PhaseChecked])
+		for _, v := range res.Violations {
+			fmt.Fprintln(out, " ", v)
+		}
+		if n := len(res.Violations); n > 0 {
+			return fmt.Errorf("%d discipline violations", n)
+		}
+		fmt.Fprintln(out, "check passed: no discipline violations")
+		return nil
+	}
 
 	var pred func(string) bool
 	switch {

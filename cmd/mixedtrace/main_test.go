@@ -69,6 +69,39 @@ func TestExplainTraceFile(t *testing.T) {
 	}
 }
 
+// TestCheckMode pins -check: a real traced serving run replays clean, and
+// a trace with a seeded lock-pairing breach fails with the violation named.
+func TestCheckMode(t *testing.T) {
+	path := writeTestTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-check", path}, &out); err != nil {
+		t.Fatalf("clean trace failed -check: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "check passed") {
+		t.Fatalf("missing pass line:\n%s", out.String())
+	}
+
+	bad := &obs.Snapshot{
+		Tag: "seeded", Node: 0, Capacity: 64, Recorded: 1,
+		Locs: []string{"m"},
+		Events: []obs.Event{
+			{Index: 0, Type: obs.EvLockRelease, Loc: 0, B: 1},
+		},
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.mxtr")
+	if err := os.WriteFile(badPath, obs.EncodeTrace([]*obs.Snapshot{bad}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := run([]string{"-check", badPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "1 discipline violations") {
+		t.Fatalf("seeded violation not detected: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), `lock "m" released in write mode while not held`) {
+		t.Fatalf("violation not printed:\n%s", out.String())
+	}
+}
+
 // TestProbeSelection pins the -probe modes: 'all' accepts more awaits than
 // the default vis-flag predicate, and a prefix that matches nothing fails.
 func TestProbeSelection(t *testing.T) {

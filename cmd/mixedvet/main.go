@@ -9,6 +9,12 @@
 //	mixedvet ./examples/... ./internal/apps/...
 //	mixedvet -advise ./examples/jacobi     # weakest safe read label per location
 //	mixedvet -c lockdiscipline ./...       # one analyzer only
+//	mixedvet -json ./... > mixedvet.json   # machine-readable findings
+//
+// A finding can be suppressed with a //mixedvet:ignore comment on its line
+// or on the line directly above — the annotation for deliberate discipline
+// violations such as litmus programs. The exit code still reflects only
+// unsuppressed findings.
 //
 // With -advise it also prints, per constant location, the weakest read
 // label the corollaries statically justify (the static counterpart of
@@ -41,6 +47,7 @@ func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("mixedvet", flag.ContinueOnError)
 	advise := fs.Bool("advise", false, "print the weakest statically-safe read label per location")
 	only := fs.String("c", "", "run only the named analyzer")
+	asJSON := fs.Bool("json", false, "print the report as JSON instead of text")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: mixedvet [-advise] [-c analyzer] packages...")
 		fs.PrintDefaults()
@@ -78,6 +85,17 @@ func run(args []string) (int, error) {
 	rep, err := mixedvet.Run(wd, patterns, analyzers, *advise)
 	if err != nil {
 		return 2, err
+	}
+	if *asJSON {
+		data, err := rep.JSON()
+		if err != nil {
+			return 2, err
+		}
+		fmt.Println(string(data))
+		if len(rep.Findings) > 0 {
+			return 1, nil
+		}
+		return 0, nil
 	}
 	for _, f := range rep.Findings {
 		fmt.Println(f)

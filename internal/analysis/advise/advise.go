@@ -10,29 +10,39 @@
 // provably holds (Corollary 1), and LabelSC otherwise — sequentially
 // consistent reads are the lattice top and need no program condition.
 //
-// The engine is deliberately much more conservative than the per-function
+// The engine is interprocedural: it scans only root units — functions
+// nothing calls statically, or that escape as values or goroutine bodies —
+// and virtually inlines every resolvable callee at its call sites, carrying
+// the calling context down (barrier phase base, barrier sealing from the
+// call site to the root's exits, loop membership, role guard, concrete lock
+// state). A helper's write therefore lands in the root's phase numbering,
+// and the old "accesses span multiple functions" rejection applies only to
+// genuinely separate roots. Callees it cannot place — recursive cycles,
+// over-deep chains — poison exactly the locations they access (their advice
+// pins to LabelSC) instead of voiding the whole function.
+//
+// The engine stays deliberately more conservative than the per-function
 // diagnostics of the mixedvet analyzers, because its claims must hold for
 // every execution: the dynamic checker sees one history and flags what
 // happened, while a static PRAM claim asserts that no history violates the
 // phase condition. In particular:
 //
-//   - One write with a non-constant location anywhere in the program voids
-//     every claim (it could target any location); a non-constant read voids
-//     claims for every written location.
-//   - The phase structure must be statically unambiguous: every function
-//     must reach each program point having passed one statically-known
-//     number of barriers (loops containing barriers, or barriers on one arm
-//     of a branch, fail this).
-//   - A PRAM claim for a location requires all of its accesses in a single
-//     function, every write guarded to one constant process role
+//   - One write with a non-constant location anywhere in the scanned
+//     program voids every claim (it could target any location); a
+//     non-constant read voids claims for every written location.
+//   - The phase structure must be statically unambiguous: every root must
+//     reach each program point — callee barriers included — having passed
+//     one statically-known number of barriers.
+//   - A PRAM claim for a location requires all of its accesses under a
+//     single root, every write guarded to one constant process role
 //     (`if p.ID() == k`), writes out of loops, write/write and read/write
 //     pairs in distinct phases, and a barrier between the last access and
-//     every function exit (otherwise back-to-back invocations of the
-//     function can place the last access and the next invocation's first
-//     access in the same phase).
-//   - Any call the engine cannot see through (module functions, function
-//     values, the standard library) makes the enclosing function opaque and
-//     voids claims for the locations it accesses.
+//     every root exit (otherwise back-to-back invocations of the root can
+//     place the last access and the next invocation's first access in the
+//     same phase).
+//   - Any call no analysis can see through (function values, interface
+//     methods, the standard library, goroutine spawns) makes the enclosing
+//     root opaque and voids claims for the locations it accesses.
 //
 // SPMD branch concurrency is why the engine reasons about phases and roles
 // rather than control-flow paths: a write under `case 0:` and a read under
@@ -43,13 +53,12 @@ package advise
 import (
 	"fmt"
 	"go/ast"
-	"go/types"
 	"sort"
 
-	"mixedmem/internal/analysis/cfg"
+	"mixedmem/internal/analysis/callgraph"
 	"mixedmem/internal/analysis/framework"
-	"mixedmem/internal/analysis/lockdiscipline"
 	"mixedmem/internal/analysis/mixedapi"
+	"mixedmem/internal/analysis/summary"
 	"mixedmem/internal/history"
 )
 
@@ -100,38 +109,70 @@ func (r *Result) ProgramLabel() history.Label {
 	return out
 }
 
-// site is one constant-location access with its static context.
+// maxDepth bounds virtual inlining; chains deeper than this poison the
+// callee's locations like a recursive cycle would.
+const maxDepth = 32
+
+// site is one constant-location access with its static context, root
+// phase numbering and calling context composed in.
 type site struct {
 	call mixedapi.Call
-	unit int // global unit index
-	// role the access is guarded to; roleKnown false means it runs on
-	// every process.
+	unit int // root scan index
+	// role the access is guarded to (locally, or inherited from the call
+	// chain); roleKnown false means it runs on every process.
 	role      int
 	roleKnown bool
-	// phase is the barrier count at the site; phaseOK false means the
-	// access is unreachable or the unit's phase structure is ambiguous.
+	// phase is the barrier count at the site counted from the root's
+	// entry; phaseOK false means the access is unreachable or the phase
+	// structure is ambiguous somewhere on the chain.
 	phase   int
 	phaseOK bool
-	// barrierSealed means every path from the access to the unit's exit
-	// crosses a full barrier.
+	// barrierSealed means every path from the access to the root's exits
+	// crosses a full barrier (in the access's unit or after the call
+	// returns).
 	barrierSealed bool
-	// inLoop means the access's block lies on a control-flow cycle.
+	// inLoop means the access's block — or any call site on the chain —
+	// lies on a control-flow cycle.
 	inLoop bool
 	// locks is the lock state immediately before the access.
-	locks lockdiscipline.State
+	locks summary.LockState
 }
 
-// unitFacts is what the engine knows about one function unit.
+// unitFacts is what the engine knows about one scanned root.
 type unitFacts struct {
-	thread        bool // a Forall thread body
-	opaque        bool // contains a call the engine cannot see through
-	phaseCoherent bool
+	thread bool // a Forall thread body
+	opaque bool // contains (transitively) a call the engine cannot see through
+}
+
+// ctx is the calling context of one virtual-inline frame.
+type ctx struct {
+	unit        int
+	phaseBase   int
+	ok          bool // phase numbering valid down the chain
+	sealedAfter bool // a barrier separates the call's return from root exit
+	inLoop      bool
+	role        int
+	roleKnown   bool
+	locks       summary.LockState
+	depth       int
 }
 
 // Packages runs the engine over packages loaded together as one program.
+// The named packages are the judged program: their root units — and units
+// whose only callers live outside the judged set, which the engine must
+// treat as entered from unknown contexts — are scanned, and everything
+// statically reachable from them (in any package of the load) is inlined.
 func Packages(pkgs []*framework.Package) *Result {
 	eng := &engine{
-		sites: make(map[string][]site),
+		sites:    make(map[string][]site),
+		poisoned: make(map[string]string),
+		inPkgs:   make(map[*framework.Package]bool),
+	}
+	if len(pkgs) > 0 {
+		eng.set = summary.Of(pkgs[0].Prog)
+	}
+	for _, pkg := range pkgs {
+		eng.inPkgs[pkg] = true
 	}
 	for _, pkg := range pkgs {
 		eng.scanPackage(pkg)
@@ -140,12 +181,15 @@ func Packages(pkgs []*framework.Package) *Result {
 }
 
 type engine struct {
+	set            *summary.Set
+	inPkgs         map[*framework.Package]bool
 	units          []unitFacts
 	sites          map[string][]site // constant location -> accesses
+	poisoned       map[string]string // location -> why it cannot be placed
 	dynamicWrites  bool
 	dynamicReads   bool
 	syncCalls      bool // an await or lock operation appears somewhere
-	phasesCoherent bool // true unless some unit's phase structure is ambiguous
+	phasesCoherent bool // true unless some scanned phase structure is ambiguous
 	scanned        bool
 }
 
@@ -154,80 +198,168 @@ func (e *engine) scanPackage(pkg *framework.Package) {
 		e.scanned = true
 		e.phasesCoherent = true
 	}
-	pass := &framework.Pass{
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-	}
 	threads := mixedapi.ThreadBodies(pkg.Info, pkg.Files)
 	for _, unit := range mixedapi.Units(pkg.Files) {
+		node := e.set.Node(unit.Body)
+		if node != nil && !node.IsRoot() && e.calledFromJudged(node) {
+			// Reached through its callers: its accesses are inlined at
+			// every call site instead of scanned out of context.
+			continue
+		}
+		sum := e.set.Summary(unit.Body)
+		if sum == nil {
+			continue
+		}
 		id := len(e.units)
-		facts := unitFacts{
+		e.units = append(e.units, unitFacts{
 			thread: threads[unit.Body],
-			opaque: hasOpaqueCalls(pkg.Info, unit.Body),
-		}
-		g := cfg.New(unit.Body)
-		ph := phasesOf(pkg.Info, g)
-		facts.phaseCoherent = ph.coherent
-		if !ph.coherent {
-			e.phasesCoherent = false
-		}
-		roles := mixedapi.RoleGuards(pkg.Info, unit.Body)
-		flow := lockdiscipline.Analyze(pass, unit)
-		sealed := sealedSites(pkg.Info, g)
-		loops := cycleBlocks(g)
+			opaque: sum.Opaque,
+		})
+		// Program-global properties come from the root's transitive
+		// summary: one dynamic-location write anywhere voids every claim.
+		e.dynamicWrites = e.dynamicWrites || sum.DynamicWrite
+		e.dynamicReads = e.dynamicReads || sum.DynamicRead
+		e.syncCalls = e.syncCalls || sum.SyncOps
+		e.scanUnit(unit.Body, ctx{
+			unit:  id,
+			ok:    true,
+			locks: e.set.LockEntry(unit.Body),
+		})
+	}
+}
 
-		for _, blk := range g.Blocks {
-			phase, reached := ph.in[blk], ph.reached[blk]
-			for _, node := range blk.Stmts {
-				for _, c := range mixedapi.CallsIn(pkg.Info, node) {
-					switch c.Op {
-					case mixedapi.OpAwaitCausal, mixedapi.OpAwaitPRAM,
-						mixedapi.OpRLock, mixedapi.OpRUnlock,
-						mixedapi.OpWLock, mixedapi.OpWUnlock:
-						// Any await or lock op anywhere keeps the advice at
-						// PRAM or above, mirroring check.SlowConsistent.
-						e.syncCalls = true
-					}
-					switch {
-					case c.Op == mixedapi.OpBarrier:
-						phase++
-						continue
-					case c.Op == mixedapi.OpWrite && !c.Const:
-						e.dynamicWrites = true
-						continue
-					case c.Op.IsRead() && !c.Const:
-						e.dynamicReads = true
-						continue
-					case (c.Op == mixedapi.OpWrite || c.Op.IsRead()) && c.Const:
-					default:
-						continue
-					}
-					role, roleKnown := roles[c.Expr]
-					e.sites[c.Name] = append(e.sites[c.Name], site{
-						call:          c,
-						unit:          id,
-						role:          role,
-						roleKnown:     roleKnown,
-						phase:         phase,
-						phaseOK:       reached && ph.coherent,
-						barrierSealed: sealed[c.Expr],
-						inLoop:        loops[blk],
-						locks:         flow.At(c.Expr),
-					})
+// calledFromJudged reports whether some caller belongs to the judged
+// package set. A unit whose callers all live outside it (an apps solver
+// invoked only by a bench harness, say) must still be judged, entered from
+// an unknown context, or its accesses would silently drop out.
+func (e *engine) calledFromJudged(node *callgraph.Node) bool {
+	for _, c := range node.Callers {
+		if e.inPkgs[c.Pkg] {
+			return true
+		}
+	}
+	return false
+}
+
+// scanUnit records the unit's access sites under the given context and
+// descends into resolvable callees.
+func (e *engine) scanUnit(body *ast.BlockStmt, c ctx) {
+	sh := e.set.Shape(body)
+	if sh == nil {
+		return
+	}
+	if !sh.Coherent {
+		e.phasesCoherent = false
+	}
+	locksAt := func(expr *ast.CallExpr) summary.LockState {
+		if c.depth == 0 {
+			// Root frame: the memoized concrete flow is the most precise.
+			return e.set.LockFlow(body).At(expr)
+		}
+		st := c.locks.Clone()
+		for k, eff := range e.set.TransferBefore(body, expr) {
+			summary.ApplyEffect(st, k, eff)
+		}
+		return st
+	}
+	for _, blk := range sh.Graph.Blocks {
+		phase, reached := sh.Phase[blk], sh.Reached[blk]
+		for _, ev := range sh.Events[blk] {
+			if ev.IsOp {
+				op := ev.Op
+				switch {
+				case op.Op == mixedapi.OpBarrier:
+					phase++
+					continue
+				case (op.Op == mixedapi.OpWrite || op.Op.IsRead()) && op.Const:
+				default:
+					continue
 				}
+				role, roleKnown := sh.Roles[op.Expr]
+				if !roleKnown {
+					role, roleKnown = c.role, c.roleKnown
+				}
+				e.sites[op.Name] = append(e.sites[op.Name], site{
+					call:          op,
+					unit:          c.unit,
+					role:          role,
+					roleKnown:     roleKnown,
+					phase:         c.phaseBase + phase,
+					phaseOK:       c.ok && reached && sh.Coherent,
+					barrierSealed: sh.Sealed[op.Expr] || c.sealedAfter,
+					inLoop:        c.inLoop || sh.Loops[blk],
+					locks:         locksAt(op.Expr),
+				})
+				continue
+			}
+			if ev.Spawned || ev.Callee == nil {
+				// Spawned callees are roots of their own; unresolved calls
+				// are already folded into the root's Opaque flag.
+				continue
+			}
+			cs := e.set.Summary(ev.Callee.Body)
+			if cs == nil {
+				continue
+			}
+			if ev.Callee.Recursive || c.depth >= maxDepth {
+				// The callee's accesses cannot be placed in the root's
+				// phase numbering: pin its locations to SC. Its own
+				// opacity or dynamic accesses void the whole root.
+				if cs.Opaque || cs.DynamicWrite || cs.DynamicRead {
+					e.units[c.unit].opaque = true
+				}
+				why := fmt.Sprintf("accessed in %s, which the engine cannot place statically (recursive or too deep)", ev.Callee.Name())
+				for loc := range cs.AllW {
+					e.poison(loc, why)
+				}
+				for loc := range cs.AllR {
+					e.poison(loc, why)
+				}
+			} else {
+				role, roleKnown := sh.Roles[ev.Call]
+				if !roleKnown {
+					role, roleKnown = c.role, c.roleKnown
+				}
+				e.scanUnit(ev.Callee.Body, ctx{
+					unit:        c.unit,
+					phaseBase:   c.phaseBase + phase,
+					ok:          c.ok && reached && sh.Coherent,
+					sealedAfter: sh.Sealed[ev.Call] || c.sealedAfter,
+					inLoop:      c.inLoop || sh.Loops[blk],
+					role:        role,
+					roleKnown:   roleKnown,
+					locks:       locksAt(ev.Call),
+					depth:       c.depth + 1,
+				})
+			}
+			if cs.DeltaExact {
+				phase += cs.Delta
 			}
 		}
-		e.units = append(e.units, facts)
+	}
+}
+
+func (e *engine) poison(loc, why string) {
+	if _, ok := e.poisoned[loc]; !ok {
+		e.poisoned[loc] = why
 	}
 }
 
 func (e *engine) decide() *Result {
 	res := &Result{LockOf: make(map[string]string)}
-	locs := make([]string, 0, len(e.sites))
+	seen := make(map[string]bool, len(e.sites)+len(e.poisoned))
+	locs := make([]string, 0, len(e.sites)+len(e.poisoned))
 	for loc := range e.sites {
-		locs = append(locs, loc)
+		if !seen[loc] {
+			seen[loc] = true
+			locs = append(locs, loc)
+		}
+	}
+	for loc := range e.poisoned {
+		if !seen[loc] {
+			seen[loc] = true
+			locs = append(locs, loc)
+		}
 	}
 	sort.Strings(locs)
 	for _, loc := range locs {
@@ -237,6 +369,9 @@ func (e *engine) decide() *Result {
 }
 
 func (e *engine) adviseLoc(loc string, lockOf map[string]string) LocationAdvice {
+	if why, ok := e.poisoned[loc]; ok {
+		return LocationAdvice{loc, history.LabelSC, why}
+	}
 	sites := e.sites[loc]
 	var writes, reads []site
 	for _, s := range sites {
@@ -293,7 +428,7 @@ func (e *engine) pramReason(loc string, writes, reads []site) string {
 	all := append(append([]site(nil), writes...), reads...)
 	for _, s := range all {
 		if s.unit != unit {
-			return "accesses span multiple functions, so their phases cannot be compared"
+			return "accesses span multiple root functions, so their phases cannot be compared"
 		}
 		if !s.phaseOK {
 			return "an access's barrier phase is statically unknown"
@@ -331,7 +466,7 @@ func (e *engine) pramReason(loc string, writes, reads []site) string {
 
 // entryHolds checks the static entry discipline: every write under the
 // write lock of one common lock, every read under that lock in some mode,
-// in units the engine can fully see.
+// in roots the engine can fully see.
 func (e *engine) entryHolds(writes, reads []site) (string, bool) {
 	if len(writes) == 0 && len(reads) == 0 {
 		return "", false
@@ -363,7 +498,7 @@ func (e *engine) entryHolds(writes, reads []site) (string, bool) {
 			return "", false
 		}
 		switch r.locks[lock] {
-		case lockdiscipline.ReadHeld, lockdiscipline.WriteHeld:
+		case summary.ReadHeld, summary.WriteHeld:
 		default:
 			return "", false
 		}
@@ -371,200 +506,13 @@ func (e *engine) entryHolds(writes, reads []site) (string, bool) {
 	return lock, true
 }
 
-func writeHeldLocks(s lockdiscipline.State) []string {
+func writeHeldLocks(s summary.LockState) []string {
 	var out []string
 	for name, mode := range s {
-		if mode == lockdiscipline.WriteHeld {
+		if mode == summary.WriteHeld {
 			out = append(out, name)
 		}
 	}
 	sort.Strings(out)
 	return out
-}
-
-// phaseFlow is the singleton barrier-count dataflow of one unit.
-type phaseFlow struct {
-	in       map[*cfg.Block]int
-	reached  map[*cfg.Block]bool
-	coherent bool
-}
-
-func phasesOf(info *types.Info, g *cfg.Graph) *phaseFlow {
-	ph := &phaseFlow{
-		in:       make(map[*cfg.Block]int),
-		reached:  make(map[*cfg.Block]bool),
-		coherent: true,
-	}
-	ph.reached[g.Entry] = true
-	work := []*cfg.Block{g.Entry}
-	for len(work) > 0 && ph.coherent {
-		blk := work[len(work)-1]
-		work = work[:len(work)-1]
-		out := ph.in[blk] + barrierCount(info, blk)
-		for _, succ := range blk.Succs {
-			if !ph.reached[succ] {
-				ph.reached[succ] = true
-				ph.in[succ] = out
-				work = append(work, succ)
-			} else if ph.in[succ] != out {
-				// Two paths disagree on the barrier count: a loop over a
-				// barrier, or a barrier on one arm of a branch. The phase
-				// structure is then not a static quantity.
-				ph.coherent = false
-			}
-		}
-	}
-	return ph
-}
-
-func barrierCount(info *types.Info, blk *cfg.Block) int {
-	n := 0
-	for _, node := range blk.Stmts {
-		for _, c := range mixedapi.CallsIn(info, node) {
-			if c.Op == mixedapi.OpBarrier {
-				n++
-			}
-		}
-	}
-	return n
-}
-
-// sealedSites computes, per recognized operation, whether every path from
-// it to the unit exit crosses a full barrier.
-func sealedSites(info *types.Info, g *cfg.Graph) map[*ast.CallExpr]bool {
-	// escapes[b]: control can get from the start of b to the exit without
-	// passing a barrier.
-	escapes := make(map[*cfg.Block]bool)
-	hasBarrier := make(map[*cfg.Block]bool)
-	for _, blk := range g.Blocks {
-		hasBarrier[blk] = barrierCount(info, blk) > 0
-	}
-	escapes[g.Exit] = true
-	for changed := true; changed; {
-		changed = false
-		for _, blk := range g.Blocks {
-			if escapes[blk] || hasBarrier[blk] {
-				continue
-			}
-			for _, succ := range blk.Succs {
-				if escapes[succ] {
-					escapes[blk] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	out := make(map[*ast.CallExpr]bool)
-	for _, blk := range g.Blocks {
-		// Walk the block backwards: a site is sealed if a barrier follows it
-		// within the block, or no barrier-free escape exists from here on.
-		var calls []mixedapi.Call
-		for _, node := range blk.Stmts {
-			calls = append(calls, mixedapi.CallsIn(info, node)...)
-		}
-		suffixEscapes := false
-		for _, succ := range blk.Succs {
-			if escapes[succ] {
-				suffixEscapes = true
-				break
-			}
-		}
-		if len(blk.Succs) == 0 && blk != g.Exit {
-			// A dead-end block (unreachable continuation): conservatively
-			// treat as escaping.
-			suffixEscapes = true
-		}
-		for i := len(calls) - 1; i >= 0; i-- {
-			c := calls[i]
-			if c.Op == mixedapi.OpBarrier {
-				suffixEscapes = false
-				continue
-			}
-			out[c.Expr] = !suffixEscapes
-		}
-	}
-	return out
-}
-
-// cycleBlocks marks blocks that lie on a control-flow cycle: b is on a
-// cycle iff b is reachable from itself. Plain per-block DFS — memoizing
-// reachability across blocks caches partial sets wherever the recursion is
-// broken on a back edge, which silently missed blocks on branches nested
-// inside loops, and a write wrongly classified as loop-free is an
-// unsoundness in the claims this feeds.
-func cycleBlocks(g *cfg.Graph) map[*cfg.Block]bool {
-	out := make(map[*cfg.Block]bool)
-	for _, start := range g.Blocks {
-		seen := make(map[*cfg.Block]bool)
-		stack := append([]*cfg.Block(nil), start.Succs...)
-		for len(stack) > 0 {
-			b := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if b == start {
-				out[start] = true
-				break
-			}
-			if seen[b] {
-				continue
-			}
-			seen[b] = true
-			stack = append(stack, b.Succs...)
-		}
-	}
-	return out
-}
-
-// hasOpaqueCalls reports whether the body contains a call the engine cannot
-// model: anything but recognized operations, other core-package functions,
-// type conversions, and builtins.
-func hasOpaqueCalls(info *types.Info, body *ast.BlockStmt) bool {
-	opaque := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
-			return false // separate unit
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if _, ok := mixedapi.Classify(info, call); ok {
-			return true
-		}
-		if isTransparentCall(info, call) {
-			return true
-		}
-		opaque = true
-		return true
-	})
-	return opaque
-}
-
-func isTransparentCall(info *types.Info, call *ast.CallExpr) bool {
-	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
-		return true // conversion
-	}
-	var obj types.Object
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		obj = info.Uses[fun]
-	case *ast.SelectorExpr:
-		obj = info.Uses[fun.Sel]
-	default:
-		return false
-	}
-	switch obj := obj.(type) {
-	case *types.Builtin:
-		return true
-	case *types.Func:
-		// Unclassified core functions (ID, N, Forall, stats accessors) do
-		// not touch tracked memory or the phase/lock structure directly.
-		return obj.Pkg() != nil && isCore(obj.Pkg().Path())
-	}
-	return false
-}
-
-func isCore(path string) bool {
-	return len(path) >= len(mixedapi.CorePathSuffix) &&
-		path[len(path)-len(mixedapi.CorePathSuffix):] == mixedapi.CorePathSuffix
 }

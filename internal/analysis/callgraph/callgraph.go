@@ -1,0 +1,345 @@
+// Package callgraph builds the static call graph of a loaded program: one
+// node per analysis unit (function declaration or function literal), edges
+// for calls whose target resolves statically to a unit with a body in the
+// program. The graph is what turns the mixedvet suite interprocedural — the
+// summary package walks it bottom-up (callees before callers, via the SCC
+// order) to compute effect summaries, and top-down to propagate call-site
+// context (lock state, pending phase accesses, process roles) into helpers.
+//
+// Resolution is deliberately simple and sound-by-classification: a call
+// resolves if its function expression names a declared function or method
+// of a loaded package (plain identifier or selector), or is a directly
+// invoked function literal. Everything else — function values, interface
+// methods, standard-library calls — stays unresolved, and consumers treat
+// the call as opaque. Calls spawned with `go` are recorded as spawn edges,
+// not call edges: the callee runs concurrently, so its effects must not be
+// applied at the call site; it is instead analyzed as a root of its own.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/analysis/mixedapi"
+)
+
+// Node is one function unit in the graph.
+type Node struct {
+	Unit mixedapi.FuncUnit
+	Pkg  *framework.Package
+	// Fn is the declared function or method object; nil for literals.
+	Fn *types.Func
+	// Body is the unit's body, the node's identity across maps.
+	Body *ast.BlockStmt
+
+	// Callees are the distinct static call targets (spawns excluded).
+	Callees []*Node
+	// Callers are the distinct nodes with a call edge to this one.
+	Callers []*Node
+	// AddressTaken means the function is referenced outside call position
+	// (stored, passed as a value): it can be invoked from contexts the
+	// graph cannot see, so context propagation must not assume its call
+	// sites are exhaustive.
+	AddressTaken bool
+	// Spawned means the unit is started with `go` (or is a function
+	// literal handed to core.Forall): it runs on its own strand.
+	Spawned bool
+	// Recursive means the node sits on a call cycle (an SCC of size > 1,
+	// or a direct self-call).
+	Recursive bool
+
+	index, lowlink int
+	onStack        bool
+}
+
+// IsRoot reports whether the node must be analyzed from an empty context:
+// nothing calls it statically, or it escapes as a value or goroutine, so
+// its call sites are not exhaustive.
+func (n *Node) IsRoot() bool {
+	return len(n.Callers) == 0 || n.AddressTaken || n.Spawned
+}
+
+// Name describes the node for diagnostics.
+func (n *Node) Name() string {
+	if n.Fn != nil {
+		return n.Fn.Name()
+	}
+	return n.Unit.Name
+}
+
+// Graph is the program's call graph.
+type Graph struct {
+	Nodes  []*Node
+	ByFunc map[*types.Func]*Node
+	ByBody map[*ast.BlockStmt]*Node
+	// SCCs lists the strongly connected components in reverse topological
+	// order: every callee SCC appears before any of its caller SCCs, which
+	// is the order bottom-up summary computation wants.
+	SCCs [][]*Node
+}
+
+const factKey = "mixedvet.callgraph"
+
+// Of returns the program's call graph, building it on first use and
+// memoizing it on the program.
+func Of(prog *framework.Program) *Graph {
+	return prog.Fact(factKey, func() any { return Build(prog) }).(*Graph)
+}
+
+// Build constructs the call graph over every package of the program.
+func Build(prog *framework.Program) *Graph {
+	g := &Graph{
+		ByFunc: make(map[*types.Func]*Node),
+		ByBody: make(map[*ast.BlockStmt]*Node),
+	}
+	// Nodes: every unit of every package, with its defining object.
+	for _, pkg := range prog.Packages() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body == nil {
+						return true
+					}
+					node := &Node{
+						Unit: mixedapi.FuncUnit{Name: n.Name.Name, Body: n.Body, Pos: n.Pos()},
+						Pkg:  pkg,
+						Body: n.Body,
+					}
+					if fn, ok := pkg.Info.Defs[n.Name].(*types.Func); ok {
+						node.Fn = fn
+						g.ByFunc[fn] = node
+					}
+					g.Nodes = append(g.Nodes, node)
+					g.ByBody[n.Body] = node
+				case *ast.FuncLit:
+					node := &Node{
+						Unit: mixedapi.FuncUnit{Name: "func literal", Body: n.Body, Pos: n.Pos()},
+						Pkg:  pkg,
+						Body: n.Body,
+					}
+					g.Nodes = append(g.Nodes, node)
+					g.ByBody[n.Body] = node
+				}
+				return true
+			})
+		}
+	}
+	// Edges and escapes.
+	for _, pkg := range prog.Packages() {
+		for _, f := range pkg.Files {
+			g.scanFile(pkg, f)
+		}
+		for body := range mixedapi.ThreadBodies(pkg.Info, pkg.Files) {
+			if n := g.ByBody[body]; n != nil {
+				n.Spawned = true
+			}
+		}
+	}
+	g.computeSCCs()
+	return g
+}
+
+// Callee resolves a call expression to its static target, or nil.
+func (g *Graph) Callee(info *types.Info, call *ast.CallExpr) *Node {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return g.ByBody[fun.Body]
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return g.ByFunc[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return g.ByFunc[fn]
+		}
+	}
+	return nil
+}
+
+// scanFile walks one file attributing call edges and escape marks to the
+// enclosing unit. Call expressions under `go` statements become spawn
+// marks; function references outside call position become AddressTaken.
+func (g *Graph) scanFile(pkg *framework.Package, f *ast.File) {
+	info := pkg.Info
+	// callFuns is the set of expressions used as the Fun of a call (after
+	// unparenthesizing); references to graph functions outside this set
+	// are address-taken.
+	callFuns := make(map[ast.Node]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if callee := g.Callee(info, n.Call); callee != nil {
+				callee.Spawned = true
+			}
+		case *ast.Ident:
+			if callFuns[n] {
+				return true
+			}
+			if fn, ok := info.Uses[n].(*types.Func); ok {
+				if node := g.ByFunc[fn]; node != nil {
+					node.AddressTaken = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if callFuns[n] {
+				// The selector is a call target; do not also visit its Sel
+				// as a bare reference.
+				ast.Inspect(n.X, func(c ast.Node) bool { return g.markRefs(info, callFuns, c) })
+				return false
+			}
+			if fn, ok := info.Uses[n.Sel].(*types.Func); ok {
+				if node := g.ByFunc[fn]; node != nil {
+					node.AddressTaken = true
+				}
+			}
+		case *ast.FuncLit:
+			if !callFuns[n] {
+				if node := g.ByBody[n.Body]; node != nil {
+					node.AddressTaken = true
+				}
+			}
+		}
+		return true
+	})
+	// Call edges, attributed to the innermost enclosing unit.
+	var attach func(owner *Node, n ast.Node)
+	attach = func(owner *Node, n ast.Node) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				if inner := g.ByBody[c.Body]; inner != nil && c != n {
+					attach(inner, c.Body)
+					return false
+				}
+			case *ast.GoStmt:
+				// The spawned call is not a call edge; but its arguments may
+				// contain calls that do run synchronously.
+				for _, arg := range c.Call.Args {
+					attach(owner, arg)
+				}
+				attach(owner, c.Call.Fun)
+				return false
+			case *ast.CallExpr:
+				if _, ok := mixedapi.Classify(info, c); ok {
+					return true
+				}
+				if callee := g.Callee(info, c); callee != nil && owner != nil {
+					addEdge(owner, callee)
+				}
+			}
+			return true
+		})
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			attach(g.ByBody[fd.Body], fd.Body)
+		}
+	}
+}
+
+func (g *Graph) markRefs(info *types.Info, callFuns map[ast.Node]bool, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.Ident:
+		if !callFuns[n] {
+			if fn, ok := info.Uses[n].(*types.Func); ok {
+				if node := g.ByFunc[fn]; node != nil {
+					node.AddressTaken = true
+				}
+			}
+		}
+	}
+	return true
+}
+
+func addEdge(from, to *Node) {
+	for _, c := range from.Callees {
+		if c == to {
+			return
+		}
+	}
+	from.Callees = append(from.Callees, to)
+	to.Callers = append(to.Callers, from)
+}
+
+// computeSCCs runs Tarjan's algorithm (iteratively, to survive deep
+// graphs). Tarjan emits sink components first, which for caller→callee
+// edges means callees before callers — exactly the bottom-up order.
+func (g *Graph) computeSCCs() {
+	next := 1
+	var stack []*Node
+	type frame struct {
+		n  *Node
+		ci int
+	}
+	for _, start := range g.Nodes {
+		if start.index != 0 {
+			continue
+		}
+		work := []frame{{n: start}}
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			n := fr.n
+			if fr.ci == 0 {
+				n.index, n.lowlink = next, next
+				next++
+				stack = append(stack, n)
+				n.onStack = true
+			}
+			advanced := false
+			for fr.ci < len(n.Callees) {
+				c := n.Callees[fr.ci]
+				fr.ci++
+				if c.index == 0 {
+					work = append(work, frame{n: c})
+					advanced = true
+					break
+				}
+				if c.onStack && c.index < n.lowlink {
+					n.lowlink = c.index
+				}
+			}
+			if advanced {
+				continue
+			}
+			if n.lowlink == n.index {
+				var scc []*Node
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					m.onStack = false
+					scc = append(scc, m)
+					if m == n {
+						break
+					}
+				}
+				if len(scc) > 1 {
+					for _, m := range scc {
+						m.Recursive = true
+					}
+				} else {
+					for _, c := range scc[0].Callees {
+						if c == scc[0] {
+							scc[0].Recursive = true
+						}
+					}
+				}
+				g.SCCs = append(g.SCCs, scc)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].n
+				if n.lowlink < parent.lowlink {
+					parent.lowlink = n.lowlink
+				}
+			}
+		}
+	}
+}

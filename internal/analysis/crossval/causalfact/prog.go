@@ -1,0 +1,25 @@
+// Package causalfact is causalprog helper-factored into the region-helper
+// idiom: one helper enters the critical section, another leaves it, and the
+// counter bump itself sits in a third. The lock effects cross the call
+// boundaries only through the summary package, so the entry discipline —
+// and with it the causal fallback (Corollary 1) — is invisible to a purely
+// intraprocedural engine.
+package causalfact
+
+import "mixedmem/internal/core"
+
+// Program increments "tab" under the write lock, all through helpers.
+// Values stay distinct because the increments are mutually exclusive.
+func Program(p *core.Proc) {
+	enter(p)
+	bump(p)
+	exit(p)
+}
+
+func enter(p *core.Proc) { p.WLock("m") }
+func exit(p *core.Proc)  { p.WUnlock("m") }
+
+func bump(p *core.Proc) {
+	v := p.ReadCausal("tab")
+	p.Write("tab", v+1)
+}

@@ -1,0 +1,22 @@
+// Package nonefact is noneprog helper-factored: the double write hides in
+// two calls of the same helper, so only the interprocedural engine sees
+// both writes land in one barrier phase and rejects every weaker label —
+// statically and dynamically the advice is the lattice top, SC.
+package nonefact
+
+import "mixedmem/internal/core"
+
+// Program double-writes "c" in phase 0 through a helper and reads it after
+// the barrier. The two written values differ, as the checker's reads-from
+// recovery needs.
+func Program(p *core.Proc) {
+	if p.ID() == 0 {
+		seedC(p, 11)
+		seedC(p, 12)
+	}
+	p.Barrier()
+	_ = p.ReadPRAM("c") //mixedvet:ignore — the violation is this fixture's reason to exist
+	p.Barrier()
+}
+
+func seedC(p *core.Proc, v int64) { p.Write("c", v) }

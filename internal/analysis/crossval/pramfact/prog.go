@@ -1,0 +1,33 @@
+// Package pramfact is pramprog helper-factored: the phase-disciplined
+// await-latched program with its write, await, and read each in its own
+// function. The phase discipline still holds through the call boundaries
+// (Corollary 2), and the await still leans on the per-sender FIFO slow
+// memory drops, so both the static engine and the dynamic checker should
+// stop at PRAM reads.
+package pramfact
+
+import "mixedmem/internal/core"
+
+// Program is the Figure 2 shape on two locations, helper-factored, with an
+// await latch a full phase after the write it matches.
+func Program(p *core.Proc) {
+	if p.ID() == 0 {
+		seedX(p)
+	}
+	p.Barrier()
+	latchX(p)
+	p.Barrier()
+	if p.ID() == 1 {
+		seedY(p)
+	}
+	p.Barrier()
+	_ = readY(p)
+	p.Barrier()
+}
+
+func seedX(p *core.Proc) { p.Write("x", 41) }
+func seedY(p *core.Proc) { p.Write("y", 7) }
+
+func latchX(p *core.Proc) { p.AwaitPRAM("x", 41) }
+
+func readY(p *core.Proc) int64 { return p.ReadPRAM("y") }

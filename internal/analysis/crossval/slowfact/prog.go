@@ -1,0 +1,34 @@
+// Package slowfact is slowprog with every access factored into a helper:
+// the same Figure 2 shape — single role-guarded writers, barrier-separated
+// slow reads, no other synchronization — but each write and read lives in
+// its own function, so only the interprocedural engine (call-graph effect
+// summaries, virtual inlining from the root) can place the accesses in
+// their phases and arrive at the same lattice bottom the dynamic checker
+// justifies from the recorded execution.
+package slowfact
+
+import "mixedmem/internal/core"
+
+// Program is the Figure 2 shape on two locations, helper-factored.
+// Recorded executions keep every written value distinct, as the checker's
+// reads-from recovery needs.
+func Program(p *core.Proc) {
+	if p.ID() == 0 {
+		seedX(p)
+	}
+	p.Barrier()
+	_ = readX(p)
+	p.Barrier()
+	if p.ID() == 1 {
+		seedY(p)
+	}
+	p.Barrier()
+	_ = readY(p)
+	p.Barrier()
+}
+
+func seedX(p *core.Proc) { p.Write("x", 41) }
+func seedY(p *core.Proc) { p.Write("y", 7) }
+
+func readX(p *core.Proc) int64 { return p.ReadSlow("x") }
+func readY(p *core.Proc) int64 { return p.ReadSlow("y") }

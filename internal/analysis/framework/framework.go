@@ -38,6 +38,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the whole program this package was loaded as part of: every
+	// package the loader type-checked from source, including module
+	// dependencies the patterns did not name. Interprocedural passes
+	// resolve call targets and build effect summaries through it.
+	Prog *Program
 	// Report records one diagnostic. It may be called multiple times with
 	// the same position.
 	Report func(Diagnostic)
@@ -73,6 +78,7 @@ func RunAnalyzer(a *Analyzer, pkg *Package) (PackageDiagnostics, error) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Prog:      pkg.Prog,
 		Report: func(d Diagnostic) {
 			out.Diagnostics = append(out.Diagnostics, d)
 		},

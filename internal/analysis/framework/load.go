@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -24,6 +25,64 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Prog is the program this package was loaded into: every package the
+	// same loader type-checked from source, dependencies included.
+	Prog *Program
+}
+
+// Program is the set of packages one Load (or LoadDir) type-checked from
+// source together — the patterns' packages plus every module dependency
+// pulled in by imports. All of them share one FileSet, so positions resolve
+// across package boundaries, and interprocedural passes can see callee
+// bodies in any of them.
+type Program struct {
+	fset *token.FileSet
+	pkgs map[string]*Package
+
+	mu    sync.Mutex
+	facts map[string]any
+}
+
+// Fset is the FileSet shared by every package of the program.
+func (p *Program) Fset() *token.FileSet { return p.fset }
+
+// Packages returns every package of the program, sorted by path.
+func (p *Program) Packages() []*Package {
+	out := make([]*Package, 0, len(p.pkgs))
+	for _, pkg := range p.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Package returns the program's package with the given path, or nil.
+func (p *Program) Package(path string) *Package { return p.pkgs[path] }
+
+// Fact memoizes a program-wide computation under key: the first call runs
+// build and caches its result; later calls (from any analyzer on any
+// package of the program) return the cached value. This is how expensive
+// shared structures — the call graph, the effect summaries — are computed
+// once per program rather than once per (analyzer, package) pair.
+func (p *Program) Fact(key string, build func() any) any {
+	p.mu.Lock()
+	if v, ok := p.facts[key]; ok {
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	// Build outside the lock: fact builders compose (the summary set asks
+	// for the call-graph fact), so holding the mutex here would deadlock.
+	// Two goroutines may race to build the same fact; the first store wins
+	// and the values are equivalent, so the waste is bounded and harmless.
+	v := build()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.facts[key]; ok {
+		return prev
+	}
+	p.facts[key] = v
+	return v
 }
 
 // Load parses and type-checks the packages matched by patterns, rooted at
@@ -168,17 +227,20 @@ type loader struct {
 	std    types.Importer
 	pkgs   map[string]*Package
 	loads  map[string]bool
+	prog   *Program
 }
 
 func newLoader(root, module string) *loader {
 	fset := token.NewFileSet()
+	pkgs := make(map[string]*Package)
 	return &loader{
 		root:   root,
 		module: module,
 		fset:   fset,
 		std:    importer.ForCompiler(fset, "source", nil),
-		pkgs:   make(map[string]*Package),
+		pkgs:   pkgs,
 		loads:  make(map[string]bool),
+		prog:   &Program{fset: fset, pkgs: pkgs, facts: make(map[string]any)},
 	}
 }
 
@@ -247,6 +309,7 @@ func (ld *loader) loadDir(dir string) (*Package, error) {
 		Files: files,
 		Types: tpkg,
 		Info:  info,
+		Prog:  ld.prog,
 	}
 	ld.pkgs[path] = pkg
 	return pkg, nil

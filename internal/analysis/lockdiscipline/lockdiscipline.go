@@ -2,15 +2,21 @@
 // operations (Section 3.1.1) per constant lock name, on the control-flow
 // graph of each function: releases must match a held acquire of the same
 // mode, acquires must not stack on an already-held lock, no lock may be
-// held on a path out of the function, and no ordinary write may execute
+// held on a path out of the program, and no ordinary write may execute
 // under a read lock (shared access grants no write permission in the entry
 // model; commutative counter operations are exempt, Section 5.3).
 //
-// The analysis is intraprocedural and path-insensitive per lock: states
-// that disagree across merging paths become unknown, which silences
-// diagnostics rather than guessing (a conditional acquire paired with an
-// identically-conditioned release is correct code the analysis cannot
-// prove). Dynamic lock names are not tracked.
+// The analysis is interprocedural: each function is entered with the lock
+// state merged over its static call sites (so a helper that releases a lock
+// its caller acquired is understood, not flagged), and a call applies the
+// callee's net lock effect at the call site (so a caller that acquires via
+// a helper and forgets to release is flagged at its own exit). The
+// held-on-return diagnostic fires only for root functions — units no one
+// calls statically, or that escape as values or goroutines — because a
+// helper that intentionally returns holding a lock for its caller is
+// checked at the caller's exits instead. States that disagree across
+// merging paths or call sites become unknown, which silences diagnostics
+// rather than guessing. Dynamic lock names are not tracked.
 package lockdiscipline
 
 import (
@@ -21,157 +27,62 @@ import (
 	"mixedmem/internal/analysis/cfg"
 	"mixedmem/internal/analysis/framework"
 	"mixedmem/internal/analysis/mixedapi"
+	"mixedmem/internal/analysis/summary"
 )
 
 // Analyzer is the lockdiscipline pass.
 var Analyzer = &framework.Analyzer{
 	Name: "lockdiscipline",
-	Doc:  "check WLock/WUnlock and RLock/RUnlock pairing per constant lock name on every control-flow path",
+	Doc:  "check WLock/WUnlock and RLock/RUnlock pairing per constant lock name on every control-flow path, through helper calls",
 	Run:  run,
 }
 
-// Mode is a lock's abstract state at a program point.
-type Mode uint8
+// Mode is a lock's abstract state at a program point (defined in the
+// summary package, aliased here for the analyzer's historical API).
+type Mode = summary.Mode
 
 // Lock states; the zero value means not held.
 const (
-	Unlocked Mode = iota
-	ReadHeld
-	WriteHeld
+	Unlocked  = summary.Unlocked
+	ReadHeld  = summary.ReadHeld
+	WriteHeld = summary.WriteHeld
 	// Unknown means paths disagree; diagnostics are suppressed.
-	Unknown
+	Unknown = summary.Unknown
 )
 
 // State maps constant lock names to modes; absent means Unlocked.
-type State map[string]Mode
+type State = summary.LockState
 
-func (s State) clone() State {
-	out := make(State, len(s))
-	for k, v := range s {
-		out[k] = v
-	}
-	return out
-}
-
-func (s State) equal(o State) bool {
-	if len(s) != len(o) {
-		return false
-	}
-	for k, v := range s {
-		if o[k] != v {
-			return false
-		}
-	}
-	return true
-}
-
-// merge joins two states: agreeing modes survive, disagreements become
-// Unknown.
-func merge(a, b State) State {
-	out := make(State)
-	for k, v := range a {
-		if b[k] == v {
-			if v != Unlocked {
-				out[k] = v
-			}
-		} else {
-			out[k] = Unknown
-		}
-	}
-	for k, v := range b {
-		if _, ok := a[k]; !ok && v != Unlocked {
-			out[k] = Unknown
-		}
-	}
-	return out
-}
-
-// apply is the per-operation transfer function, without reporting.
-func apply(s State, c mixedapi.Call) {
-	if !c.Const {
-		return
-	}
-	switch c.Op {
-	case mixedapi.OpRLock:
-		s[c.Name] = ReadHeld
-	case mixedapi.OpWLock:
-		s[c.Name] = WriteHeld
-	case mixedapi.OpRUnlock, mixedapi.OpWUnlock:
-		delete(s, c.Name)
-	}
-}
-
-// Flow is the fixed-point lock-state analysis of one function unit, shared
-// with the static advice engine: At reports the state immediately before
-// each recognized operation.
+// Flow is the interprocedural lock-state analysis of one function unit,
+// shared with entrydiscipline and the static advice engine: At reports the
+// state immediately before each recognized operation.
 type Flow struct {
-	graph  *cfg.Graph
-	in     map[*cfg.Block]State
-	before map[*ast.CallExpr]State
+	flow *summary.LockFlow
 }
 
-// Analyze runs the dataflow over one unit.
+// Analyze returns the unit's lock flow, computed through the program's
+// summary set (pass.Prog must be present).
 func Analyze(pass *framework.Pass, unit mixedapi.FuncUnit) *Flow {
-	f := &Flow{
-		graph:  cfg.New(unit.Body),
-		in:     make(map[*cfg.Block]State),
-		before: make(map[*ast.CallExpr]State),
-	}
-	// A missing in-state means unreached (bottom): the first propagation
-	// copies, later ones merge — merging with an implicit "all unlocked"
-	// state would wrongly degrade every held lock to Unknown.
-	f.in[f.graph.Entry] = State{}
-	work := []*cfg.Block{f.graph.Entry}
-	for len(work) > 0 {
-		blk := work[len(work)-1]
-		work = work[:len(work)-1]
-		out := f.in[blk].clone()
-		for _, node := range blk.Stmts {
-			for _, c := range callsIn(pass, node) {
-				apply(out, c)
-			}
-		}
-		for _, succ := range blk.Succs {
-			cur, reached := f.in[succ]
-			next := out.clone()
-			if reached {
-				next = merge(cur, out)
-			}
-			if !reached || !next.equal(cur) {
-				f.in[succ] = next
-				work = append(work, succ)
-			}
-		}
-	}
-	// Record the state before every operation for At.
-	for _, blk := range f.graph.Blocks {
-		s := f.in[blk].clone()
-		for _, node := range blk.Stmts {
-			for _, c := range callsIn(pass, node) {
-				f.before[c.Expr] = s.clone()
-				apply(s, c)
-			}
-		}
-	}
-	return f
+	return &Flow{flow: summary.Of(pass.Prog).LockFlow(unit.Body)}
 }
 
 // At returns the lock state immediately before the given operation site.
-func (f *Flow) At(call *ast.CallExpr) State { return f.before[call] }
-
-func callsIn(pass *framework.Pass, node ast.Node) []mixedapi.Call {
-	return mixedapi.CallsIn(pass.TypesInfo, node)
-}
+func (f *Flow) At(call *ast.CallExpr) State { return f.flow.At(call) }
 
 func run(pass *framework.Pass) (any, error) {
+	set := summary.Of(pass.Prog)
 	for _, unit := range mixedapi.Units(pass.Files) {
-		checkUnit(pass, unit)
+		checkUnit(pass, set, unit)
 	}
 	return nil, nil
 }
 
-func checkUnit(pass *framework.Pass, unit mixedapi.FuncUnit) {
-	flow := Analyze(pass, unit)
+func checkUnit(pass *framework.Pass, set *summary.Set, unit mixedapi.FuncUnit) {
+	flow := set.LockFlow(unit.Body)
+	if flow == nil {
+		return
+	}
+	node := set.Node(unit.Body)
 	reported := make(map[token.Pos]bool)
 	report := func(pos token.Pos, format string, args ...any) {
 		if !reported[pos] {
@@ -179,29 +90,51 @@ func checkUnit(pass *framework.Pass, unit mixedapi.FuncUnit) {
 			pass.Reportf(pos, format, args...)
 		}
 	}
-	for _, blk := range flow.graph.Blocks {
-		in, reached := flow.in[blk]
+	entry := set.LockEntry(unit.Body)
+	for _, blk := range flow.Graph.Blocks {
+		in, reached := flow.In(blk)
 		if !reached {
 			continue // unreachable code
 		}
-		state := in.clone()
-		for _, node := range blk.Stmts {
-			for _, c := range callsIn(pass, node) {
-				check(report, state, c)
-				apply(state, c)
+		state := in.Clone()
+		for _, ev := range flow.Events(blk) {
+			if ev.IsOp {
+				check(report, state, ev.Op)
 			}
+			applyEvent(set, state, ev)
 		}
-		// A path out of the function must hold nothing. Unknown states are
-		// not reported: the disagreement was already conservative.
-		if exits(blk, flow.graph.Exit) {
+		// A path out of the program must hold nothing. Only roots report:
+		// a helper that returns holding a lock is serving its caller, and
+		// the caller's own exits are where an unreleased lock surfaces.
+		// Unknown states are not reported, and neither are locks already
+		// held on entry (they are the caller's to release).
+		if node != nil && node.IsRoot() && exits(blk, flow.Graph.Exit) {
 			pos := unit.Body.Rbrace
 			if blk.Return != nil {
 				pos = blk.Return.Pos()
 			}
 			for _, name := range sortedHeld(state) {
+				if entry[name] == state[name] {
+					continue
+				}
 				report(pos, "lock %q still held on a return path (acquired mode %s)",
 					name, modeName(state[name]))
 			}
+		}
+	}
+}
+
+func applyEvent(set *summary.Set, state State, ev summary.Event) {
+	if ev.IsOp {
+		summary.ApplyLockOp(state, ev.Op)
+		return
+	}
+	if ev.Callee == nil || ev.Spawned {
+		return
+	}
+	if cs := set.Summary(ev.Callee.Body); cs != nil {
+		for k, e := range cs.LockExit {
+			summary.ApplyEffect(state, k, e)
 		}
 	}
 }

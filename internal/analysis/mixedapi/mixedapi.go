@@ -204,6 +204,33 @@ func ConstString(info *types.Info, e ast.Expr) (string, bool) {
 	return constant.StringVal(tv.Value), true
 }
 
+// TransparentCall reports whether a call expression cannot touch the
+// model's memory, locks, or phase structure: a type conversion, a builtin,
+// or an unclassified core-package helper (ID, N, Forall, stats accessors).
+// Interprocedural passes skip transparent calls instead of treating them as
+// opaque.
+func TransparentCall(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true // conversion
+	}
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return false
+	}
+	switch obj := obj.(type) {
+	case *types.Builtin:
+		return true
+	case *types.Func:
+		return obj.Pkg() != nil && isCorePath(obj.Pkg().Path())
+	}
+	return false
+}
+
 // CallsIn collects the recognized operations lexically inside node, in
 // source order, without descending into nested function literals — those
 // are separate analysis units.

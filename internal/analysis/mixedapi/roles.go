@@ -5,9 +5,12 @@ import (
 	"go/types"
 )
 
-// RoleMap assigns each recognized operation site the constant process role
-// it is guarded to (`if p.ID() == 2 { ... }`, `switch p.ID() { case 2: ... }`).
-// Sites with no enclosing constant role guard are absent.
+// RoleMap assigns each call site — recognized operations and ordinary
+// function calls alike — the constant process role it is guarded to
+// (`if p.ID() == 2 { ... }`, `switch p.ID() { case 2: ... }`). Ordinary
+// calls are included so interprocedural passes can hand the caller's role
+// context to a helper's accesses. Sites with no enclosing constant role
+// guard are absent.
 type RoleMap map[*ast.CallExpr]int
 
 // GuardRole matches the role-guard conditions `p.ID() == K` and
@@ -89,9 +92,7 @@ func RoleGuards(info *types.Info, body *ast.BlockStmt) RoleMap {
 			walk(n.Body, role, known)
 		case *ast.CallExpr:
 			if known {
-				if _, ok := Classify(info, n); ok {
-					m[n] = role
-				}
+				m[n] = role
 			}
 			walkChildren(n, role, known)
 		default:

@@ -5,9 +5,11 @@
 package mixedvet
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 
 	"mixedmem/internal/analysis/advise"
 	"mixedmem/internal/analysis/entrydiscipline"
@@ -42,9 +44,57 @@ func (f Finding) String() string {
 // Report is the outcome of one mixedvet run.
 type Report struct {
 	Findings []Finding
+	// Suppressed counts findings dropped by //mixedvet:ignore comments on
+	// or directly above their line — the escape hatch for deliberate
+	// discipline violations (litmus programs, seeded-bug fixtures).
+	Suppressed int
 	// Advice is the static advice engine's per-location result; nil unless
 	// requested.
 	Advice *advise.Result
+}
+
+// jsonReport is the -json wire shape: stable field names, positions as
+// file:line:col strings, advice flattened.
+type jsonReport struct {
+	Findings   []jsonFinding `json:"findings"`
+	Suppressed int           `json:"suppressed"`
+	Advice     []jsonAdvice  `json:"advice,omitempty"`
+	Program    string        `json:"programLabel,omitempty"`
+}
+
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package,omitempty"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+}
+
+type jsonAdvice struct {
+	Loc       string `json:"loc"`
+	Label     string `json:"label"`
+	Rationale string `json:"rationale"`
+}
+
+// JSON renders the report as the machine-readable document `mixedvet -json`
+// prints (and CI archives as an artifact).
+func (r *Report) JSON() ([]byte, error) {
+	doc := jsonReport{Findings: []jsonFinding{}, Suppressed: r.Suppressed}
+	for _, f := range r.Findings {
+		doc.Findings = append(doc.Findings, jsonFinding{
+			Analyzer: f.Analyzer, Package: f.Package,
+			Pos: f.Pos.String(), Message: f.Message,
+		})
+	}
+	if r.Advice != nil {
+		doc.Advice = []jsonAdvice{}
+		for _, a := range r.Advice.Advice {
+			doc.Advice = append(doc.Advice, jsonAdvice{
+				Loc: a.Loc, Label: a.Label.String(), Rationale: a.Rationale,
+			})
+		}
+		doc.Program = r.Advice.ProgramLabel().String()
+	}
+	return json.MarshalIndent(doc, "", "  ")
 }
 
 // Run loads the packages matched by patterns (rooted at dir), applies every
@@ -101,6 +151,20 @@ func Run(dir string, patterns []string, analyzers []*framework.Analyzer, withAdv
 				pair[0].Loc, pair[0].Descr, fset.Position(pair[1].Pos)),
 		})
 	}
+	// //mixedvet:ignore on a finding's line, or on the line directly above
+	// it, suppresses the finding: deliberate discipline violations (litmus
+	// programs, checker fixtures) annotate themselves instead of forcing a
+	// package-level exclusion.
+	ignore := ignoreLines(pkgs)
+	kept := rep.Findings[:0]
+	for _, f := range rep.Findings {
+		if ignore[lineKey{f.Pos.Filename, f.Pos.Line}] {
+			rep.Suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	rep.Findings = kept
 	sort.Slice(rep.Findings, func(i, j int) bool {
 		a, b := rep.Findings[i].Pos, rep.Findings[j].Pos
 		if a.Filename != b.Filename {
@@ -115,4 +179,31 @@ func Run(dir string, patterns []string, analyzers []*framework.Analyzer, withAdv
 		rep.Advice = advise.Packages(pkgs)
 	}
 	return rep, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// ignoreLines collects the lines covered by //mixedvet:ignore comments: the
+// comment's own line (trailing form) and the line below it (preceding
+// form).
+func ignoreLines(pkgs []*framework.Package) map[lineKey]bool {
+	out := make(map[lineKey]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.Contains(c.Text, "mixedvet:ignore") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					out[lineKey{pos.Filename, pos.Line}] = true
+					out[lineKey{pos.Filename, pos.Line + 1}] = true
+				}
+			}
+		}
+	}
+	return out
 }

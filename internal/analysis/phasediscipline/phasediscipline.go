@@ -7,27 +7,33 @@
 // it in the same function, which is exactly the set of reads whose results
 // the corollary no longer defends.
 //
-// The analysis is intraprocedural (the static stand-in for the paper's
-// per-program condition) and tracks constant location names only. Loops
-// count: a write that reaches itself around a loop back edge with no
-// intervening Barrier() is a double write in one phase. Subset barriers
-// (BarrierGroup) are not phase boundaries — only the full barrier orders
-// all processes. Commutative counter operations (Add/AddFloat) are exempt:
-// they are operations of an abstract data type, not writes (Section 5.3).
+// The analysis is interprocedural through the summary package: each
+// function is entered with the accesses still pending (no barrier since)
+// at its call sites, and a call replays the callee's effect summary — its
+// barrier-free entry accesses conflict with the caller's pending state, its
+// exit-pending accesses stay pending after the call, and a callee that
+// always crosses a barrier clears the phase. So a helper whose write lands
+// in the same phase as its caller's write is caught from both sides: the
+// caller's PRAM reads are flagged where the helper's write joins the phase,
+// and the helper's PRAM reads are flagged where the caller's pending write
+// enters. Constant location names only; loops count (a write reaching
+// itself around a back edge with no intervening Barrier() is a double write
+// in one phase); subset barriers (BarrierGroup) are not phase boundaries;
+// commutative counter operations (Add/AddFloat) are exempt (Section 5.3).
 package phasediscipline
 
 import (
 	"go/token"
 
-	"mixedmem/internal/analysis/cfg"
 	"mixedmem/internal/analysis/framework"
 	"mixedmem/internal/analysis/mixedapi"
+	"mixedmem/internal/analysis/summary"
 )
 
 // Analyzer is the phasediscipline pass.
 var Analyzer = &framework.Analyzer{
 	Name: "phasediscipline",
-	Doc:  "flag PRAM reads of locations written twice (or read and written) in one barrier phase on some path (Corollary 2)",
+	Doc:  "flag PRAM reads of locations written twice (or read and written) in one barrier phase on some path, through helper calls (Corollary 2)",
 	Run:  run,
 }
 
@@ -48,127 +54,36 @@ type Result struct {
 	Violations map[string]Evidence
 }
 
-// state tracks, per location, a site since the last barrier on some path.
-// The maps are may-information: merged by union, cleared at barriers.
-type state struct {
-	written map[string]token.Pos
-	read    map[string]token.Pos
-}
-
-func newState() *state {
-	return &state{written: map[string]token.Pos{}, read: map[string]token.Pos{}}
-}
-
-func (s *state) clone() *state {
-	out := newState()
-	for k, v := range s.written {
-		out.written[k] = v
-	}
-	for k, v := range s.read {
-		out.read[k] = v
-	}
-	return out
-}
-
-// join unions o into s and reports whether s changed.
-func (s *state) join(o *state) bool {
-	changed := false
-	for k, v := range o.written {
-		if _, ok := s.written[k]; !ok {
-			s.written[k] = v
-			changed = true
-		}
-	}
-	for k, v := range o.read {
-		if _, ok := s.read[k]; !ok {
-			s.read[k] = v
-			changed = true
-		}
-	}
-	return changed
-}
-
 func run(pass *framework.Pass) (any, error) {
 	res := &Result{Violations: make(map[string]Evidence)}
+	set := summary.Of(pass.Prog)
 	for _, unit := range mixedapi.Units(pass.Files) {
-		checkUnit(pass, unit, res)
+		checkUnit(pass, set, unit, res)
 	}
 	return res, nil
 }
 
-func checkUnit(pass *framework.Pass, unit mixedapi.FuncUnit, res *Result) {
-	g := cfg.New(unit.Body)
-	in := make(map[*cfg.Block]*state)
-	in[g.Entry] = newState()
-	work := []*cfg.Block{g.Entry}
+func checkUnit(pass *framework.Pass, set *summary.Set, unit mixedapi.FuncUnit, res *Result) {
+	in := set.PhaseFlowIn(unit.Body)
+	g := set.UnitGraph(unit.Body)
+	if in == nil || g == nil {
+		return
+	}
 	evidence := make(map[string]Evidence)
 	record := func(loc, kind string, first, second token.Pos) {
 		if _, ok := evidence[loc]; !ok {
 			evidence[loc] = Evidence{Loc: loc, Kind: kind, First: first, Second: second}
 		}
 	}
-	transfer := func(s *state, collect bool) func(c mixedapi.Call) {
-		return func(c mixedapi.Call) {
-			switch {
-			case c.Op == mixedapi.OpBarrier:
-				s.written = map[string]token.Pos{}
-				s.read = map[string]token.Pos{}
-			case c.Op == mixedapi.OpWrite && c.Const:
-				if collect {
-					if first, ok := s.written[c.Name]; ok {
-						record(c.Name, "written twice", first, c.Pos)
-					}
-					if first, ok := s.read[c.Name]; ok {
-						record(c.Name, "read and written", first, c.Pos)
-					}
-				}
-				if _, ok := s.written[c.Name]; !ok {
-					s.written[c.Name] = c.Pos
-				}
-			case c.Op.IsRead() && c.Const:
-				if collect {
-					if first, ok := s.written[c.Name]; ok {
-						record(c.Name, "read and written", first, c.Pos)
-					}
-				}
-				if _, ok := s.read[c.Name]; !ok {
-					s.read[c.Name] = c.Pos
-				}
-			}
-		}
-	}
-	for len(work) > 0 {
-		blk := work[len(work)-1]
-		work = work[:len(work)-1]
-		out := in[blk].clone()
-		step := transfer(out, false)
-		for _, node := range blk.Stmts {
-			for _, c := range mixedapi.CallsIn(pass.TypesInfo, node) {
-				step(c)
-			}
-		}
-		for _, succ := range blk.Succs {
-			cur, reached := in[succ]
-			if !reached {
-				in[succ] = out.clone()
-				work = append(work, succ)
-			} else if cur.join(out) {
-				work = append(work, succ)
-			}
-		}
-	}
 	// Collection pass over the stabilized states.
 	for _, blk := range g.Blocks {
-		s, reached := in[blk]
+		st, reached := in[blk]
 		if !reached {
 			continue
 		}
-		s = s.clone()
-		step := transfer(s, true)
-		for _, node := range blk.Stmts {
-			for _, c := range mixedapi.CallsIn(pass.TypesInfo, node) {
-				step(c)
-			}
+		st = st.Clone()
+		for _, ev := range set.UnitEvents(unit.Body, blk) {
+			set.ApplyPhaseEvent(st, ev, record)
 		}
 	}
 	if len(evidence) == 0 {

@@ -24,6 +24,7 @@ import (
 
 	"mixedmem/internal/analysis/framework"
 	"mixedmem/internal/analysis/mixedapi"
+	"mixedmem/internal/analysis/summary"
 )
 
 // Analyzer is the scopeusage pass.
@@ -156,11 +157,18 @@ func resolveReaderMap(pass *framework.Pass, e ast.Expr) (map[string][]int, bool)
 }
 
 // checkUnit checks each labeled read performed under a constant role guard
-// against every resolved scope.
+// against every resolved scope. A read with no local guard still has a
+// known role when every call site of the enclosing function is guarded to
+// the same role (the summary package's role-entry fixpoint) — the common
+// helper-factored shape `if p.ID() == 2 { readResult(p) }`.
 func checkUnit(pass *framework.Pass, unit mixedapi.FuncUnit, scopes []*scope) {
 	roles := mixedapi.RoleGuards(pass.TypesInfo, unit.Body)
+	entryRole, entryKnown := summary.Of(pass.Prog).RoleEntry(unit.Body)
 	for _, c := range mixedapi.CallsIn(pass.TypesInfo, unit.Body) {
 		role, guarded := roles[c.Expr]
+		if !guarded {
+			role, guarded = entryRole, entryKnown
+		}
 		if !guarded {
 			continue // no statically-known role: nothing to check
 		}

@@ -1,4 +1,4 @@
-package advise
+package summary
 
 import (
 	"go/ast"

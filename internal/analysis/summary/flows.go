@@ -1,0 +1,531 @@
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+
+	"mixedmem/internal/analysis/callgraph"
+	"mixedmem/internal/analysis/cfg"
+	"mixedmem/internal/analysis/mixedapi"
+)
+
+// LockFlow is the concrete lock-state dataflow of one unit, entered with
+// the unit's fixpoint entry state and applying callee lock effects at call
+// events.
+type LockFlow struct {
+	Graph  *cfg.Graph
+	in     map[*cfg.Block]LockState
+	before map[*ast.CallExpr]LockState
+	set    *Set
+	body   *ast.BlockStmt
+}
+
+// LockFlow returns the unit's concrete lock flow, memoized.
+func (s *Set) LockFlow(body *ast.BlockStmt) *LockFlow {
+	if f, ok := s.flows[body]; ok {
+		return f
+	}
+	core := s.cores[body]
+	if core == nil {
+		return nil
+	}
+	in, bef := s.runLockFlow(core, s.LockEntry(body), true)
+	f := &LockFlow{Graph: core.graph, in: in, before: bef, set: s, body: body}
+	s.flows[body] = f
+	return f
+}
+
+// At returns the lock state immediately before the given event expression.
+func (f *LockFlow) At(call *ast.CallExpr) LockState { return f.before[call] }
+
+// In returns the lock state on entry to a block, and whether the block is
+// reached.
+func (f *LockFlow) In(blk *cfg.Block) (LockState, bool) {
+	st, ok := f.in[blk]
+	return st, ok
+}
+
+// Events returns the block's event stream.
+func (f *LockFlow) Events(blk *cfg.Block) []Event { return f.set.cores[f.body].events[blk] }
+
+// runLockFlow is the concrete fixpoint; recordBefore controls whether the
+// (second) collection pass runs.
+func (s *Set) runLockFlow(core *unitCore, entry LockState, recordBefore bool) (map[*cfg.Block]LockState, map[*ast.CallExpr]LockState) {
+	in := map[*cfg.Block]LockState{core.graph.Entry: entry.Clone()}
+	work := []*cfg.Block{core.graph.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[blk].Clone()
+		for _, ev := range core.events[blk] {
+			s.applyConcreteLockEvent(out, ev)
+		}
+		for _, succ := range blk.Succs {
+			cur, reached := in[succ]
+			next := out.Clone()
+			if reached {
+				next = MergeLocks(cur, out)
+			}
+			if !reached || !next.Equal(cur) {
+				in[succ] = next
+				work = append(work, succ)
+			}
+		}
+	}
+	var bef map[*ast.CallExpr]LockState
+	if recordBefore {
+		bef = make(map[*ast.CallExpr]LockState)
+		for _, blk := range core.graph.Blocks {
+			st, reached := in[blk]
+			if !reached {
+				continue
+			}
+			st = st.Clone()
+			for _, ev := range core.events[blk] {
+				bef[ev.Call] = st.Clone()
+				s.applyConcreteLockEvent(st, ev)
+			}
+		}
+	}
+	return in, bef
+}
+
+func (s *Set) applyConcreteLockEvent(st LockState, ev Event) {
+	if ev.IsOp {
+		ApplyLockOp(st, ev.Op)
+		return
+	}
+	if cs := s.calleeSummary(ev); cs != nil {
+		for k, e := range cs.LockExit {
+			ApplyEffect(st, k, e)
+		}
+	}
+}
+
+// fixpointLockEntries propagates concrete call-site lock states into
+// callees: first contribution copies, later ones merge (disagreement →
+// Unknown). Roots start empty — their call sites are unknown or absent, and
+// assuming an unlocked entry is exactly the old intraprocedural reading.
+func (s *Set) fixpointLockEntries() {
+	work := make([]*callgraph.Node, 0, len(s.Graph.Nodes))
+	queued := make(map[*callgraph.Node]bool)
+	push := func(n *callgraph.Node) {
+		if !queued[n] {
+			queued[n] = true
+			work = append(work, n)
+		}
+	}
+	for _, n := range s.Graph.Nodes {
+		if n.IsRoot() {
+			s.lockEntry[n.Body] = LockState{}
+		}
+		push(n)
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[n] = false
+		entry, ok := s.lockEntry[n.Body]
+		if !ok {
+			continue // not yet reached from any root
+		}
+		core := s.cores[n.Body]
+		_, bef := s.runLockFlow(core, entry, true)
+		for _, blk := range core.graph.Blocks {
+			for _, ev := range core.events[blk] {
+				if ev.IsOp || ev.Callee == nil || ev.Spawned {
+					continue
+				}
+				st, reached := bef[ev.Call]
+				if !reached {
+					continue
+				}
+				cur, has := s.lockEntry[ev.Callee.Body]
+				var next LockState
+				if !has {
+					next = st.Clone()
+				} else {
+					next = MergeLocks(cur, st)
+					if next.Equal(cur) {
+						continue
+					}
+				}
+				s.lockEntry[ev.Callee.Body] = next
+				push(ev.Callee)
+			}
+		}
+	}
+}
+
+// PhaseFlowIn returns the unit's stabilized pending-access state on entry
+// to each reached block, starting from the unit's fixpoint phase entry.
+// Callers re-walk blocks with ApplyPhaseEvent to visit individual sites.
+func (s *Set) PhaseFlowIn(body *ast.BlockStmt) map[*cfg.Block]*PhaseSets {
+	core := s.cores[body]
+	if core == nil {
+		return nil
+	}
+	return s.runPhaseFlow(core, s.PhaseEntry(body))
+}
+
+func (s *Set) runPhaseFlow(core *unitCore, entry *PhaseSets) map[*cfg.Block]*PhaseSets {
+	in := map[*cfg.Block]*PhaseSets{core.graph.Entry: entry.Clone()}
+	work := []*cfg.Block{core.graph.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[blk].Clone()
+		for _, ev := range core.events[blk] {
+			s.ApplyPhaseEvent(out, ev, nil)
+		}
+		for _, succ := range blk.Succs {
+			cur, reached := in[succ]
+			if !reached {
+				in[succ] = out.Clone()
+				work = append(work, succ)
+			} else if cur.Join(out) {
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// ApplyPhaseEvent is the phase-discipline transfer function over one event.
+// record, when non-nil, receives each conflict: a location written while a
+// write is pending ("written twice") or accessed against a pending access
+// of the other kind ("read and written") with no full barrier between the
+// two sites. Call events replay the callee's summary: its barrier-free
+// entry accesses (Pre sets) conflict with the caller's pending state, and
+// its exit-pending accesses (Gen sets) become pending after the call.
+func (s *Set) ApplyPhaseEvent(st *PhaseSets, ev Event, record func(loc, kind string, first, second token.Pos)) {
+	if ev.IsOp {
+		c := ev.Op
+		switch {
+		case c.Op == mixedapi.OpBarrier:
+			st.Written = map[string]token.Pos{}
+			st.Read = map[string]token.Pos{}
+		case c.Op == mixedapi.OpWrite && c.Const:
+			if record != nil {
+				if first, ok := st.Written[c.Name]; ok {
+					record(c.Name, "written twice", first, c.Pos)
+				}
+				if first, ok := st.Read[c.Name]; ok {
+					record(c.Name, "read and written", first, c.Pos)
+				}
+			}
+			addPos(st.Written, c.Name, c.Pos)
+		case c.Op.IsRead() && c.Const:
+			if record != nil {
+				if first, ok := st.Written[c.Name]; ok {
+					record(c.Name, "read and written", first, c.Pos)
+				}
+			}
+			addPos(st.Read, c.Name, c.Pos)
+		}
+		return
+	}
+	cs := s.calleeSummary(ev)
+	if cs == nil {
+		return
+	}
+	if record != nil {
+		for loc, pos := range cs.PreW {
+			if first, ok := st.Written[loc]; ok {
+				record(loc, "written twice", first, pos)
+			}
+			if first, ok := st.Read[loc]; ok {
+				record(loc, "read and written", first, pos)
+			}
+		}
+		for loc, pos := range cs.PreR {
+			if first, ok := st.Written[loc]; ok {
+				record(loc, "read and written", first, pos)
+			}
+		}
+	}
+	if cs.BarrierFree {
+		for k, v := range cs.GenW {
+			addPos(st.Written, k, v)
+		}
+		for k, v := range cs.GenR {
+			addPos(st.Read, k, v)
+		}
+	} else {
+		next := NewPhaseSets()
+		for k, v := range cs.GenW {
+			next.Written[k] = v
+		}
+		for k, v := range cs.GenR {
+			next.Read[k] = v
+		}
+		*st = *next
+	}
+}
+
+// fixpointPhaseEntries pushes pending call-site phase accesses into
+// callees; union join, roots start empty.
+func (s *Set) fixpointPhaseEntries() {
+	work := make([]*callgraph.Node, 0, len(s.Graph.Nodes))
+	queued := make(map[*callgraph.Node]bool)
+	push := func(n *callgraph.Node) {
+		if !queued[n] {
+			queued[n] = true
+			work = append(work, n)
+		}
+	}
+	for _, n := range s.Graph.Nodes {
+		if n.IsRoot() {
+			s.phaseEntry[n.Body] = NewPhaseSets()
+		}
+		push(n)
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[n] = false
+		entry, ok := s.phaseEntry[n.Body]
+		if !ok {
+			continue
+		}
+		core := s.cores[n.Body]
+		in := s.runPhaseFlow(core, entry)
+		for _, blk := range core.graph.Blocks {
+			st, reached := in[blk]
+			if !reached {
+				continue
+			}
+			st = st.Clone()
+			for _, ev := range core.events[blk] {
+				if !ev.IsOp && ev.Callee != nil && !ev.Spawned {
+					cur, has := s.phaseEntry[ev.Callee.Body]
+					if !has {
+						s.phaseEntry[ev.Callee.Body] = st.Clone()
+						push(ev.Callee)
+					} else if cur.Join(st) {
+						push(ev.Callee)
+					}
+				}
+				s.ApplyPhaseEvent(st, ev, nil)
+			}
+		}
+	}
+}
+
+// fixpointRoleEntries pushes the role guard enclosing each call site into
+// callees: a unit entered only under `if p.ID() == k` guards inherits role
+// k; disagreeing call sites (or a root's unknown context) yield no role.
+func (s *Set) fixpointRoleEntries() {
+	work := make([]*callgraph.Node, 0, len(s.Graph.Nodes))
+	queued := make(map[*callgraph.Node]bool)
+	push := func(n *callgraph.Node) {
+		if !queued[n] {
+			queued[n] = true
+			work = append(work, n)
+		}
+	}
+	for _, n := range s.Graph.Nodes {
+		if n.IsRoot() {
+			s.roleEntry[n.Body] = roleCtx{set: true}
+		}
+		push(n)
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[n] = false
+		entry, ok := s.roleEntry[n.Body]
+		if !ok || !entry.set {
+			continue
+		}
+		core := s.cores[n.Body]
+		roles := mixedapi.RoleGuards(n.Pkg.Info, n.Body)
+		for _, blk := range core.graph.Blocks {
+			for _, ev := range core.events[blk] {
+				if ev.IsOp || ev.Callee == nil || ev.Spawned {
+					continue
+				}
+				contrib := roleCtx{set: true}
+				if r, guarded := roles[ev.Call]; guarded {
+					contrib.role, contrib.known = r, true
+				} else {
+					contrib.role, contrib.known = entry.role, entry.known
+				}
+				cur := s.roleEntry[ev.Callee.Body]
+				next := joinRole(cur, contrib)
+				if next != cur {
+					s.roleEntry[ev.Callee.Body] = next
+					push(ev.Callee)
+				}
+			}
+		}
+	}
+}
+
+func joinRole(a, b roleCtx) roleCtx {
+	if !a.set {
+		return b
+	}
+	if !b.set {
+		return a
+	}
+	if a.known && b.known && a.role == b.role {
+		return a
+	}
+	return roleCtx{set: true}
+}
+
+// Shape returns the unit's advice-engine structure, memoized; nil for
+// unknown bodies.
+func (s *Set) Shape(body *ast.BlockStmt) *Shape {
+	if sh, ok := s.shapes[body]; ok {
+		return sh
+	}
+	core := s.cores[body]
+	if core == nil {
+		return nil
+	}
+	sh := &Shape{
+		Graph:    core.graph,
+		Events:   core.events,
+		Phase:    make(map[*cfg.Block]int),
+		Reached:  make(map[*cfg.Block]bool),
+		Coherent: true,
+		Sealed:   make(map[*ast.CallExpr]bool),
+		Loops:    cycleBlocks(core.graph),
+		Roles:    mixedapi.RoleGuards(core.node.Pkg.Info, body),
+	}
+	// Barrier-phase numbering, callee deltas included.
+	sh.Reached[core.graph.Entry] = true
+	work := []*cfg.Block{core.graph.Entry}
+	for len(work) > 0 && sh.Coherent {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := sh.Phase[blk]
+		for _, ev := range core.events[blk] {
+			d, exact := s.eventDelta(ev)
+			if !exact {
+				sh.Coherent = false
+			}
+			out += d
+		}
+		for _, succ := range blk.Succs {
+			if !sh.Reached[succ] {
+				sh.Reached[succ] = true
+				sh.Phase[succ] = out
+				work = append(work, succ)
+			} else if sh.Phase[succ] != out {
+				sh.Coherent = false
+			}
+		}
+	}
+	// Sealing: escapes[b] — control can reach the exit from the start of b
+	// without passing a full barrier (a callee that always crosses one
+	// counts as a barrier).
+	blocksBarrier := make(map[*cfg.Block]bool)
+	for _, blk := range core.graph.Blocks {
+		for _, ev := range core.events[blk] {
+			if s.eventCrosses(ev) {
+				blocksBarrier[blk] = true
+				break
+			}
+		}
+	}
+	escapes := map[*cfg.Block]bool{core.graph.Exit: true}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range core.graph.Blocks {
+			if escapes[blk] || blocksBarrier[blk] {
+				continue
+			}
+			for _, succ := range blk.Succs {
+				if escapes[succ] {
+					escapes[blk] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, blk := range core.graph.Blocks {
+		evs := core.events[blk]
+		suffixEscapes := false
+		for _, succ := range blk.Succs {
+			if escapes[succ] {
+				suffixEscapes = true
+				break
+			}
+		}
+		if len(blk.Succs) == 0 && blk != core.graph.Exit {
+			// Dead-end continuation: conservatively escaping.
+			suffixEscapes = true
+		}
+		for i := len(evs) - 1; i >= 0; i-- {
+			ev := evs[i]
+			if s.eventCrosses(ev) {
+				// The event itself guarantees a barrier for everything
+				// before it; the event's own sealing is what follows it.
+				sh.Sealed[ev.Call] = !suffixEscapes
+				suffixEscapes = false
+				continue
+			}
+			sh.Sealed[ev.Call] = !suffixEscapes
+		}
+	}
+	s.shapes[body] = sh
+	return sh
+}
+
+// eventDelta is the event's full-barrier count, and whether it is exact.
+func (s *Set) eventDelta(ev Event) (int, bool) {
+	if ev.IsOp {
+		if ev.Op.Op == mixedapi.OpBarrier {
+			return 1, true
+		}
+		return 0, true
+	}
+	if cs := s.calleeSummary(ev); cs != nil {
+		return cs.Delta, cs.DeltaExact
+	}
+	return 0, true
+}
+
+// eventCrosses reports whether the event is guaranteed to cross a full
+// barrier: the barrier op itself, or a callee every returning path of which
+// crosses one. The ExitReached guard keeps functions that never return from
+// vacuously claiming "always crosses" — their BarrierFree is false because
+// no path reaches the exit at all, and treating them as sealing would be
+// unsound.
+func (s *Set) eventCrosses(ev Event) bool {
+	if ev.IsOp {
+		return ev.Op.Op == mixedapi.OpBarrier
+	}
+	if cs := s.calleeSummary(ev); cs != nil {
+		return !cs.BarrierFree && cs.ExitReached
+	}
+	return false
+}
+
+// cycleBlocks marks blocks that lie on a control-flow cycle: b is on a
+// cycle iff b is reachable from itself, checked by plain per-block DFS.
+func cycleBlocks(g *cfg.Graph) map[*cfg.Block]bool {
+	out := make(map[*cfg.Block]bool)
+	for _, start := range g.Blocks {
+		seen := make(map[*cfg.Block]bool)
+		stack := append([]*cfg.Block(nil), start.Succs...)
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if b == start {
+				out[start] = true
+				break
+			}
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			stack = append(stack, b.Succs...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,807 @@
+// Package summary computes interprocedural effect summaries over the call
+// graph, and propagates calling context back down it — the machinery that
+// lets every mixedvet analyzer see through module-internal calls instead of
+// stopping at function boundaries.
+//
+// Bottom-up (callees before callers, in the call graph's SCC order), each
+// function unit gets a FuncSummary: its net effect on every constant-named
+// lock (a small transfer lattice: unchanged, leaves read-held, leaves
+// write-held, leaves released, unknown), its barrier structure (exact
+// barrier count entry→exit when static, whether some path crosses no
+// barrier), the accesses reachable from its entry before any barrier (Pre
+// sets) and the accesses that can reach its exit with no barrier after them
+// (Gen sets), plus transitive flags: dynamic-location accesses, sync
+// operations, and opacity (a call the analysis cannot resolve). Recursive
+// SCCs are iterated to a fixpoint from bottom and widened to conservative
+// values if they fail to stabilize quickly.
+//
+// Top-down, three fixpoints push call-site context into callees: the
+// concrete lock state at each call site becomes the callee's entry lock
+// state (disagreeing call sites widen to Unknown, which silences rather
+// than guesses), the pending phase accesses at the call become the callee's
+// entry phase sets, and the process-role guard enclosing the call becomes
+// the callee's role context. Functions whose call sites are not exhaustive
+// — exported roots, address-taken functions, goroutine bodies — keep an
+// empty entry, exactly the old intraprocedural assumption.
+//
+// Everything is memoized program-wide via framework.Program.Fact, so the
+// whole suite shares one computation per load.
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+
+	"mixedmem/internal/analysis/callgraph"
+	"mixedmem/internal/analysis/cfg"
+	"mixedmem/internal/analysis/framework"
+	"mixedmem/internal/analysis/mixedapi"
+)
+
+// Mode is a lock's abstract state at a program point. It lives here (rather
+// than in lockdiscipline, which aliases it) so the summary computation does
+// not import the analyzers it serves.
+type Mode uint8
+
+// Lock states; the zero value means not held.
+const (
+	Unlocked Mode = iota
+	ReadHeld
+	WriteHeld
+	// Unknown means paths or call sites disagree; diagnostics that would
+	// depend on the mode are suppressed.
+	Unknown
+)
+
+// LockState maps constant lock names to modes; absent means Unlocked.
+type LockState map[string]Mode
+
+// Clone copies the state.
+func (s LockState) Clone() LockState {
+	out := make(LockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports map equality.
+func (s LockState) Equal(o LockState) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if o[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeLocks joins two states: agreeing modes survive, disagreements become
+// Unknown.
+func MergeLocks(a, b LockState) LockState {
+	out := make(LockState)
+	for k, v := range a {
+		if b[k] == v {
+			if v != Unlocked {
+				out[k] = v
+			}
+		} else {
+			out[k] = Unknown
+		}
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok && v != Unlocked {
+			out[k] = Unknown
+		}
+	}
+	return out
+}
+
+// ApplyLockOp is the per-operation concrete transfer function.
+func ApplyLockOp(s LockState, c mixedapi.Call) {
+	if !c.Const {
+		return
+	}
+	switch c.Op {
+	case mixedapi.OpRLock:
+		s[c.Name] = ReadHeld
+	case mixedapi.OpWLock:
+		s[c.Name] = WriteHeld
+	case mixedapi.OpRUnlock, mixedapi.OpWUnlock:
+		delete(s, c.Name)
+	}
+}
+
+// Effect is a whole call's net effect on one lock — the summary transfer
+// lattice.
+type Effect uint8
+
+// Lock effects; the zero value means the call leaves the lock as it found
+// it.
+const (
+	EffNone Effect = iota
+	// EffRead: the call returns with the lock read-held.
+	EffRead
+	// EffWrite: the call returns with the lock write-held.
+	EffWrite
+	// EffUnlock: the call returns with the lock released.
+	EffUnlock
+	// EffUnknown: the call's paths disagree.
+	EffUnknown
+)
+
+// ApplyEffect composes one lock effect onto a concrete state.
+func ApplyEffect(s LockState, name string, e Effect) {
+	switch e {
+	case EffRead:
+		s[name] = ReadHeld
+	case EffWrite:
+		s[name] = WriteHeld
+	case EffUnlock:
+		delete(s, name)
+	case EffUnknown:
+		s[name] = Unknown
+	}
+}
+
+// Event is one recognized operation or one ordinary call inside a block, in
+// source order — the unified stream the interprocedural dataflows walk.
+type Event struct {
+	// IsOp distinguishes recognized model operations from ordinary calls.
+	IsOp bool
+	// Op is the classified operation (valid when IsOp).
+	Op mixedapi.Call
+	// Call is the call expression (always set).
+	Call *ast.CallExpr
+	// Callee is the static target (non-IsOp events; nil when unresolved).
+	Callee *callgraph.Node
+	// Opaque marks an unresolved, non-transparent call: unknown code.
+	Opaque bool
+	// Spawned marks a `go` call: the callee runs concurrently, so its
+	// effects do not apply at this program point.
+	Spawned bool
+}
+
+// FuncSummary is one function unit's interprocedural effect summary.
+type FuncSummary struct {
+	// LockExit is the net effect on each constant lock, entry→exit.
+	LockExit map[string]Effect
+	// PreW and PreR are the constant locations written/read (reads include
+	// awaits) on some path from entry before any full barrier, transitively
+	// through calls; values are representative sites.
+	PreW, PreR map[string]token.Pos
+	// GenW and GenR are the constant locations whose write/read can reach
+	// the function's exit with no full barrier after it.
+	GenW, GenR map[string]token.Pos
+	// AllW and AllR are every constant location the function or its
+	// (non-spawned and spawned) callees write/read anywhere.
+	AllW, AllR map[string]token.Pos
+	// BarrierFree: some entry→exit path crosses no full barrier.
+	BarrierFree bool
+	// Delta is the entry→exit full-barrier count; DeltaExact is false when
+	// paths disagree (a barrier in a loop or on one branch arm) or a callee
+	// is inexact, making the caller's phase structure ambiguous too.
+	Delta      int
+	DeltaExact bool
+	// ExitReached: some path reaches the function's exit (false only for
+	// functions that provably never return).
+	ExitReached bool
+	// SyncOps: an await or lock operation appears here or in a callee.
+	SyncOps bool
+	// DynamicWrite / DynamicRead: a write/read with a non-constant
+	// location appears here or in a callee.
+	DynamicWrite, DynamicRead bool
+	// Opaque: the function contains a call no analysis can see through —
+	// unresolved targets, goroutine spawns, or over-deep recursion.
+	Opaque bool
+}
+
+func newSummary() *FuncSummary {
+	return &FuncSummary{
+		LockExit: map[string]Effect{},
+		PreW:     map[string]token.Pos{}, PreR: map[string]token.Pos{},
+		GenW: map[string]token.Pos{}, GenR: map[string]token.Pos{},
+		AllW: map[string]token.Pos{}, AllR: map[string]token.Pos{},
+		DeltaExact: true,
+	}
+}
+
+func (a *FuncSummary) equal(b *FuncSummary) bool {
+	if a.BarrierFree != b.BarrierFree || a.Delta != b.Delta || a.DeltaExact != b.DeltaExact ||
+		a.ExitReached != b.ExitReached || a.SyncOps != b.SyncOps ||
+		a.DynamicWrite != b.DynamicWrite || a.DynamicRead != b.DynamicRead ||
+		a.Opaque != b.Opaque {
+		return false
+	}
+	if len(a.LockExit) != len(b.LockExit) {
+		return false
+	}
+	for k, v := range a.LockExit {
+		if b.LockExit[k] != v {
+			return false
+		}
+	}
+	for _, pair := range [][2]map[string]token.Pos{
+		{a.PreW, b.PreW}, {a.PreR, b.PreR}, {a.GenW, b.GenW},
+		{a.GenR, b.GenR}, {a.AllW, b.AllW}, {a.AllR, b.AllR},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			return false
+		}
+		for k := range pair[0] {
+			if _, ok := pair[1][k]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PhaseSets is the pending-accesses state of the phase discipline: per
+// constant location, a representative site since the last full barrier on
+// some path. May-information: union joins, cleared at barriers.
+type PhaseSets struct {
+	Written, Read map[string]token.Pos
+}
+
+// NewPhaseSets returns an empty state.
+func NewPhaseSets() *PhaseSets {
+	return &PhaseSets{Written: map[string]token.Pos{}, Read: map[string]token.Pos{}}
+}
+
+// Clone copies the state.
+func (s *PhaseSets) Clone() *PhaseSets {
+	out := NewPhaseSets()
+	for k, v := range s.Written {
+		out.Written[k] = v
+	}
+	for k, v := range s.Read {
+		out.Read[k] = v
+	}
+	return out
+}
+
+// Join unions o into s and reports whether s changed.
+func (s *PhaseSets) Join(o *PhaseSets) bool {
+	changed := false
+	for k, v := range o.Written {
+		if _, ok := s.Written[k]; !ok {
+			s.Written[k] = v
+			changed = true
+		}
+	}
+	for k, v := range o.Read {
+		if _, ok := s.Read[k]; !ok {
+			s.Read[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Shape is the per-unit static structure the advice engine walks: the CFG
+// with its event streams, the barrier-phase numbering (callee deltas
+// included), barrier sealing, loop membership, and role guards.
+type Shape struct {
+	Graph  *cfg.Graph
+	Events map[*cfg.Block][]Event
+	// Phase is the full-barrier count on entry to each reached block;
+	// Coherent is false when paths (or an inexact callee) disagree.
+	Phase    map[*cfg.Block]int
+	Reached  map[*cfg.Block]bool
+	Coherent bool
+	// Sealed: every path from the event to the unit's exit crosses a full
+	// barrier (a call that always crosses one counts).
+	Sealed map[*ast.CallExpr]bool
+	// Loops marks blocks on a control-flow cycle.
+	Loops map[*cfg.Block]bool
+	Roles mixedapi.RoleMap
+}
+
+type roleCtx struct {
+	role  int
+	known bool
+	set   bool
+}
+
+// Set is the program-wide summary database.
+type Set struct {
+	Prog  *framework.Program
+	Graph *callgraph.Graph
+
+	cores  map[*ast.BlockStmt]*unitCore
+	sums   map[*ast.BlockStmt]*FuncSummary
+	shapes map[*ast.BlockStmt]*Shape
+	flows  map[*ast.BlockStmt]*LockFlow
+
+	lockEntry  map[*ast.BlockStmt]LockState
+	phaseEntry map[*ast.BlockStmt]*PhaseSets
+	roleEntry  map[*ast.BlockStmt]roleCtx
+}
+
+// unitCore is the context-independent structure of one unit.
+type unitCore struct {
+	node   *callgraph.Node
+	graph  *cfg.Graph
+	events map[*cfg.Block][]Event
+	// transferBefore is the net lock effect entry→(just before event), per
+	// event expression — how descended advice contexts compose lock states.
+	transferBefore map[*ast.CallExpr]map[string]Effect
+}
+
+const factKey = "mixedvet.summary"
+
+// Of returns the program's summary set, computing it on first use.
+func Of(prog *framework.Program) *Set {
+	return prog.Fact(factKey, func() any { return build(prog) }).(*Set)
+}
+
+func build(prog *framework.Program) *Set {
+	s := &Set{
+		Prog:       prog,
+		Graph:      callgraph.Of(prog),
+		cores:      map[*ast.BlockStmt]*unitCore{},
+		sums:       map[*ast.BlockStmt]*FuncSummary{},
+		shapes:     map[*ast.BlockStmt]*Shape{},
+		flows:      map[*ast.BlockStmt]*LockFlow{},
+		lockEntry:  map[*ast.BlockStmt]LockState{},
+		phaseEntry: map[*ast.BlockStmt]*PhaseSets{},
+		roleEntry:  map[*ast.BlockStmt]roleCtx{},
+	}
+	for _, n := range s.Graph.Nodes {
+		s.cores[n.Body] = s.buildCore(n)
+	}
+	// Bottom-up summaries, callee SCCs first; recursive SCCs iterate from
+	// bottom and widen if they fail to stabilize.
+	const sccCap = 8
+	for _, scc := range s.Graph.SCCs {
+		if len(scc) == 1 && !scc[0].Recursive {
+			s.sums[scc[0].Body] = s.compute(scc[0])
+			continue
+		}
+		stable := false
+		for iter := 0; iter < sccCap && !stable; iter++ {
+			stable = true
+			for _, n := range scc {
+				next := s.compute(n)
+				if prev := s.sums[n.Body]; prev == nil || !prev.equal(next) {
+					stable = false
+				}
+				s.sums[n.Body] = next
+			}
+		}
+		if !stable {
+			for _, n := range scc {
+				widen(s.sums[n.Body])
+			}
+		} else {
+			// Even a stabilized recursion keeps a bounded static phase
+			// structure only if its barrier delta is zero; anything else
+			// repeats per call depth, which is not a static quantity.
+			for _, n := range scc {
+				sum := s.sums[n.Body]
+				if sum.Delta != 0 {
+					sum.DeltaExact = false
+				}
+			}
+		}
+	}
+	s.fixpointLockEntries()
+	s.fixpointPhaseEntries()
+	s.fixpointRoleEntries()
+	return s
+}
+
+// widen makes a non-converged recursive summary conservative: its claims
+// are voided (Opaque, inexact delta) and its sealing power removed
+// (BarrierFree true), while its access sets stay as accumulated — an
+// under-approximation that can only miss diagnostics, never fabricate
+// claims, because Opaque vetoes every static claim about its locations.
+func widen(sum *FuncSummary) {
+	sum.Opaque = true
+	sum.DeltaExact = false
+	sum.BarrierFree = true
+	sum.ExitReached = true
+	for k := range sum.LockExit {
+		sum.LockExit[k] = EffUnknown
+	}
+}
+
+// Node returns the call-graph node of a unit body, or nil.
+func (s *Set) Node(body *ast.BlockStmt) *callgraph.Node {
+	if c := s.cores[body]; c != nil {
+		return c.node
+	}
+	return nil
+}
+
+// Summary returns a unit's effect summary, or nil for unknown bodies.
+func (s *Set) Summary(body *ast.BlockStmt) *FuncSummary { return s.sums[body] }
+
+// LockEntry returns the lock state a unit is entered with, merged over its
+// call sites; empty for roots and unknown bodies.
+func (s *Set) LockEntry(body *ast.BlockStmt) LockState {
+	if st, ok := s.lockEntry[body]; ok {
+		return st
+	}
+	return LockState{}
+}
+
+// PhaseEntry returns the pending phase accesses a unit is entered with,
+// unioned over its call sites; empty for roots and unknown bodies.
+func (s *Set) PhaseEntry(body *ast.BlockStmt) *PhaseSets {
+	if st, ok := s.phaseEntry[body]; ok {
+		return st
+	}
+	return NewPhaseSets()
+}
+
+// RoleEntry returns the constant process role every call site of the unit
+// is guarded to, if they all agree.
+func (s *Set) RoleEntry(body *ast.BlockStmt) (int, bool) {
+	rc := s.roleEntry[body]
+	return rc.role, rc.set && rc.known
+}
+
+// buildCore constructs a unit's CFG and per-block event streams.
+func (s *Set) buildCore(n *callgraph.Node) *unitCore {
+	info := n.Pkg.Info
+	core := &unitCore{node: n, graph: cfg.New(n.Body)}
+	core.events = make(map[*cfg.Block][]Event)
+	// Calls spawned with `go` anywhere in this unit.
+	goCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(n.Body, func(c ast.Node) bool {
+		if fl, ok := c.(*ast.FuncLit); ok && fl.Body != n.Body {
+			return false
+		}
+		if g, ok := c.(*ast.GoStmt); ok {
+			goCalls[g.Call] = true
+		}
+		return true
+	})
+	for _, blk := range core.graph.Blocks {
+		var evs []Event
+		for _, node := range blk.Stmts {
+			ast.Inspect(node, func(c ast.Node) bool {
+				switch c := c.(type) {
+				case *ast.FuncLit:
+					return false // separate unit
+				case *ast.CallExpr:
+					if op, ok := mixedapi.Classify(info, c); ok {
+						evs = append(evs, Event{IsOp: true, Op: op, Call: c})
+						return true
+					}
+					if mixedapi.TransparentCall(info, c) {
+						return true
+					}
+					ev := Event{Call: c, Spawned: goCalls[c]}
+					ev.Callee = s.Graph.Callee(info, c)
+					ev.Opaque = ev.Callee == nil
+					evs = append(evs, ev)
+				}
+				return true
+			})
+		}
+		core.events[blk] = evs
+	}
+	return core
+}
+
+// calleeSummary returns the summary a caller should apply for a call event,
+// or nil when none applies at the call site (unresolved, spawned, or not
+// yet computed mid-SCC — all treated as no-transfer).
+func (s *Set) calleeSummary(ev Event) *FuncSummary {
+	if ev.IsOp || ev.Callee == nil || ev.Spawned {
+		return nil
+	}
+	return s.sums[ev.Callee.Body]
+}
+
+// compute builds one unit's summary from its events and its callees'
+// summaries.
+func (s *Set) compute(n *callgraph.Node) *FuncSummary {
+	core := s.cores[n.Body]
+	sum := newSummary()
+
+	// Linear accumulation: access sets and transitive flags.
+	for _, blk := range core.graph.Blocks {
+		for _, ev := range core.events[blk] {
+			if ev.IsOp {
+				c := ev.Op
+				switch {
+				case c.Op == mixedapi.OpWrite && c.Const:
+					addPos(sum.AllW, c.Name, c.Pos)
+				case c.Op == mixedapi.OpWrite:
+					sum.DynamicWrite = true
+				case c.Op.IsRead() && c.Const:
+					addPos(sum.AllR, c.Name, c.Pos)
+				case c.Op.IsRead():
+					sum.DynamicRead = true
+				}
+				switch c.Op {
+				case mixedapi.OpAwaitCausal, mixedapi.OpAwaitPRAM,
+					mixedapi.OpRLock, mixedapi.OpRUnlock,
+					mixedapi.OpWLock, mixedapi.OpWUnlock:
+					sum.SyncOps = true
+				}
+				continue
+			}
+			if ev.Opaque {
+				sum.Opaque = true
+			}
+			if ev.Spawned {
+				// Concurrent activity launched mid-phase voids the caller's
+				// static claims, like an opaque call; the spawned unit is
+				// analyzed as a root of its own.
+				sum.Opaque = true
+			}
+			// Spawned callees contribute their program-global flags and
+			// access sets (the code does run) but no local transfer; a nil
+			// summary is the mid-SCC bottom value, treated as no-effect
+			// until the SCC iteration stabilizes.
+			var cs *FuncSummary
+			if ev.Callee != nil {
+				cs = s.sums[ev.Callee.Body]
+			}
+			if cs == nil {
+				continue
+			}
+			for k, v := range cs.AllW {
+				addPos(sum.AllW, k, v)
+			}
+			for k, v := range cs.AllR {
+				addPos(sum.AllR, k, v)
+			}
+			sum.SyncOps = sum.SyncOps || cs.SyncOps
+			sum.DynamicWrite = sum.DynamicWrite || cs.DynamicWrite
+			sum.DynamicRead = sum.DynamicRead || cs.DynamicRead
+			if !ev.Spawned {
+				sum.Opaque = sum.Opaque || cs.Opaque
+			}
+		}
+	}
+
+	// Lock transfer flow: net effect per lock, entry→exit, plus the
+	// before-event relative effects for descended advice contexts.
+	core.transferBefore = map[*ast.CallExpr]map[string]Effect{}
+	tin := map[*cfg.Block]map[string]Effect{core.graph.Entry: {}}
+	work := []*cfg.Block{core.graph.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := cloneEffects(tin[blk])
+		for _, ev := range core.events[blk] {
+			s.applyLockEvent(out, ev)
+		}
+		for _, succ := range blk.Succs {
+			cur, reached := tin[succ]
+			if !reached {
+				tin[succ] = cloneEffects(out)
+				work = append(work, succ)
+			} else if next := mergeEffects(cur, out); !effectsEqual(next, cur) {
+				tin[succ] = next
+				work = append(work, succ)
+			}
+		}
+	}
+	for _, blk := range core.graph.Blocks {
+		st, reached := tin[blk]
+		if !reached {
+			continue
+		}
+		st = cloneEffects(st)
+		for _, ev := range core.events[blk] {
+			core.transferBefore[ev.Call] = cloneEffects(st)
+			s.applyLockEvent(st, ev)
+		}
+	}
+	if exit, ok := tin[core.graph.Exit]; ok {
+		sum.LockExit = exit
+	}
+
+	// Phase flow: pending access sets with barrier-free reachability and
+	// the entry→exit barrier delta.
+	type pstate struct {
+		sets  *PhaseSets
+		bfree bool
+		delta int
+	}
+	pin := map[*cfg.Block]*pstate{core.graph.Entry: {sets: NewPhaseSets(), bfree: true}}
+	coherent := true
+	apply := func(st *pstate, ev Event) {
+		if ev.IsOp {
+			c := ev.Op
+			switch {
+			case c.Op == mixedapi.OpBarrier:
+				st.sets = NewPhaseSets()
+				st.bfree = false
+				st.delta++
+			case c.Op == mixedapi.OpWrite && c.Const:
+				if st.bfree {
+					addPos(sum.PreW, c.Name, c.Pos)
+				}
+				addPos(st.sets.Written, c.Name, c.Pos)
+			case c.Op.IsRead() && c.Const:
+				if st.bfree {
+					addPos(sum.PreR, c.Name, c.Pos)
+				}
+				addPos(st.sets.Read, c.Name, c.Pos)
+			}
+			return
+		}
+		cs := s.calleeSummary(ev)
+		if cs == nil {
+			return
+		}
+		if st.bfree {
+			for k, v := range cs.PreW {
+				addPos(sum.PreW, k, v)
+			}
+			for k, v := range cs.PreR {
+				addPos(sum.PreR, k, v)
+			}
+		}
+		if cs.BarrierFree {
+			for k, v := range cs.GenW {
+				addPos(st.sets.Written, k, v)
+			}
+			for k, v := range cs.GenR {
+				addPos(st.sets.Read, k, v)
+			}
+		} else {
+			next := NewPhaseSets()
+			for k, v := range cs.GenW {
+				next.Written[k] = v
+			}
+			for k, v := range cs.GenR {
+				next.Read[k] = v
+			}
+			st.sets = next
+		}
+		st.bfree = st.bfree && cs.BarrierFree
+		if cs.DeltaExact {
+			st.delta += cs.Delta
+		} else {
+			coherent = false
+		}
+	}
+	work = []*cfg.Block{core.graph.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := pin[blk]
+		out := &pstate{sets: in.sets.Clone(), bfree: in.bfree, delta: in.delta}
+		for _, ev := range core.events[blk] {
+			apply(out, ev)
+		}
+		for _, succ := range blk.Succs {
+			cur, reached := pin[succ]
+			if !reached {
+				pin[succ] = &pstate{sets: out.sets.Clone(), bfree: out.bfree, delta: out.delta}
+				work = append(work, succ)
+				continue
+			}
+			changed := cur.sets.Join(out.sets)
+			if out.bfree && !cur.bfree {
+				cur.bfree = true
+				changed = true
+			}
+			if cur.delta != out.delta {
+				coherent = false
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+	if exit, ok := pin[core.graph.Exit]; ok {
+		sum.GenW, sum.GenR = exit.sets.Written, exit.sets.Read
+		sum.BarrierFree = exit.bfree
+		sum.Delta = exit.delta
+		sum.DeltaExact = coherent
+		sum.ExitReached = true
+	} else {
+		// Exit unreachable (the function cannot return): no transfer flows
+		// past a call to it, so the neutral summary is accurate for callers.
+		sum.DeltaExact = coherent
+	}
+	return sum
+}
+
+func (s *Set) applyLockEvent(st map[string]Effect, ev Event) {
+	if ev.IsOp {
+		c := ev.Op
+		if !c.Const {
+			return
+		}
+		switch c.Op {
+		case mixedapi.OpRLock:
+			st[c.Name] = EffRead
+		case mixedapi.OpWLock:
+			st[c.Name] = EffWrite
+		case mixedapi.OpRUnlock, mixedapi.OpWUnlock:
+			st[c.Name] = EffUnlock
+		}
+		return
+	}
+	if cs := s.calleeSummary(ev); cs != nil {
+		for k, e := range cs.LockExit {
+			if e != EffNone {
+				st[k] = e
+			}
+		}
+	}
+}
+
+func cloneEffects(m map[string]Effect) map[string]Effect {
+	out := make(map[string]Effect, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func effectsEqual(a, b map[string]Effect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func mergeEffects(a, b map[string]Effect) map[string]Effect {
+	out := make(map[string]Effect)
+	for k, v := range a {
+		if b[k] == v {
+			if v != EffNone {
+				out[k] = v
+			}
+		} else {
+			out[k] = EffUnknown
+		}
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok && v != EffNone {
+			out[k] = EffUnknown
+		}
+	}
+	return out
+}
+
+func addPos(m map[string]token.Pos, k string, pos token.Pos) {
+	if _, ok := m[k]; !ok {
+		m[k] = pos
+	}
+}
+
+// UnitGraph returns the unit's control-flow graph, or nil.
+func (s *Set) UnitGraph(body *ast.BlockStmt) *cfg.Graph {
+	if c := s.cores[body]; c != nil {
+		return c.graph
+	}
+	return nil
+}
+
+// UnitEvents returns the unit's event stream for one block.
+func (s *Set) UnitEvents(body *ast.BlockStmt, blk *cfg.Block) []Event {
+	if c := s.cores[body]; c != nil {
+		return c.events[blk]
+	}
+	return nil
+}
+
+// TransferBefore returns the unit's net lock effect from its entry to just
+// before the given event expression — how a descended advice context maps
+// its caller-side lock state to the site.
+func (s *Set) TransferBefore(body *ast.BlockStmt, call *ast.CallExpr) map[string]Effect {
+	if c := s.cores[body]; c != nil {
+		return c.transferBefore[call]
+	}
+	return nil
+}

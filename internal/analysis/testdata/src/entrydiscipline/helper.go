@@ -1,0 +1,47 @@
+// Helper-factored entry regions: the lock state at a write now includes
+// effects of helper calls on the path and the states of the enclosing
+// function's call sites, so entering the critical section in a helper (or
+// in the caller, with the write in a helper) satisfies the discipline.
+package entryfix
+
+import "mixedmem/internal/core"
+
+// gridReader associates "grid" with "grid-lock" for the whole package.
+func gridReader(p *core.Proc) {
+	p.RLock("grid-lock")
+	_ = p.ReadPRAM("grid")
+	p.RUnlock("grid-lock")
+}
+
+// enterGrid / exitGrid bracket the entry region on the caller's behalf.
+func enterGrid(p *core.Proc) { p.WLock("grid-lock") }
+func exitGrid(p *core.Proc)  { p.WUnlock("grid-lock") }
+
+func updateViaRegionHelpers(p *core.Proc) {
+	enterGrid(p)
+	p.Write("grid", 9) // inside the section: the helper's lock effect reaches here
+	exitGrid(p)
+}
+
+// gridUpdater holds the lock across the call; the helper's write is inside
+// the critical section at every call site, so it is disciplined — formerly
+// a false positive of the intraprocedural checker.
+func gridUpdater(p *core.Proc) {
+	p.WLock("grid-lock")
+	writeGrid(p)
+	p.WUnlock("grid-lock")
+}
+
+func writeGrid(p *core.Proc) {
+	p.Write("grid", 7)
+}
+
+// sloppyUpdater reaches its helper without the lock: the undisciplined
+// write is reported inside the helper, where it happens.
+func sloppyUpdater(p *core.Proc) {
+	writeGridSloppy(p)
+}
+
+func writeGridSloppy(p *core.Proc) {
+	p.Write("grid", 8) // want `write to "grid" outside the "grid-lock" write-lock critical section`
+}

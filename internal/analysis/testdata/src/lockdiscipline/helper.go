@@ -1,0 +1,44 @@
+// Helper-factored locking: lock effects cross call boundaries through the
+// summary package, so a helper may acquire or release on its caller's
+// behalf and the pairing is judged at the root.
+package lockfix
+
+import "mixedmem/internal/core"
+
+// acquireState grabs the write lock for its caller. Holding at its own
+// exit is not a leak — it is not a root, and what matters is whether its
+// callers' paths balance the effect.
+func acquireState(p *core.Proc) {
+	p.WLock("state")
+}
+
+func releaseState(p *core.Proc) {
+	p.WUnlock("state")
+}
+
+// helperBalanced releases the helper-acquired lock before returning: clean.
+func helperBalanced(p *core.Proc) {
+	acquireState(p)
+	p.Write("st", 1)
+	releaseState(p)
+}
+
+// helperLeaked never releases it: the leak surfaces at the root, where the
+// execution actually ends with the lock held.
+func helperLeaked(p *core.Proc) {
+	acquireState(p)
+	p.Write("st", 2)
+} // want `lock "state" still held on a return path \(acquired mode write\)`
+
+// The caller's read lock flows into the helper: the write under it is
+// reported inside the helper, at the write itself. This pair was invisible
+// to the intraprocedural checker.
+func readSection(p *core.Proc) {
+	p.RLock("rmu")
+	writeInReadSection(p)
+	p.RUnlock("rmu")
+}
+
+func writeInReadSection(p *core.Proc) {
+	p.Write("shr", 1) // want `write under read lock "rmu"`
+}

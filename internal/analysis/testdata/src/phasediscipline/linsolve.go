@@ -1,7 +1,11 @@
 // linsolve.go is examples/linsolve with a seeded bug: the mutated update
 // step writes row "x1" twice between barriers, so the program leaves
 // Corollary 2's class and every ReadPRAM of that row must be flagged —
-// and only that row.
+// and only that row. The second write hides inside a helper, so only the
+// interprocedural analysis (callee effect summaries) sees the pair: the
+// caller's pending write of "x1" meets the helper's barrier-free entry
+// write at the call site. This exact shape was a documented false
+// negative of the intraprocedural checker.
 package phasefix
 
 import "mixedmem/internal/core"
@@ -13,7 +17,7 @@ func jacobiMutated(p *core.Proc, iters int) {
 			core.WriteFloat(p, "x0", 0.5)
 		case 1:
 			core.WriteFloat(p, "x1", 0.25)
-			core.WriteFloat(p, "x1", 0.125) // seeded bug: double write, no barrier between
+			refineRow1(p) // seeded bug: helper writes "x1" again, no barrier between
 		case 2:
 			core.WriteFloat(p, "x2", 0.75)
 		}
@@ -32,10 +36,18 @@ func jacobiMutated(p *core.Proc, iters int) {
 	}
 }
 
-// jacobiReport reads the rows in a separate function: the phase condition
-// is checked per function unit, so the violation inside jacobiMutated does
-// not poison reads elsewhere (a documented limitation of the intraprocedural
-// scope — the dynamic checker covers the whole execution).
+// refineRow1 is the helper hiding the second write. Its own phase state is
+// also entered with the caller's pending write (the phase-entry fixpoint),
+// so a PRAM read here of the conflicting row would be flagged too; it has
+// none, so the helper itself stays silent.
+func refineRow1(p *core.Proc) {
+	core.WriteFloat(p, "x1", 0.125)
+}
+
+// jacobiReport reads the rows from a separate root that never sees the
+// conflicting phase: evidence is per function unit, entered only with the
+// pending accesses of its actual call sites, so the violation inside
+// jacobiMutated does not poison reads here.
 func jacobiReport(p *core.Proc) {
 	p.Barrier()
 	_ = core.ReadPRAMFloat(p, "x0")

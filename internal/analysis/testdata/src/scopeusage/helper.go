@@ -1,0 +1,42 @@
+// Helper-factored role guards: a read with no local guard still has a
+// known role when every call site of its function is guarded to the same
+// constant role (the summary package's role-entry fixpoint).
+package scopefix
+
+import "mixedmem/internal/core"
+
+func stageRunner(p *core.Proc) {
+	if p.ID() == 2 {
+		readStageTwo(p)
+	}
+	if p.ID() == 3 {
+		readStageOne(p)
+	}
+}
+
+// readStageTwo runs only as process 2 (its sole call site is guarded), and
+// 2 is registered for "stage2": clean.
+func readStageTwo(p *core.Proc) {
+	_ = p.ReadCausal("stage2")
+}
+
+// readStageOne runs only as process 3, which is not a registered reader of
+// "stage1": flagged inside the helper, where the read is.
+func readStageOne(p *core.Proc) {
+	_ = p.ReadPRAM("stage1") // want `process 3 reads "stage1" but is not in the ScopeMap's Readers`
+}
+
+// readMixed is called under two different roles: the merged entry role is
+// unknown, so the analyzer stays silent rather than guess.
+func mixedRunner(p *core.Proc) {
+	if p.ID() == 1 {
+		readMixed(p)
+	}
+	if p.ID() == 2 {
+		readMixed(p)
+	}
+}
+
+func readMixed(p *core.Proc) {
+	_ = p.ReadPRAM("stage1") // no constant role: not checked
+}

@@ -226,12 +226,15 @@ func RunPRAMInsufficiency() (InsufficiencyResult, error) {
 				p.Await("computed", 1)
 				p.Write("go", 1)
 			case 2:
+				// This benchmark's whole point is reading the same locations
+				// under both labels to compare their costs, so the
+				// labelconsistency rule is suspended here on purpose.
 				if causal {
-					p.Await("go", 1)
-					got = core.ReadCausalFloat(p, "est")
+					p.Await("go", 1)                     //mixedvet:ignore
+					got = core.ReadCausalFloat(p, "est") //mixedvet:ignore
 				} else {
-					p.AwaitPRAM("go", 1)
-					got = core.ReadPRAMFloat(p, "est")
+					p.AwaitPRAM("go", 1)               //mixedvet:ignore
+					got = core.ReadPRAMFloat(p, "est") //mixedvet:ignore
 				}
 			}
 		})

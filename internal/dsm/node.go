@@ -1066,7 +1066,7 @@ func (n *Node) broadcastUpdate(op UpdateOp, loc string, value int64) {
 		n.writeLog = append(n.writeLog, WriteRecord{Loc: loc, Seq: seq})
 	}
 	if n.obs != nil {
-		n.obs.RecordLoc(obs.EvWriteIssue, uint8(label), 0, loc, seq, uint64(n.n-1), 0)
+		n.obs.RecordLoc(obs.EvWriteIssue, uint8(label), 0, loc, seq, uint64(n.n-1), uint64(op))
 	}
 	// Send while holding the clock lock so per-sender sequence numbers hit
 	// the fabric in order even under concurrent writers; fabric sends never

@@ -27,7 +27,9 @@ const (
 	// EvNone marks an empty or torn ring slot; never exported.
 	EvNone EventType = iota
 	// EvWriteIssue: a local write was assigned its sequence number.
-	// Loc, Seq, Label; A = destination count.
+	// Loc, Seq, Label; A = destination count, B = the dsm.UpdateOp (OpSet
+	// for plain writes, the Add variants for commutative counter updates;
+	// 0 in traces recorded before the op was carried).
 	EvWriteIssue
 	// EvEnqueue: an update entered the outbox pending batch for Peer.
 	// Peer, Seq, Loc; A = pending updates in that batch after the add.

@@ -1,0 +1,62 @@
+package tracecheck
+
+import (
+	"testing"
+
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
+	"mixedmem/internal/obs"
+)
+
+// FuzzCheckTrace drives the full mixedtrace -check pipeline — decode an
+// arbitrary byte stream as a trace, then replay whatever snapshots come out
+// through the discipline checker — with the invariant that it never
+// panics: hostile Loc indices, absurd counts, and truncated intern tables
+// must all be absorbed. Seeds cover a clean phased run, every violation
+// kind, and a wrapped ring.
+func FuzzCheckTrace(f *testing.F) {
+	clean := snap("run", 0, []string{"x", "m"}, append(append([]obs.Event{
+		write(0, history.LabelPRAM, dsm.OpSet, 1),
+	}, barrier(0)...), []obs.Event{
+		{Type: obs.EvLockAcquire, Loc: 1, B: 1},
+		write(0, history.LabelPRAM, dsm.OpSet, 2),
+		{Type: obs.EvLockRelease, Loc: 1, B: 1},
+		{Type: obs.EvAwaitBegin, Loc: 0, A: 2},
+		{Type: obs.EvAwaitEnd, Loc: 0, Seq: 2},
+	}...))
+	seeded := snap("bad", 1, []string{"x", "m"}, append(barrier(0), []obs.Event{
+		write(0, history.LabelSlow, dsm.OpSet, 1),
+		write(0, history.LabelSlow, dsm.OpSet, 2),
+		{Type: obs.EvLockAcquire, Loc: 1, B: 0},
+		write(0, history.LabelNone, dsm.OpSet, 3),
+		{Type: obs.EvLockRelease, Loc: 1, B: 1},
+		{Type: obs.EvAwaitBegin, Loc: 0, A: 9},
+	}...))
+	wrapped := snap("wrap", 2, []string{"m"}, []obs.Event{
+		{Type: obs.EvLockRelease, Loc: 0, B: 1},
+	})
+	wrapped.Dropped = 5
+	hostile := snap("evil", 3, nil, []obs.Event{
+		{Type: obs.EvLockAcquire, Loc: 1 << 20, B: 1},
+		{Type: obs.EvWriteIssue, Loc: obs.NoLoc, Label: 250, B: ^uint64(0)},
+		{Type: obs.EvBarrierExit, Loc: obs.NoLoc, Seq: ^uint64(0)},
+		{Type: obs.EvWriteIssue, Loc: obs.NoLoc, Label: uint8(history.LabelPRAM), B: 1},
+	})
+	f.Add(obs.EncodeTrace([]*obs.Snapshot{clean, seeded}))
+	f.Add(obs.EncodeTrace([]*obs.Snapshot{wrapped, hostile}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snaps, err := obs.DecodeTrace(data)
+		if err != nil {
+			return // rejected cleanly: that is the codec's contract
+		}
+		res := Check(snaps)
+		if res == nil {
+			t.Fatal("Check returned nil")
+		}
+		if len(res.Violations) > 0 && res.NodesChecked == 0 {
+			t.Fatalf("violations from zero checked nodes: %+v", res)
+		}
+	})
+}

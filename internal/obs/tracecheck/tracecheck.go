@@ -1,0 +1,261 @@
+// Package tracecheck replays a recorded event trace (obs.Snapshot) and
+// verifies the paper's program disciplines on the execution that actually
+// happened — the dynamic counterpart of the static mixedvet analyzers, with
+// the same rules so the two can be cross-validated on one program:
+//
+//   - lock pairing (lockdiscipline): per node and lock name, an acquire
+//     while held, a release while free, a release in the wrong mode, and a
+//     lock still held when the ring was snapshotted are all violations;
+//   - writes under read locks (lockdiscipline): a plain write (OpSet)
+//     issued while the node holds any lock in read mode breaks the
+//     read-side critical section;
+//   - barrier-phase write placement (phasediscipline, Corollary 2): in a
+//     run that uses the global barrier, a PRAM- or Slow-labeled location
+//     written twice by plain writes in one barrier phase — by any
+//     combination of nodes — leaves the PRAM-justified program class.
+//     Counter updates (Add/AddFloat) commute and are exempt (Section 5.3);
+//     Causal/SC-labeled writes carry their own ordering and need no phase
+//     placement; subset barriers (BarrierGroup) are not phase boundaries.
+//   - await matching (scopeusage): an Await that began and never matched by
+//     snapshot time is the runtime signature of scoped replication that
+//     never delivers to the reader (or a hung producer).
+//
+// A node whose ring wrapped (Dropped > 0) is skipped entirely: with records
+// missing, pairing and phase placement cannot be judged soundly, and a
+// half-checked node would report phantom violations.
+package tracecheck
+
+import (
+	"fmt"
+	"sort"
+
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
+	"mixedmem/internal/obs"
+)
+
+// Violation kinds.
+const (
+	KindLockPairing        = "lock-pairing"
+	KindWriteUnderReadLock = "write-under-read-lock"
+	KindPhaseDoubleWrite   = "phase-double-write"
+	KindAwaitUnmatched     = "await-unmatched"
+)
+
+// Violation is one discipline breach found in a trace.
+type Violation struct {
+	Tag  string
+	Node int
+	Kind string
+	// Loc is the location or lock name involved.
+	Loc string
+	// Index is the offending event's index in its node's record stream
+	// (the second write, for phase double writes).
+	Index uint64
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s node %d [%s] %s", v.Tag, v.Node, v.Kind, v.Msg)
+}
+
+// Result is a full trace check: the violations plus what was actually
+// judged, so "zero violations" can be told apart from "nothing to check".
+type Result struct {
+	Violations []Violation
+	// NodesChecked and NodesSkipped count node snapshots judged and node
+	// snapshots skipped for ring wrap.
+	NodesChecked, NodesSkipped int
+	// WritesChecked counts EvWriteIssue events judged.
+	WritesChecked int
+	// PhaseChecked reports whether the barrier-phase placement check ran
+	// for at least one tag (it needs a run that uses the global barrier).
+	PhaseChecked bool
+}
+
+// phaseWrite is one plain PRAM/Slow write placed in its barrier phase.
+type phaseWrite struct {
+	node  int
+	index uint64
+	phase uint64
+	loc   string
+}
+
+// Check replays the snapshots and returns every discipline violation.
+// Snapshots are grouped by Tag: each tag is one run, so barrier phases
+// align across its nodes; different tags are independent executions.
+func Check(snaps []*obs.Snapshot) *Result {
+	res := &Result{}
+	byTag := make(map[string][]*obs.Snapshot)
+	var tags []string
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if _, ok := byTag[s.Tag]; !ok {
+			tags = append(tags, s.Tag)
+		}
+		byTag[s.Tag] = append(byTag[s.Tag], s)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		checkRun(res, tag, byTag[tag])
+	}
+	sort.Slice(res.Violations, func(i, j int) bool {
+		a, b := res.Violations[i], res.Violations[j]
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Index < b.Index
+	})
+	return res
+}
+
+// checkRun checks one run: per-node lock pairing and await matching, then
+// the cross-node phase placement of the run's plain PRAM/Slow writes.
+func checkRun(res *Result, tag string, snaps []*obs.Snapshot) {
+	var writes []phaseWrite
+	barriers := false
+	for _, s := range snaps {
+		if s.Dropped > 0 {
+			res.NodesSkipped++
+			continue
+		}
+		res.NodesChecked++
+		writes = append(writes, checkNode(res, tag, s, &barriers)...)
+	}
+	if !barriers {
+		// No global barrier in this run: the program is not phase-structured,
+		// so Corollary 2's placement rule does not apply to it.
+		return
+	}
+	res.PhaseChecked = true
+	type key struct {
+		phase uint64
+		loc   string
+	}
+	first := make(map[key]phaseWrite)
+	reported := make(map[key]bool)
+	for _, w := range writes {
+		k := key{w.phase, w.loc}
+		prev, seen := first[k]
+		if !seen {
+			first[k] = w
+			continue
+		}
+		if reported[k] {
+			continue
+		}
+		reported[k] = true
+		res.Violations = append(res.Violations, Violation{
+			Tag: tag, Node: w.node, Kind: KindPhaseDoubleWrite, Loc: w.loc, Index: w.index,
+			Msg: fmt.Sprintf("location %q written twice in barrier phase %d (nodes %d and %d): the run is outside Corollary 2's PRAM-justified class",
+				w.loc, w.phase, prev.node, w.node),
+		})
+	}
+}
+
+// checkNode replays one node's record stream and returns its plain
+// PRAM/Slow writes placed in their barrier phases.
+func checkNode(res *Result, tag string, s *obs.Snapshot, barriers *bool) []phaseWrite {
+	const (
+		free = iota
+		readHeld
+		writeHeld
+	)
+	locks := make(map[string]int)    // lock name -> mode
+	awaiting := make(map[string]int) // location -> unmatched await begins
+	var phase uint64
+	var writes []phaseWrite
+	report := func(kind, loc string, index uint64, format string, args ...any) {
+		res.Violations = append(res.Violations, Violation{
+			Tag: tag, Node: s.Node, Kind: kind, Loc: loc, Index: index,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, e := range s.Events {
+		switch e.Type {
+		case obs.EvLockAcquire:
+			name := s.LocName(e.Loc)
+			mode, want := readHeld, "read"
+			if e.B != 0 {
+				mode, want = writeHeld, "write"
+			}
+			if held := locks[name]; held != free {
+				report(KindLockPairing, name, e.Index,
+					"lock %q acquired in %s mode while already held", name, want)
+			}
+			locks[name] = mode
+		case obs.EvLockRelease:
+			name := s.LocName(e.Loc)
+			mode, word := readHeld, "read"
+			if e.B != 0 {
+				mode, word = writeHeld, "write"
+			}
+			switch held := locks[name]; {
+			case held == free:
+				report(KindLockPairing, name, e.Index,
+					"lock %q released in %s mode while not held", name, word)
+			case held != mode:
+				report(KindLockPairing, name, e.Index,
+					"lock %q released in %s mode but held in the other", name, word)
+			}
+			delete(locks, name)
+		case obs.EvBarrierEnter, obs.EvBarrierExit:
+			if s.LocName(e.Loc) != "" {
+				continue // subset barrier: not a phase boundary
+			}
+			*barriers = true
+			if e.Type == obs.EvBarrierExit {
+				phase = e.Seq + 1
+			}
+		case obs.EvAwaitBegin:
+			awaiting[s.LocName(e.Loc)]++
+		case obs.EvAwaitEnd:
+			if name := s.LocName(e.Loc); awaiting[name] > 0 {
+				awaiting[name]--
+			}
+		case obs.EvWriteIssue:
+			res.WritesChecked++
+			loc := s.LocName(e.Loc)
+			if dsm.UpdateOp(e.B) != dsm.OpSet && e.B != 0 {
+				continue // counter update: commutes, exempt from both checks
+			}
+			for name, mode := range locks {
+				if mode == readHeld {
+					report(KindWriteUnderReadLock, loc, e.Index,
+						"plain write to %q issued under read lock %q", loc, name)
+					break
+				}
+			}
+			switch history.Label(e.Label) {
+			case history.LabelPRAM, history.LabelSlow:
+				writes = append(writes, phaseWrite{node: s.Node, index: e.Index, phase: phase, loc: loc})
+			}
+		}
+	}
+	var held []string
+	for name := range locks {
+		held = append(held, name)
+	}
+	sort.Strings(held)
+	for _, name := range held {
+		report(KindLockPairing, name, s.Recorded,
+			"lock %q still held when the ring was snapshotted", name)
+	}
+	var waiting []string
+	for name, n := range awaiting {
+		if n > 0 {
+			waiting = append(waiting, name)
+		}
+	}
+	sort.Strings(waiting)
+	for _, name := range waiting {
+		report(KindAwaitUnmatched, name, s.Recorded,
+			"await on %q never matched by snapshot time: scoped replication may never deliver to this reader", name)
+	}
+	return writes
+}

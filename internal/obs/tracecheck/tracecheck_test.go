@@ -1,0 +1,182 @@
+package tracecheck
+
+import (
+	"testing"
+
+	"mixedmem/internal/dsm"
+	"mixedmem/internal/history"
+	"mixedmem/internal/obs"
+)
+
+// snap builds a snapshot over the given intern table, assigning indices.
+func snap(tag string, node int, locs []string, events []obs.Event) *obs.Snapshot {
+	for i := range events {
+		events[i].Index = uint64(i)
+	}
+	return &obs.Snapshot{
+		Tag: tag, Node: node, Capacity: 1 << 10,
+		Recorded: uint64(len(events)), Locs: locs, Events: events,
+	}
+}
+
+func write(loc uint32, label history.Label, op dsm.UpdateOp, seq uint64) obs.Event {
+	return obs.Event{Type: obs.EvWriteIssue, Loc: loc, Label: uint8(label), Seq: seq, B: uint64(op)}
+}
+
+func barrier(episode uint64) []obs.Event {
+	return []obs.Event{
+		{Type: obs.EvBarrierEnter, Loc: obs.NoLoc, Seq: episode},
+		{Type: obs.EvBarrierExit, Loc: obs.NoLoc, Seq: episode},
+	}
+}
+
+func kinds(res *Result) map[string]int {
+	m := make(map[string]int)
+	for _, v := range res.Violations {
+		m[v.Kind]++
+	}
+	return m
+}
+
+// TestCleanRun: a disciplined two-node run — phase-separated PRAM writes,
+// balanced locks, a matched await, counter updates — checks clean.
+func TestCleanRun(t *testing.T) {
+	locs := []string{"x", "y", "m", "hits"}
+	n0 := snap("run", 0, locs, append(append([]obs.Event{
+		write(0, history.LabelPRAM, dsm.OpSet, 1),
+	}, barrier(0)...), []obs.Event{
+		write(0, history.LabelPRAM, dsm.OpSet, 2), // same loc, next phase
+		{Type: obs.EvLockAcquire, Loc: 2, B: 1},
+		write(1, history.LabelNone, dsm.OpSet, 3),
+		{Type: obs.EvLockRelease, Loc: 2, B: 1},
+		{Type: obs.EvAwaitBegin, Loc: 0, A: 2},
+		{Type: obs.EvAwaitEnd, Loc: 0, Seq: 2},
+	}...))
+	n1 := snap("run", 1, locs, append(append([]obs.Event{
+		write(3, history.LabelPRAM, dsm.OpAdd, 1), // counter: exempt even if doubled
+		write(3, history.LabelPRAM, dsm.OpAdd, 2),
+	}, barrier(0)...), []obs.Event{
+		{Type: obs.EvLockAcquire, Loc: 2, B: 0},
+		{Type: obs.EvLockRelease, Loc: 2, B: 0},
+	}...))
+	res := Check([]*obs.Snapshot{n0, n1})
+	if len(res.Violations) != 0 {
+		t.Fatalf("clean run produced violations: %v", res.Violations)
+	}
+	if res.NodesChecked != 2 || !res.PhaseChecked || res.WritesChecked != 5 {
+		t.Fatalf("coverage: %+v", res)
+	}
+}
+
+// TestSeededViolations seeds one breach of every kind and expects each to
+// surface exactly where planted.
+func TestSeededViolations(t *testing.T) {
+	locs := []string{"x", "m", "w"}
+	// Node 0 writes "x" in phase 1; node 1 writes it in the same phase.
+	n0 := snap("bad", 0, locs, append(barrier(0),
+		write(0, history.LabelPRAM, dsm.OpSet, 1)))
+	n1 := snap("bad", 1, locs, append(barrier(0), []obs.Event{
+		write(0, history.LabelSlow, dsm.OpSet, 1), // phase double write (cross-node)
+		{Type: obs.EvLockAcquire, Loc: 1, B: 0},
+		write(2, history.LabelNone, dsm.OpSet, 2), // plain write under read lock
+		{Type: obs.EvLockRelease, Loc: 1, B: 1},   // wrong-mode release
+		{Type: obs.EvLockRelease, Loc: 1, B: 0},   // release while free
+		{Type: obs.EvLockAcquire, Loc: 1, B: 1},
+		{Type: obs.EvLockAcquire, Loc: 1, B: 1}, // re-acquire while held
+		{Type: obs.EvAwaitBegin, Loc: 2, A: 9},  // never matches
+	}...))
+	res := Check([]*obs.Snapshot{n0, n1})
+	got := kinds(res)
+	want := map[string]int{
+		KindPhaseDoubleWrite:   1,
+		KindWriteUnderReadLock: 1,
+		KindLockPairing:        4, // wrong mode, free release, re-acquire, held at end
+		KindAwaitUnmatched:     1,
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s: got %d violations, want %d\nall: %v", k, got[k], n, res.Violations)
+		}
+	}
+	if len(res.Violations) != 7 {
+		t.Errorf("total violations: got %d, want 7: %v", len(res.Violations), res.Violations)
+	}
+}
+
+// TestPhaseCheckNeedsBarriers: without a global barrier the run is not
+// phase-structured, so repeated writes are not judged by Corollary 2.
+func TestPhaseCheckNeedsBarriers(t *testing.T) {
+	s := snap("serve", 0, []string{"k"}, []obs.Event{
+		write(0, history.LabelPRAM, dsm.OpSet, 1),
+		write(0, history.LabelPRAM, dsm.OpSet, 2),
+	})
+	res := Check([]*obs.Snapshot{s})
+	if len(res.Violations) != 0 || res.PhaseChecked {
+		t.Fatalf("barrier-free run judged by the phase rule: %+v", res)
+	}
+}
+
+// TestSubsetBarrierIsNotAPhaseBoundary: BarrierGroup events carry a group
+// name; they must neither advance the phase nor enable the phase check.
+func TestSubsetBarrierIsNotAPhaseBoundary(t *testing.T) {
+	s := snap("grp", 0, []string{"x", "left"}, []obs.Event{
+		write(0, history.LabelPRAM, dsm.OpSet, 1),
+		{Type: obs.EvBarrierEnter, Loc: 1, Seq: 0},
+		{Type: obs.EvBarrierExit, Loc: 1, Seq: 0},
+		write(0, history.LabelPRAM, dsm.OpSet, 2),
+	})
+	res := Check([]*obs.Snapshot{s})
+	if res.PhaseChecked || len(res.Violations) != 0 {
+		t.Fatalf("subset barrier treated as phase boundary: %+v", res)
+	}
+}
+
+// TestCausalWritesExempt: Causal/SC-labeled writes carry their own
+// ordering; doubling them in a phase is not a Corollary 2 breach.
+func TestCausalWritesExempt(t *testing.T) {
+	s := snap("causal", 0, []string{"x"}, append(barrier(0), []obs.Event{
+		write(0, history.LabelCausal, dsm.OpSet, 1),
+		write(0, history.LabelCausal, dsm.OpSet, 2),
+	}...))
+	if res := Check([]*obs.Snapshot{s}); len(res.Violations) != 0 {
+		t.Fatalf("causal writes judged by the phase rule: %v", res.Violations)
+	}
+}
+
+// TestDroppedNodeSkipped: a wrapped ring makes pairing unjudgeable; the
+// node is skipped rather than half-checked.
+func TestDroppedNodeSkipped(t *testing.T) {
+	s := snap("wrap", 0, []string{"m"}, []obs.Event{
+		{Type: obs.EvLockRelease, Loc: 0, B: 1}, // would be a violation...
+	})
+	s.Dropped = 3 // ...but the acquire may be among the overwritten records
+	res := Check([]*obs.Snapshot{s})
+	if len(res.Violations) != 0 || res.NodesSkipped != 1 || res.NodesChecked != 0 {
+		t.Fatalf("wrapped node not skipped: %+v", res)
+	}
+}
+
+// TestTagsAreIndependentRuns: phases do not leak across tags — two tags
+// each writing "x" once in phase 1 is clean.
+func TestTagsAreIndependentRuns(t *testing.T) {
+	a := snap("a", 0, []string{"x"}, append(barrier(0),
+		write(0, history.LabelPRAM, dsm.OpSet, 1)))
+	b := snap("b", 0, []string{"x"}, append(barrier(0),
+		write(0, history.LabelPRAM, dsm.OpSet, 1)))
+	if res := Check([]*obs.Snapshot{a, b}); len(res.Violations) != 0 {
+		t.Fatalf("phases leaked across tags: %v", res.Violations)
+	}
+}
+
+// TestLegacyTraceOpUnknown: traces recorded before EvWriteIssue carried the
+// update op have B == 0; such writes are judged as plain writes.
+func TestLegacyTraceOpUnknown(t *testing.T) {
+	s := snap("old", 0, []string{"x"}, append(barrier(0), []obs.Event{
+		{Type: obs.EvWriteIssue, Loc: 0, Label: uint8(history.LabelPRAM), Seq: 1},
+		{Type: obs.EvWriteIssue, Loc: 0, Label: uint8(history.LabelPRAM), Seq: 2},
+	}...))
+	res := Check([]*obs.Snapshot{s})
+	if got := kinds(res)[KindPhaseDoubleWrite]; got != 1 {
+		t.Fatalf("legacy-op double write not judged: %+v", res)
+	}
+}
